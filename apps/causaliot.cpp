@@ -1,0 +1,278 @@
+// causaliot — command-line front end for the library.
+//
+//   causaliot simulate --profile contextact --days 7 --seed 1 --out trace.csv
+//   causaliot train    --trace trace.csv --profile contextact --out model.dig
+//   causaliot monitor  --model model.dig --trace live.csv --profile contextact
+//                      [--kmax 3] [--threshold 0.99]
+//   causaliot inspect  --model model.dig --profile contextact [--dot graph.dot]
+//
+// The profile argument supplies the device catalog (column order of the
+// CSV); custom deployments would register their own catalog the same way.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "causaliot/core/pipeline.hpp"
+#include "causaliot/detect/explanation.hpp"
+#include "causaliot/graph/analysis.hpp"
+#include "causaliot/sim/simulator.hpp"
+#include "causaliot/telemetry/jsonl.hpp"
+#include "causaliot/util/log.hpp"
+#include "causaliot/util/strings.hpp"
+
+namespace {
+
+using namespace causaliot;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  const char* get(const std::string& key, const char* fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second.c_str();
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::strtod(it->second.c_str(),
+                                                        nullptr);
+  }
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+    const auto it = options.find(key);
+    return it == options.end()
+               ? fallback
+               : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  bool require(const std::string& key) const {
+    if (options.contains(key)) return true;
+    std::fprintf(stderr, "missing required option --%s\n", key.c_str());
+    return false;
+  }
+};
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      std::fprintf(stderr, "expected --option, got '%s'\n", argv[i]);
+      return std::nullopt;
+    }
+    args.options[argv[i] + 2] = argv[i + 1];
+  }
+  return args;
+}
+
+std::optional<sim::HomeProfile> profile_by_name(const std::string& name) {
+  if (name == "contextact") return sim::contextact_profile();
+  if (name == "casas") return sim::casas_profile();
+  std::fprintf(stderr, "unknown profile '%s' (contextact | casas)\n",
+               name.c_str());
+  return std::nullopt;
+}
+
+int cmd_simulate(const Args& args) {
+  if (!args.require("out")) return 2;
+  auto profile = profile_by_name(args.get("profile", "contextact"));
+  if (!profile) return 2;
+  profile->days = args.get_double("days", profile->days);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+
+  sim::SmartHomeSimulator simulator(std::move(*profile), seed);
+  const sim::SimulationResult result = simulator.run();
+  const std::string out = args.get("out", "");
+  const bool jsonl = std::string(args.get("format", "csv")) == "jsonl";
+  const auto status = jsonl ? telemetry::save_jsonl(result.log, out)
+                            : result.log.save_csv(out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "write failed: %s\n",
+                 status.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu events (%zu user, %zu automation) to %s\n",
+              result.log.size(), result.user_events,
+              result.automation_events, out.c_str());
+  return 0;
+}
+
+std::optional<telemetry::EventLog> load_trace(const Args& args) {
+  auto profile = profile_by_name(args.get("profile", "contextact"));
+  if (!profile) return std::nullopt;
+  telemetry::DeviceCatalog catalog;
+  for (const telemetry::DeviceInfo& info : profile->devices) {
+    if (!catalog.add(info).ok()) return std::nullopt;
+  }
+  const std::string trace = args.get("trace", "");
+  const bool jsonl =
+      std::string(args.get("format", "")) == "jsonl" ||
+      (trace.size() > 6 && trace.substr(trace.size() - 6) == ".jsonl");
+  auto log = jsonl ? telemetry::load_jsonl(trace, std::move(catalog))
+                   : telemetry::EventLog::load_csv(trace, catalog);
+  if (!log.ok()) {
+    std::fprintf(stderr, "cannot load trace: %s\n",
+                 log.error().to_string().c_str());
+    return std::nullopt;
+  }
+  return std::move(log).value();
+}
+
+int cmd_train(const Args& args) {
+  if (!args.require("trace") || !args.require("out")) return 2;
+  const auto log = load_trace(args);
+  if (!log) return 1;
+
+  core::PipelineConfig config;
+  config.max_lag = static_cast<std::size_t>(args.get_u64("tau", 0));
+  config.alpha = args.get_double("alpha", 0.001);
+  config.percentile_q = args.get_double("q", 99.0);
+  config.laplace_alpha = args.get_double("laplace", 0.1);
+  config.min_samples_per_dof = args.get_double("guard", 10.0);
+  core::Pipeline pipeline(config);
+  const core::TrainedModel model = pipeline.train(*log);
+
+  const std::string out = args.get("out", "");
+  if (const auto status = model.graph.save(out); !status.ok()) {
+    std::fprintf(stderr, "write failed: %s\n",
+                 status.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("trained on %zu events: tau=%zu, %zu interactions, "
+              "threshold=%.4f\nmodel written to %s\n",
+              log->size(), model.lag, model.graph.edge_count(),
+              model.score_threshold, out.c_str());
+  std::printf("(pass --threshold %.4f to `causaliot monitor`)\n",
+              model.score_threshold);
+  return 0;
+}
+
+int cmd_monitor(const Args& args) {
+  if (!args.require("model") || !args.require("trace")) return 2;
+  auto profile = profile_by_name(args.get("profile", "contextact"));
+  if (!profile) return 2;
+  const auto log = load_trace(args);
+  if (!log) return 1;
+  auto graph = graph::InteractionGraph::load(args.get("model", ""));
+  if (!graph.ok()) {
+    std::fprintf(stderr, "cannot load model: %s\n",
+                 graph.error().to_string().c_str());
+    return 1;
+  }
+  if (graph.value().device_count() != log->catalog().size()) {
+    std::fprintf(stderr, "model/catalog device-count mismatch\n");
+    return 1;
+  }
+
+  // Discretize the live stream with a model fitted on it (a deployment
+  // would persist the training-time DiscretizationModel instead).
+  preprocess::Preprocessor preprocessor;
+  const preprocess::DiscretizationModel discretization =
+      preprocess::DiscretizationModel::fit(*log);
+  const auto events =
+      preprocessor.discretize_runtime(*log, discretization, 0.0);
+
+  detect::MonitorConfig config;
+  config.score_threshold = args.get_double("threshold", 0.99);
+  config.k_max = static_cast<std::size_t>(args.get_u64("kmax", 1));
+  config.laplace_alpha = args.get_double("laplace", 0.1);
+  detect::EventMonitor monitor(
+      graph.value(), config,
+      std::vector<std::uint8_t>(log->catalog().size(), 0));
+
+  std::size_t alarms = 0;
+  for (const preprocess::BinaryEvent& event : events) {
+    if (const auto report = monitor.process(event)) {
+      ++alarms;
+      std::printf("%s\n",
+                  detect::describe_report(*report, log->catalog()).c_str());
+    }
+  }
+  if (const auto tail = monitor.finish()) {
+    ++alarms;
+    std::printf("%s\n",
+                detect::describe_report(*tail, log->catalog()).c_str());
+  }
+  std::printf("-- %zu alarms over %zu events\n", alarms, events.size());
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  if (!args.require("model")) return 2;
+  auto profile = profile_by_name(args.get("profile", "contextact"));
+  if (!profile) return 2;
+  telemetry::DeviceCatalog catalog;
+  for (const telemetry::DeviceInfo& info : profile->devices) {
+    if (!catalog.add(info).ok()) return 1;
+  }
+  auto graph = graph::InteractionGraph::load(args.get("model", ""));
+  if (!graph.ok()) {
+    std::fprintf(stderr, "cannot load model: %s\n",
+                 graph.error().to_string().c_str());
+    return 1;
+  }
+  if (graph.value().device_count() != catalog.size()) {
+    std::fprintf(stderr, "model/catalog device-count mismatch\n");
+    return 1;
+  }
+
+  const graph::GraphSummary summary = graph::summarize(graph.value());
+  std::printf("DIG: %zu devices, tau=%zu, %zu lagged edges, %zu "
+              "device-level interactions (%zu self)\n",
+              summary.device_count, graph.value().max_lag(),
+              summary.edge_count, summary.interaction_count,
+              summary.self_loop_count);
+  std::printf("in-degree: max %zu, mean %.2f; %zu orphan devices; %zu CPT "
+              "assignments\n",
+              summary.max_in_degree, summary.mean_in_degree,
+              summary.orphan_count, summary.cpt_assignment_count);
+  for (telemetry::DeviceId child = 0; child < catalog.size(); ++child) {
+    const auto& causes = graph.value().causes(child);
+    if (causes.empty()) continue;
+    std::printf("  %s <-", catalog.info(child).name.c_str());
+    for (const graph::LaggedNode& cause : causes) {
+      std::printf(" %s(t-%u)", catalog.info(cause.device).name.c_str(),
+                  cause.lag);
+    }
+    std::printf("\n");
+  }
+  if (args.options.contains("dot")) {
+    std::ofstream out(args.options.at("dot"));
+    out << graph.value().to_dot(catalog);
+    std::printf("DOT graph written to %s\n",
+                args.options.at("dot").c_str());
+  }
+  return 0;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: causaliot <command> [--option value ...]\n"
+      "  simulate --out trace.csv [--profile contextact|casas] [--days N]"
+      " [--seed N] [--format csv|jsonl]\n"
+      "  train    --trace trace.csv --out model.dig [--profile P] [--tau N]"
+      " [--alpha A] [--q Q] [--laplace L]\n"
+      "  monitor  --model model.dig --trace live.csv [--profile P]"
+      " [--kmax K] [--threshold C]\n"
+      "  inspect  --model model.dig [--profile P] [--dot out.dot]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::set_log_level(util::LogLevel::kWarn);
+  const auto args = parse_args(argc, argv);
+  if (!args) {
+    usage();
+    return 2;
+  }
+  if (args->command == "simulate") return cmd_simulate(*args);
+  if (args->command == "train") return cmd_train(*args);
+  if (args->command == "monitor") return cmd_monitor(*args);
+  if (args->command == "inspect") return cmd_inspect(*args);
+  usage();
+  return 2;
+}

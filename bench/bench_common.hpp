@@ -1,0 +1,53 @@
+// Shared wiring for the reproduction benches: every bench binary builds
+// the same trained experiment (deterministic seed) and prints aligned
+// table rows so the output can be diffed against the paper's tables.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "causaliot/core/evaluation.hpp"
+#include "causaliot/core/experiment.hpp"
+#include "causaliot/util/log.hpp"
+
+namespace causaliot::bench {
+
+inline constexpr std::uint64_t kDefaultSeed = 2023;
+
+/// Seed from argv[1] (all benches accept one) or the default.
+inline std::uint64_t seed_from_args(int argc, char** argv) {
+  return argc > 1 ? std::strtoull(argv[1], nullptr, 10) : kDefaultSeed;
+}
+
+/// The paper's evaluation configuration: tau = 2, alpha = 0.001, q = 99.
+inline core::ExperimentConfig paper_config(std::uint64_t seed) {
+  core::ExperimentConfig config;
+  config.seed = seed;
+  return config;
+}
+
+/// Builds the standard ContextAct experiment used by most benches.
+/// The detection benches simulate four weeks of the 7-day profile so the
+/// 20% held-out stream is long enough for the paper's 5,000-position
+/// injection campaigns (see EXPERIMENTS.md for the substitution note).
+inline core::Experiment contextact_experiment(std::uint64_t seed,
+                                              double days = 28.0) {
+  sim::HomeProfile profile = sim::contextact_profile();
+  profile.days = days;
+  return core::build_experiment(std::move(profile), paper_config(seed));
+}
+
+inline void print_header(const char* title, std::uint64_t seed) {
+  std::printf("\n================================================================\n");
+  std::printf("%s   (seed %llu)\n", title,
+              static_cast<unsigned long long>(seed));
+  std::printf("================================================================\n");
+}
+
+inline void print_rule(char c = '-') {
+  for (int i = 0; i < 64; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace causaliot::bench

@@ -1,0 +1,126 @@
+// §V-D computational-complexity benchmarks (google-benchmark):
+//   * TemporalPC mining cost vs device count n (the paper argues O(n^k)
+//     conditional-independence tests with small realistic k),
+//   * Event Monitor per-event validation cost (argued O(1)),
+//   * the G-square test primitive itself.
+#include <benchmark/benchmark.h>
+
+#include "causaliot/detect/monitor.hpp"
+#include "causaliot/mining/temporal_pc.hpp"
+#include "causaliot/preprocess/series.hpp"
+#include "causaliot/stats/gsquare.hpp"
+#include "causaliot/util/rng.hpp"
+
+namespace {
+
+using namespace causaliot;
+
+// A synthetic home: each device flips driven by its predecessor (a chain
+// of interactions) plus noise — enough structure for TemporalPC to prune.
+preprocess::StateSeries synthetic_series(std::size_t device_count,
+                                         std::size_t event_count,
+                                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint8_t> state(device_count, 0);
+  preprocess::StateSeries series(device_count, state);
+  telemetry::DeviceId last = 0;
+  for (std::size_t j = 0; j < event_count; ++j) {
+    telemetry::DeviceId device;
+    if (rng.bernoulli(0.6)) {
+      device = (last + 1) % static_cast<telemetry::DeviceId>(device_count);
+    } else {
+      device = static_cast<telemetry::DeviceId>(rng.uniform(device_count));
+    }
+    state[device] ^= 1;
+    series.apply({device, state[device], static_cast<double>(j)});
+    last = device;
+  }
+  return series;
+}
+
+void BM_TemporalPCMining(benchmark::State& bench_state) {
+  const auto device_count =
+      static_cast<std::size_t>(bench_state.range(0));
+  const preprocess::StateSeries series =
+      synthetic_series(device_count, 4000, 42);
+  mining::MinerConfig config;
+  config.max_lag = 2;
+  config.alpha = 0.001;
+  const mining::InteractionMiner miner(config);
+  std::size_t tests = 0;
+  for (auto _ : bench_state) {
+    mining::MiningDiagnostics diagnostics;
+    graph::InteractionGraph graph = miner.mine(series, &diagnostics);
+    benchmark::DoNotOptimize(graph.edge_count());
+    tests = diagnostics.tests_run;
+  }
+  bench_state.counters["ci_tests"] = static_cast<double>(tests);
+  bench_state.counters["devices"] = static_cast<double>(device_count);
+}
+BENCHMARK(BM_TemporalPCMining)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(22)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MonitorPerEvent(benchmark::State& bench_state) {
+  const std::size_t device_count = 22;
+  const preprocess::StateSeries series =
+      synthetic_series(device_count, 8000, 7);
+  mining::MinerConfig config;
+  config.max_lag = 2;
+  const mining::InteractionMiner miner(config);
+  const graph::InteractionGraph graph = miner.mine(series);
+
+  detect::MonitorConfig monitor_config;
+  monitor_config.score_threshold = 0.99;
+  detect::EventMonitor monitor(graph, monitor_config,
+                               series.snapshot_state(0));
+  util::Rng rng(99);
+  std::size_t processed = 0;
+  for (auto _ : bench_state) {
+    const auto device =
+        static_cast<telemetry::DeviceId>(rng.uniform(device_count));
+    const preprocess::BinaryEvent event{
+        device, static_cast<std::uint8_t>(rng.uniform(2)),
+        static_cast<double>(processed)};
+    benchmark::DoNotOptimize(monitor.process(event));
+    ++processed;
+  }
+  bench_state.SetItemsProcessed(
+      static_cast<std::int64_t>(processed));
+}
+BENCHMARK(BM_MonitorPerEvent);
+
+void BM_GSquareTest(benchmark::State& bench_state) {
+  const auto sample_count = static_cast<std::size_t>(bench_state.range(0));
+  const auto conditioning = static_cast<std::size_t>(bench_state.range(1));
+  util::Rng rng(5);
+  std::vector<std::uint8_t> x(sample_count);
+  std::vector<std::uint8_t> y(sample_count);
+  std::vector<std::vector<std::uint8_t>> z(conditioning,
+                                           std::vector<std::uint8_t>(
+                                               sample_count));
+  for (std::size_t i = 0; i < sample_count; ++i) {
+    x[i] = static_cast<std::uint8_t>(rng.uniform(2));
+    y[i] = static_cast<std::uint8_t>((x[i] + rng.uniform(2)) % 2);
+    for (auto& column : z) {
+      column[i] = static_cast<std::uint8_t>(rng.uniform(2));
+    }
+  }
+  std::vector<std::span<const std::uint8_t>> z_spans(z.begin(), z.end());
+  for (auto _ : bench_state) {
+    benchmark::DoNotOptimize(
+        stats::g_square_test(x, y, z_spans));
+  }
+  bench_state.SetItemsProcessed(
+      static_cast<std::int64_t>(bench_state.iterations()) *
+      static_cast<std::int64_t>(sample_count));
+}
+BENCHMARK(BM_GSquareTest)
+    ->Args({1000, 0})
+    ->Args({10000, 0})
+    ->Args({10000, 2})
+    ->Args({10000, 4})
+    ->Args({100000, 2});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Reproduces Figure 5: CausalIoT vs the three baseline detectors
+// (k-th-order Markov chain, one-class SVM, HAWatcher-style rules) on the
+// four contextual anomaly cases.
+//
+// Paper shape: CausalIoT best on every case; Markov good recall but many
+// false alarms from disordered events; OCSVM decent recall with ~56%
+// average false positives; HAWatcher lowest accuracy (background-knowledge
+// gate rejects useful interactions).
+#include "bench_common.hpp"
+
+#include "causaliot/baselines/hawatcher.hpp"
+#include "causaliot/baselines/markov.hpp"
+#include "causaliot/baselines/ocsvm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace causaliot;
+  const std::uint64_t seed = bench::seed_from_args(argc, argv);
+  bench::print_header("Figure 5 — baseline comparison", seed);
+
+  core::Experiment ex = bench::contextact_experiment(seed);
+  const preprocess::StateSeries test =
+      core::make_fresh_test_series(ex, /*days=*/35.0, seed ^ 0xABCDEF);
+  inject::AnomalyInjector injector(ex.catalog(), ex.profile,
+                                   ex.sim.ground_truth);
+
+  // Train the baselines on the identical training series.
+  baselines::MarkovDetector markov(ex.model.lag);
+  markov.fit(ex.train_series);
+  baselines::OcsvmDetector ocsvm;
+  ocsvm.fit(ex.train_series);
+  baselines::HaWatcherDetector hawatcher(ex.catalog());
+  hawatcher.fit(ex.train_series);
+  std::printf("markov transitions: %zu | ocsvm SVs: %zu | hawatcher rules: "
+              "%zu (rejected by background knowledge: %zu)\n",
+              markov.transition_count(), ocsvm.support_vector_count(),
+              hawatcher.rules().size(),
+              hawatcher.rejected_by_background_knowledge());
+
+  const inject::ContextualCase cases[] = {
+      inject::ContextualCase::kSensorFault,
+      inject::ContextualCase::kBurglarIntrusion,
+      inject::ContextualCase::kRemoteControl,
+      inject::ContextualCase::kMaliciousRule,
+  };
+
+  std::printf("\n%-20s %-12s %9s %9s %9s %9s\n", "Case", "Detector",
+              "Accuracy", "Precision", "Recall", "F1");
+  bench::print_rule();
+  for (std::size_t c = 0; c < std::size(cases); ++c) {
+    inject::ContextualConfig config;
+    config.anomaly_case = cases[c];
+    config.injection_count = 5000;
+    config.seed = seed + 17 * (c + 1);
+    const inject::InjectionResult stream = injector.inject_contextual(
+        test.events(), test.snapshot_state(0), config);
+
+    struct Entry {
+      const char* name;
+      stats::ConfusionCounts counts;
+    };
+    Entry entries[] = {
+        {"CausalIoT", core::evaluate_contextual(ex.model, stream)},
+        {"Markov", core::evaluate_baseline(markov, stream)},
+        {"OCSVM", core::evaluate_baseline(ocsvm, stream)},
+        {"HAWatcher", core::evaluate_baseline(hawatcher, stream)},
+    };
+    for (const Entry& entry : entries) {
+      std::printf("%-20s %-12s %9.3f %9.3f %9.3f %9.3f\n",
+                  std::string(to_string(cases[c])).c_str(), entry.name,
+                  entry.counts.accuracy(), entry.counts.precision(),
+                  entry.counts.recall(), entry.counts.f1());
+    }
+    bench::print_rule();
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Quickstart: the whole CausalIoT pipeline in one file.
+//
+// 1. Generate a week of smart-home telemetry on the ContextAct-like
+//    testbed (stand-in for the paper's real trace).
+// 2. Preprocess + mine the Device Interaction Graph with TemporalPC.
+// 3. Calibrate the anomaly-score threshold.
+// 4. Monitor a runtime stream with an injected ghost-switch attack and
+//    print the alarms with their interpretation context.
+//
+// Run:  ./build/examples/quickstart [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "causaliot/core/evaluation.hpp"
+#include "causaliot/core/experiment.hpp"
+#include "causaliot/util/log.hpp"
+
+int main(int argc, char** argv) {
+  using namespace causaliot;
+  util::set_log_level(util::LogLevel::kInfo);
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2023;
+
+  // --- train -------------------------------------------------------------
+  core::ExperimentConfig config;
+  config.seed = seed;
+  core::Experiment experiment =
+      core::build_experiment(sim::contextact_profile(), config);
+
+  std::printf("\n== trained model ==\n");
+  std::printf("devices: %zu, lag tau = %zu\n",
+              experiment.catalog().size(), experiment.model.lag);
+  std::printf("DIG edges: %zu (device-level ground truth: %zu)\n",
+              experiment.model.graph.edge_count(),
+              experiment.sim.ground_truth.size());
+  std::printf("score threshold (q=99): %.4f\n",
+              experiment.model.score_threshold);
+
+  const core::MiningEvaluation mining = core::evaluate_mining(
+      experiment.model.graph, experiment.sim.ground_truth);
+  std::printf("mining precision %.3f recall %.3f\n", mining.precision,
+              mining.recall);
+
+  // --- monitor an attacked stream -----------------------------------------
+  inject::AnomalyInjector injector(experiment.catalog(), experiment.profile,
+                                   experiment.sim.ground_truth);
+  inject::ContextualConfig attack;
+  attack.anomaly_case = inject::ContextualCase::kRemoteControl;
+  attack.injection_count = 20;
+  attack.seed = seed + 1;
+  const inject::InjectionResult stream = injector.inject_contextual(
+      experiment.test_series.events(),
+      experiment.test_series.snapshot_state(0), attack);
+
+  detect::EventMonitor monitor =
+      experiment.model.make_monitor(/*k_max=*/1, stream.initial_state);
+  std::size_t alarms = 0;
+  std::size_t true_alarms = 0;
+  for (std::size_t i = 0; i < stream.events.size(); ++i) {
+    const auto report = monitor.process(stream.events[i]);
+    if (!report.has_value()) continue;
+    ++alarms;
+    const detect::AnomalyEntry& entry = report->contextual();
+    const auto& info = experiment.catalog().info(entry.event.device);
+    if (stream.is_injected(i)) ++true_alarms;
+    if (alarms <= 5) {
+      std::printf("ALARM: %s -> state %u (score %.3f)%s; context:",
+                  info.name.c_str(), entry.event.state, entry.score,
+                  stream.is_injected(i) ? " [injected]" : "");
+      for (std::size_t c = 0; c < entry.causes.size(); ++c) {
+        std::printf(" %s@t-%u=%u",
+                    experiment.catalog()
+                        .info(entry.causes[c].device)
+                        .name.c_str(),
+                    entry.causes[c].lag, entry.cause_values[c]);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n%zu alarms over %zu events; %zu/%zu injected attacks "
+              "caught\n",
+              alarms, stream.events.size(), true_alarms,
+              stream.injected_count);
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Water-distribution scenario from §IV: quality sensors are deployed
+// along a river; readings at a downstream station follow the upstream
+// station with a lag, so a DIG profiles the flow network. A pollution
+// event shows up as a contextual anomaly at the spill site, and the
+// contaminated plume travelling downstream is the collective anomaly the
+// k-sequence detector tracks.
+//
+// Run:  ./build/examples/water_quality [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "causaliot/core/pipeline.hpp"
+#include "causaliot/util/rng.hpp"
+
+namespace {
+
+using namespace causaliot;
+
+constexpr std::size_t kStations = 5;
+
+telemetry::DeviceCatalog river_catalog() {
+  telemetry::DeviceCatalog catalog;
+  for (std::size_t i = 0; i < kStations; ++i) {
+    const auto id = catalog.add({"station_" + std::to_string(i),
+                                 "river_km_" + std::to_string(10 * i),
+                                 telemetry::AttributeType::kGenericSensor,
+                                 telemetry::ValueType::kBinary});
+    CAUSALIOT_CHECK(id.ok());
+  }
+  return catalog;
+}
+
+// Turbidity episodes (rain, algae) enter at the head station and
+// propagate downstream one station per step; episodes clear the same way.
+preprocess::StateSeries river_series(std::size_t episodes, util::Rng& rng) {
+  preprocess::StateSeries series(kStations,
+                                 std::vector<std::uint8_t>(kStations, 0));
+  double t = 0.0;
+  for (std::size_t e = 0; e < episodes; ++e) {
+    t += rng.uniform_real(3600, 14400);
+    // Front travels downstream.
+    for (std::size_t i = 0; i < kStations; ++i) {
+      if (rng.bernoulli(0.95)) {
+        series.apply({static_cast<telemetry::DeviceId>(i), 1,
+                      t += rng.uniform_real(300, 900)});
+      }
+    }
+    t += rng.uniform_real(1800, 7200);
+    // Water clears in the same order.
+    for (std::size_t i = 0; i < kStations; ++i) {
+      if (series.state(static_cast<telemetry::DeviceId>(i),
+                       series.length() - 1) == 1) {
+        series.apply({static_cast<telemetry::DeviceId>(i), 0,
+                      t += rng.uniform_real(300, 900)});
+      }
+    }
+  }
+  return series;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace causaliot;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+  util::Rng rng(seed);
+
+  const telemetry::DeviceCatalog catalog = river_catalog();
+  const preprocess::StateSeries training = river_series(700, rng);
+  std::printf("river telemetry: %zu events across %zu stations\n",
+              training.event_count(), catalog.size());
+
+  core::PipelineConfig config;
+  config.max_lag = 2;
+  config.percentile_q = 99.0;
+  config.laplace_alpha = 0.1;
+  core::Pipeline pipeline(config);
+  const core::TrainedModel model = pipeline.train_on_series(training, 2);
+
+  std::printf("\nmined flow network (excluding autocorrelation):\n");
+  std::size_t downstream_edges = 0;
+  for (telemetry::DeviceId child = 0; child < catalog.size(); ++child) {
+    for (const graph::LaggedNode& cause : model.graph.causes(child)) {
+      if (cause.device == child) continue;
+      std::printf("  %s -> %s (lag %u)\n",
+                  catalog.info(cause.device).name.c_str(),
+                  catalog.info(child).name.c_str(), cause.lag);
+      downstream_edges += cause.device + 1 == child || cause.device + 2 == child;
+    }
+  }
+  std::printf("downstream-direction edges: %zu\n", downstream_edges);
+
+  // A pollution spill at station 2 (mid-river, no upstream cause) is a
+  // contextual anomaly; the plume reaching stations 3 and 4 follows the
+  // flow interactions and forms the collective anomaly.
+  detect::EventMonitor monitor =
+      model.make_monitor(/*k_max=*/3, std::vector<std::uint8_t>(kStations, 0));
+  std::printf("\nspill at station_2 with clean water upstream...\n");
+  double t = 1e9;
+  std::optional<detect::AnomalyReport> report;
+  for (const preprocess::BinaryEvent event :
+       {preprocess::BinaryEvent{2, 1, t += 600},
+        preprocess::BinaryEvent{3, 1, t += 600},
+        preprocess::BinaryEvent{4, 1, t += 600}}) {
+    report = monitor.process(event);
+    if (report.has_value()) break;
+  }
+  if (!report.has_value()) report = monitor.finish();
+  if (report.has_value()) {
+    std::printf("ALARM: contamination chain of %zu readings:\n",
+                report->chain_length());
+    for (const detect::AnomalyEntry& entry : report->entries) {
+      std::printf("  %s turbid (score %.3f)\n",
+                  catalog.info(entry.event.device).name.c_str(), entry.score);
+    }
+  } else {
+    std::printf("no alarm raised (unexpected)\n");
+  }
+  return report.has_value() ? 0 : 1;
+}

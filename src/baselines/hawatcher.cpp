@@ -1,0 +1,113 @@
+#include "causaliot/baselines/hawatcher.hpp"
+
+#include "causaliot/util/check.hpp"
+
+namespace causaliot::baselines {
+
+namespace {
+
+using telemetry::AttributeType;
+
+bool is_controllable(AttributeType type) {
+  return type == AttributeType::kSwitch || type == AttributeType::kDimmer ||
+         type == AttributeType::kPowerSensor ||
+         type == AttributeType::kWaterMeter ||
+         type == AttributeType::kGenericActuator;
+}
+
+}  // namespace
+
+HaWatcherDetector::HaWatcherDetector(const telemetry::DeviceCatalog& catalog,
+                                     HaWatcherConfig config)
+    : catalog_(catalog), config_(config) {}
+
+bool HaWatcherDetector::passes_background_knowledge(
+    telemetry::DeviceId a, telemetry::DeviceId b) const {
+  const telemetry::DeviceInfo& info_a = catalog_.info(a);
+  const telemetry::DeviceInfo& info_b = catalog_.info(b);
+  // Spatial constraint: correlated devices must share a room.
+  if (info_a.room != info_b.room) return false;
+  // Functionality ontology: user presence explains device operation (and
+  // vice versa), and door contacts relate to presence. Sensor-to-sensor
+  // and channel relations (power -> brightness) are not in the ontology.
+  const AttributeType ta = info_a.attribute;
+  const AttributeType tb = info_b.attribute;
+  const bool a_presence = ta == AttributeType::kPresenceSensor;
+  const bool b_presence = tb == AttributeType::kPresenceSensor;
+  const bool a_contact = ta == AttributeType::kContactSensor;
+  const bool b_contact = tb == AttributeType::kContactSensor;
+  if (a_presence && is_controllable(tb)) return true;
+  if (b_presence && is_controllable(ta)) return true;
+  if (a_contact && b_presence) return true;
+  if (a_presence && b_contact) return true;
+  if (a_contact && is_controllable(tb)) return true;
+  if (b_contact && is_controllable(ta)) return true;
+  return false;
+}
+
+void HaWatcherDetector::fit(const preprocess::StateSeries& training) {
+  const std::size_t n = training.device_count();
+  rules_.clear();
+  rejected_by_bk_ = 0;
+
+  // counts[a][b].cell[s_a][s_b]: occurrences of device b being in state
+  // s_b right after an event (a, s_a).
+  struct Cell {
+    std::size_t cell[2][2] = {{0, 0}, {0, 0}};
+  };
+  std::vector<Cell> counts(n * n);
+  for (std::size_t j = 1; j < training.length(); ++j) {
+    const preprocess::BinaryEvent& event = training.event_at(j);
+    for (telemetry::DeviceId b = 0; b < n; ++b) {
+      if (b == event.device) continue;
+      counts[event.device * n + b]
+          .cell[event.state][training.state(b, j)] += 1;
+    }
+  }
+
+  for (telemetry::DeviceId a = 0; a < n; ++a) {
+    for (telemetry::DeviceId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      for (std::uint8_t sa = 0; sa <= 1; ++sa) {
+        const Cell& cell = counts[a * n + b];
+        const std::size_t support = cell.cell[sa][0] + cell.cell[sa][1];
+        if (support < config_.min_support) continue;
+        for (std::uint8_t sb = 0; sb <= 1; ++sb) {
+          const double confidence = static_cast<double>(cell.cell[sa][sb]) /
+                                    static_cast<double>(support);
+          if (confidence < config_.min_confidence) continue;
+          if (config_.use_background_knowledge &&
+              !passes_background_knowledge(a, b)) {
+            ++rejected_by_bk_;
+            continue;
+          }
+          rules_.push_back({a, sa, b, sb, confidence, support});
+        }
+      }
+    }
+  }
+}
+
+void HaWatcherDetector::reset(std::vector<std::uint8_t> initial_state) {
+  current_ = std::move(initial_state);
+}
+
+bool HaWatcherDetector::is_anomalous(const preprocess::BinaryEvent& event) {
+  CAUSALIOT_CHECK(event.device < current_.size());
+  // Event-to-state semantics: a rule constrains the snapshot at the moment
+  // its antecedent event fires, not every snapshot in which the antecedent
+  // state merely holds (the latter would flag nearly everything).
+  bool violated = false;
+  for (const Rule& rule : rules_) {
+    if (rule.antecedent == event.device &&
+        rule.antecedent_state == event.state &&
+        current_[rule.consequent] != rule.consequent_state) {
+      violated = true;
+      break;
+    }
+  }
+  current_[event.device] = event.state;
+  return violated;
+}
+
+}  // namespace causaliot::baselines

@@ -1,0 +1,34 @@
+// Common interface for the Figure-5 baseline detectors.
+//
+// Each baseline is trained on the same preprocessed training series as
+// CausalIoT and then consumes the same runtime binary-event stream,
+// flagging events as anomalous. Keeping the interface event-by-event makes
+// the comparison fair: every detector sees identical information.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "causaliot/preprocess/series.hpp"
+
+namespace causaliot::baselines {
+
+class AnomalyDetector {
+ public:
+  virtual ~AnomalyDetector() = default;
+
+  /// Learns the normal-behaviour model from the training series.
+  virtual void fit(const preprocess::StateSeries& training) = 0;
+
+  /// Starts a monitoring session from the given system state (typically
+  /// the training-trace tail). Must be called after fit().
+  virtual void reset(std::vector<std::uint8_t> initial_state) = 0;
+
+  /// Consumes one runtime event; returns true if flagged anomalous.
+  virtual bool is_anomalous(const preprocess::BinaryEvent& event) = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace causaliot::baselines

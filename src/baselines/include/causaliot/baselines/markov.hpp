@@ -1,0 +1,47 @@
+// k-th-order Markov-chain baseline (stochastic learning, Fig. 5).
+//
+// Estimates the likelihood of the current system state given the k
+// preceding system states; a runtime event implying a transition never
+// observed in training is reported anomalous (the formulation in [21],
+// [22] as summarized in §VI-C). Because it keys on exact state-history
+// tuples, disordered events (periodic ambient reports interleaving with
+// user actions) produce unseen histories — the false-alarm mechanism the
+// paper observes.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "causaliot/baselines/detector.hpp"
+
+namespace causaliot::baselines {
+
+class MarkovDetector final : public AnomalyDetector {
+ public:
+  /// `order` is k; the paper sets k = tau.
+  explicit MarkovDetector(std::size_t order);
+
+  void fit(const preprocess::StateSeries& training) override;
+  void reset(std::vector<std::uint8_t> initial_state) override;
+  bool is_anomalous(const preprocess::BinaryEvent& event) override;
+  std::string_view name() const override { return "markov"; }
+
+  /// Distinct (history, next-state) transitions learned.
+  std::size_t transition_count() const { return transitions_.size(); }
+
+ private:
+  /// Order-sensitive 64-bit digest of a packed-state sequence.
+  static std::uint64_t digest(const std::deque<std::uint64_t>& history,
+                              std::uint64_t next);
+  static std::uint64_t pack(const std::vector<std::uint8_t>& state);
+
+  std::size_t order_;
+  std::size_t device_count_ = 0;
+  std::unordered_set<std::uint64_t> transitions_;
+  std::unordered_set<std::uint64_t> histories_;
+  std::deque<std::uint64_t> window_;  // last `order_` packed states
+  std::vector<std::uint8_t> current_;
+};
+
+}  // namespace causaliot::baselines

@@ -1,0 +1,70 @@
+#include "causaliot/baselines/markov.hpp"
+
+#include "causaliot/util/check.hpp"
+#include "causaliot/util/rng.hpp"
+
+namespace causaliot::baselines {
+
+MarkovDetector::MarkovDetector(std::size_t order) : order_(order) {
+  CAUSALIOT_CHECK_MSG(order >= 1, "Markov order must be >= 1");
+}
+
+std::uint64_t MarkovDetector::pack(const std::vector<std::uint8_t>& state) {
+  CAUSALIOT_CHECK_MSG(state.size() <= 64, "state too wide to pack");
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    bits |= static_cast<std::uint64_t>(state[i] & 1U) << i;
+  }
+  return bits;
+}
+
+std::uint64_t MarkovDetector::digest(const std::deque<std::uint64_t>& history,
+                                     std::uint64_t next) {
+  std::uint64_t mix = 0x9E3779B97F4A7C15ULL;
+  for (std::uint64_t packed : history) {
+    std::uint64_t x = mix ^ packed;
+    mix = util::splitmix64(x);
+  }
+  std::uint64_t x = mix ^ next;
+  return util::splitmix64(x);
+}
+
+void MarkovDetector::fit(const preprocess::StateSeries& training) {
+  device_count_ = training.device_count();
+  transitions_.clear();
+  histories_.clear();
+  CAUSALIOT_CHECK_MSG(training.length() > order_, "series shorter than order");
+
+  std::deque<std::uint64_t> history;
+  for (std::size_t j = 0; j < training.length(); ++j) {
+    const std::uint64_t packed = pack(training.snapshot_state(j));
+    if (history.size() == order_) {
+      const std::uint64_t empty_next = 0;
+      histories_.insert(digest(history, empty_next) ^ 0xABCDULL);
+      transitions_.insert(digest(history, packed));
+    }
+    history.push_back(packed);
+    if (history.size() > order_) history.pop_front();
+  }
+}
+
+void MarkovDetector::reset(std::vector<std::uint8_t> initial_state) {
+  CAUSALIOT_CHECK(initial_state.size() == device_count_);
+  current_ = std::move(initial_state);
+  window_.clear();
+  // Seed the history window with the initial state at every position, as
+  // a system at rest would produce.
+  for (std::size_t i = 0; i < order_; ++i) window_.push_back(pack(current_));
+}
+
+bool MarkovDetector::is_anomalous(const preprocess::BinaryEvent& event) {
+  CAUSALIOT_CHECK(event.device < device_count_);
+  current_[event.device] = event.state;
+  const std::uint64_t next = pack(current_);
+  const bool unseen = !transitions_.contains(digest(window_, next));
+  window_.push_back(next);
+  window_.pop_front();
+  return unseen;
+}
+
+}  // namespace causaliot::baselines

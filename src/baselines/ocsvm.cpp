@@ -1,0 +1,164 @@
+#include "causaliot/baselines/ocsvm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "causaliot/util/check.hpp"
+#include "causaliot/util/rng.hpp"
+
+namespace causaliot::baselines {
+
+OcsvmDetector::OcsvmDetector(OcsvmConfig config) : config_(config) {
+  CAUSALIOT_CHECK_MSG(config_.nu > 0.0 && config_.nu <= 1.0,
+                      "nu must be in (0, 1]");
+}
+
+double OcsvmDetector::kernel(const std::vector<std::uint8_t>& a,
+                             const std::vector<std::uint8_t>& b) const {
+  // For binary vectors the squared distance is the Hamming distance.
+  std::size_t hamming = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) hamming += a[i] != b[i];
+  return std::exp(-gamma_ * static_cast<double>(hamming));
+}
+
+void OcsvmDetector::fit(const preprocess::StateSeries& training) {
+  device_count_ = training.device_count();
+  gamma_ = config_.gamma > 0.0
+               ? config_.gamma
+               : 1.0 / static_cast<double>(std::max<std::size_t>(
+                           device_count_, 1));
+
+  // Collect snapshot state vectors, uniformly subsampled to the cap.
+  util::Rng rng(config_.seed);
+  const std::size_t total = training.length();
+  const std::size_t take = std::min(total, config_.max_training_vectors);
+  std::vector<std::size_t> picks = rng.sample_indices(total, take);
+  vectors_.clear();
+  vectors_.reserve(take);
+  for (std::size_t index : picks) {
+    vectors_.push_back(training.snapshot_state(index));
+  }
+  const std::size_t l = vectors_.size();
+  CAUSALIOT_CHECK_MSG(l >= 2, "too few training vectors");
+
+  // Dense kernel matrix (l is capped, so this stays small).
+  std::vector<double> q(l * l);
+  for (std::size_t i = 0; i < l; ++i) {
+    for (std::size_t j = i; j < l; ++j) {
+      const double k = kernel(vectors_[i], vectors_[j]);
+      q[i * l + j] = k;
+      q[j * l + i] = k;
+    }
+  }
+
+  // Feasible start: the first floor(nu*l) coefficients at the upper bound,
+  // the remainder on the next one (libsvm's initialization).
+  const double upper = 1.0 / (config_.nu * static_cast<double>(l));
+  alpha_.assign(l, 0.0);
+  double remaining = 1.0;
+  for (std::size_t i = 0; i < l && remaining > 0.0; ++i) {
+    alpha_[i] = std::min(upper, remaining);
+    remaining -= alpha_[i];
+  }
+
+  // Gradient of the dual objective: g_i = sum_j alpha_j K_ij.
+  std::vector<double> grad(l, 0.0);
+  for (std::size_t i = 0; i < l; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < l; ++j) sum += alpha_[j] * q[i * l + j];
+    grad[i] = sum;
+  }
+
+  // Pairwise SMO: move weight from the most-violating high-gradient
+  // coefficient to the lowest-gradient one.
+  for (std::size_t iter = 0; iter < config_.max_smo_iterations; ++iter) {
+    std::size_t up = l;    // candidate to increase (alpha < upper)
+    std::size_t down = l;  // candidate to decrease (alpha > 0)
+    double min_grad = std::numeric_limits<double>::infinity();
+    double max_grad = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < l; ++i) {
+      if (alpha_[i] < upper - 1e-12 && grad[i] < min_grad) {
+        min_grad = grad[i];
+        up = i;
+      }
+      if (alpha_[i] > 1e-12 && grad[i] > max_grad) {
+        max_grad = grad[i];
+        down = i;
+      }
+    }
+    if (up == l || down == l || max_grad - min_grad < config_.tolerance) {
+      break;
+    }
+    const double curvature =
+        q[up * l + up] + q[down * l + down] - 2.0 * q[up * l + down];
+    double step = curvature > 1e-12 ? (max_grad - min_grad) / curvature
+                                    : upper;
+    step = std::min({step, upper - alpha_[up], alpha_[down]});
+    if (step <= 0.0) break;
+    alpha_[up] += step;
+    alpha_[down] -= step;
+    for (std::size_t i = 0; i < l; ++i) {
+      grad[i] += step * (q[i * l + up] - q[i * l + down]);
+    }
+  }
+
+  // rho = decision offset, averaged over free support vectors (fall back
+  // to all support vectors if none are strictly inside the box).
+  double rho_sum = 0.0;
+  std::size_t rho_count = 0;
+  for (std::size_t i = 0; i < l; ++i) {
+    if (alpha_[i] > 1e-10 && alpha_[i] < upper - 1e-10) {
+      rho_sum += grad[i];
+      ++rho_count;
+    }
+  }
+  if (rho_count == 0) {
+    for (std::size_t i = 0; i < l; ++i) {
+      if (alpha_[i] > 1e-10) {
+        rho_sum += grad[i];
+        ++rho_count;
+      }
+    }
+  }
+  CAUSALIOT_CHECK_MSG(rho_count > 0, "OCSVM produced no support vectors");
+  rho_ = rho_sum / static_cast<double>(rho_count);
+
+  // Drop non-support vectors for fast inference.
+  std::vector<std::vector<std::uint8_t>> sv;
+  std::vector<double> sv_alpha;
+  for (std::size_t i = 0; i < l; ++i) {
+    if (alpha_[i] > 1e-10) {
+      sv.push_back(std::move(vectors_[i]));
+      sv_alpha.push_back(alpha_[i]);
+    }
+  }
+  vectors_ = std::move(sv);
+  alpha_ = std::move(sv_alpha);
+}
+
+double OcsvmDetector::decision_value(
+    const std::vector<std::uint8_t>& state) const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < vectors_.size(); ++i) {
+    sum += alpha_[i] * kernel(vectors_[i], state);
+  }
+  return sum - rho_;
+}
+
+std::size_t OcsvmDetector::support_vector_count() const {
+  return vectors_.size();
+}
+
+void OcsvmDetector::reset(std::vector<std::uint8_t> initial_state) {
+  CAUSALIOT_CHECK(initial_state.size() == device_count_);
+  current_ = std::move(initial_state);
+}
+
+bool OcsvmDetector::is_anomalous(const preprocess::BinaryEvent& event) {
+  CAUSALIOT_CHECK(event.device < device_count_);
+  current_[event.device] = event.state;
+  return decision_value(current_) < 0.0;
+}
+
+}  // namespace causaliot::baselines

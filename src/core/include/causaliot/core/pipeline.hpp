@@ -1,0 +1,83 @@
+// CausalIoT public facade.
+//
+// Wires the full system of Fig. 3: Event Preprocessor -> Interaction Miner
+// -> Event Monitor. Train once on a logged event trace, then spawn
+// EventMonitor sessions over runtime streams.
+//
+//   causaliot::core::Pipeline pipeline({});
+//   auto model = pipeline.train(log);
+//   auto monitor = model.make_monitor(/*k_max=*/3);
+//   for (const auto& event : runtime_events)
+//     if (auto alarm = monitor.process(event)) report(*alarm);
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "causaliot/detect/monitor.hpp"
+#include "causaliot/graph/dig.hpp"
+#include "causaliot/mining/temporal_pc.hpp"
+#include "causaliot/preprocess/preprocessor.hpp"
+#include "causaliot/telemetry/event.hpp"
+
+namespace causaliot::core {
+
+struct PipelineConfig {
+  preprocess::PreprocessorConfig preprocessor;
+  /// Maximum time lag tau; 0 selects it automatically (tau = d / v, §V-A).
+  std::size_t max_lag = 0;
+  /// TemporalPC significance threshold (paper: 0.001).
+  double alpha = 0.001;
+  /// Small-sample guard for the G-square test (0 = off).
+  double min_samples_per_dof = 0.0;
+  /// Score-threshold percentile q over training scores (paper: 99).
+  double percentile_q = 99.0;
+  /// CPT Laplace smoothing at detection time (0 = paper's pure MLE).
+  double laplace_alpha = 0.0;
+  /// Use the order-independent PC-stable skeleton variant.
+  bool pc_stable = false;
+  /// Use the CMH conditional-independence test instead of G-square.
+  bool use_cmh_test = false;
+};
+
+/// Everything learned at training time. Owns the DIG; monitors created by
+/// make_monitor() reference it and must not outlive the model.
+struct TrainedModel {
+  preprocess::DiscretizationModel discretization;
+  graph::InteractionGraph graph;
+  double score_threshold = 1.0;
+  std::size_t lag = 1;
+  /// Final training-trace system state: the natural monitor seed.
+  std::vector<std::uint8_t> final_training_state;
+  mining::MiningDiagnostics mining_diagnostics;
+  /// Anomaly-score distribution over the training events.
+  std::vector<double> training_scores;
+
+  detect::EventMonitor make_monitor(std::size_t k_max = 1) const;
+  detect::EventMonitor make_monitor(std::size_t k_max,
+                                    std::vector<std::uint8_t> initial) const;
+
+  double laplace_alpha = 0.0;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineConfig config = {});
+
+  const PipelineConfig& config() const { return config_; }
+
+  /// Full training from a raw event log: preprocess, select tau, mine the
+  /// DIG, estimate CPTs, and calibrate the score threshold.
+  TrainedModel train(const telemetry::EventLog& log) const;
+
+  /// Training from an already-built binary series (benches split a
+  /// preprocessed trace into train/test and call this on the train part).
+  /// `lag` must be >= 1; the preprocessor's lag selection is bypassed.
+  TrainedModel train_on_series(const preprocess::StateSeries& series,
+                               std::size_t lag) const;
+
+ private:
+  PipelineConfig config_;
+};
+
+}  // namespace causaliot::core

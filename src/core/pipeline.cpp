@@ -1,0 +1,59 @@
+#include "causaliot/core/pipeline.hpp"
+
+#include "causaliot/util/check.hpp"
+
+namespace causaliot::core {
+
+detect::EventMonitor TrainedModel::make_monitor(std::size_t k_max) const {
+  return make_monitor(k_max, final_training_state);
+}
+
+detect::EventMonitor TrainedModel::make_monitor(
+    std::size_t k_max, std::vector<std::uint8_t> initial) const {
+  detect::MonitorConfig config;
+  config.score_threshold = score_threshold;
+  config.k_max = k_max;
+  config.laplace_alpha = laplace_alpha;
+  return detect::EventMonitor(graph, config, std::move(initial));
+}
+
+Pipeline::Pipeline(PipelineConfig config) : config_(config) {}
+
+TrainedModel Pipeline::train(const telemetry::EventLog& log) const {
+  preprocess::Preprocessor preprocessor(config_.preprocessor);
+  preprocess::PreprocessResult pre = preprocessor.run(log);
+  const std::size_t lag =
+      config_.max_lag > 0 ? config_.max_lag : pre.lag;
+  TrainedModel model = train_on_series(pre.series, lag);
+  model.discretization = std::move(pre.discretization);
+  return model;
+}
+
+TrainedModel Pipeline::train_on_series(const preprocess::StateSeries& series,
+                                       std::size_t lag) const {
+  CAUSALIOT_CHECK_MSG(lag >= 1, "lag must be >= 1");
+  CAUSALIOT_CHECK_MSG(series.length() > lag,
+                      "training series shorter than the lag");
+
+  mining::MinerConfig miner_config;
+  miner_config.max_lag = lag;
+  miner_config.alpha = config_.alpha;
+  miner_config.min_samples_per_dof = config_.min_samples_per_dof;
+  miner_config.stable = config_.pc_stable;
+  miner_config.ci_test = config_.use_cmh_test ? mining::CiTest::kCmh
+                                              : mining::CiTest::kGSquare;
+  const mining::InteractionMiner miner(miner_config);
+
+  TrainedModel model;
+  model.lag = lag;
+  model.laplace_alpha = config_.laplace_alpha;
+  model.graph = miner.mine(series, &model.mining_diagnostics);
+  model.training_scores = detect::ThresholdCalculator::training_scores(
+      model.graph, series, config_.laplace_alpha);
+  model.score_threshold = detect::ThresholdCalculator::threshold_at_percentile(
+      model.training_scores, config_.percentile_q);
+  model.final_training_state = series.snapshot_state(series.length() - 1);
+  return model;
+}
+
+}  // namespace causaliot::core

@@ -1,0 +1,43 @@
+#include "causaliot/detect/alarm_sink.hpp"
+
+#include "causaliot/util/check.hpp"
+
+namespace causaliot::detect {
+
+AlarmSink::AlarmSink(SinkConfig config) : config_(config) {
+  CAUSALIOT_CHECK(config_.dedup_window_s >= 0.0);
+}
+
+AlarmSeverity AlarmSink::grade(double score) const {
+  if (score >= config_.critical_score) return AlarmSeverity::kCritical;
+  if (score >= config_.warning_score) return AlarmSeverity::kWarning;
+  return AlarmSeverity::kNotice;
+}
+
+std::optional<SunkAlarm> AlarmSink::offer(AnomalyReport report) {
+  CAUSALIOT_CHECK_MSG(!report.entries.empty(), "empty anomaly report");
+  const AnomalyEntry& head = report.contextual();
+  const std::uint64_t signature_key =
+      (static_cast<std::uint64_t>(head.event.device) << 1) |
+      head.event.state;
+  Signature& signature = signatures_[signature_key];
+
+  const double now = head.event.timestamp;
+  if (now - signature.last_delivered_ts < config_.dedup_window_s) {
+    ++signature.suppressed_since;
+    ++suppressed_;
+    return std::nullopt;
+  }
+
+  SunkAlarm out;
+  out.severity = grade(head.score);
+  out.suppressed_duplicates = signature.suppressed_since;
+  signature.suppressed_since = 0;
+  signature.last_delivered_ts = now;
+  ++delivered_;
+  ++delivered_by_device_[head.event.device];
+  out.report = std::move(report);
+  return out;
+}
+
+}  // namespace causaliot::detect

@@ -1,0 +1,96 @@
+#include "causaliot/detect/explanation.hpp"
+
+#include <sstream>
+
+#include "causaliot/util/strings.hpp"
+
+namespace causaliot::detect {
+
+std::string state_label(const telemetry::DeviceInfo& info,
+                        std::uint8_t state) {
+  using telemetry::AttributeType;
+  switch (info.attribute) {
+    case AttributeType::kPresenceSensor:
+      return state ? "motion" : "clear";
+    case AttributeType::kContactSensor:
+      return state ? "open" : "closed";
+    case AttributeType::kBrightnessSensor:
+    case AttributeType::kTemperatureSensor:
+      return state ? "High" : "Low";
+    case AttributeType::kWaterMeter:
+    case AttributeType::kPowerSensor:
+    case AttributeType::kDimmer:
+      return state ? "working" : "idle";
+    case AttributeType::kSwitch:
+    case AttributeType::kGenericActuator:
+    case AttributeType::kGenericSensor:
+      return state ? "ON" : "OFF";
+  }
+  return state ? "1" : "0";
+}
+
+std::string describe_entry(const AnomalyEntry& entry,
+                           const telemetry::DeviceCatalog& catalog) {
+  const telemetry::DeviceInfo& info = catalog.info(entry.event.device);
+  std::ostringstream out;
+  out << info.name << " -> " << state_label(info, entry.event.state)
+      << util::format(" (score %.3f)", entry.score);
+  if (!entry.causes.empty()) {
+    out << " given";
+    for (std::size_t c = 0; c < entry.causes.size(); ++c) {
+      const telemetry::DeviceInfo& cause_info =
+          catalog.info(entry.causes[c].device);
+      out << (c == 0 ? " " : ", ") << cause_info.name << "(t-"
+          << entry.causes[c].lag
+          << ")=" << state_label(cause_info, entry.cause_values[c]);
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+// Root-cause hint: which cause values made the head event surprising? We
+// single out causes that are "inactive" while the event is an activation
+// (and vice versa) — the pattern behind the paper's examples ("no
+// presence was detected, yet the plug activated").
+std::string root_cause_hint(const AnomalyEntry& head,
+                            const telemetry::DeviceCatalog& catalog) {
+  if (head.causes.empty()) {
+    return "no learned causes for this device; the event is rare overall";
+  }
+  std::vector<std::string> quiet;
+  for (std::size_t c = 0; c < head.causes.size(); ++c) {
+    if (head.cause_values[c] != head.event.state) {
+      quiet.push_back(
+          std::string(catalog.info(head.causes[c].device).name));
+    }
+  }
+  if (quiet.empty()) {
+    return "all causes agree with the event; the transition itself is "
+           "rare in this context";
+  }
+  return "context mismatch with: " + util::join(quiet, ", ") +
+         " — check for remote control or sensor fault";
+}
+
+}  // namespace
+
+std::string describe_report(const AnomalyReport& report,
+                            const telemetry::DeviceCatalog& catalog) {
+  std::ostringstream out;
+  out << "ALARM: contextual anomaly — "
+      << describe_entry(report.contextual(), catalog);
+  if (report.chain_length() > 1) {
+    out << "\n  triggered interaction chain ("
+        << report.chain_length() - 1 << " events"
+        << (report.ended_by_abrupt_event ? ", interrupted" : "") << "):";
+    for (std::size_t i = 1; i < report.entries.size(); ++i) {
+      out << "\n    " << describe_entry(report.entries[i], catalog);
+    }
+  }
+  out << "\n  hint: " << root_cause_hint(report.contextual(), catalog);
+  return out.str();
+}
+
+}  // namespace causaliot::detect

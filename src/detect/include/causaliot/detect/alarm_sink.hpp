@@ -1,0 +1,74 @@
+// Alarm aggregation between the Event Monitor and the user's notification
+// channel.
+//
+// A raw Algorithm-2 alarm stream is too chatty for the "notify me at once"
+// use case the paper motivates (§I): a glitching sensor or a drifted habit
+// can raise the same alarm every few minutes. The sink deduplicates by
+// anomaly signature within a cool-down window, grades severity from the
+// anomaly score, and keeps counters for an operations dashboard.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "causaliot/detect/monitor.hpp"
+
+namespace causaliot::detect {
+
+enum class AlarmSeverity : std::uint8_t {
+  kNotice,    // just over the threshold
+  kWarning,   // clearly anomalous
+  kCritical,  // (near-)impossible under the learned behaviour
+};
+
+struct SinkConfig {
+  /// Suppress repeat alarms with the same signature (head device + state)
+  /// arriving within this window (seconds of event time).
+  double dedup_window_s = 600.0;
+  /// Score boundaries for severity grading.
+  double warning_score = 0.995;
+  double critical_score = 0.9999;
+};
+
+struct SunkAlarm {
+  AnomalyReport report;
+  AlarmSeverity severity = AlarmSeverity::kNotice;
+  /// How many identical-signature alarms were suppressed since the last
+  /// one that passed through.
+  std::size_t suppressed_duplicates = 0;
+};
+
+class AlarmSink {
+ public:
+  explicit AlarmSink(SinkConfig config = {});
+
+  /// Offers an alarm; returns the decorated alarm if it should be
+  /// delivered, or nullopt if it was deduplicated.
+  std::optional<SunkAlarm> offer(AnomalyReport report);
+
+  std::size_t delivered() const { return delivered_; }
+  std::size_t suppressed() const { return suppressed_; }
+
+  /// Alarms delivered per head device (dashboard counter).
+  const std::unordered_map<telemetry::DeviceId, std::size_t>&
+  delivered_by_device() const {
+    return delivered_by_device_;
+  }
+
+  AlarmSeverity grade(double score) const;
+
+ private:
+  struct Signature {
+    double last_delivered_ts = -1e300;
+    std::size_t suppressed_since = 0;
+  };
+
+  SinkConfig config_;
+  std::unordered_map<std::uint64_t, Signature> signatures_;
+  std::unordered_map<telemetry::DeviceId, std::size_t> delivered_by_device_;
+  std::size_t delivered_ = 0;
+  std::size_t suppressed_ = 0;
+};
+
+}  // namespace causaliot::detect

@@ -1,0 +1,33 @@
+// Human-readable anomaly interpretation.
+//
+// The paper's interpretability claim (§I, §VI-C) is that the interaction
+// context — the values of an anomalous event's causes — explains *why* the
+// event was flagged and hints at the root cause: "the light turned on, but
+// no presence was detected in the bedroom". This module renders
+// AnomalyReports into that kind of prose using the device catalog.
+#pragma once
+
+#include <string>
+
+#include "causaliot/detect/monitor.hpp"
+#include "causaliot/telemetry/device.hpp"
+
+namespace causaliot::detect {
+
+/// One line for a single entry: event, score, and its cause context,
+/// e.g. `power_stove -> ON (score 0.998) given pe_bathroom(t-1)=OFF`.
+std::string describe_entry(const AnomalyEntry& entry,
+                           const telemetry::DeviceCatalog& catalog);
+
+/// Multi-line report: the contextual anomaly first, then the tracked
+/// chain, then a root-cause hint derived from the head's context.
+std::string describe_report(const AnomalyReport& report,
+                            const telemetry::DeviceCatalog& catalog);
+
+/// State rendering respecting the attribute class: ON/OFF for actuators,
+/// detected/clear for presence, open/closed for contacts, High/Low for
+/// ambient sensors, working/idle for responsive meters.
+std::string state_label(const telemetry::DeviceInfo& info,
+                        std::uint8_t state);
+
+}  // namespace causaliot::detect

@@ -1,0 +1,95 @@
+// Event Monitor (§V-C): anomaly scoring (Eq. 1), the score-threshold
+// calculator, and k-sequence anomaly detection (Algorithm 2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "causaliot/detect/phantom_state_machine.hpp"
+#include "causaliot/graph/dig.hpp"
+#include "causaliot/preprocess/series.hpp"
+
+namespace causaliot::detect {
+
+struct MonitorConfig {
+  /// Score threshold c (Definition 2); compute with ThresholdCalculator.
+  double score_threshold = 0.99;
+  /// Maximum anomaly-list length k_max (>= 1). 1 = contextual-only.
+  std::size_t k_max = 1;
+  /// Laplace smoothing for CPT lookups; 0 is the paper's pure MLE.
+  double laplace_alpha = 0.0;
+};
+
+/// One event in a reported anomaly list W, with the interpretation context
+/// (values of the event's causes) the paper attaches for root-cause hints.
+struct AnomalyEntry {
+  preprocess::BinaryEvent event;
+  /// Ordinal of the event in the monitored stream (0-based).
+  std::size_t stream_index = 0;
+  double score = 0.0;
+  std::vector<graph::LaggedNode> causes;
+  std::vector<std::uint8_t> cause_values;
+};
+
+/// An alarm raised by Algorithm 2. entries[0] is the contextual anomaly;
+/// any further entries are the tracked collective anomaly.
+struct AnomalyReport {
+  std::vector<AnomalyEntry> entries;
+  /// True when tracking stopped because an abrupt high-score event arrived
+  /// (as opposed to reaching k_max).
+  bool ended_by_abrupt_event = false;
+
+  const AnomalyEntry& contextual() const { return entries.front(); }
+  std::size_t chain_length() const { return entries.size(); }
+};
+
+/// Computes the per-event anomaly scores of a training series under a DIG —
+/// the score distribution from which the q-th percentile threshold is drawn
+/// (§V-C, score threshold calculator).
+class ThresholdCalculator {
+ public:
+  /// Scores events e^j for j in [max_lag, m] of `series` under `graph`.
+  static std::vector<double> training_scores(
+      const graph::InteractionGraph& graph,
+      const preprocess::StateSeries& series, double laplace_alpha = 0.0);
+
+  /// The q-th percentile (q in [0, 100], paper default 99) of the scores.
+  static double threshold_at_percentile(std::vector<double> scores, double q);
+};
+
+class EventMonitor {
+ public:
+  /// `initial_state` seeds the phantom state machine — pass the final
+  /// training-trace system state when monitoring its continuation.
+  EventMonitor(const graph::InteractionGraph& graph, MonitorConfig config,
+               std::vector<std::uint8_t> initial_state);
+
+  const MonitorConfig& config() const { return config_; }
+  const PhantomStateMachine& state_machine() const { return machine_; }
+
+  /// Anomaly score (Eq. 1) of the event, updating the state machine.
+  /// Exposed for threshold sweeps; process() is the full Algorithm 2 step.
+  double score_event(const preprocess::BinaryEvent& event);
+
+  /// One Algorithm 2 iteration. Returns a report when an alarm fires.
+  std::optional<AnomalyReport> process(const preprocess::BinaryEvent& event);
+
+  /// Flushes a pending (shorter than k_max) anomaly list at end of stream.
+  /// Algorithm 2 leaves such a list un-reported; real deployments flush it.
+  std::optional<AnomalyReport> finish();
+
+  /// Events processed so far.
+  std::size_t events_processed() const { return events_processed_; }
+
+ private:
+  AnomalyEntry make_entry(const preprocess::BinaryEvent& event, double score,
+                          std::vector<std::uint8_t> cause_values) const;
+
+  const graph::InteractionGraph& graph_;
+  MonitorConfig config_;
+  PhantomStateMachine machine_;
+  std::vector<AnomalyEntry> window_;  // W in Algorithm 2
+  std::size_t events_processed_ = 0;
+};
+
+}  // namespace causaliot::detect

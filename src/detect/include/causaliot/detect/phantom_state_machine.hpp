@@ -1,0 +1,54 @@
+// Phantom state machine (§V-C).
+//
+// Maintains the latest graph snapshot G^t = (S^{t-tau}, ..., S^t) as a ring
+// buffer of tau+1 system-state vectors. On each incoming event it derives
+// S^t from S^{t-1} and slides the window; cause-value queries then read the
+// lagged states the DIG's CPTs condition on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "causaliot/graph/cpt.hpp"
+#include "causaliot/preprocess/series.hpp"
+
+namespace causaliot::detect {
+
+class PhantomStateMachine {
+ public:
+  /// The window is pre-filled with `initial_state` at every lag, matching
+  /// a system at rest before the first runtime event.
+  PhantomStateMachine(std::size_t device_count, std::size_t max_lag,
+                      std::vector<std::uint8_t> initial_state);
+
+  std::size_t device_count() const { return device_count_; }
+  std::size_t max_lag() const { return max_lag_; }
+
+  /// Applies event e^t, deriving and storing S^t.
+  void update(const preprocess::BinaryEvent& event);
+
+  /// State of `device` at lag `lag` behind the newest snapshot
+  /// (lag 0 = current state S^t). lag <= max_lag.
+  std::uint8_t state_at_lag(telemetry::DeviceId device,
+                            std::uint32_t lag) const;
+
+  /// Values of the given lagged causes in the current snapshot, aligned
+  /// with the input order (PM.Get in Algorithm 2).
+  std::vector<std::uint8_t> cause_values(
+      const std::vector<graph::LaggedNode>& causes) const;
+
+  /// Copy of the current system state S^t.
+  std::vector<std::uint8_t> current_state() const;
+
+  /// Number of events applied since construction.
+  std::size_t events_seen() const { return events_seen_; }
+
+ private:
+  std::size_t device_count_;
+  std::size_t max_lag_;
+  std::size_t head_ = 0;  // ring slot holding the newest state
+  std::vector<std::vector<std::uint8_t>> ring_;  // max_lag + 1 slots
+  std::size_t events_seen_ = 0;
+};
+
+}  // namespace causaliot::detect

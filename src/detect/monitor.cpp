@@ -1,0 +1,120 @@
+#include "causaliot/detect/monitor.hpp"
+
+#include <algorithm>
+
+#include "causaliot/stats/descriptive.hpp"
+
+namespace causaliot::detect {
+
+std::vector<double> ThresholdCalculator::training_scores(
+    const graph::InteractionGraph& graph,
+    const preprocess::StateSeries& series, double laplace_alpha) {
+  const std::size_t tau = graph.max_lag();
+  CAUSALIOT_CHECK(series.device_count() == graph.device_count());
+  CAUSALIOT_CHECK(series.length() > tau);
+
+  std::vector<double> scores;
+  scores.reserve(series.length() - tau);
+  std::vector<std::uint8_t> cause_values;
+  for (std::size_t j = tau; j < series.length(); ++j) {
+    const preprocess::BinaryEvent& event = series.event_at(j);
+    const graph::Cpt& cpt = graph.cpt(event.device);
+    cause_values.clear();
+    for (const graph::LaggedNode& cause : cpt.causes()) {
+      cause_values.push_back(series.state(cause.device, j - cause.lag));
+    }
+    const double likelihood =
+        cpt.probability(cpt.pack(cause_values), event.state, laplace_alpha);
+    scores.push_back(1.0 - likelihood);
+  }
+  return scores;
+}
+
+double ThresholdCalculator::threshold_at_percentile(std::vector<double> scores,
+                                                    double q) {
+  CAUSALIOT_CHECK_MSG(!scores.empty(), "no training scores");
+  std::sort(scores.begin(), scores.end());
+  return stats::percentile_sorted(scores, q);
+}
+
+EventMonitor::EventMonitor(const graph::InteractionGraph& graph,
+                           MonitorConfig config,
+                           std::vector<std::uint8_t> initial_state)
+    : graph_(graph),
+      config_(config),
+      machine_(graph.device_count(), graph.max_lag(),
+               std::move(initial_state)) {
+  CAUSALIOT_CHECK_MSG(config_.k_max >= 1, "k_max must be >= 1");
+  CAUSALIOT_CHECK_MSG(
+      config_.score_threshold >= 0.0 && config_.score_threshold <= 1.0,
+      "score threshold must be in [0, 1]");
+}
+
+double EventMonitor::score_event(const preprocess::BinaryEvent& event) {
+  machine_.update(event);  // PM.Update(e^t): derive S^t first
+  const graph::Cpt& cpt = graph_.cpt(event.device);
+  const std::vector<std::uint8_t> cause_values =
+      machine_.cause_values(cpt.causes());
+  const double likelihood = cpt.probability(cpt.pack(cause_values),
+                                            event.state, config_.laplace_alpha);
+  return 1.0 - likelihood;
+}
+
+AnomalyEntry EventMonitor::make_entry(
+    const preprocess::BinaryEvent& event, double score,
+    std::vector<std::uint8_t> cause_values) const {
+  AnomalyEntry entry;
+  entry.event = event;
+  entry.stream_index = events_processed_;
+  entry.score = score;
+  entry.causes = graph_.cpt(event.device).causes();
+  entry.cause_values = std::move(cause_values);
+  return entry;
+}
+
+std::optional<AnomalyReport> EventMonitor::process(
+    const preprocess::BinaryEvent& event) {
+  // Lines 3-5 of Algorithm 2.
+  machine_.update(event);
+  const graph::Cpt& cpt = graph_.cpt(event.device);
+  std::vector<std::uint8_t> cause_values = machine_.cause_values(cpt.causes());
+  const double likelihood = cpt.probability(cpt.pack(cause_values),
+                                            event.state, config_.laplace_alpha);
+  const double score = 1.0 - likelihood;
+  const double c = config_.score_threshold;
+
+  // Line 6: append when W is empty and the event is anomalous (contextual
+  // anomaly head) or W is non-empty and the event follows the interaction
+  // execution (collective member).
+  const bool anomalous = score >= c;
+  if ((window_.empty() && anomalous) || (!window_.empty() && !anomalous)) {
+    window_.push_back(make_entry(event, score, std::move(cause_values)));
+  }
+
+  std::optional<AnomalyReport> report;
+  // Line 9: flush on reaching k_max, or on an abrupt high-score event
+  // arriving mid-tracking.
+  const bool full = window_.size() == config_.k_max;
+  const bool abrupt = !window_.empty() && window_.size() < config_.k_max &&
+                      anomalous && window_.back().stream_index != events_processed_;
+  if (full || abrupt) {
+    AnomalyReport out;
+    out.entries = std::move(window_);
+    out.ended_by_abrupt_event = abrupt;
+    window_.clear();
+    report = std::move(out);
+  }
+
+  ++events_processed_;
+  return report;
+}
+
+std::optional<AnomalyReport> EventMonitor::finish() {
+  if (window_.empty()) return std::nullopt;
+  AnomalyReport out;
+  out.entries = std::move(window_);
+  window_.clear();
+  return out;
+}
+
+}  // namespace causaliot::detect

@@ -1,0 +1,49 @@
+#include "causaliot/detect/phantom_state_machine.hpp"
+
+namespace causaliot::detect {
+
+PhantomStateMachine::PhantomStateMachine(std::size_t device_count,
+                                         std::size_t max_lag,
+                                         std::vector<std::uint8_t> initial_state)
+    : device_count_(device_count), max_lag_(max_lag) {
+  CAUSALIOT_CHECK_MSG(initial_state.size() == device_count,
+                      "initial state size mismatch");
+  CAUSALIOT_CHECK_MSG(max_lag >= 1, "max_lag must be >= 1");
+  for (std::uint8_t v : initial_state) CAUSALIOT_CHECK(v <= 1);
+  ring_.assign(max_lag_ + 1, initial_state);
+}
+
+void PhantomStateMachine::update(const preprocess::BinaryEvent& event) {
+  CAUSALIOT_CHECK_MSG(event.device < device_count_,
+                      "event device out of range");
+  CAUSALIOT_CHECK(event.state <= 1);
+  const std::size_t next = (head_ + 1) % ring_.size();
+  ring_[next] = ring_[head_];  // S^t starts as S^{t-1} ...
+  ring_[next][event.device] = event.state;  // ... with one device changed
+  head_ = next;
+  ++events_seen_;
+}
+
+std::uint8_t PhantomStateMachine::state_at_lag(telemetry::DeviceId device,
+                                               std::uint32_t lag) const {
+  CAUSALIOT_CHECK(device < device_count_);
+  CAUSALIOT_CHECK_MSG(lag <= max_lag_, "lag beyond window");
+  const std::size_t slot = (head_ + ring_.size() - lag) % ring_.size();
+  return ring_[slot][device];
+}
+
+std::vector<std::uint8_t> PhantomStateMachine::cause_values(
+    const std::vector<graph::LaggedNode>& causes) const {
+  std::vector<std::uint8_t> values;
+  values.reserve(causes.size());
+  for (const graph::LaggedNode& cause : causes) {
+    values.push_back(state_at_lag(cause.device, cause.lag));
+  }
+  return values;
+}
+
+std::vector<std::uint8_t> PhantomStateMachine::current_state() const {
+  return ring_[head_];
+}
+
+}  // namespace causaliot::detect

@@ -1,0 +1,61 @@
+#include "causaliot/graph/cpt.hpp"
+
+#include <algorithm>
+
+namespace causaliot::graph {
+
+Cpt::Cpt(std::vector<LaggedNode> causes) : causes_(std::move(causes)) {
+  CAUSALIOT_CHECK_MSG(std::is_sorted(causes_.begin(), causes_.end()),
+                      "CPT causes must be in canonical order");
+  CAUSALIOT_CHECK_MSG(causes_.size() <= 64, "too many causes for BitKey");
+}
+
+util::BitKey Cpt::pack(const std::vector<std::uint8_t>& cause_values) const {
+  CAUSALIOT_CHECK_MSG(cause_values.size() == causes_.size(),
+                      "cause value count mismatch");
+  util::BitKey key;
+  for (std::size_t i = 0; i < cause_values.size(); ++i) {
+    CAUSALIOT_CHECK(cause_values[i] <= 1);
+    key.set(i, cause_values[i] != 0);
+  }
+  return key;
+}
+
+void Cpt::observe(util::BitKey assignment, std::uint8_t child_state) {
+  CAUSALIOT_CHECK(child_state <= 1);
+  counts_[assignment.raw()][child_state] += 1.0;
+}
+
+double Cpt::probability(util::BitKey assignment, std::uint8_t child_state,
+                        double laplace_alpha) const {
+  CAUSALIOT_CHECK(child_state <= 1);
+  const auto it = counts_.find(assignment.raw());
+  const double count0 = it != counts_.end() ? it->second[0] : 0.0;
+  const double count1 = it != counts_.end() ? it->second[1] : 0.0;
+  const double numerator =
+      (child_state == 0 ? count0 : count1) + laplace_alpha;
+  const double denominator = count0 + count1 + 2.0 * laplace_alpha;
+  if (denominator <= 0.0) return 0.0;  // unseen context, pure MLE
+  return numerator / denominator;
+}
+
+double Cpt::support(util::BitKey assignment) const {
+  const auto it = counts_.find(assignment.raw());
+  if (it == counts_.end()) return 0.0;
+  return it->second[0] + it->second[1];
+}
+
+void Cpt::scale(double factor) {
+  CAUSALIOT_CHECK(factor > 0.0 && factor <= 1.0);
+  for (auto& [key, counts] : counts_) {
+    counts[0] *= factor;
+    counts[1] *= factor;
+  }
+}
+
+void Cpt::set_counts(std::uint64_t raw_key, double count0, double count1) {
+  CAUSALIOT_CHECK(count0 >= 0.0 && count1 >= 0.0);
+  counts_[raw_key] = {count0, count1};
+}
+
+}  // namespace causaliot::graph

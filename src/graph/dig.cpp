@@ -1,0 +1,181 @@
+#include "causaliot/graph/dig.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "causaliot/util/strings.hpp"
+
+namespace causaliot::graph {
+
+InteractionGraph::InteractionGraph(std::size_t device_count,
+                                   std::size_t max_lag)
+    : max_lag_(max_lag), cpts_(device_count) {
+  CAUSALIOT_CHECK_MSG(max_lag >= 1, "max_lag must be >= 1");
+}
+
+void InteractionGraph::set_causes(telemetry::DeviceId child,
+                                  std::vector<LaggedNode> causes) {
+  CAUSALIOT_CHECK(child < cpts_.size());
+  for (const LaggedNode& cause : causes) {
+    CAUSALIOT_CHECK_MSG(cause.device < cpts_.size(),
+                        "cause device out of range");
+    CAUSALIOT_CHECK_MSG(cause.lag >= 1 && cause.lag <= max_lag_,
+                        "cause lag out of range");
+  }
+  std::sort(causes.begin(), causes.end());
+  CAUSALIOT_CHECK_MSG(
+      std::adjacent_find(causes.begin(), causes.end()) == causes.end(),
+      "duplicate cause");
+  cpts_[child] = Cpt(std::move(causes));
+}
+
+const std::vector<LaggedNode>& InteractionGraph::causes(
+    telemetry::DeviceId child) const {
+  CAUSALIOT_CHECK(child < cpts_.size());
+  return cpts_[child].causes();
+}
+
+const Cpt& InteractionGraph::cpt(telemetry::DeviceId child) const {
+  CAUSALIOT_CHECK(child < cpts_.size());
+  return cpts_[child];
+}
+
+Cpt& InteractionGraph::cpt(telemetry::DeviceId child) {
+  CAUSALIOT_CHECK(child < cpts_.size());
+  return cpts_[child];
+}
+
+std::vector<Edge> InteractionGraph::edges() const {
+  std::vector<Edge> all;
+  for (telemetry::DeviceId child = 0; child < cpts_.size(); ++child) {
+    for (const LaggedNode& cause : cpts_[child].causes()) {
+      all.push_back({cause, child});
+    }
+  }
+  return all;
+}
+
+std::size_t InteractionGraph::edge_count() const {
+  std::size_t count = 0;
+  for (const Cpt& cpt : cpts_) count += cpt.cause_count();
+  return count;
+}
+
+bool InteractionGraph::has_edge(telemetry::DeviceId cause_device,
+                                std::uint32_t lag,
+                                telemetry::DeviceId child) const {
+  CAUSALIOT_CHECK(child < cpts_.size());
+  const LaggedNode target{cause_device, lag};
+  const auto& causes = cpts_[child].causes();
+  return std::find(causes.begin(), causes.end(), target) != causes.end();
+}
+
+bool InteractionGraph::has_interaction(telemetry::DeviceId cause_device,
+                                       telemetry::DeviceId child) const {
+  CAUSALIOT_CHECK(child < cpts_.size());
+  const auto& causes = cpts_[child].causes();
+  return std::any_of(causes.begin(), causes.end(),
+                     [&](const LaggedNode& c) {
+                       return c.device == cause_device;
+                     });
+}
+
+std::vector<telemetry::DeviceId> InteractionGraph::children(
+    telemetry::DeviceId device) const {
+  std::vector<telemetry::DeviceId> out;
+  for (telemetry::DeviceId child = 0; child < cpts_.size(); ++child) {
+    if (has_interaction(device, child)) out.push_back(child);
+  }
+  return out;
+}
+
+std::string InteractionGraph::to_dot(
+    const telemetry::DeviceCatalog& catalog) const {
+  CAUSALIOT_CHECK(catalog.size() == cpts_.size());
+  std::ostringstream out;
+  out << "digraph DIG {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (telemetry::DeviceId id = 0; id < cpts_.size(); ++id) {
+    out << "  d" << id << " [label=\"" << catalog.info(id).name << "\"];\n";
+  }
+  for (const Edge& edge : edges()) {
+    out << "  d" << edge.cause.device << " -> d" << edge.child
+        << " [label=\"lag " << edge.cause.lag << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+util::Status InteractionGraph::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return util::Error::io_error("cannot open " + path);
+  out << "dig v1 " << cpts_.size() << ' ' << max_lag_ << '\n';
+  for (telemetry::DeviceId child = 0; child < cpts_.size(); ++child) {
+    const Cpt& cpt = cpts_[child];
+    out << "child " << child << ' ' << cpt.cause_count() << '\n';
+    for (const LaggedNode& cause : cpt.causes()) {
+      out << "  cause " << cause.device << ' ' << cause.lag << '\n';
+    }
+    // Sort entries for a byte-stable file.
+    std::vector<std::pair<std::uint64_t, std::array<double, 2>>> entries(
+        cpt.counts().begin(), cpt.counts().end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    out << "  entries " << entries.size() << '\n';
+    for (const auto& [key, counts] : entries) {
+      out << "    " << key << ' ' << counts[0] << ' ' << counts[1] << '\n';
+    }
+  }
+  if (!out) return util::Error::io_error("write failed: " + path);
+  return util::Status::ok_status();
+}
+
+util::Result<InteractionGraph> InteractionGraph::load(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Error::io_error("cannot open " + path);
+  std::string tag;
+  std::string version;
+  std::size_t device_count = 0;
+  std::size_t max_lag = 0;
+  if (!(in >> tag >> version >> device_count >> max_lag) || tag != "dig" ||
+      version != "v1") {
+    return util::Error::parse_error("bad DIG header in " + path);
+  }
+  InteractionGraph graph(device_count, max_lag);
+  for (std::size_t i = 0; i < device_count; ++i) {
+    std::size_t child = 0;
+    std::size_t cause_count = 0;
+    if (!(in >> tag >> child >> cause_count) || tag != "child" ||
+        child >= device_count) {
+      return util::Error::parse_error("bad child record");
+    }
+    std::vector<LaggedNode> causes;
+    for (std::size_t c = 0; c < cause_count; ++c) {
+      LaggedNode node;
+      if (!(in >> tag >> node.device >> node.lag) || tag != "cause") {
+        return util::Error::parse_error("bad cause record");
+      }
+      causes.push_back(node);
+    }
+    graph.set_causes(static_cast<telemetry::DeviceId>(child),
+                     std::move(causes));
+    std::size_t entry_count = 0;
+    if (!(in >> tag >> entry_count) || tag != "entries") {
+      return util::Error::parse_error("bad entries record");
+    }
+    for (std::size_t e = 0; e < entry_count; ++e) {
+      std::uint64_t key = 0;
+      double count0 = 0.0;
+      double count1 = 0.0;
+      if (!(in >> key >> count0 >> count1)) {
+        return util::Error::parse_error("bad CPT entry");
+      }
+      graph.cpt(static_cast<telemetry::DeviceId>(child))
+          .set_counts(key, count0, count1);
+    }
+  }
+  return graph;
+}
+
+}  // namespace causaliot::graph

@@ -1,0 +1,80 @@
+// Conditional probability tables for DIG nodes.
+//
+// After TemporalPC fixes the causes Ca(S_i^t) of each present-time device
+// state, the CPT stores P(S_i^t = s | Ca = ca) estimated by maximum
+// likelihood over the training snapshots (§V-B). Cause assignments are
+// bit-packed (all states are binary), so a table is a hash map from the
+// packed assignment to a pair of counts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "causaliot/telemetry/device.hpp"
+#include "causaliot/util/bitkey.hpp"
+
+namespace causaliot::graph {
+
+/// A time-lagged variable S_device^{t-lag}. Causes always have lag >= 1
+/// (the cause precedes the effect); the child is implicitly at lag 0.
+struct LaggedNode {
+  telemetry::DeviceId device = telemetry::kInvalidDevice;
+  std::uint32_t lag = 1;
+
+  friend bool operator==(const LaggedNode&, const LaggedNode&) = default;
+  /// Canonical CPT-key order: by lag, then device.
+  friend auto operator<=>(const LaggedNode& a, const LaggedNode& b) {
+    if (a.lag != b.lag) return a.lag <=> b.lag;
+    return a.device <=> b.device;
+  }
+};
+
+class Cpt {
+ public:
+  Cpt() = default;
+  /// `causes` must be in canonical (sorted) order; CHECKed.
+  explicit Cpt(std::vector<LaggedNode> causes);
+
+  const std::vector<LaggedNode>& causes() const { return causes_; }
+  std::size_t cause_count() const { return causes_.size(); }
+
+  /// Packs per-cause values (aligned with causes()) into a table key.
+  util::BitKey pack(const std::vector<std::uint8_t>& cause_values) const;
+
+  /// Records one training observation.
+  void observe(util::BitKey assignment, std::uint8_t child_state);
+
+  /// P(child = state | assignment) with optional Laplace smoothing alpha.
+  /// With alpha == 0 an unseen assignment yields 0.0 — maximally anomalous
+  /// under Eq. (1), which is the paper's MLE behaviour.
+  double probability(util::BitKey assignment, std::uint8_t child_state,
+                     double laplace_alpha = 0.0) const;
+
+  /// Training observations recorded under this assignment.
+  double support(util::BitKey assignment) const;
+
+  /// Number of distinct assignments observed.
+  std::size_t assignment_count() const { return counts_.size(); }
+
+  /// All observed assignments with their counts (for serialization and
+  /// diagnostics). Order is unspecified.
+  const std::unordered_map<std::uint64_t, std::array<double, 2>>& counts()
+      const {
+    return counts_;
+  }
+
+  /// Restores a serialized entry.
+  void set_counts(std::uint64_t raw_key, double count0, double count1);
+
+  /// Multiplies every count by `factor` (exponential forgetting for
+  /// online adaptation to behavioural drift). factor in (0, 1].
+  void scale(double factor);
+
+ private:
+  std::vector<LaggedNode> causes_;
+  std::unordered_map<std::uint64_t, std::array<double, 2>> counts_;
+};
+
+}  // namespace causaliot::graph

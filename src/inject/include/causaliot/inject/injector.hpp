@@ -1,0 +1,138 @@
+// Anomaly injection framework (§VI-C, §VI-D).
+//
+// Reproduces the paper's attack-simulation methodology on a held-out test
+// event stream: contextual anomalies are spoofed single events inserted at
+// random positions (sensor fault / burglar intrusion / remote control /
+// malicious automation rule), collective anomalies are a contextual head
+// followed by a chain of events that *legitimately follow* the ground-truth
+// interaction executions (burglar wandering / actuator manipulation /
+// chained automation rules), with chain length bounded by k_max.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "causaliot/preprocess/series.hpp"
+#include "causaliot/sim/automation.hpp"
+#include "causaliot/sim/ground_truth.hpp"
+#include "causaliot/sim/physical.hpp"
+#include "causaliot/sim/profile.hpp"
+#include "causaliot/util/rng.hpp"
+
+namespace causaliot::inject {
+
+enum class ContextualCase : std::uint8_t {
+  kSensorFault,        // fluctuating brightness level
+  kBurglarIntrusion,   // unexpected presence / contact-open events
+  kRemoteControl,      // ghost actuator operations (flipped states)
+  kMaliciousRule,      // hidden rules firing conditional transitions
+};
+
+enum class CollectiveCase : std::uint8_t {
+  kBurglarWandering,       // presence/contact trail through the house
+  kActuatorManipulation,   // actuator chain mimicking a user activity
+  kChainedAutomation,      // triggered automation chain (incl. physical)
+};
+
+std::string_view to_string(ContextualCase c);
+std::string_view to_string(CollectiveCase c);
+
+/// A test stream with injected anomalies. chain_id[i] == -1 marks a benign
+/// base event; chain_id[i] >= 0 assigns event i to that anomaly chain
+/// (contextual injections are chains of length 1).
+struct InjectionResult {
+  std::vector<preprocess::BinaryEvent> events;
+  std::vector<std::int32_t> chain_id;
+  std::vector<std::uint8_t> initial_state;
+  std::size_t injected_count = 0;
+  std::size_t chain_count = 0;
+  /// Number of injected events per chain id.
+  std::vector<std::size_t> chain_lengths;
+
+  bool is_injected(std::size_t index) const { return chain_id[index] >= 0; }
+};
+
+struct ContextualConfig {
+  ContextualCase anomaly_case = ContextualCase::kRemoteControl;
+  /// Injection positions for cases 1-3 (the paper uses 5,000).
+  std::size_t injection_count = 5000;
+  /// Hidden rules and the event budget for the malicious-rule case
+  /// (the paper injects 2,000 malicious events).
+  std::size_t malicious_rule_count = 12;
+  std::size_t malicious_event_cap = 2000;
+  std::uint64_t seed = 1;
+};
+
+struct CollectiveConfig {
+  CollectiveCase anomaly_case = CollectiveCase::kBurglarWandering;
+  /// Number of anomaly chains (the paper uses 1,000).
+  std::size_t chain_count = 1000;
+  /// Maximum chain length; actual lengths are uniform in [2, k_max].
+  std::size_t k_max = 3;
+  std::uint64_t seed = 1;
+};
+
+class AnomalyInjector {
+ public:
+  /// `profile` supplies the installed rules and physical wiring used to
+  /// propagate chained-automation anomalies; `ground_truth` supplies the
+  /// interaction fan-out for wandering/actuator chains.
+  AnomalyInjector(const telemetry::DeviceCatalog& catalog,
+                  const sim::HomeProfile& profile,
+                  const sim::GroundTruth& ground_truth);
+
+  /// Injects single-event contextual anomalies into `base`.
+  InjectionResult inject_contextual(
+      std::span<const preprocess::BinaryEvent> base,
+      std::vector<std::uint8_t> initial_state,
+      const ContextualConfig& config) const;
+
+  /// Injects contextual heads plus interaction-following chains.
+  InjectionResult inject_collective(
+      std::span<const preprocess::BinaryEvent> base,
+      std::vector<std::uint8_t> initial_state,
+      const CollectiveConfig& config) const;
+
+ private:
+  struct SpoofedEvent {
+    telemetry::DeviceId device;
+    std::uint8_t state;
+  };
+
+  /// Picks the contextual head event for a case given the current system
+  /// state and wall-clock time; returns false when no suitable device
+  /// exists right now.
+  bool pick_head(ContextualCase anomaly_case,
+                 const std::vector<std::uint8_t>& state, double now,
+                 util::Rng& rng, SpoofedEvent* out) const;
+
+  /// Physically-expected binary state of a brightness sensor given the
+  /// current (binary) device states and clock time; nullopt when the
+  /// expectation is ambiguous (weather-dependent borderline).
+  std::optional<std::uint8_t> expected_brightness(
+      telemetry::DeviceId sensor, const std::vector<std::uint8_t>& state,
+      double now) const;
+
+  /// Extends `chain` with followers per the collective case, mutating
+  /// `state` as events are appended. Stops at `target_length` events total
+  /// or when no follower is available.
+  void propagate_chain(CollectiveCase anomaly_case,
+                       std::vector<SpoofedEvent>& chain,
+                       std::vector<std::uint8_t>& state,
+                       std::size_t target_length, util::Rng& rng) const;
+
+  const telemetry::DeviceCatalog& catalog_;
+  const sim::GroundTruth& ground_truth_;
+  sim::AutomationEngine engine_;
+  sim::BrightnessModel physical_;
+  double ambient_high_threshold_;
+  std::vector<std::pair<telemetry::DeviceId, telemetry::DeviceId>>
+      physical_pairs_;
+  std::vector<telemetry::DeviceId> brightness_devices_;
+  std::vector<telemetry::DeviceId> presence_contact_devices_;
+  std::vector<telemetry::DeviceId> actuator_devices_;
+};
+
+}  // namespace causaliot::inject

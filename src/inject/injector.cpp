@@ -1,0 +1,455 @@
+#include "causaliot/inject/injector.hpp"
+
+#include <algorithm>
+
+#include "causaliot/util/check.hpp"
+
+namespace causaliot::inject {
+
+namespace {
+
+constexpr double kInjectGap = 0.001;  // injected-event timestamp spacing
+
+bool is_presence_or_contact(telemetry::AttributeType type) {
+  return type == telemetry::AttributeType::kPresenceSensor ||
+         type == telemetry::AttributeType::kContactSensor;
+}
+
+}  // namespace
+
+std::string_view to_string(ContextualCase c) {
+  switch (c) {
+    case ContextualCase::kSensorFault: return "sensor_fault";
+    case ContextualCase::kBurglarIntrusion: return "burglar_intrusion";
+    case ContextualCase::kRemoteControl: return "remote_control";
+    case ContextualCase::kMaliciousRule: return "malicious_rule";
+  }
+  return "?";
+}
+
+std::string_view to_string(CollectiveCase c) {
+  switch (c) {
+    case CollectiveCase::kBurglarWandering: return "burglar_wandering";
+    case CollectiveCase::kActuatorManipulation: return "actuator_manipulation";
+    case CollectiveCase::kChainedAutomation: return "chained_automation";
+  }
+  return "?";
+}
+
+AnomalyInjector::AnomalyInjector(const telemetry::DeviceCatalog& catalog,
+                                 const sim::HomeProfile& profile,
+                                 const sim::GroundTruth& ground_truth)
+    : catalog_(catalog),
+      ground_truth_(ground_truth),
+      engine_(catalog, profile.rules, profile.ambient_high_threshold),
+      physical_(profile, catalog),
+      ambient_high_threshold_(profile.ambient_high_threshold) {
+  physical_pairs_ = physical_.physical_pairs();
+  for (telemetry::DeviceId id = 0; id < catalog_.size(); ++id) {
+    const telemetry::AttributeType type = catalog_.info(id).attribute;
+    if (type == telemetry::AttributeType::kBrightnessSensor) {
+      brightness_devices_.push_back(id);
+    }
+    if (is_presence_or_contact(type)) {
+      presence_contact_devices_.push_back(id);
+    }
+    // Remote control targets user-facing actuators (switches/dimmers);
+    // power meters report appliance cycles and are not directly
+    // operable over the network.
+    if (type == telemetry::AttributeType::kSwitch ||
+        type == telemetry::AttributeType::kDimmer ||
+        type == telemetry::AttributeType::kGenericActuator) {
+      actuator_devices_.push_back(id);
+    }
+  }
+}
+
+std::optional<std::uint8_t> AnomalyInjector::expected_brightness(
+    telemetry::DeviceId sensor, const std::vector<std::uint8_t>& state,
+    double now) const {
+  const std::size_t room = physical_.room_index(catalog_.info(sensor).room);
+  // Binary states stand in for raw values: emitters need raw > 0, gates
+  // raw > 0.5, both satisfied by 1.0. Weather is unknown to the attacker
+  // model; use a mid value and require a clear margin.
+  std::vector<double> pseudo_raw(state.begin(), state.end());
+  const double lumens = physical_.level(room, now, /*weather=*/0.7,
+                                        pseudo_raw);
+  if (lumens > 1.8 * ambient_high_threshold_) return 1;
+  if (lumens < 0.4 * ambient_high_threshold_) return 0;
+  return std::nullopt;
+}
+
+bool AnomalyInjector::pick_head(ContextualCase anomaly_case,
+                                const std::vector<std::uint8_t>& state,
+                                double now, util::Rng& rng,
+                                SpoofedEvent* out) const {
+  switch (anomaly_case) {
+    case ContextualCase::kSensorFault: {
+      // A faulty reading contradicts the physical reality: High while the
+      // room is clearly dark, or Low while lamps are on / full daylight.
+      std::vector<telemetry::DeviceId> shuffled = brightness_devices_;
+      rng.shuffle(shuffled);
+      for (telemetry::DeviceId device : shuffled) {
+        const auto expected = expected_brightness(device, state, now);
+        if (!expected.has_value()) continue;
+        if (state[device] != *expected) continue;  // already contradicting
+        *out = {device, static_cast<std::uint8_t>(1 - *expected)};
+        return true;
+      }
+      return false;
+    }
+    case ContextualCase::kBurglarIntrusion: {
+      // Unexpected presence-on / contact-open events only.
+      std::vector<telemetry::DeviceId> idle;
+      for (telemetry::DeviceId id : presence_contact_devices_) {
+        if (state[id] == 0) idle.push_back(id);
+      }
+      if (idle.empty()) return false;
+      *out = {idle[rng.uniform(idle.size())], 1};
+      return true;
+    }
+    case ContextualCase::kRemoteControl: {
+      if (actuator_devices_.empty()) return false;
+      const telemetry::DeviceId device =
+          actuator_devices_[rng.uniform(actuator_devices_.size())];
+      *out = {device, static_cast<std::uint8_t>(1 - state[device])};
+      return true;
+    }
+    case ContextualCase::kMaliciousRule:
+      CAUSALIOT_CHECK_MSG(false, "malicious rules use the traversal path");
+      return false;
+  }
+  return false;
+}
+
+InjectionResult AnomalyInjector::inject_contextual(
+    std::span<const preprocess::BinaryEvent> base,
+    std::vector<std::uint8_t> initial_state,
+    const ContextualConfig& config) const {
+  CAUSALIOT_CHECK(initial_state.size() == catalog_.size());
+  util::Rng rng(config.seed);
+  InjectionResult result;
+  result.initial_state = initial_state;
+  result.events.reserve(base.size() + config.injection_count);
+  result.chain_id.reserve(base.size() + config.injection_count);
+
+  std::vector<std::uint8_t> state = std::move(initial_state);
+
+  if (config.anomaly_case == ContextualCase::kMaliciousRule) {
+    // Hidden rules: random trigger -> actuator-action pairs that are not
+    // installed automations. Their conditional executions are injected by
+    // traversing the stream, mirroring §VI-A's injection procedure.
+    struct HiddenRule {
+      telemetry::DeviceId trigger;
+      std::uint8_t trigger_state;
+      telemetry::DeviceId action;
+      std::uint8_t action_state;
+    };
+    std::vector<HiddenRule> rules;
+    // The attacker plants triggers on devices that transition often, so
+    // the hidden rules actually execute (the paper injects 2,000 events).
+    std::vector<double> flip_weight(catalog_.size(), 0.0);
+    {
+      std::vector<std::uint8_t> track = state;
+      for (const preprocess::BinaryEvent& event : base) {
+        if (track[event.device] != event.state) {
+          flip_weight[event.device] += 1.0;
+        }
+        track[event.device] = event.state;
+      }
+    }
+    std::size_t attempts = 0;
+    while (rules.size() < config.malicious_rule_count && attempts < 1000) {
+      ++attempts;
+      const auto trigger =
+          static_cast<telemetry::DeviceId>(rng.weighted_index(flip_weight));
+      const telemetry::DeviceId action =
+          actuator_devices_[rng.uniform(actuator_devices_.size())];
+      if (trigger == action) continue;
+      bool installed = false;
+      for (std::size_t i = 0; i < engine_.rules().size(); ++i) {
+        if (engine_.trigger_device(i) == trigger &&
+            engine_.action_device(i) == action) {
+          installed = true;
+          break;
+        }
+      }
+      if (installed) continue;
+      rules.push_back({trigger, static_cast<std::uint8_t>(rng.uniform(2)),
+                       action, static_cast<std::uint8_t>(rng.uniform(2))});
+    }
+
+    for (const preprocess::BinaryEvent& event : base) {
+      const bool transitioned = state[event.device] != event.state;
+      state[event.device] = event.state;
+      result.events.push_back(event);
+      result.chain_id.push_back(-1);
+      if (!transitioned ||
+          result.injected_count >= config.malicious_event_cap) {
+        continue;
+      }
+      for (const HiddenRule& rule : rules) {
+        if (rule.trigger != event.device ||
+            rule.trigger_state != event.state ||
+            state[rule.action] == rule.action_state) {
+          continue;
+        }
+        preprocess::BinaryEvent spoofed{rule.action, rule.action_state,
+                                        event.timestamp + kInjectGap};
+        state[rule.action] = rule.action_state;
+        result.events.push_back(spoofed);
+        result.chain_id.push_back(static_cast<std::int32_t>(
+            result.chain_count));
+        result.chain_lengths.push_back(1);
+        ++result.chain_count;
+        ++result.injected_count;
+        break;  // one hidden-rule firing per position
+      }
+    }
+    return result;
+  }
+
+  // Cases 1-3: spoofed events at random positions. Sensor anomalies are
+  // transient in the physical world — a PIR ghost trigger resets on its
+  // idle timeout and a glitched brightness reading is corrected by the
+  // next periodic report — so for sensor devices a benign "return to
+  // truth" event follows a couple of positions later. Actuator ghosts
+  // persist (the covertly switched device really is in the new state).
+  const std::size_t count = std::min(config.injection_count, base.size());
+  const std::vector<std::size_t> positions =
+      rng.sample_indices(base.size(), count);
+  struct PendingReset {
+    std::size_t at_index;
+    telemetry::DeviceId device;
+    std::uint8_t state;
+  };
+  std::vector<PendingReset> resets;
+  std::size_t next_position = 0;
+  double last_ts = 0.0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    // Flush sensor resets due at this position.
+    for (std::size_t r = 0; r < resets.size();) {
+      if (resets[r].at_index <= i) {
+        if (state[resets[r].device] != resets[r].state) {
+          result.events.push_back(
+              {resets[r].device, resets[r].state, last_ts + kInjectGap});
+          result.chain_id.push_back(-1);  // sensor physics, not an attack
+          state[resets[r].device] = resets[r].state;
+        }
+        resets[r] = resets.back();
+        resets.pop_back();
+      } else {
+        ++r;
+      }
+    }
+    if (next_position < positions.size() && positions[next_position] == i) {
+      ++next_position;
+      SpoofedEvent spoofed{};
+      const double now = base[i].timestamp;
+      if (pick_head(config.anomaly_case, state, now, rng, &spoofed)) {
+        result.events.push_back(
+            {spoofed.device, spoofed.state, last_ts + kInjectGap});
+        result.chain_id.push_back(
+            static_cast<std::int32_t>(result.chain_count));
+        result.chain_lengths.push_back(1);
+        ++result.chain_count;
+        ++result.injected_count;
+        const std::uint8_t previous = state[spoofed.device];
+        state[spoofed.device] = spoofed.state;
+        if (config.anomaly_case == ContextualCase::kSensorFault ||
+            config.anomaly_case == ContextualCase::kBurglarIntrusion) {
+          resets.push_back(
+              {i + 1 + rng.uniform(2), spoofed.device, previous});
+        }
+      }
+    }
+    state[base[i].device] = base[i].state;
+    result.events.push_back(base[i]);
+    result.chain_id.push_back(-1);
+    last_ts = base[i].timestamp;
+  }
+  return result;
+}
+
+void AnomalyInjector::propagate_chain(CollectiveCase anomaly_case,
+                                      std::vector<SpoofedEvent>& chain,
+                                      std::vector<std::uint8_t>& state,
+                                      std::size_t target_length,
+                                      util::Rng& rng) const {
+  telemetry::DeviceId last_entered = chain.back().device;  // wandering only
+  while (chain.size() < target_length) {
+    const SpoofedEvent& last = chain.back();
+    SpoofedEvent next{telemetry::kInvalidDevice, 0};
+
+    switch (anomaly_case) {
+      case CollectiveCase::kBurglarWandering: {
+        if (last.state == 1) {
+          // The burglar leaves the room/door he just triggered — the
+          // off-event follows the device's autocorrelation interaction.
+          next = {last.device, 0};
+        } else {
+          // Move on: an interaction child of the previously-entered
+          // sensor, restricted to presence/contact devices currently idle.
+          std::vector<telemetry::DeviceId> candidates;
+          for (telemetry::DeviceId child :
+               ground_truth_.children_of(last_entered)) {
+            if (is_presence_or_contact(catalog_.info(child).attribute) &&
+                state[child] == 0) {
+              candidates.push_back(child);
+            }
+          }
+          if (candidates.empty()) return;
+          next = {candidates[rng.uniform(candidates.size())], 1};
+          last_entered = next.device;
+        }
+        break;
+      }
+
+      case CollectiveCase::kActuatorManipulation: {
+        // Follow any ground-truth interaction child with a state flip —
+        // the camouflage pattern of a user activity.
+        std::vector<telemetry::DeviceId> candidates =
+            ground_truth_.children_of(last.device);
+        std::erase_if(candidates, [&](telemetry::DeviceId child) {
+          return catalog_.info(child).attribute ==
+                 telemetry::AttributeType::kPresenceSensor;
+        });
+        if (candidates.empty()) return;
+        const telemetry::DeviceId child =
+            candidates[rng.uniform(candidates.size())];
+        next = {child, static_cast<std::uint8_t>(1 - state[child])};
+        break;
+      }
+
+      case CollectiveCase::kChainedAutomation: {
+        // Platform semantics: installed rules triggered by the last event,
+        // plus the physical brightness response of emitters.
+        std::vector<SpoofedEvent> candidates;
+        for (std::size_t i = 0; i < engine_.rules().size(); ++i) {
+          if (engine_.trigger_device(i) == last.device &&
+              engine_.rules()[i].trigger_state == last.state &&
+              state[engine_.action_device(i)] != engine_.action_state(i)) {
+            candidates.push_back(
+                {engine_.action_device(i), engine_.action_state(i)});
+          }
+        }
+        for (const auto& [emitter, sensor] : physical_pairs_) {
+          if (emitter == last.device && state[sensor] != last.state) {
+            candidates.push_back({sensor, last.state});
+          }
+        }
+        if (candidates.empty()) return;
+        next = candidates[rng.uniform(candidates.size())];
+        break;
+      }
+    }
+
+    CAUSALIOT_CHECK(next.device != telemetry::kInvalidDevice);
+    state[next.device] = next.state;
+    chain.push_back(next);
+  }
+}
+
+InjectionResult AnomalyInjector::inject_collective(
+    std::span<const preprocess::BinaryEvent> base,
+    std::vector<std::uint8_t> initial_state,
+    const CollectiveConfig& config) const {
+  CAUSALIOT_CHECK(initial_state.size() == catalog_.size());
+  CAUSALIOT_CHECK_MSG(config.k_max >= 2, "collective chains need k_max >= 2");
+  util::Rng rng(config.seed);
+  InjectionResult result;
+  result.initial_state = initial_state;
+
+  // Sample chain positions with enough spacing that chains never overlap.
+  const std::size_t spacing = 2 * config.k_max + 2;
+  std::vector<std::size_t> positions = rng.sample_indices(
+      base.size(), std::min(config.chain_count * 2, base.size()));
+  std::vector<std::size_t> spaced;
+  for (std::size_t p : positions) {
+    if (spaced.empty() || p >= spaced.back() + spacing) spaced.push_back(p);
+    if (spaced.size() == config.chain_count) break;
+  }
+
+  std::vector<std::uint8_t> state = std::move(initial_state);
+  std::size_t next_position = 0;
+  double last_ts = 0.0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (next_position < spaced.size() && spaced[next_position] <= i) {
+      ++next_position;
+      // Contextual head for this case.
+      SpoofedEvent head{};
+      bool have_head = false;
+      switch (config.anomaly_case) {
+        case CollectiveCase::kBurglarWandering:
+          have_head = pick_head(ContextualCase::kBurglarIntrusion, state,
+                                base[i].timestamp, rng, &head);
+          break;
+        case CollectiveCase::kActuatorManipulation:
+          have_head = pick_head(ContextualCase::kRemoteControl, state,
+                                base[i].timestamp, rng, &head);
+          break;
+        case CollectiveCase::kChainedAutomation: {
+          // The attacker *selectively* targets a trigger whose automation
+          // chain can actually run (§VI-D): candidate heads are scored by
+          // a look-ahead propagation and the deepest chain wins.
+          std::vector<SpoofedEvent> heads;
+          for (std::size_t r = 0; r < engine_.rules().size(); ++r) {
+            const telemetry::DeviceId trigger = engine_.trigger_device(r);
+            const std::uint8_t trigger_state =
+                engine_.rules()[r].trigger_state;
+            if (state[trigger] != trigger_state &&
+                state[engine_.action_device(r)] != engine_.action_state(r)) {
+              heads.push_back({trigger, trigger_state});
+            }
+          }
+          rng.shuffle(heads);
+          std::size_t best_depth = 0;
+          for (const SpoofedEvent& candidate : heads) {
+            std::vector<std::uint8_t> scratch = state;
+            std::vector<SpoofedEvent> probe{candidate};
+            scratch[candidate.device] = candidate.state;
+            util::Rng probe_rng = rng.split();
+            propagate_chain(CollectiveCase::kChainedAutomation, probe,
+                            scratch, config.k_max, probe_rng);
+            if (probe.size() > best_depth) {
+              best_depth = probe.size();
+              head = candidate;
+              have_head = true;
+              if (best_depth >= config.k_max) break;
+            }
+          }
+          break;
+        }
+      }
+      if (have_head) {
+        std::vector<SpoofedEvent> chain{head};
+        state[head.device] = head.state;
+        const std::size_t target = static_cast<std::size_t>(
+            rng.uniform_int(2, static_cast<std::int64_t>(config.k_max)));
+        propagate_chain(config.anomaly_case, chain, state, target, rng);
+        if (chain.size() >= 2) {
+          for (std::size_t e = 0; e < chain.size(); ++e) {
+            result.events.push_back(
+                {chain[e].device, chain[e].state,
+                 last_ts + kInjectGap * static_cast<double>(e + 1)});
+            result.chain_id.push_back(
+                static_cast<std::int32_t>(result.chain_count));
+          }
+          result.chain_lengths.push_back(chain.size());
+          ++result.chain_count;
+          result.injected_count += chain.size();
+        } else {
+          // Could not build a chain here; roll back the head.
+          state[head.device] = static_cast<std::uint8_t>(1 - head.state);
+        }
+      }
+    }
+    state[base[i].device] = base[i].state;
+    result.events.push_back(base[i]);
+    result.chain_id.push_back(-1);
+    last_ts = base[i].timestamp;
+  }
+  return result;
+}
+
+}  // namespace causaliot::inject

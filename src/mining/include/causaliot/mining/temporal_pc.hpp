@@ -1,0 +1,102 @@
+// Interaction Miner (§V-B): the TemporalPC algorithm plus MLE CPT
+// estimation.
+//
+// TemporalPC is a PC variant specialized for the temporal setting: the
+// candidate causes of a present-time state S_i^t are all lagged states
+// S_k^{t-l} (l in [1, tau]), every edge is oriented lagged -> present by
+// construction (no Meek rules), and edges are pruned by level-wise
+// G-square conditional-independence tests exactly as in Algorithm 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "causaliot/graph/dig.hpp"
+#include "causaliot/preprocess/series.hpp"
+#include "causaliot/stats/gsquare.hpp"
+
+namespace causaliot::mining {
+
+enum class CiTest : std::uint8_t {
+  kGSquare,  // likelihood-ratio test, dof per stratum (the paper's choice)
+  kCmh,      // Cochran–Mantel–Haenszel: pooled 1-dof stratified test,
+             // more power on sparse strata, direction-consistent effects
+};
+
+struct MinerConfig {
+  /// Maximum time lag tau (>= 1).
+  std::size_t max_lag = 2;
+  /// Significance threshold alpha for the G-square p-value: the edge is
+  /// removed (variables judged independent) when p > alpha. The paper uses
+  /// 0.001 for stringent tests.
+  double alpha = 0.001;
+  /// Forwarded to the G-square test; 0 disables the small-sample guard.
+  double min_samples_per_dof = 0.0;
+  /// Optional cap on the conditioning-set size l (scalability escape
+  /// hatch, §V-D); the default runs Algorithm 1's natural termination.
+  std::size_t max_condition_size = static_cast<std::size_t>(-1);
+  /// PC-stable variant (Colombo & Maathuis): removal decisions within one
+  /// level are computed against the level-start cause set and applied at
+  /// the end of the level, making the skeleton independent of the order
+  /// in which parents are tested. Algorithm 1 as printed removes
+  /// immediately (the default).
+  bool stable = false;
+  /// Conditional-independence test statistic.
+  CiTest ci_test = CiTest::kGSquare;
+};
+
+/// Why a candidate edge was removed — the paper distinguishes marginally
+/// independent candidates from spurious interactions explained away by a
+/// conditioning set (intermediate factor / common cause).
+struct RemovalRecord {
+  graph::LaggedNode cause;
+  telemetry::DeviceId child = telemetry::kInvalidDevice;
+  /// Size of the separating set (0 = marginally independent).
+  std::size_t condition_size = 0;
+  double p_value = 1.0;
+  std::vector<graph::LaggedNode> separating_set;
+};
+
+struct MiningDiagnostics {
+  std::size_t tests_run = 0;
+  std::size_t candidate_edges = 0;
+  std::vector<RemovalRecord> removals;
+
+  std::size_t removed_marginal() const;
+  std::size_t removed_conditional() const;
+};
+
+class InteractionMiner {
+ public:
+  explicit InteractionMiner(MinerConfig config = {});
+
+  const MinerConfig& config() const { return config_; }
+
+  /// Algorithm 1 for a single outcome: returns Ca(S_child^t).
+  std::vector<graph::LaggedNode> discover_causes(
+      const preprocess::StateSeries& series, telemetry::DeviceId child,
+      MiningDiagnostics* diagnostics = nullptr) const;
+
+  /// Full DIG construction: skeleton for every device + CPT estimation.
+  graph::InteractionGraph mine(const preprocess::StateSeries& series,
+                               MiningDiagnostics* diagnostics = nullptr) const;
+
+  /// MLE CPT estimation over all snapshots (counts of child state per
+  /// cause assignment). Adds on top of any existing counts; mine() calls
+  /// it exactly once on fresh tables.
+  void estimate_cpts(const preprocess::StateSeries& series,
+                     graph::InteractionGraph& graph) const;
+
+  /// Online adaptation to behavioural drift (the paper's main source of
+  /// false alarms): decays the existing CPT counts by `forget_factor`
+  /// and folds in fresh observations from `series`, keeping the skeleton
+  /// fixed. forget_factor = 1 keeps all history.
+  void update_cpts(const preprocess::StateSeries& series,
+                   graph::InteractionGraph& graph,
+                   double forget_factor = 0.9) const;
+
+ private:
+  MinerConfig config_;
+};
+
+}  // namespace causaliot::mining

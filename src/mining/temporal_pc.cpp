@@ -1,0 +1,213 @@
+#include "causaliot/mining/temporal_pc.hpp"
+
+#include <algorithm>
+
+#include "causaliot/stats/cmh.hpp"
+#include "causaliot/util/check.hpp"
+
+namespace causaliot::mining {
+
+namespace {
+
+// Enumerates all k-combinations of {0, ..., n-1}; calls fn(indices) for
+// each. Returns false early if fn returns false ("stop enumeration").
+template <typename Fn>
+bool for_each_combination(std::size_t n, std::size_t k, Fn&& fn) {
+  if (k > n) return true;
+  std::vector<std::size_t> indices(k);
+  for (std::size_t i = 0; i < k; ++i) indices[i] = i;
+  while (true) {
+    if (!fn(indices)) return false;
+    // Advance to the next combination in lexicographic order.
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (indices[i] != i + n - k) {
+        ++indices[i];
+        for (std::size_t j = i + 1; j < k; ++j) {
+          indices[j] = indices[j - 1] + 1;
+        }
+        break;
+      }
+      if (i == 0) return true;  // last combination done
+    }
+    if (k == 0) return true;  // single empty combination
+  }
+}
+
+}  // namespace
+
+std::size_t MiningDiagnostics::removed_marginal() const {
+  return static_cast<std::size_t>(
+      std::count_if(removals.begin(), removals.end(),
+                    [](const RemovalRecord& r) {
+                      return r.condition_size == 0;
+                    }));
+}
+
+std::size_t MiningDiagnostics::removed_conditional() const {
+  return removals.size() - removed_marginal();
+}
+
+InteractionMiner::InteractionMiner(MinerConfig config) : config_(config) {
+  CAUSALIOT_CHECK_MSG(config_.max_lag >= 1, "max_lag must be >= 1");
+  CAUSALIOT_CHECK_MSG(config_.alpha > 0.0 && config_.alpha < 1.0,
+                      "alpha must be in (0, 1)");
+}
+
+std::vector<graph::LaggedNode> InteractionMiner::discover_causes(
+    const preprocess::StateSeries& series, telemetry::DeviceId child,
+    MiningDiagnostics* diagnostics) const {
+  const std::size_t n = series.device_count();
+  const std::size_t tau = config_.max_lag;
+  CAUSALIOT_CHECK(child < n);
+  CAUSALIOT_CHECK_MSG(series.length() > tau,
+                      "series shorter than the maximum lag");
+
+  // Line 5: the preliminary cause set is every lagged state, and every
+  // edge is already oriented lagged -> present.
+  std::vector<graph::LaggedNode> causes;
+  causes.reserve(n * tau);
+  for (std::uint32_t lag = 1; lag <= tau; ++lag) {
+    for (telemetry::DeviceId device = 0; device < n; ++device) {
+      causes.push_back({device, lag});
+    }
+  }
+  if (diagnostics != nullptr) diagnostics->candidate_edges += causes.size();
+
+  const auto child_column = series.lagged_column(child, 0, tau);
+  const auto column_of = [&](const graph::LaggedNode& node) {
+    return series.lagged_column(node.device, node.lag, tau);
+  };
+  const stats::GSquareOptions test_options{config_.min_samples_per_dof};
+
+  // Lines 6-21: level-wise conditional-independence pruning.
+  std::size_t l = 0;
+  while (l <= n * tau) {
+    // Line 9: terminate once no conditioning set of size l can be formed.
+    if (causes.size() < l + 1) break;
+    if (l > config_.max_condition_size) break;
+
+    // Iterate over a fixed copy of the current parents. In Algorithm 1's
+    // printed form removals take effect immediately; the PC-stable
+    // variant defers them to the end of the level so conditioning pools
+    // are order-independent.
+    const std::vector<graph::LaggedNode> parents_at_level = causes;
+    std::vector<graph::LaggedNode> deferred_removals;
+    for (const graph::LaggedNode& parent : parents_at_level) {
+      // The parent may have been removed while testing an earlier one.
+      auto parent_it = std::find(causes.begin(), causes.end(), parent);
+      if (parent_it == causes.end()) continue;
+
+      // Candidate conditioning variables: the current causes (or, for
+      // PC-stable, the level-start causes) minus the parent.
+      const std::vector<graph::LaggedNode>& pool_source =
+          config_.stable ? parents_at_level : causes;
+      std::vector<graph::LaggedNode> pool;
+      pool.reserve(pool_source.size());
+      for (const graph::LaggedNode& c : pool_source) {
+        if (!(c == parent)) pool.push_back(c);
+      }
+      if (pool.size() < l) continue;
+
+      const auto parent_column = column_of(parent);
+      bool removed = false;
+      for_each_combination(pool.size(), l, [&](const std::vector<std::size_t>&
+                                                   subset) {
+        std::vector<std::span<const std::uint8_t>> z_columns;
+        z_columns.reserve(l);
+        for (std::size_t index : subset) {
+          z_columns.push_back(column_of(pool[index]));
+        }
+        stats::GSquareResult test;
+        if (config_.ci_test == CiTest::kCmh) {
+          const stats::CmhResult cmh =
+              stats::cmh_test(parent_column, child_column, z_columns);
+          test.statistic = cmh.statistic;
+          test.p_value = cmh.p_value;
+          test.sample_count = cmh.sample_count;
+          test.dof = 1.0;
+        } else {
+          test = stats::g_square_test(parent_column, child_column, z_columns,
+                                      test_options);
+        }
+        if (diagnostics != nullptr) ++diagnostics->tests_run;
+        // A test skipped for insufficient samples carries no evidence of
+        // independence — only a *valid* test may remove the edge.
+        if (test.p_value > config_.alpha && !test.skipped_insufficient_data) {
+          // Independent given this set: remove the edge (Line 16).
+          if (diagnostics != nullptr) {
+            RemovalRecord record;
+            record.cause = parent;
+            record.child = child;
+            record.condition_size = l;
+            record.p_value = test.p_value;
+            for (std::size_t index : subset) {
+              record.separating_set.push_back(pool[index]);
+            }
+            diagnostics->removals.push_back(std::move(record));
+          }
+          removed = true;
+          return false;  // stop enumerating subsets for this parent
+        }
+        return true;
+      });
+      if (removed) {
+        if (config_.stable) {
+          deferred_removals.push_back(parent);
+        } else {
+          causes.erase(std::find(causes.begin(), causes.end(), parent));
+        }
+      }
+    }
+    for (const graph::LaggedNode& parent : deferred_removals) {
+      causes.erase(std::find(causes.begin(), causes.end(), parent));
+    }
+    ++l;
+  }
+
+  std::sort(causes.begin(), causes.end());
+  return causes;
+}
+
+graph::InteractionGraph InteractionMiner::mine(
+    const preprocess::StateSeries& series,
+    MiningDiagnostics* diagnostics) const {
+  graph::InteractionGraph graph(series.device_count(), config_.max_lag);
+  for (telemetry::DeviceId child = 0; child < series.device_count();
+       ++child) {
+    graph.set_causes(child, discover_causes(series, child, diagnostics));
+  }
+  estimate_cpts(series, graph);
+  return graph;
+}
+
+void InteractionMiner::estimate_cpts(const preprocess::StateSeries& series,
+                                     graph::InteractionGraph& graph) const {
+  const std::size_t tau = config_.max_lag;
+  CAUSALIOT_CHECK(series.length() > tau);
+  CAUSALIOT_CHECK(graph.device_count() == series.device_count());
+
+  std::vector<std::uint8_t> cause_values;
+  for (telemetry::DeviceId child = 0; child < graph.device_count(); ++child) {
+    graph::Cpt& cpt = graph.cpt(child);
+    for (std::size_t j = tau; j < series.length(); ++j) {
+      cause_values.clear();
+      for (const graph::LaggedNode& cause : cpt.causes()) {
+        cause_values.push_back(series.state(cause.device, j - cause.lag));
+      }
+      cpt.observe(cpt.pack(cause_values), series.state(child, j));
+    }
+  }
+}
+
+void InteractionMiner::update_cpts(const preprocess::StateSeries& series,
+                                   graph::InteractionGraph& graph,
+                                   double forget_factor) const {
+  for (telemetry::DeviceId child = 0; child < graph.device_count(); ++child) {
+    graph.cpt(child).scale(forget_factor);
+  }
+  estimate_cpts(series, graph);
+}
+
+}  // namespace causaliot::mining

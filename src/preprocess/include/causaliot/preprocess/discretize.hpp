@@ -1,0 +1,64 @@
+// Type unification (§V-A): every device state becomes binary.
+//
+//   * Binary attributes map value > 0.5 to 1.
+//   * Responsive-numeric attributes threshold at zero (Idle/Working).
+//   * Ambient-numeric attributes split Low/High at the Jenks natural break
+//     learned from the training trace.
+//
+// The model learned at training time must be applied verbatim to runtime
+// events — the monitor and the miner have to agree on what "High" means —
+// so it is a value object that can be saved with the DIG.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "causaliot/telemetry/event.hpp"
+#include "causaliot/util/result.hpp"
+
+namespace causaliot::preprocess {
+
+class DiscretizationModel {
+ public:
+  struct DeviceModel {
+    telemetry::ValueType value_type = telemetry::ValueType::kBinary;
+    /// Cut point for ambient attributes (value > threshold is High);
+    /// unset when the device never produced enough distinct readings,
+    /// in which case the training mean is used as a fallback cut.
+    std::optional<double> jenks_threshold;
+    /// Dead band around the cut for the hysteresis discretizer, scaled by
+    /// the within-class spread (never the inter-class distance) and capped
+    /// at a quarter of the class separation.
+    double hysteresis_margin = 0.0;
+    double training_mean = 0.0;
+    double training_stddev = 0.0;
+    std::size_t training_count = 0;
+  };
+
+  /// Learns thresholds and reading statistics from a raw training log.
+  static DiscretizationModel fit(const telemetry::EventLog& log);
+
+  std::size_t device_count() const { return models_.size(); }
+  const DeviceModel& device_model(telemetry::DeviceId id) const;
+
+  /// Maps a raw reading to the unified binary state.
+  std::uint8_t discretize(telemetry::DeviceId id, double raw_value) const;
+
+  /// Hysteresis variant for ambient attributes: flipping away from
+  /// `previous_state` requires crossing the cut by a margin proportional
+  /// to the training spread, which debounces measurement noise around the
+  /// natural break. Non-ambient attributes ignore the margin.
+  std::uint8_t discretize(telemetry::DeviceId id, double raw_value,
+                          std::uint8_t previous_state) const;
+
+  /// Three-sigma rule (§V-A): true for ambient readings outside
+  /// [mean - k*sigma, mean + k*sigma]. Non-ambient values are never
+  /// extreme. `sigma_k` is the k (the paper uses 3).
+  bool is_extreme(telemetry::DeviceId id, double raw_value,
+                  double sigma_k) const;
+
+ private:
+  std::vector<DeviceModel> models_;
+};
+
+}  // namespace causaliot::preprocess

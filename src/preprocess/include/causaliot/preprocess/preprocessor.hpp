@@ -1,0 +1,79 @@
+// Event Preprocessor (§V-A): sanitation, type unification, lag selection,
+// and system-state series construction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "causaliot/preprocess/discretize.hpp"
+#include "causaliot/preprocess/series.hpp"
+#include "causaliot/telemetry/event.hpp"
+
+namespace causaliot::preprocess {
+
+struct PreprocessorConfig {
+  /// Three-sigma rule multiplier for ambient extreme-value filtering.
+  double sigma_k = 3.0;
+  /// Maximum feedback duration d (seconds) used by tau = d / v (§V-A).
+  double max_feedback_seconds = 60.0;
+  /// Clamp range for the selected lag.
+  std::size_t min_lag = 1;
+  std::size_t max_lag = 4;
+  /// Drop events that repeat the device's current (unified) state.
+  bool filter_duplicate_states = true;
+  /// Drop ambient readings outside the three-sigma band.
+  bool filter_extreme_values = true;
+};
+
+struct PreprocessResult {
+  DiscretizationModel discretization;
+  std::vector<BinaryEvent> sanitized_events;
+  StateSeries series;
+  /// Selected maximum time lag tau.
+  std::size_t lag = 1;
+  // --- sanitation diagnostics ---
+  std::size_t raw_event_count = 0;
+  std::size_t dropped_duplicates = 0;
+  std::size_t dropped_extremes = 0;
+  double mean_inter_event_seconds = 0.0;
+};
+
+class Preprocessor {
+ public:
+  explicit Preprocessor(PreprocessorConfig config = {}) : config_(config) {}
+
+  const PreprocessorConfig& config() const { return config_; }
+
+  /// Full training-time pipeline: fits the discretization model on `log`,
+  /// sanitizes, selects tau, and builds the system-state series.
+  PreprocessResult run(const telemetry::EventLog& log) const;
+
+  /// Sanitizes a log against an existing (already fitted) model — the path
+  /// used for held-out test traces, which must not influence thresholds.
+  /// `initial_state` seeds duplicate detection (pass the training tail
+  /// state); its size must equal the catalog size.
+  std::vector<BinaryEvent> sanitize(
+      const telemetry::EventLog& log, const DiscretizationModel& model,
+      const std::vector<std::uint8_t>& initial_state,
+      std::size_t* dropped_duplicates = nullptr,
+      std::size_t* dropped_extremes = nullptr) const;
+
+  /// tau = clamp(round(d / v)) where v is the mean inter-event gap of the
+  /// *sanitized* events. Returns min_lag when v cannot be estimated.
+  std::size_t select_lag(double mean_inter_event_seconds) const;
+
+  /// Runtime-path discretization: maps raw events at timestamps >= `from`
+  /// to binary events WITHOUT duplicate filtering (the Event Monitor
+  /// consumes the live stream as-is; redundant state reports score as
+  /// highly likely and keep the phantom state machine fresh). Extreme
+  /// ambient readings are still dropped, as the platform's ingestion
+  /// pipeline would.
+  std::vector<BinaryEvent> discretize_runtime(
+      const telemetry::EventLog& log, const DiscretizationModel& model,
+      double from_timestamp) const;
+
+ private:
+  PreprocessorConfig config_;
+};
+
+}  // namespace causaliot::preprocess

@@ -1,0 +1,83 @@
+// System-state time series (§III).
+//
+// Folding a sanitized binary event stream over an initial system state
+// S^0 yields the series (S^0, ..., S^m): at logical time j exactly one
+// device changes state (the one reported by event e^j). The series is
+// stored column-major — one state vector per *device* — so the lagged
+// variable S_i^{t-l} over all snapshots is a zero-copy subspan, which is
+// what the miner's conditional-independence tests consume.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "causaliot/telemetry/device.hpp"
+#include "causaliot/util/check.hpp"
+
+namespace causaliot::preprocess {
+
+/// A sanitized, discretized event: device `device` reports binary `state`.
+struct BinaryEvent {
+  telemetry::DeviceId device = telemetry::kInvalidDevice;
+  std::uint8_t state = 0;
+  double timestamp = 0.0;  // wall-clock, kept for lag selection/diagnostics
+
+  friend bool operator==(const BinaryEvent&, const BinaryEvent&) = default;
+};
+
+class StateSeries {
+ public:
+  /// Empty series (length 0, no devices); useful only as a placeholder to
+  /// assign a real series into.
+  StateSeries() = default;
+
+  /// Creates a series of length 1 (just S^0 = initial_state).
+  StateSeries(std::size_t device_count, std::vector<std::uint8_t> initial_state);
+
+  /// Appends event e^{m+1}, deriving S^{m+1} from S^m.
+  void apply(const BinaryEvent& event);
+
+  std::size_t device_count() const { return device_count_; }
+  /// Number of system states (m + 1): indices 0..m.
+  std::size_t length() const { return length_; }
+  /// Number of events applied (m).
+  std::size_t event_count() const { return events_.size(); }
+
+  /// State of device i at logical time j.
+  std::uint8_t state(telemetry::DeviceId device, std::size_t time) const;
+
+  /// Full state trajectory of one device (length == length()).
+  std::span<const std::uint8_t> device_states(telemetry::DeviceId device) const;
+
+  /// The event that produced S^j (j in [1, m]).
+  const BinaryEvent& event_at(std::size_t time) const;
+  const std::vector<BinaryEvent>& events() const { return events_; }
+
+  /// System state vector S^j (copied; for baselines and the injector).
+  std::vector<std::uint8_t> snapshot_state(std::size_t time) const;
+
+  /// Column of the lagged variable S_device^{j-lag} over snapshots
+  /// j = first_snapshot..m, as a zero-copy subspan. Requires
+  /// lag <= first_snapshot <= m.
+  std::span<const std::uint8_t> lagged_column(telemetry::DeviceId device,
+                                              std::size_t lag,
+                                              std::size_t first_snapshot) const;
+
+  /// Splits at event index `split_event` (0 < split_event <= event_count):
+  /// the first part contains events 1..split_event, the second the rest,
+  /// with its initial state equal to S^{split_event}.
+  std::pair<StateSeries, StateSeries> split(std::size_t split_event) const;
+
+ private:
+  std::size_t device_count_ = 0;
+  std::size_t length_ = 0;
+  std::vector<std::vector<std::uint8_t>> states_;  // [device][time]
+  std::vector<BinaryEvent> events_;                // events_[j-1] made S^j
+};
+
+/// Builds a series from events with an all-zero (all idle/off) S^0.
+StateSeries build_series(std::size_t device_count,
+                         std::span<const BinaryEvent> events);
+
+}  // namespace causaliot::preprocess

@@ -1,0 +1,85 @@
+#include "causaliot/preprocess/series.hpp"
+
+namespace causaliot::preprocess {
+
+StateSeries::StateSeries(std::size_t device_count,
+                         std::vector<std::uint8_t> initial_state)
+    : device_count_(device_count), length_(1) {
+  CAUSALIOT_CHECK_MSG(initial_state.size() == device_count,
+                      "initial state size mismatch");
+  states_.resize(device_count);
+  for (std::size_t i = 0; i < device_count; ++i) {
+    CAUSALIOT_CHECK_MSG(initial_state[i] <= 1, "non-binary initial state");
+    states_[i].push_back(initial_state[i]);
+  }
+}
+
+void StateSeries::apply(const BinaryEvent& event) {
+  CAUSALIOT_CHECK_MSG(event.device < device_count_,
+                      "event device out of range");
+  CAUSALIOT_CHECK_MSG(event.state <= 1, "non-binary event state");
+  for (std::size_t i = 0; i < device_count_; ++i) {
+    const std::uint8_t previous = states_[i].back();
+    states_[i].push_back(i == event.device ? event.state : previous);
+  }
+  events_.push_back(event);
+  ++length_;
+}
+
+std::uint8_t StateSeries::state(telemetry::DeviceId device,
+                                std::size_t time) const {
+  CAUSALIOT_CHECK(device < device_count_);
+  CAUSALIOT_CHECK(time < length_);
+  return states_[device][time];
+}
+
+std::span<const std::uint8_t> StateSeries::device_states(
+    telemetry::DeviceId device) const {
+  CAUSALIOT_CHECK(device < device_count_);
+  return states_[device];
+}
+
+const BinaryEvent& StateSeries::event_at(std::size_t time) const {
+  CAUSALIOT_CHECK_MSG(time >= 1 && time < length_, "no event at time 0");
+  return events_[time - 1];
+}
+
+std::vector<std::uint8_t> StateSeries::snapshot_state(std::size_t time) const {
+  CAUSALIOT_CHECK(time < length_);
+  std::vector<std::uint8_t> out(device_count_);
+  for (std::size_t i = 0; i < device_count_; ++i) out[i] = states_[i][time];
+  return out;
+}
+
+std::span<const std::uint8_t> StateSeries::lagged_column(
+    telemetry::DeviceId device, std::size_t lag,
+    std::size_t first_snapshot) const {
+  CAUSALIOT_CHECK(device < device_count_);
+  CAUSALIOT_CHECK(lag <= first_snapshot);
+  CAUSALIOT_CHECK(first_snapshot < length_);
+  const std::size_t count = length_ - first_snapshot;
+  return std::span<const std::uint8_t>(states_[device])
+      .subspan(first_snapshot - lag, count);
+}
+
+std::pair<StateSeries, StateSeries> StateSeries::split(
+    std::size_t split_event) const {
+  CAUSALIOT_CHECK(split_event > 0 && split_event <= events_.size());
+  StateSeries head(device_count_, snapshot_state(0));
+  for (std::size_t j = 0; j < split_event; ++j) head.apply(events_[j]);
+  StateSeries tail(device_count_, snapshot_state(split_event));
+  for (std::size_t j = split_event; j < events_.size(); ++j) {
+    tail.apply(events_[j]);
+  }
+  return {std::move(head), std::move(tail)};
+}
+
+StateSeries build_series(std::size_t device_count,
+                         std::span<const BinaryEvent> events) {
+  StateSeries series(device_count,
+                     std::vector<std::uint8_t>(device_count, 0));
+  for (const BinaryEvent& event : events) series.apply(event);
+  return series;
+}
+
+}  // namespace causaliot::preprocess

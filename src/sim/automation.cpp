@@ -1,0 +1,87 @@
+#include "causaliot/sim/automation.hpp"
+
+#include <limits>
+
+#include "causaliot/util/check.hpp"
+
+namespace causaliot::sim {
+
+AutomationEngine::AutomationEngine(const telemetry::DeviceCatalog& catalog,
+                                   std::vector<AutomationRule> rules,
+                                   double ambient_high_threshold,
+                                   double cooldown_s)
+    : catalog_(catalog),
+      rules_(std::move(rules)),
+      ambient_high_threshold_(ambient_high_threshold),
+      cooldown_s_(cooldown_s) {
+  trigger_ids_.reserve(rules_.size());
+  action_ids_.reserve(rules_.size());
+  for (const AutomationRule& rule : rules_) {
+    auto trigger = catalog_.find(rule.trigger_device);
+    CAUSALIOT_CHECK_MSG(trigger.ok(), "rule trigger device not in catalog");
+    auto action = catalog_.find(rule.action_device);
+    CAUSALIOT_CHECK_MSG(action.ok(), "rule action device not in catalog");
+    CAUSALIOT_CHECK_MSG(
+        telemetry::is_actuator(catalog_.info(action.value()).attribute),
+        "rule action device is not an actuator");
+    trigger_ids_.push_back(trigger.value());
+    action_ids_.push_back(action.value());
+  }
+  last_fired_s_.assign(rules_.size(),
+                       -std::numeric_limits<double>::infinity());
+  fire_counts_.assign(rules_.size(), 0);
+}
+
+std::uint8_t AutomationEngine::binary_state(telemetry::DeviceId device,
+                                            double raw) const {
+  switch (catalog_.info(device).value_type) {
+    case telemetry::ValueType::kBinary:
+      return raw > 0.5 ? 1 : 0;
+    case telemetry::ValueType::kResponsiveNumeric:
+      return raw > 0.0 ? 1 : 0;
+    case telemetry::ValueType::kAmbientNumeric:
+      return raw > ambient_high_threshold_ ? 1 : 0;
+  }
+  return 0;
+}
+
+std::vector<AutomationEngine::Firing> AutomationEngine::on_state_change(
+    telemetry::DeviceId device, std::uint8_t new_state, double now_s,
+    const std::vector<std::uint8_t>& binary_states) {
+  std::vector<Firing> firings;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (trigger_ids_[i] != device) continue;
+    if (rules_[i].trigger_state != new_state) continue;
+    if (now_s - last_fired_s_[i] < cooldown_s_) continue;
+    const std::uint8_t target =
+        binary_state(action_ids_[i], rules_[i].action_value);
+    // Platforms skip the execution when the action device already follows
+    // the rule (§VI-A).
+    if (binary_states[action_ids_[i]] == target) continue;
+    last_fired_s_[i] = now_s;
+    ++fire_counts_[i];
+    firings.push_back({i, action_ids_[i], rules_[i].action_value,
+                       now_s + rules_[i].delay_s});
+  }
+  return firings;
+}
+
+telemetry::DeviceId AutomationEngine::trigger_device(
+    std::size_t rule_index) const {
+  CAUSALIOT_CHECK(rule_index < trigger_ids_.size());
+  return trigger_ids_[rule_index];
+}
+
+telemetry::DeviceId AutomationEngine::action_device(
+    std::size_t rule_index) const {
+  CAUSALIOT_CHECK(rule_index < action_ids_.size());
+  return action_ids_[rule_index];
+}
+
+std::uint8_t AutomationEngine::action_state(std::size_t rule_index) const {
+  CAUSALIOT_CHECK(rule_index < rules_.size());
+  return binary_state(action_ids_[rule_index],
+                      rules_[rule_index].action_value);
+}
+
+}  // namespace causaliot::sim

@@ -1,0 +1,70 @@
+#include "causaliot/sim/ground_truth.hpp"
+
+#include <algorithm>
+
+namespace causaliot::sim {
+
+std::string_view to_string(InteractionSource source) {
+  switch (source) {
+    case InteractionSource::kUserActivity: return "user_activity";
+    case InteractionSource::kPhysicalChannel: return "physical_channel";
+    case InteractionSource::kAutomation: return "automation";
+    case InteractionSource::kAutocorrelation: return "autocorrelation";
+  }
+  return "?";
+}
+
+std::string_view to_string(ActivityCategory category) {
+  switch (category) {
+    case ActivityCategory::kNone: return "n/a";
+    case ActivityCategory::kUseAfterUse: return "use_after_use";
+    case ActivityCategory::kUseAfterMove: return "use_after_move";
+    case ActivityCategory::kMoveAfterUse: return "move_after_use";
+    case ActivityCategory::kMoveAfterMove: return "move_after_move";
+  }
+  return "?";
+}
+
+bool GroundTruth::add(GroundTruthInteraction interaction) {
+  if (contains(interaction.cause, interaction.child)) return false;
+  interactions_.push_back(interaction);
+  return true;
+}
+
+bool GroundTruth::contains(telemetry::DeviceId cause,
+                           telemetry::DeviceId child) const {
+  return std::any_of(interactions_.begin(), interactions_.end(),
+                     [&](const GroundTruthInteraction& i) {
+                       return i.cause == cause && i.child == child;
+                     });
+}
+
+std::size_t GroundTruth::count_by_source(InteractionSource source) const {
+  return static_cast<std::size_t>(
+      std::count_if(interactions_.begin(), interactions_.end(),
+                    [&](const GroundTruthInteraction& i) {
+                      return i.source == source;
+                    }));
+}
+
+std::size_t GroundTruth::count_by_category(ActivityCategory category) const {
+  return static_cast<std::size_t>(
+      std::count_if(interactions_.begin(), interactions_.end(),
+                    [&](const GroundTruthInteraction& i) {
+                      return i.category == category;
+                    }));
+}
+
+std::vector<telemetry::DeviceId> GroundTruth::children_of(
+    telemetry::DeviceId cause) const {
+  std::vector<telemetry::DeviceId> out;
+  for (const GroundTruthInteraction& i : interactions_) {
+    if (i.cause == cause && i.child != cause &&
+        std::find(out.begin(), out.end(), i.child) == out.end()) {
+      out.push_back(i.child);
+    }
+  }
+  return out;
+}
+
+}  // namespace causaliot::sim

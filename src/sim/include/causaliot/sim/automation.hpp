@@ -1,0 +1,62 @@
+// Trigger-action automation engine (§II-A).
+//
+// The engine mirrors commodity IoT platform semantics: when a device's
+// (unified binary) state *transitions to* a rule's trigger state, the rule
+// fires after a short platform delay — unless the action device's state
+// already satisfies the rule, in which case real platforms skip execution
+// (§VI-A). A per-rule cooldown guards against feedback oscillation.
+#pragma once
+
+#include <vector>
+
+#include "causaliot/sim/profile.hpp"
+#include "causaliot/telemetry/device.hpp"
+
+namespace causaliot::sim {
+
+class AutomationEngine {
+ public:
+  AutomationEngine(const telemetry::DeviceCatalog& catalog,
+                   std::vector<AutomationRule> rules,
+                   double ambient_high_threshold,
+                   double cooldown_s = 60.0);
+
+  /// Unified binary state of a raw value under *platform* semantics:
+  /// binary > 0.5, responsive > 0, ambient > the platform's High cut.
+  std::uint8_t binary_state(telemetry::DeviceId device, double raw) const;
+
+  struct Firing {
+    std::size_t rule_index = 0;
+    telemetry::DeviceId action_device = telemetry::kInvalidDevice;
+    double action_value = 0.0;
+    double fire_at_s = 0.0;
+  };
+
+  /// Reports that `device` transitioned to binary state `new_state` at
+  /// time `now_s`; returns the rules that fire. `binary_states` is the
+  /// current unified state of every device (used for the already-satisfied
+  /// skip). Updates per-rule cooldown bookkeeping.
+  std::vector<Firing> on_state_change(
+      telemetry::DeviceId device, std::uint8_t new_state, double now_s,
+      const std::vector<std::uint8_t>& binary_states);
+
+  const std::vector<AutomationRule>& rules() const { return rules_; }
+  telemetry::DeviceId trigger_device(std::size_t rule_index) const;
+  telemetry::DeviceId action_device(std::size_t rule_index) const;
+  std::uint8_t action_state(std::size_t rule_index) const;
+
+  /// Times each rule fired so far (diagnostics / Table II support).
+  const std::vector<std::size_t>& fire_counts() const { return fire_counts_; }
+
+ private:
+  const telemetry::DeviceCatalog& catalog_;
+  std::vector<AutomationRule> rules_;
+  std::vector<telemetry::DeviceId> trigger_ids_;
+  std::vector<telemetry::DeviceId> action_ids_;
+  double ambient_high_threshold_;
+  double cooldown_s_;
+  std::vector<double> last_fired_s_;
+  std::vector<std::size_t> fire_counts_;
+};
+
+}  // namespace causaliot::sim

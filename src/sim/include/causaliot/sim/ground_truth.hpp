@@ -1,0 +1,73 @@
+// Ground-truth device interactions.
+//
+// The paper labels ground truth by traversing neighbouring events and
+// manually accepting device pairs that reflect (1) sequential user
+// operation, (2) a shared physical channel, or (3) automation logic. Our
+// generator *knows* these relations, so the simulator emits them directly:
+// user-activity pairs from adjacent events of the same activity instance,
+// physical pairs from the emitter/gate wiring, automation pairs from the
+// rule set, and one autocorrelation interaction per device.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "causaliot/telemetry/device.hpp"
+
+namespace causaliot::sim {
+
+enum class InteractionSource : std::uint8_t {
+  kUserActivity,
+  kPhysicalChannel,
+  kAutomation,
+  kAutocorrelation,
+};
+
+/// Table III's user-activity sub-categories.
+enum class ActivityCategory : std::uint8_t {
+  kNone,
+  kUseAfterUse,
+  kUseAfterMove,
+  kMoveAfterUse,
+  kMoveAfterMove,
+};
+
+std::string_view to_string(InteractionSource source);
+std::string_view to_string(ActivityCategory category);
+
+struct GroundTruthInteraction {
+  telemetry::DeviceId cause = telemetry::kInvalidDevice;
+  telemetry::DeviceId child = telemetry::kInvalidDevice;
+  InteractionSource source = InteractionSource::kUserActivity;
+  ActivityCategory category = ActivityCategory::kNone;
+
+  friend bool operator==(const GroundTruthInteraction&,
+                         const GroundTruthInteraction&) = default;
+};
+
+class GroundTruth {
+ public:
+  /// Adds an interaction unless the (cause, child) pair is already present
+  /// (the first source label wins). Returns true if inserted.
+  bool add(GroundTruthInteraction interaction);
+
+  bool contains(telemetry::DeviceId cause, telemetry::DeviceId child) const;
+
+  const std::vector<GroundTruthInteraction>& interactions() const {
+    return interactions_;
+  }
+  std::size_t size() const { return interactions_.size(); }
+
+  std::size_t count_by_source(InteractionSource source) const;
+  std::size_t count_by_category(ActivityCategory category) const;
+
+  /// Devices with an interaction cause -> child (excluding self loops);
+  /// the fan-out used by the collective-anomaly chain generator.
+  std::vector<telemetry::DeviceId> children_of(telemetry::DeviceId cause) const;
+
+ private:
+  std::vector<GroundTruthInteraction> interactions_;
+};
+
+}  // namespace causaliot::sim

@@ -1,0 +1,74 @@
+// Physical brightness channel.
+//
+// Brightness in a room is daylight (clear-sky curve x slowly-varying
+// weather factor x per-room window factor x optional curtain gate) plus the
+// lumens of every active emitter in the room. Devices that change the
+// channel (dimmers, stove, curtain) interact with the room's brightness
+// sensor through it — the paper's "physical interaction" source; daylight
+// and weather are the *unmeasured common cause* behind its reported
+// brightness false positives (§VI-B).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "causaliot/sim/profile.hpp"
+#include "causaliot/telemetry/device.hpp"
+
+namespace causaliot::sim {
+
+/// Clear-sky daylight in lumens at `time_s` seconds since midnight of day
+/// zero: a half-sine between 06:00 and 20:00 peaking at `peak_lumens`,
+/// zero at night.
+double clear_sky_daylight(double time_s, double peak_lumens);
+
+/// Resolved physical model over a device catalog.
+class BrightnessModel {
+ public:
+  BrightnessModel(const HomeProfile& profile,
+                  const telemetry::DeviceCatalog& catalog);
+
+  /// Brightness sensor installed in the room, if any.
+  std::optional<telemetry::DeviceId> sensor_in_room(
+      std::size_t room_index) const;
+
+  /// Room index for a room name; CHECKs on unknown rooms.
+  std::size_t room_index(std::string_view room) const;
+  std::size_t room_count() const { return room_names_.size(); }
+  const std::string& room_name(std::size_t index) const;
+
+  /// True if a state change of `device` can change some room's brightness
+  /// (it is an emitter or a daylight gate); the affected room is returned.
+  std::optional<std::size_t> affected_room(telemetry::DeviceId device) const;
+
+  /// Physical brightness of a room given the wall-clock time, the current
+  /// weather factor in [0, 1], and each device's raw state value.
+  double level(std::size_t room_index, double time_s, double weather_factor,
+               const std::vector<double>& raw_states) const;
+
+  /// Emitter/gate wiring as ground-truth (cause device, sensor) pairs.
+  std::vector<std::pair<telemetry::DeviceId, telemetry::DeviceId>>
+  physical_pairs() const;
+
+ private:
+  struct ResolvedEmitter {
+    telemetry::DeviceId device;
+    std::size_t room;
+    double lumens;
+  };
+  struct ResolvedGate {
+    telemetry::DeviceId device;
+    std::size_t room;
+    double open_factor;
+    double closed_factor;
+  };
+
+  double daylight_peak_;
+  std::vector<std::string> room_names_;
+  std::vector<double> room_daylight_factor_;
+  std::vector<std::optional<telemetry::DeviceId>> room_sensor_;
+  std::vector<ResolvedEmitter> emitters_;
+  std::vector<ResolvedGate> gates_;
+};
+
+}  // namespace causaliot::sim

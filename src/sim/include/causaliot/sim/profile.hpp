@@ -1,0 +1,154 @@
+// Smart-home testbed profiles.
+//
+// The paper evaluates on two real single-resident testbeds (CASAS and
+// ContextAct@A4H) whose raw traces are not redistributable; this module
+// defines the configuration language for the synthetic testbeds that stand
+// in for them (see DESIGN.md §1). A profile fixes the floor plan, the
+// device fleet, the resident's daily-living activity scripts, the installed
+// automation rules, the physical brightness channel, and the noise model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "causaliot/telemetry/device.hpp"
+
+namespace causaliot::sim {
+
+enum class StepKind : std::uint8_t {
+  kMoveTo,     // walk to a room (presence sensors fire)
+  kSetDevice,  // operate a device to a raw value
+};
+
+struct ActivityStep {
+  StepKind kind = StepKind::kSetDevice;
+  /// Room name for kMoveTo, device name for kSetDevice.
+  std::string target;
+  /// Raw value to set (kSetDevice): binary 0/1, dimmer level, watts, ...
+  double value = 0.0;
+  /// Uniform random delay before the step executes.
+  double min_delay_s = 5.0;
+  double max_delay_s = 30.0;
+  /// Steps with probability < 1 are occasionally skipped (behavioural
+  /// stochasticity; also the source of "low occurrence" missed
+  /// interactions, §VI-B).
+  double probability = 1.0;
+};
+
+struct ActivityScript {
+  std::string name;
+  /// Relative selection weight among eligible scripts.
+  double weight = 1.0;
+  /// Eligible time-of-day window [earliest_hour, latest_hour).
+  double earliest_hour = 0.0;
+  double latest_hour = 24.0;
+  std::vector<ActivityStep> steps;
+};
+
+/// Trigger-action automation rule (§II-A). States are unified binary.
+struct AutomationRule {
+  std::string id;
+  std::string trigger_device;
+  std::uint8_t trigger_state = 1;
+  std::string action_device;
+  /// Raw value the platform writes to the action device.
+  double action_value = 1.0;
+  double delay_s = 2.0;
+};
+
+/// A device that adds light to a room's brightness channel while active
+/// (dimmer, stove, oven, ...).
+struct Emitter {
+  std::string device;
+  std::string room;
+  double lumens = 80.0;
+};
+
+/// An appliance that shuts itself off after a duty cycle (dishwasher,
+/// washer, safety-shutoff stove/oven, heater thermostat). Keeps rule
+/// action devices toggling so automations re-fire realistically.
+struct AutoOff {
+  std::string device;
+  double after_s = 1800.0;
+  double jitter_s = 600.0;
+};
+
+/// A device gating how much daylight reaches a room (electric curtain).
+struct DaylightGate {
+  std::string device;
+  std::string room;
+  double open_factor = 1.0;
+  double closed_factor = 0.12;
+};
+
+struct NoiseConfig {
+  /// Ambient sensors re-report on this period (the paper's "periodic
+  /// brightness report" noise source).
+  double periodic_report_s = 120.0;
+  double report_jitter_s = 20.0;
+  /// Gaussian measurement noise on ambient readings (lumens).
+  double ambient_noise_stddev = 3.0;
+  /// Probability a periodic ambient report is a wild glitch — exercised by
+  /// the preprocessor's three-sigma filter.
+  double extreme_probability = 0.0005;
+  double extreme_magnitude = 2000.0;
+  /// Probability that any device redundantly re-reports its current state
+  /// right after a real event (duplicate state reports, §V-A).
+  double duplicate_report_probability = 0.05;
+  /// PIR false-trigger rate per presence sensor per hour — the "false
+  /// positives on motion sensors" every real deployment sees. Blips turn
+  /// a sensor on briefly; the normal timeout resets it.
+  double presence_blip_per_hour = 0.0;
+};
+
+struct HomeProfile {
+  std::string name;
+  std::vector<std::string> rooms;
+  std::vector<telemetry::DeviceInfo> devices;
+  std::vector<ActivityScript> activities;
+  std::vector<AutomationRule> rules;
+  std::vector<Emitter> emitters;
+  std::vector<DaylightGate> daylight_gates;
+  std::vector<AutoOff> auto_offs;
+  NoiseConfig noise;
+
+  /// Simulated trace duration.
+  double days = 7.0;
+  /// Mean idle gap between activities (exponential).
+  double mean_activity_gap_s = 900.0;
+  /// Resident's awake window; activities only start inside it.
+  double wake_hour = 6.5;
+  double sleep_hour = 23.5;
+  /// Sim-side Low/High cut for ambient values — what the *platform* uses
+  /// when an automation rule triggers on a brightness sensor. (The miner
+  /// independently learns its own Jenks threshold.)
+  double ambient_high_threshold = 120.0;
+  /// Peak clear-sky daylight contribution (lumens) at solar noon.
+  double daylight_peak_lumens = 150.0;
+  /// Per-room daylight scaling (window size); parallel to `rooms`.
+  /// Empty means 1.0 for every room.
+  std::vector<double> room_daylight_factor;
+  /// Seconds it takes the resident to walk between rooms.
+  double walk_seconds = 4.0;
+  /// Motion-sensor semantics: a presence sensor reports ON when motion is
+  /// detected and auto-resets after this long with no motion (plus
+  /// jitter). Real PIR sensors behave this way, which is why ghost
+  /// presence in training does not imply a frozen occupied-room state.
+  double presence_timeout_s = 150.0;
+  double presence_timeout_jitter_s = 60.0;
+  /// Minimum occurrences for an adjacent in-activity device pair to count
+  /// as a ground-truth user-activity interaction (mirrors the paper's
+  /// manual acceptance of recurring neighbouring-event pairs).
+  std::size_t min_pair_occurrences = 10;
+};
+
+/// ContextAct-like profile: 22 devices over 5 rooms (Table I column 2),
+/// rich activity set, 12 automation rules including chained pairs, 7 days.
+HomeProfile contextact_profile();
+
+/// CASAS-like profile: 8 devices (7 presence + 1 contact), movement-heavy
+/// activities, no automation, 30 days.
+HomeProfile casas_profile();
+
+}  // namespace causaliot::sim

@@ -1,0 +1,109 @@
+// Discrete-event smart-home simulator.
+//
+// Generates a device-event trace with the generative structure the paper's
+// testbeds exhibit: a single resident executing stochastic daily-living
+// activities (user-activity interactions), devices wired to a physical
+// brightness channel (physical interactions), a live trigger-action
+// automation engine (automation interactions), persistent device states
+// (autocorrelation), plus the noise the Event Preprocessor must handle
+// (periodic ambient reports, duplicate state reports, extreme glitches).
+// The generator also emits the ground-truth interaction set used to score
+// interaction mining (§VI-B).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "causaliot/sim/automation.hpp"
+#include "causaliot/sim/ground_truth.hpp"
+#include "causaliot/sim/physical.hpp"
+#include "causaliot/sim/profile.hpp"
+#include "causaliot/telemetry/event.hpp"
+#include "causaliot/util/rng.hpp"
+
+namespace causaliot::sim {
+
+struct SimulationResult {
+  telemetry::EventLog log;
+  GroundTruth ground_truth;
+  /// Fires per rule, aligned with profile.rules.
+  std::vector<std::size_t> rule_fire_counts;
+  // Event-class counters (diagnostics / Table I support).
+  std::size_t user_events = 0;
+  std::size_t periodic_events = 0;
+  std::size_t reactive_sensor_events = 0;
+  std::size_t automation_events = 0;
+  std::size_t duplicate_events = 0;
+  std::size_t auto_off_events = 0;
+  std::size_t extreme_events = 0;
+};
+
+class SmartHomeSimulator {
+ public:
+  /// CHECKs if the profile is inconsistent (unknown device/room names).
+  SmartHomeSimulator(HomeProfile profile, std::uint64_t seed);
+  ~SmartHomeSimulator();  // out-of-line: queue_ holds an incomplete type
+  SmartHomeSimulator(const SmartHomeSimulator&) = delete;
+  SmartHomeSimulator& operator=(const SmartHomeSimulator&) = delete;
+
+  const telemetry::DeviceCatalog& catalog() const { return catalog_; }
+  const HomeProfile& profile() const { return profile_; }
+
+  /// Runs the full simulation; call once.
+  SimulationResult run();
+
+ private:
+  struct QueueItem;
+
+  void schedule(QueueItem item);
+  void start_activity(double now);
+  void emit(double time, telemetry::DeviceId device, double value,
+            std::int64_t activity_instance, bool is_glitch);
+  void record_user_pair(std::int64_t instance, telemetry::DeviceId device);
+  /// Registers user motion in a room at `time`: re-triggers the room's
+  /// presence sensor if it is off and arms/refreshes its reset timeout.
+  void record_motion(std::size_t room, double time, std::int64_t instance);
+  GroundTruth assemble_ground_truth() const;
+
+  HomeProfile profile_;
+  util::Rng rng_;
+  telemetry::DeviceCatalog catalog_;
+  BrightnessModel physical_;
+  AutomationEngine engine_;
+
+  std::vector<double> raw_state_;
+  std::vector<std::uint8_t> binary_state_;
+  std::vector<std::optional<telemetry::DeviceId>> room_presence_;
+  /// Per-device auto-off duty cycle (0 = none), resolved from the profile.
+  std::vector<double> auto_off_after_;
+  std::vector<double> auto_off_jitter_;
+  std::size_t current_room_ = 0;
+  /// Wall-clock time of the last user motion per room (presence timeout).
+  std::vector<double> last_room_motion_;
+  double weather_ = 0.8;
+  /// Per-room cloud/shading multiplier so brightness sensors are not a
+  /// single deterministic function of global daylight.
+  std::vector<double> room_weather_;
+  std::int64_t activity_counter_ = 0;
+  std::int64_t last_pair_instance_ = -1;
+  /// Most-recent-first device history within the current activity
+  /// instance, bounded by the pair window (matches the mining lag tau).
+  std::vector<telemetry::DeviceId> pair_history_;
+
+  struct PairStats {
+    std::size_t count = 0;
+    ActivityCategory category = ActivityCategory::kNone;
+  };
+  std::unordered_map<std::uint64_t, PairStats> user_pairs_;
+
+  // Event queue (min-heap by time, then insertion order).
+  std::vector<QueueItem> queue_;
+  std::uint64_t queue_seq_ = 0;
+
+  SimulationResult result_;
+  bool ran_ = false;
+};
+
+}  // namespace causaliot::sim

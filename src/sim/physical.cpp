@@ -1,0 +1,124 @@
+#include "causaliot/sim/physical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "causaliot/util/check.hpp"
+
+namespace causaliot::sim {
+
+double clear_sky_daylight(double time_s, double peak_lumens) {
+  constexpr double kSunrise = 6.0 * 3600.0;
+  constexpr double kSunset = 20.0 * 3600.0;
+  const double day_s = std::fmod(time_s, 86400.0);
+  if (day_s < kSunrise || day_s > kSunset) return 0.0;
+  const double phase = (day_s - kSunrise) / (kSunset - kSunrise);
+  return peak_lumens * std::sin(phase * std::numbers::pi);
+}
+
+BrightnessModel::BrightnessModel(const HomeProfile& profile,
+                                 const telemetry::DeviceCatalog& catalog)
+    : daylight_peak_(profile.daylight_peak_lumens),
+      room_names_(profile.rooms) {
+  room_daylight_factor_ = profile.room_daylight_factor;
+  if (room_daylight_factor_.empty()) {
+    room_daylight_factor_.assign(room_names_.size(), 1.0);
+  }
+  CAUSALIOT_CHECK_MSG(room_daylight_factor_.size() == room_names_.size(),
+                      "room_daylight_factor size mismatch");
+
+  room_sensor_.assign(room_names_.size(), std::nullopt);
+  for (telemetry::DeviceId id = 0; id < catalog.size(); ++id) {
+    const telemetry::DeviceInfo& info = catalog.info(id);
+    if (info.attribute != telemetry::AttributeType::kBrightnessSensor) {
+      continue;
+    }
+    const auto it =
+        std::find(room_names_.begin(), room_names_.end(), info.room);
+    if (it != room_names_.end()) {
+      room_sensor_[static_cast<std::size_t>(it - room_names_.begin())] = id;
+    }
+  }
+
+  for (const Emitter& emitter : profile.emitters) {
+    auto device = catalog.find(emitter.device);
+    CAUSALIOT_CHECK_MSG(device.ok(), "emitter references unknown device");
+    emitters_.push_back(
+        {device.value(), room_index(emitter.room), emitter.lumens});
+  }
+  for (const DaylightGate& gate : profile.daylight_gates) {
+    auto device = catalog.find(gate.device);
+    CAUSALIOT_CHECK_MSG(device.ok(), "gate references unknown device");
+    gates_.push_back({device.value(), room_index(gate.room),
+                      gate.open_factor, gate.closed_factor});
+  }
+}
+
+std::optional<telemetry::DeviceId> BrightnessModel::sensor_in_room(
+    std::size_t room_index) const {
+  CAUSALIOT_CHECK(room_index < room_sensor_.size());
+  return room_sensor_[room_index];
+}
+
+std::size_t BrightnessModel::room_index(std::string_view room) const {
+  const auto it = std::find(room_names_.begin(), room_names_.end(), room);
+  CAUSALIOT_CHECK_MSG(it != room_names_.end(), "unknown room");
+  return static_cast<std::size_t>(it - room_names_.begin());
+}
+
+const std::string& BrightnessModel::room_name(std::size_t index) const {
+  CAUSALIOT_CHECK(index < room_names_.size());
+  return room_names_[index];
+}
+
+std::optional<std::size_t> BrightnessModel::affected_room(
+    telemetry::DeviceId device) const {
+  for (const ResolvedEmitter& e : emitters_) {
+    if (e.device == device) return e.room;
+  }
+  for (const ResolvedGate& g : gates_) {
+    if (g.device == device) return g.room;
+  }
+  return std::nullopt;
+}
+
+double BrightnessModel::level(std::size_t room_index, double time_s,
+                              double weather_factor,
+                              const std::vector<double>& raw_states) const {
+  CAUSALIOT_CHECK(room_index < room_names_.size());
+  double gate_factor = 1.0;
+  for (const ResolvedGate& gate : gates_) {
+    if (gate.room == room_index) {
+      gate_factor *= raw_states[gate.device] > 0.5 ? gate.open_factor
+                                                   : gate.closed_factor;
+    }
+  }
+  double lumens = clear_sky_daylight(time_s, daylight_peak_) *
+                  weather_factor * room_daylight_factor_[room_index] *
+                  gate_factor;
+  for (const ResolvedEmitter& emitter : emitters_) {
+    if (emitter.room == room_index && raw_states[emitter.device] > 0.0) {
+      lumens += emitter.lumens;
+    }
+  }
+  return lumens;
+}
+
+std::vector<std::pair<telemetry::DeviceId, telemetry::DeviceId>>
+BrightnessModel::physical_pairs() const {
+  std::vector<std::pair<telemetry::DeviceId, telemetry::DeviceId>> pairs;
+  for (const ResolvedEmitter& emitter : emitters_) {
+    if (room_sensor_[emitter.room].has_value()) {
+      pairs.emplace_back(emitter.device, *room_sensor_[emitter.room]);
+    }
+  }
+  for (const ResolvedGate& gate : gates_) {
+    if (room_sensor_[gate.room].has_value()) {
+      pairs.emplace_back(gate.device, *room_sensor_[gate.room]);
+    }
+  }
+  return pairs;
+}
+
+}  // namespace causaliot::sim

@@ -1,0 +1,366 @@
+#include "causaliot/sim/profile.hpp"
+
+namespace causaliot::sim {
+
+namespace {
+
+using telemetry::AttributeType;
+using telemetry::DeviceInfo;
+using telemetry::default_value_type;
+
+DeviceInfo device(std::string name, std::string room, AttributeType type) {
+  return DeviceInfo{std::move(name), std::move(room), type,
+                    default_value_type(type)};
+}
+
+ActivityStep move_to(std::string room, double min_delay = 5.0,
+                     double max_delay = 40.0, double probability = 1.0) {
+  return {StepKind::kMoveTo, std::move(room), 0.0, min_delay, max_delay,
+          probability};
+}
+
+ActivityStep set_device(std::string name, double value, double min_delay = 5.0,
+                        double max_delay = 45.0, double probability = 1.0) {
+  return {StepKind::kSetDevice, std::move(name), value, min_delay, max_delay,
+          probability};
+}
+
+}  // namespace
+
+HomeProfile contextact_profile() {
+  HomeProfile p;
+  p.name = "contextact";
+  p.days = 7.0;
+  p.rooms = {"kitchen", "living", "dining", "bathroom", "bedroom", "outside"};
+  p.room_daylight_factor = {1.0, 1.2, 0.9, 0.6, 1.0, 0.0};
+
+  // Table I, ContextAct column: 2 switches, 5 presence sensors, 2 contact
+  // sensors, 2 dimmers, 1 water meter, 6 power sensors, 4 brightness
+  // sensors — 22 devices.
+  p.devices = {
+      device("switch_player", "living", AttributeType::kSwitch),
+      device("switch_curtain", "bedroom", AttributeType::kSwitch),
+      device("pe_kitchen", "kitchen", AttributeType::kPresenceSensor),
+      device("pe_living", "living", AttributeType::kPresenceSensor),
+      device("pe_dining", "dining", AttributeType::kPresenceSensor),
+      device("pe_bathroom", "bathroom", AttributeType::kPresenceSensor),
+      device("pe_bedroom", "bedroom", AttributeType::kPresenceSensor),
+      device("contact_fridge", "kitchen", AttributeType::kContactSensor),
+      device("contact_entrance", "living", AttributeType::kContactSensor),
+      device("dimmer_kitchen", "kitchen", AttributeType::kDimmer),
+      device("dimmer_bathroom", "bathroom", AttributeType::kDimmer),
+      device("water_sink", "bathroom", AttributeType::kWaterMeter),
+      device("power_stove", "kitchen", AttributeType::kPowerSensor),
+      device("power_oven", "kitchen", AttributeType::kPowerSensor),
+      device("power_fridge", "kitchen", AttributeType::kPowerSensor),
+      device("power_dishwasher", "kitchen", AttributeType::kPowerSensor),
+      device("power_heater", "bedroom", AttributeType::kPowerSensor),
+      device("power_washer", "bathroom", AttributeType::kPowerSensor),
+      device("bright_kitchen", "kitchen", AttributeType::kBrightnessSensor),
+      device("bright_living", "living", AttributeType::kBrightnessSensor),
+      device("bright_bathroom", "bathroom", AttributeType::kBrightnessSensor),
+      device("bright_bedroom", "bedroom", AttributeType::kBrightnessSensor),
+  };
+
+  // Physical brightness channel. bright_living has no controllable emitter,
+  // so it is driven purely by daylight/weather — the unmeasured common
+  // cause behind the paper's brightness false positives.
+  p.emitters = {
+      {"dimmer_kitchen", "kitchen", 130.0},
+      {"dimmer_bathroom", "bathroom", 120.0},
+      {"power_stove", "kitchen", 75.0},
+      {"power_oven", "kitchen", 65.0},
+  };
+  p.daylight_gates = {{"switch_curtain", "bedroom", 1.0, 0.10}};
+  p.auto_offs = {
+      {"power_dishwasher", 2700.0, 900.0},
+      {"power_washer", 2400.0, 600.0},
+      {"power_stove", 1500.0, 600.0},
+      {"power_oven", 2100.0, 600.0},
+      {"power_heater", 3000.0, 900.0},
+  };
+
+  // Twelve automation rules in the spirit of Table II, including a direct
+  // chain (R6 -> R7), a trigger-action chain (R1 -> R10), and a physical
+  // chain (R4/R10 -> bright_kitchen High -> R5).
+  p.rules = {
+      {"R1", "pe_living", 1, "power_dishwasher", 1400.0, 2.0},
+      {"R2", "pe_bathroom", 0, "power_stove", 1500.0, 2.0},
+      {"R3", "power_heater", 1, "switch_player", 1.0, 2.0},
+      {"R4", "contact_fridge", 1, "dimmer_kitchen", 80.0, 2.0},
+      {"R5", "bright_kitchen", 1, "dimmer_bathroom", 60.0, 2.0},
+      {"R6", "switch_player", 0, "switch_curtain", 0.0, 2.0},
+      {"R7", "switch_curtain", 0, "power_heater", 0.0, 2.0},
+      {"R8", "pe_bedroom", 1, "switch_player", 1.0, 2.0},
+      {"R9", "contact_entrance", 1, "power_heater", 800.0, 2.0},
+      {"R10", "power_dishwasher", 1, "dimmer_kitchen", 80.0, 2.0},
+      {"R11", "pe_kitchen", 0, "power_oven", 0.0, 2.0},
+      {"R12", "water_sink", 1, "power_washer", 500.0, 2.0},
+  };
+
+  // Daily-living activity scripts (the user-activity interaction source).
+  p.activities = {
+      {"morning_routine",
+       3.0,
+       6.5,
+       9.5,
+       {
+           set_device("switch_curtain", 1.0, 10.0, 60.0),
+           move_to("bathroom"),
+           set_device("dimmer_bathroom", 70.0, 3.0, 12.0, 0.9),
+           set_device("water_sink", 5.0, 5.0, 30.0),
+           set_device("water_sink", 0.0, 30.0, 120.0),
+           set_device("dimmer_bathroom", 0.0, 3.0, 15.0, 0.9),
+           move_to("kitchen"),
+       }},
+      {"cook_breakfast",
+       2.5,
+       7.0,
+       10.0,
+       {
+           move_to("kitchen"),
+           set_device("contact_fridge", 1.0, 5.0, 20.0),
+           set_device("contact_fridge", 0.0, 10.0, 40.0),
+           set_device("power_fridge", 130.0, 2.0, 8.0, 0.85),
+           set_device("power_stove", 1500.0, 10.0, 40.0),
+           set_device("power_stove", 0.0, 180.0, 600.0),
+           set_device("power_fridge", 0.0, 5.0, 20.0, 0.85),
+           set_device("dimmer_kitchen", 0.0, 5.0, 20.0, 0.92),
+           move_to("dining"),
+           move_to("kitchen", 300.0, 900.0, 0.85),
+       }},
+      {"cook_dinner",
+       3.0,
+       17.5,
+       21.0,
+       {
+           move_to("kitchen"),
+           set_device("contact_fridge", 1.0, 5.0, 20.0),
+           set_device("contact_fridge", 0.0, 10.0, 40.0),
+           set_device("power_oven", 2000.0, 10.0, 60.0),
+           set_device("power_stove", 1500.0, 30.0, 120.0),
+           set_device("power_stove", 0.0, 300.0, 900.0),
+           set_device("power_oven", 0.0, 60.0, 300.0, 0.35),
+           set_device("dimmer_kitchen", 0.0, 5.0, 20.0, 0.92),
+           move_to("dining"),
+           move_to("living", 600.0, 1800.0, 0.9),
+       }},
+      {"run_dishwasher",
+       2.0,
+       19.0,
+       22.5,
+       {
+           move_to("kitchen"),
+           set_device("power_dishwasher", 1400.0, 10.0, 60.0),
+           set_device("power_dishwasher", 0.0, 1200.0, 2400.0),
+           set_device("dimmer_kitchen", 0.0, 5.0, 20.0, 0.9),
+           move_to("living"),
+       }},
+      {"bathroom_break",
+       4.0,
+       6.5,
+       23.5,
+       {
+           move_to("bathroom"),
+           set_device("water_sink", 4.0, 10.0, 60.0),
+           set_device("water_sink", 0.0, 20.0, 90.0),
+           set_device("dimmer_bathroom", 0.0, 4.0, 15.0, 0.9),
+           move_to("living", 5.0, 30.0, 0.85),
+       }},
+      {"listen_music",
+       3.0,
+       17.0,
+       23.0,
+       {
+           move_to("living"),
+           set_device("switch_player", 1.0, 10.0, 60.0),
+           set_device("switch_player", 0.0, 1200.0, 3600.0),
+           move_to("bedroom", 10.0, 60.0, 0.3),
+       }},
+      {"laundry",
+       1.5,
+       9.0,
+       18.0,
+       {
+           move_to("bathroom"),
+           set_device("power_washer", 600.0, 10.0, 60.0),
+           set_device("power_washer", 0.0, 1800.0, 3600.0),
+           move_to("living"),
+       }},
+      {"leave_home",
+       1.5,
+       8.0,
+       12.0,
+       {
+           move_to("living"),
+           set_device("contact_entrance", 1.0, 10.0, 40.0),
+           set_device("contact_entrance", 0.0, 4.0, 10.0),
+           move_to("outside", 2.0, 6.0),
+       }},
+      {"come_home",
+       1.5,
+       11.0,
+       20.0,
+       {
+           move_to("living"),
+           set_device("contact_entrance", 1.0, 2.0, 8.0),
+           set_device("contact_entrance", 0.0, 4.0, 10.0),
+           move_to("kitchen", 30.0, 120.0, 0.7),
+       }},
+      {"evening_rest",
+       2.0,
+       20.0,
+       23.5,
+       {
+           move_to("bedroom"),
+           set_device("power_heater", 800.0, 10.0, 60.0, 0.95),
+           set_device("switch_player", 1.0, 10.0, 60.0, 0.3),
+           move_to("living", 900.0, 2400.0, 0.7),
+       }},
+      {"go_to_bed",
+       3.0,
+       22.0,
+       23.5,
+       {
+           move_to("bathroom"),
+           set_device("water_sink", 3.0, 10.0, 40.0),
+           set_device("water_sink", 0.0, 30.0, 120.0),
+           set_device("dimmer_bathroom", 0.0, 4.0, 15.0, 0.9),
+           move_to("bedroom"),
+           set_device("power_heater", 0.0, 10.0, 50.0, 0.9),
+           set_device("switch_player", 0.0, 20.0, 90.0, 0.85),
+       }},
+      {"kitchen_check",
+       2.0,
+       20.5,
+       23.5,
+       {
+           move_to("kitchen"),
+           set_device("power_stove", 0.0, 5.0, 25.0),
+           set_device("power_oven", 0.0, 5.0, 20.0, 0.8),
+           set_device("dimmer_kitchen", 0.0, 4.0, 15.0, 0.9),
+           move_to("bedroom", 10.0, 60.0),
+       }},
+      {"bedroom_visit",
+       2.0,
+       10.0,
+       20.0,
+       {
+           move_to("bedroom"),
+           set_device("switch_player", 0.0, 60.0, 600.0, 0.6),
+           move_to("living", 60.0, 400.0, 0.9),
+       }},
+      {"snack",
+       1.5,
+       13.0,
+       17.0,
+       {
+           move_to("kitchen"),
+           set_device("contact_fridge", 1.0, 5.0, 20.0),
+           set_device("contact_fridge", 0.0, 8.0, 30.0),
+           move_to("living", 20.0, 90.0, 0.9),
+       }},
+  };
+
+  p.noise.periodic_report_s = 60.0;
+  p.daylight_peak_lumens = 60.0;
+  p.ambient_high_threshold = 100.0;
+  p.noise.report_jitter_s = 20.0;
+  p.noise.ambient_noise_stddev = 8.0;
+  p.noise.presence_blip_per_hour = 0.01;
+  p.noise.extreme_probability = 0.0008;
+  p.noise.extreme_magnitude = 2500.0;
+  p.noise.duplicate_report_probability = 0.06;
+  p.mean_activity_gap_s = 300.0;
+  p.min_pair_occurrences = 8;
+  return p;
+}
+
+HomeProfile casas_profile() {
+  HomeProfile p;
+  p.name = "casas";
+  p.days = 30.0;
+  p.rooms = {"kitchen", "living",  "dining",  "bathroom",
+             "bedroom", "office",  "hallway", "outside"};
+  p.room_daylight_factor = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0};
+
+  // Table I, CASAS column: 7 presence sensors + 1 contact sensor.
+  p.devices = {
+      device("pe_kitchen", "kitchen", AttributeType::kPresenceSensor),
+      device("pe_living", "living", AttributeType::kPresenceSensor),
+      device("pe_dining", "dining", AttributeType::kPresenceSensor),
+      device("pe_bathroom", "bathroom", AttributeType::kPresenceSensor),
+      device("pe_bedroom", "bedroom", AttributeType::kPresenceSensor),
+      device("pe_office", "office", AttributeType::kPresenceSensor),
+      device("pe_hallway", "hallway", AttributeType::kPresenceSensor),
+      device("contact_entrance", "hallway", AttributeType::kContactSensor),
+  };
+
+  // Movement-heavy activities; all rooms are reached through the hallway,
+  // giving stable Move-after-Move interaction chains.
+  p.activities = {
+      {"morning",
+       3.0,
+       6.5,
+       9.0,
+       {move_to("hallway", 5.0, 20.0), move_to("bathroom"),
+        move_to("hallway", 60.0, 300.0), move_to("kitchen"),
+        move_to("dining", 120.0, 600.0)}},
+      {"work_in_office",
+       3.0,
+       9.0,
+       17.0,
+       {move_to("hallway", 5.0, 20.0), move_to("office"),
+        move_to("hallway", 1200.0, 3600.0), move_to("kitchen", 5.0, 30.0, 0.6),
+        move_to("living", 60.0, 300.0, 0.7)}},
+      {"bathroom_break",
+       4.0,
+       6.5,
+       23.5,
+       {move_to("hallway", 5.0, 20.0), move_to("bathroom"),
+        move_to("hallway", 60.0, 240.0), move_to("living", 5.0, 30.0, 0.6)}},
+      {"meals",
+       3.0,
+       11.0,
+       20.5,
+       {move_to("hallway", 5.0, 20.0), move_to("kitchen"),
+        move_to("dining", 300.0, 1200.0), move_to("living", 300.0, 1500.0)}},
+      {"errand",
+       1.5,
+       9.0,
+       18.0,
+       {move_to("hallway", 5.0, 30.0),
+        set_device("contact_entrance", 1.0, 5.0, 20.0),
+        set_device("contact_entrance", 0.0, 4.0, 10.0),
+        move_to("outside", 2.0, 6.0)}},
+      {"return_home",
+       1.5,
+       10.0,
+       21.0,
+       {move_to("hallway", 2.0, 10.0),
+        set_device("contact_entrance", 1.0, 2.0, 8.0),
+        set_device("contact_entrance", 0.0, 4.0, 10.0),
+        move_to("living", 20.0, 90.0)}},
+      {"evening",
+       2.5,
+       19.0,
+       23.0,
+       {move_to("hallway", 5.0, 20.0), move_to("living"),
+        move_to("hallway", 1800.0, 3600.0), move_to("bedroom")}},
+      {"night_wandering",
+       0.7,
+       21.0,
+       23.5,
+       {move_to("hallway", 5.0, 30.0), move_to("kitchen"),
+        move_to("hallway", 60.0, 240.0), move_to("bedroom")}},
+  };
+
+  p.noise.periodic_report_s = 3600.0;  // no ambient sensors — irrelevant
+  p.noise.duplicate_report_probability = 0.10;
+  p.noise.presence_blip_per_hour = 0.02;
+  p.mean_activity_gap_s = 180.0;
+  p.min_pair_occurrences = 20;
+  return p;
+}
+
+}  // namespace causaliot::sim

@@ -1,0 +1,512 @@
+#include "causaliot/sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace causaliot::sim {
+
+namespace {
+
+telemetry::DeviceCatalog build_catalog(const HomeProfile& profile) {
+  telemetry::DeviceCatalog catalog;
+  for (const telemetry::DeviceInfo& info : profile.devices) {
+    auto id = catalog.add(info);
+    CAUSALIOT_CHECK_MSG(id.ok(), "invalid device in profile");
+  }
+  return catalog;
+}
+
+}  // namespace
+
+struct SmartHomeSimulator::QueueItem {
+  enum class Kind : std::uint8_t {
+    kActivityStart,
+    kMove,
+    kOperate,
+    kPeriodic,
+    kReactiveReport,
+    kAutomationFire,
+    kDuplicate,
+    kAutoOff,
+    kPresenceTimeout,
+    kSensorBlip,
+    kWeatherTick,
+  };
+
+  double time = 0.0;
+  std::uint64_t seq = 0;  // FIFO tie-break for equal times
+  Kind kind = Kind::kActivityStart;
+  std::size_t room = 0;
+  telemetry::DeviceId device = telemetry::kInvalidDevice;
+  double value = 0.0;
+  std::int64_t instance = -1;
+
+  // Min-heap ordering for std::push_heap/pop_heap (which build max-heaps).
+  friend bool operator<(const QueueItem& a, const QueueItem& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+SmartHomeSimulator::~SmartHomeSimulator() = default;
+
+SmartHomeSimulator::SmartHomeSimulator(HomeProfile profile,
+                                       std::uint64_t seed)
+    : profile_(std::move(profile)),
+      rng_(seed),
+      catalog_(build_catalog(profile_)),
+      physical_(profile_, catalog_),
+      engine_(catalog_, profile_.rules, profile_.ambient_high_threshold) {
+  const std::size_t n = catalog_.size();
+  raw_state_.assign(n, 0.0);
+  binary_state_.assign(n, 0);
+
+  // Map each room to its presence sensor (if deployed).
+  room_presence_.assign(profile_.rooms.size(), std::nullopt);
+  for (telemetry::DeviceId id = 0; id < n; ++id) {
+    const telemetry::DeviceInfo& info = catalog_.info(id);
+    if (info.attribute != telemetry::AttributeType::kPresenceSensor) continue;
+    const auto it =
+        std::find(profile_.rooms.begin(), profile_.rooms.end(), info.room);
+    if (it != profile_.rooms.end()) {
+      room_presence_[static_cast<std::size_t>(it - profile_.rooms.begin())] =
+          id;
+    }
+  }
+
+  // Validate scripts early: every referenced room/device must exist.
+  for (const ActivityScript& script : profile_.activities) {
+    for (const ActivityStep& step : script.steps) {
+      if (step.kind == StepKind::kMoveTo) {
+        physical_.room_index(step.target);  // CHECKs on unknown room
+      } else {
+        CAUSALIOT_CHECK_MSG(catalog_.find(step.target).ok(),
+                            "script references unknown device");
+      }
+    }
+  }
+
+  room_weather_.assign(profile_.rooms.size(), 1.0);
+  last_room_motion_.assign(profile_.rooms.size(), -1e18);
+
+  auto_off_after_.assign(n, 0.0);
+  auto_off_jitter_.assign(n, 0.0);
+  for (const AutoOff& spec : profile_.auto_offs) {
+    auto id = catalog_.find(spec.device);
+    CAUSALIOT_CHECK_MSG(id.ok(), "auto-off references unknown device");
+    auto_off_after_[id.value()] = spec.after_s;
+    auto_off_jitter_[id.value()] = spec.jitter_s;
+  }
+
+  // Resident starts asleep in the bedroom (or the first room).
+  const auto bedroom =
+      std::find(profile_.rooms.begin(), profile_.rooms.end(), "bedroom");
+  current_room_ = bedroom != profile_.rooms.end()
+                      ? static_cast<std::size_t>(bedroom -
+                                                 profile_.rooms.begin())
+                      : 0;
+
+  result_.log = telemetry::EventLog(catalog_);
+}
+
+void SmartHomeSimulator::schedule(QueueItem item) {
+  item.seq = queue_seq_++;
+  queue_.push_back(item);
+  std::push_heap(queue_.begin(), queue_.end());
+}
+
+void SmartHomeSimulator::record_motion(std::size_t room, double time,
+                                       std::int64_t instance) {
+  last_room_motion_[room] = time;
+  const auto pe = room_presence_[room];
+  if (!pe.has_value()) return;
+  if (binary_state_[*pe] == 0) {
+    emit(time, *pe, 1.0, instance, false);
+    ++result_.user_events;
+    QueueItem timeout;
+    timeout.time = time + profile_.presence_timeout_s +
+                   rng_.uniform_real(0.0, profile_.presence_timeout_jitter_s);
+    timeout.kind = QueueItem::Kind::kPresenceTimeout;
+    timeout.room = room;
+    schedule(timeout);
+  }
+}
+
+void SmartHomeSimulator::record_user_pair(std::int64_t instance,
+                                          telemetry::DeviceId device) {
+  // Pairs are counted over a sliding window of recent user-driven events.
+  // This is the *oracle* relation ("users operate these two devices
+  // sequentially in daily life", §VI-A): like the paper's human labeller
+  // it reads the behaviour stream as a whole, across activity boundaries
+  // (finish one routine, start the next). The evaluation later intersects
+  // it with pairs that actually recur as directly neighbouring events
+  // (core::refine_ground_truth).
+  constexpr std::size_t kPairWindow = 8;
+  for (telemetry::DeviceId cause : pair_history_) {
+    if (cause == device) continue;
+    // A human labeller rejects brightness-to-brightness pairs across
+    // rooms: separate rooms are separate physical channels.
+    if (catalog_.info(cause).attribute ==
+            telemetry::AttributeType::kBrightnessSensor &&
+        catalog_.info(device).attribute ==
+            telemetry::AttributeType::kBrightnessSensor &&
+        catalog_.info(cause).room != catalog_.info(device).room) {
+      continue;
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(cause) << 32) | device;
+    PairStats& stats = user_pairs_[key];
+    if (stats.count == 0) {
+      const bool cause_is_move =
+          catalog_.info(cause).attribute ==
+          telemetry::AttributeType::kPresenceSensor;
+      const bool child_is_move =
+          catalog_.info(device).attribute ==
+          telemetry::AttributeType::kPresenceSensor;
+      if (cause_is_move && child_is_move) {
+        stats.category = ActivityCategory::kMoveAfterMove;
+      } else if (cause_is_move) {
+        stats.category = ActivityCategory::kUseAfterMove;
+      } else if (child_is_move) {
+        stats.category = ActivityCategory::kMoveAfterUse;
+      } else {
+        stats.category = ActivityCategory::kUseAfterUse;
+      }
+    }
+    ++stats.count;
+  }
+  pair_history_.insert(pair_history_.begin(), device);
+  if (pair_history_.size() > kPairWindow) pair_history_.resize(kPairWindow);
+  last_pair_instance_ = instance;
+}
+
+void SmartHomeSimulator::emit(double time, telemetry::DeviceId device,
+                              double value, std::int64_t activity_instance,
+                              bool is_glitch) {
+  result_.log.append({time, device, value});
+  if (activity_instance >= 0) record_user_pair(activity_instance, device);
+  if (is_glitch) {
+    // Transient spike shorter than the platform's debounce window: logged,
+    // but no durable state change and no automation reaction.
+    ++result_.extreme_events;
+    return;
+  }
+
+  raw_state_[device] = value;
+  const std::uint8_t new_binary = engine_.binary_state(device, value);
+  if (new_binary == binary_state_[device]) return;
+  binary_state_[device] = new_binary;
+
+  for (const AutomationEngine::Firing& firing :
+       engine_.on_state_change(device, new_binary, time, binary_state_)) {
+    QueueItem item;
+    item.time = firing.fire_at_s;
+    item.kind = QueueItem::Kind::kAutomationFire;
+    item.device = firing.action_device;
+    item.value = firing.action_value;
+    schedule(item);
+  }
+
+  // Emitter/gate changes propagate through the physical channel: the
+  // room's brightness sensor reacts shortly after.
+  if (const auto room = physical_.affected_room(device)) {
+    if (const auto sensor = physical_.sensor_in_room(*room)) {
+      QueueItem item;
+      item.time = time + rng_.uniform_real(1.0, 3.0);
+      item.kind = QueueItem::Kind::kReactiveReport;
+      item.device = *sensor;
+      // The sensed brightness change belongs to the same user activity as
+      // the device change that caused it — the paper's manual labelling
+      // reads such neighbouring events as one sequence.
+      item.instance = activity_instance;
+      schedule(item);
+    }
+  }
+
+  if (new_binary == 1 && auto_off_after_[device] > 0.0) {
+    QueueItem item;
+    item.time = time + auto_off_after_[device] +
+                rng_.uniform_real(0.0, auto_off_jitter_[device]);
+    item.kind = QueueItem::Kind::kAutoOff;
+    item.device = device;
+    schedule(item);
+  }
+
+  if (rng_.bernoulli(profile_.noise.duplicate_report_probability)) {
+    QueueItem item;
+    item.time = time + rng_.uniform_real(2.0, 10.0);
+    item.kind = QueueItem::Kind::kDuplicate;
+    item.device = device;
+    schedule(item);
+  }
+}
+
+void SmartHomeSimulator::start_activity(double now) {
+  const double hour = std::fmod(now, 86400.0) / 3600.0;
+  if (hour < profile_.wake_hour || hour >= profile_.sleep_hour) {
+    // Asleep: resume at the next wake time (with jitter).
+    const double day = std::floor(now / 86400.0);
+    const double next_day = hour >= profile_.sleep_hour ? day + 1.0 : day;
+    QueueItem item;
+    item.time = next_day * 86400.0 + profile_.wake_hour * 3600.0 +
+                rng_.uniform_real(0.0, 1800.0);
+    item.kind = QueueItem::Kind::kActivityStart;
+    schedule(item);
+    return;
+  }
+
+  std::vector<double> weights(profile_.activities.size(), 0.0);
+  bool any = false;
+  for (std::size_t i = 0; i < profile_.activities.size(); ++i) {
+    const ActivityScript& script = profile_.activities[i];
+    if (hour >= script.earliest_hour && hour < script.latest_hour) {
+      weights[i] = script.weight;
+      any = any || script.weight > 0.0;
+    }
+  }
+  double cursor = now;
+  if (any) {
+    const ActivityScript& script =
+        profile_.activities[rng_.weighted_index(weights)];
+    const std::int64_t instance = activity_counter_++;
+    for (const ActivityStep& step : script.steps) {
+      if (!rng_.bernoulli(step.probability)) continue;
+      cursor += rng_.uniform_real(step.min_delay_s, step.max_delay_s);
+      QueueItem item;
+      item.time = cursor;
+      item.instance = instance;
+      if (step.kind == StepKind::kMoveTo) {
+        item.kind = QueueItem::Kind::kMove;
+        item.room = physical_.room_index(step.target);
+      } else {
+        item.kind = QueueItem::Kind::kOperate;
+        item.device = catalog_.find(step.target).value();
+        item.value = step.value;
+      }
+      schedule(item);
+    }
+  }
+  QueueItem next;
+  next.time = cursor + rng_.exponential(1.0 / profile_.mean_activity_gap_s);
+  next.kind = QueueItem::Kind::kActivityStart;
+  schedule(next);
+}
+
+SimulationResult SmartHomeSimulator::run() {
+  CAUSALIOT_CHECK_MSG(!ran_, "run() may only be called once");
+  ran_ = true;
+
+  const double end = profile_.days * 86400.0;
+
+  // Initial schedule: weather updates, staggered periodic ambient reports,
+  // the resident's first morning, and the sleeping resident's presence.
+  {
+    QueueItem weather;
+    weather.time = 0.0;
+    weather.kind = QueueItem::Kind::kWeatherTick;
+    schedule(weather);
+  }
+  for (telemetry::DeviceId id = 0; id < catalog_.size(); ++id) {
+    if (catalog_.info(id).value_type ==
+        telemetry::ValueType::kAmbientNumeric) {
+      QueueItem item;
+      item.time = rng_.uniform_real(0.0, profile_.noise.periodic_report_s);
+      item.kind = QueueItem::Kind::kPeriodic;
+      item.device = id;
+      schedule(item);
+    }
+  }
+  if (profile_.noise.presence_blip_per_hour > 0.0) {
+    for (std::size_t room = 0; room < profile_.rooms.size(); ++room) {
+      if (!room_presence_[room].has_value()) continue;
+      QueueItem blip;
+      blip.time =
+          rng_.exponential(profile_.noise.presence_blip_per_hour / 3600.0);
+      blip.kind = QueueItem::Kind::kSensorBlip;
+      blip.room = room;
+      schedule(blip);
+    }
+  }
+  {
+    QueueItem first;
+    first.time = profile_.wake_hour * 3600.0 + rng_.uniform_real(0.0, 1800.0);
+    first.kind = QueueItem::Kind::kActivityStart;
+    schedule(first);
+  }
+
+  while (!queue_.empty()) {
+    std::pop_heap(queue_.begin(), queue_.end());
+    const QueueItem item = queue_.back();
+    queue_.pop_back();
+    if (item.time > end) continue;  // drop post-horizon items, drain rest
+
+    switch (item.kind) {
+      case QueueItem::Kind::kActivityStart:
+        start_activity(item.time);
+        break;
+
+      case QueueItem::Kind::kMove: {
+        if (item.room == current_room_) break;
+        current_room_ = item.room;
+        record_motion(item.room, item.time + profile_.walk_seconds,
+                      item.instance);
+        break;
+      }
+
+      case QueueItem::Kind::kOperate:
+        // Operating a device is motion in the current room.
+        record_motion(current_room_, item.time - 0.5, item.instance);
+        emit(item.time, item.device, item.value, item.instance, false);
+        ++result_.user_events;
+        break;
+
+      case QueueItem::Kind::kSensorBlip: {
+        // Spurious PIR trigger: the sensor fires with nobody there and the
+        // idle timeout resets it later.
+        const auto pe = room_presence_[item.room];
+        if (pe.has_value() && binary_state_[*pe] == 0) {
+          emit(item.time, *pe, 1.0, -1, false);
+          QueueItem timeout;
+          timeout.time = item.time + profile_.presence_timeout_s +
+                         rng_.uniform_real(
+                             0.0, profile_.presence_timeout_jitter_s);
+          timeout.kind = QueueItem::Kind::kPresenceTimeout;
+          timeout.room = item.room;
+          schedule(timeout);
+        }
+        QueueItem next;
+        next.time = item.time +
+                    rng_.exponential(profile_.noise.presence_blip_per_hour /
+                                     3600.0);
+        next.kind = QueueItem::Kind::kSensorBlip;
+        next.room = item.room;
+        schedule(next);
+        break;
+      }
+
+      case QueueItem::Kind::kPresenceTimeout: {
+        const auto pe = room_presence_[item.room];
+        if (!pe.has_value() || binary_state_[*pe] == 0) break;
+        const double idle = item.time - last_room_motion_[item.room];
+        if (idle + 1e-9 >= profile_.presence_timeout_s) {
+          // No motion for a full timeout window: the PIR resets.
+          emit(item.time, *pe, 0.0, -1, false);
+          ++result_.user_events;
+        } else {
+          QueueItem retry;
+          retry.time = last_room_motion_[item.room] +
+                       profile_.presence_timeout_s +
+                       rng_.uniform_real(0.0,
+                                         profile_.presence_timeout_jitter_s);
+          retry.kind = QueueItem::Kind::kPresenceTimeout;
+          retry.room = item.room;
+          schedule(retry);
+        }
+        break;
+      }
+
+      case QueueItem::Kind::kPeriodic:
+      case QueueItem::Kind::kReactiveReport: {
+        const std::size_t room =
+            physical_.room_index(catalog_.info(item.device).room);
+        const bool glitch =
+            item.kind == QueueItem::Kind::kPeriodic &&
+            rng_.bernoulli(profile_.noise.extreme_probability);
+        const double reading =
+            glitch ? profile_.noise.extreme_magnitude
+                   : std::max(0.0,
+                              physical_.level(room, item.time,
+                                              weather_ * room_weather_[room],
+                                              raw_state_) +
+                                       rng_.normal(0.0, profile_.noise
+                                                            .ambient_noise_stddev));
+        emit(item.time, item.device, reading,
+             item.kind == QueueItem::Kind::kReactiveReport ? item.instance
+                                                           : -1,
+             glitch);
+        if (item.kind == QueueItem::Kind::kPeriodic) {
+          ++result_.periodic_events;
+          QueueItem next;
+          next.time = item.time + profile_.noise.periodic_report_s +
+                      rng_.uniform_real(0.0, profile_.noise.report_jitter_s);
+          next.kind = QueueItem::Kind::kPeriodic;
+          next.device = item.device;
+          schedule(next);
+        } else {
+          ++result_.reactive_sensor_events;
+        }
+        break;
+      }
+
+      case QueueItem::Kind::kAutomationFire:
+        emit(item.time, item.device, item.value, -1, false);
+        ++result_.automation_events;
+        break;
+
+      case QueueItem::Kind::kAutoOff:
+        // End of the appliance's duty cycle — only if still running (a
+        // user/script/rule may have turned it off already).
+        if (binary_state_[item.device] == 1) {
+          emit(item.time, item.device, 0.0, -1, false);
+          ++result_.auto_off_events;
+        }
+        break;
+
+      case QueueItem::Kind::kDuplicate:
+        // Redundant re-report of the current state; no instance tag so it
+        // cannot pollute user-activity pair statistics.
+        emit(item.time, item.device, raw_state_[item.device], -1, false);
+        ++result_.duplicate_events;
+        break;
+
+      case QueueItem::Kind::kWeatherTick: {
+        weather_ = std::clamp(weather_ + rng_.normal(0.0, 0.08), 0.35, 1.0);
+        for (double& local : room_weather_) {
+          local = std::clamp(local + rng_.normal(0.0, 0.12), 0.55, 1.45);
+        }
+        QueueItem next;
+        next.time = item.time + 3600.0;
+        next.kind = QueueItem::Kind::kWeatherTick;
+        schedule(next);
+        break;
+      }
+    }
+  }
+
+  result_.log.sort_by_time();
+  result_.rule_fire_counts = engine_.fire_counts();
+  result_.ground_truth = assemble_ground_truth();
+  return std::move(result_);
+}
+
+GroundTruth SmartHomeSimulator::assemble_ground_truth() const {
+  GroundTruth gt;
+  // Insertion order fixes the source label for pairs with multiple
+  // explanations: automation logic is the strongest, then the physical
+  // wiring, then user habits, then autocorrelation.
+  for (std::size_t i = 0; i < engine_.rules().size(); ++i) {
+    gt.add({engine_.trigger_device(i), engine_.action_device(i),
+            InteractionSource::kAutomation, ActivityCategory::kNone});
+  }
+  for (const auto& [cause, sensor] : physical_.physical_pairs()) {
+    // "Change and sense the brightness level": the coupling between an
+    // emitter and its room sensor is accepted in both directions.
+    gt.add({cause, sensor, InteractionSource::kPhysicalChannel,
+            ActivityCategory::kNone});
+    gt.add({sensor, cause, InteractionSource::kPhysicalChannel,
+            ActivityCategory::kNone});
+  }
+  for (const auto& [key, stats] : user_pairs_) {
+    if (stats.count < profile_.min_pair_occurrences) continue;
+    const auto cause = static_cast<telemetry::DeviceId>(key >> 32);
+    const auto child = static_cast<telemetry::DeviceId>(key & 0xFFFFFFFFU);
+    gt.add({cause, child, InteractionSource::kUserActivity, stats.category});
+  }
+  for (telemetry::DeviceId id = 0; id < catalog_.size(); ++id) {
+    gt.add({id, id, InteractionSource::kAutocorrelation,
+            ActivityCategory::kNone});
+  }
+  return gt;
+}
+
+}  // namespace causaliot::sim

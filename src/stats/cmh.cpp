@@ -1,0 +1,78 @@
+#include "causaliot/stats/cmh.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "causaliot/stats/special_functions.hpp"
+#include "causaliot/util/check.hpp"
+
+namespace causaliot::stats {
+
+CmhResult cmh_test(std::span<const std::uint8_t> x,
+                   std::span<const std::uint8_t> y,
+                   std::span<const std::span<const std::uint8_t>> z) {
+  const std::size_t n = x.size();
+  CAUSALIOT_CHECK_MSG(y.size() == n, "column length mismatch");
+  CAUSALIOT_CHECK_MSG(z.size() <= 20, "conditioning set too large");
+  for (const auto& column : z) {
+    CAUSALIOT_CHECK_MSG(column.size() == n, "column length mismatch");
+  }
+
+  CmhResult result;
+  result.sample_count = n;
+  if (n == 0) return result;
+
+  struct Table {
+    double a = 0.0;  // x=1, y=1
+    double b = 0.0;  // x=1, y=0
+    double c = 0.0;  // x=0, y=1
+    double d = 0.0;  // x=0, y=0
+    double total() const { return a + b + c + d; }
+  };
+  const std::size_t stratum_count = std::size_t{1} << z.size();
+  std::vector<Table> strata(stratum_count);
+  for (std::size_t row = 0; row < n; ++row) {
+    std::size_t key = 0;
+    for (std::size_t j = 0; j < z.size(); ++j) {
+      CAUSALIOT_CHECK_MSG(z[j][row] <= 1, "non-binary conditioning value");
+      key |= static_cast<std::size_t>(z[j][row]) << j;
+    }
+    CAUSALIOT_CHECK_MSG(x[row] <= 1 && y[row] <= 1, "non-binary test value");
+    Table& table = strata[key];
+    if (x[row] == 1) {
+      (y[row] == 1 ? table.a : table.b) += 1.0;
+    } else {
+      (y[row] == 1 ? table.c : table.d) += 1.0;
+    }
+  }
+
+  double deviation_sum = 0.0;
+  double variance_sum = 0.0;
+  for (const Table& t : strata) {
+    const double total = t.total();
+    if (total < 2.0) continue;
+    const double row1 = t.a + t.b;
+    const double col1 = t.a + t.c;
+    const double row0 = t.c + t.d;
+    const double col0 = t.b + t.d;
+    if (row1 == 0.0 || row0 == 0.0 || col1 == 0.0 || col0 == 0.0) continue;
+    deviation_sum += t.a - row1 * col1 / total;
+    variance_sum += row1 * row0 * col1 * col0 / (total * total * (total - 1));
+    ++result.informative_strata;
+  }
+  if (variance_sum <= 0.0) return result;  // nothing informative
+
+  // Continuity-corrected CMH statistic.
+  const double corrected =
+      std::max(0.0, std::fabs(deviation_sum) - 0.5);
+  result.statistic = corrected * corrected / variance_sum;
+  result.p_value = chi_squared_sf(result.statistic, 1.0);
+  return result;
+}
+
+CmhResult cmh_test(std::span<const std::uint8_t> x,
+                   std::span<const std::uint8_t> y) {
+  return cmh_test(x, y, {});
+}
+
+}  // namespace causaliot::stats

@@ -1,0 +1,56 @@
+#include "causaliot/stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "causaliot/util/check.hpp"
+
+namespace causaliot::stats {
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+bool RunningStats::within_sigma(double value, double k) const {
+  const double sigma = stddev();
+  return value >= mean_ - k * sigma && value <= mean_ + k * sigma;
+}
+
+double percentile_sorted(std::span<const double> sorted_values, double q) {
+  CAUSALIOT_CHECK(!sorted_values.empty());
+  CAUSALIOT_CHECK(q >= 0.0 && q <= 100.0);
+  if (sorted_values.size() == 1) return sorted_values[0];
+  const double rank =
+      q / 100.0 * static_cast<double>(sorted_values.size() - 1);
+  const auto lower = static_cast<std::size_t>(rank);
+  const double fraction = rank - static_cast<double>(lower);
+  if (lower + 1 >= sorted_values.size()) return sorted_values.back();
+  return sorted_values[lower] +
+         fraction * (sorted_values[lower + 1] - sorted_values[lower]);
+}
+
+double percentile(std::span<const double> values, double q) {
+  CAUSALIOT_CHECK(!values.empty());
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, q);
+}
+
+}  // namespace causaliot::stats

@@ -1,0 +1,96 @@
+#include "causaliot/stats/gsquare.hpp"
+
+#include <cmath>
+
+#include "causaliot/stats/special_functions.hpp"
+#include "causaliot/util/check.hpp"
+
+namespace causaliot::stats {
+
+namespace {
+
+// Counts for one stratum of the conditioning set: a 2x2 table over (x, y).
+struct Stratum {
+  // cell[x][y]
+  double cell[2][2] = {{0.0, 0.0}, {0.0, 0.0}};
+
+  double row_total(int x) const { return cell[x][0] + cell[x][1]; }
+  double col_total(int y) const { return cell[0][y] + cell[1][y]; }
+  double total() const { return row_total(0) + row_total(1); }
+};
+
+}  // namespace
+
+GSquareResult g_square_test(std::span<const std::uint8_t> x,
+                            std::span<const std::uint8_t> y,
+                            std::span<const std::span<const std::uint8_t>> z,
+                            const GSquareOptions& options) {
+  const std::size_t n = x.size();
+  CAUSALIOT_CHECK_MSG(y.size() == n, "column length mismatch");
+  CAUSALIOT_CHECK_MSG(z.size() <= 20, "conditioning set too large");
+  for (const auto& column : z) {
+    CAUSALIOT_CHECK_MSG(column.size() == n, "column length mismatch");
+  }
+
+  GSquareResult result;
+  result.sample_count = n;
+  if (n == 0) return result;
+
+  const double nominal_dof = std::ldexp(1.0, static_cast<int>(z.size()));
+  if (options.min_samples_per_dof > 0.0 &&
+      static_cast<double>(n) < options.min_samples_per_dof * nominal_dof) {
+    result.skipped_insufficient_data = true;
+    return result;
+  }
+
+  // Bucket samples into strata. With |Z| <= 20 a dense vector of 2^|Z|
+  // strata is at most 1M entries of 32 bytes; |Z| in practice is <= 5.
+  const std::size_t stratum_count = std::size_t{1} << z.size();
+  std::vector<Stratum> strata(stratum_count);
+  for (std::size_t row = 0; row < n; ++row) {
+    std::size_t key = 0;
+    for (std::size_t j = 0; j < z.size(); ++j) {
+      CAUSALIOT_CHECK_MSG(z[j][row] <= 1, "non-binary conditioning value");
+      key |= static_cast<std::size_t>(z[j][row]) << j;
+    }
+    CAUSALIOT_CHECK_MSG(x[row] <= 1 && y[row] <= 1, "non-binary test value");
+    strata[key].cell[x[row]][y[row]] += 1.0;
+  }
+
+  double statistic = 0.0;
+  double dof = 0.0;
+  for (const Stratum& s : strata) {
+    const double total = s.total();
+    if (total <= 0.0) continue;
+    // Adjusted dof: only rows/columns with non-zero marginals contribute.
+    const int live_rows = (s.row_total(0) > 0.0 ? 1 : 0) +
+                          (s.row_total(1) > 0.0 ? 1 : 0);
+    const int live_cols = (s.col_total(0) > 0.0 ? 1 : 0) +
+                          (s.col_total(1) > 0.0 ? 1 : 0);
+    dof += static_cast<double>((live_rows - 1) * (live_cols - 1));
+    for (int xv = 0; xv < 2; ++xv) {
+      for (int yv = 0; yv < 2; ++yv) {
+        const double observed = s.cell[xv][yv];
+        if (observed <= 0.0) continue;  // 0 * ln(0) term is 0 in the limit.
+        const double expected = s.row_total(xv) * s.col_total(yv) / total;
+        statistic += 2.0 * observed * std::log(observed / expected);
+      }
+    }
+  }
+  // Rounding can leave a tiny negative statistic for perfectly independent
+  // tables; clamp.
+  if (statistic < 0.0) statistic = 0.0;
+
+  result.statistic = statistic;
+  result.dof = dof;
+  result.p_value = dof > 0.0 ? chi_squared_sf(statistic, dof) : 1.0;
+  return result;
+}
+
+GSquareResult g_square_test(std::span<const std::uint8_t> x,
+                            std::span<const std::uint8_t> y,
+                            const GSquareOptions& options) {
+  return g_square_test(x, y, {}, options);
+}
+
+}  // namespace causaliot::stats

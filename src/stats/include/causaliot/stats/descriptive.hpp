@@ -1,0 +1,43 @@
+// Streaming descriptive statistics and quantiles.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace causaliot::stats {
+
+/// Welford's online algorithm for numerically-stable mean/variance.
+/// Used by the preprocessor's three-sigma extreme-value filter.
+class RunningStats {
+ public:
+  void add(double value);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when count < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// True iff value lies within [mean - k*sigma, mean + k*sigma].
+  bool within_sigma(double value, double k) const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// The q-th percentile (q in [0, 100]) with linear interpolation between
+/// order statistics; the score-threshold calculator (§V-C) uses q = 99.
+/// CHECKs on an empty input.
+double percentile(std::span<const double> values, double q);
+
+/// Percentile on pre-sorted data (ascending); avoids re-sorting.
+double percentile_sorted(std::span<const double> sorted_values, double q);
+
+}  // namespace causaliot::stats

@@ -1,0 +1,37 @@
+// Binary-classification metrics used across all evaluation benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace causaliot::stats {
+
+struct ConfusionCounts {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t true_negatives = 0;
+  std::size_t false_negatives = 0;
+
+  void add(bool predicted_positive, bool actually_positive);
+
+  std::size_t total() const {
+    return true_positives + false_positives + true_negatives +
+           false_negatives;
+  }
+
+  /// TP / (TP + FP); 0 when there are no predicted positives.
+  double precision() const;
+  /// TP / (TP + FN); 0 when there are no actual positives.
+  double recall() const;
+  /// Harmonic mean of precision and recall; 0 when both are 0.
+  double f1() const;
+  /// (TP + TN) / total; 0 on empty counts.
+  double accuracy() const;
+  /// FP / (FP + TN); 0 when there are no actual negatives.
+  double false_positive_rate() const;
+
+  /// "P=0.952 R=0.968 F1=0.960 Acc=0.978" for bench table rows.
+  std::string summary() const;
+};
+
+}  // namespace causaliot::stats

@@ -1,0 +1,28 @@
+// Special functions needed for p-value computation.
+//
+// The G-square statistic is asymptotically chi-square distributed, so the
+// conditional-independence test needs the chi-square survival function,
+// which reduces to the regularized upper incomplete gamma function Q(a, x).
+// Implementations follow the classic series / continued-fraction split
+// (Numerical Recipes §6.2): the series converges fast for x < a+1, the
+// Lentz continued fraction for x >= a+1.
+#pragma once
+
+namespace causaliot::stats {
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a,x) / Gamma(a).
+/// Requires a > 0, x >= 0.
+double regularized_gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double regularized_gamma_q(double a, double x);
+
+/// Survival function of the chi-square distribution:
+/// P(X >= statistic) for X ~ chi2(dof). dof > 0, statistic >= 0.
+double chi_squared_sf(double statistic, double dof);
+
+/// Quantile (inverse CDF) of the chi-square distribution, via bisection on
+/// the survival function. Used by tests and the threshold ablation.
+double chi_squared_quantile(double probability, double dof);
+
+}  // namespace causaliot::stats

@@ -1,0 +1,58 @@
+#include "causaliot/stats/metrics.hpp"
+
+#include "causaliot/util/strings.hpp"
+
+namespace causaliot::stats {
+
+void ConfusionCounts::add(bool predicted_positive, bool actually_positive) {
+  if (predicted_positive && actually_positive) {
+    ++true_positives;
+  } else if (predicted_positive && !actually_positive) {
+    ++false_positives;
+  } else if (!predicted_positive && actually_positive) {
+    ++false_negatives;
+  } else {
+    ++true_negatives;
+  }
+}
+
+double ConfusionCounts::precision() const {
+  const std::size_t denom = true_positives + false_positives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionCounts::recall() const {
+  const std::size_t denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionCounts::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionCounts::accuracy() const {
+  const std::size_t n = total();
+  return n == 0 ? 0.0
+                : static_cast<double>(true_positives + true_negatives) /
+                      static_cast<double>(n);
+}
+
+double ConfusionCounts::false_positive_rate() const {
+  const std::size_t denom = false_positives + true_negatives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(false_positives) /
+                          static_cast<double>(denom);
+}
+
+std::string ConfusionCounts::summary() const {
+  return util::format("P=%.3f R=%.3f F1=%.3f Acc=%.3f", precision(), recall(),
+                      f1(), accuracy());
+}
+
+}  // namespace causaliot::stats

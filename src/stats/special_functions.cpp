@@ -1,0 +1,99 @@
+#include "causaliot/stats/special_functions.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "causaliot/util/check.hpp"
+
+namespace causaliot::stats {
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-14;
+constexpr double kTiny = 1e-300;
+
+// Series representation of P(a, x); converges quickly for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEpsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Modified Lentz continued fraction for Q(a, x); for x >= a + 1.
+double gamma_q_continued_fraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double regularized_gamma_p(double a, double x) {
+  CAUSALIOT_CHECK(a > 0.0);
+  CAUSALIOT_CHECK(x >= 0.0);
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_continued_fraction(a, x);
+}
+
+double regularized_gamma_q(double a, double x) {
+  CAUSALIOT_CHECK(a > 0.0);
+  CAUSALIOT_CHECK(x >= 0.0);
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_continued_fraction(a, x);
+}
+
+double chi_squared_sf(double statistic, double dof) {
+  CAUSALIOT_CHECK(dof > 0.0);
+  if (statistic <= 0.0) return 1.0;
+  return regularized_gamma_q(dof / 2.0, statistic / 2.0);
+}
+
+double chi_squared_quantile(double probability, double dof) {
+  CAUSALIOT_CHECK(probability > 0.0 && probability < 1.0);
+  CAUSALIOT_CHECK(dof > 0.0);
+  // CDF(q) = probability  <=>  SF(q) = 1 - probability. Bisection is slow
+  // but exact enough; this is not on any hot path.
+  double lo = 0.0;
+  double hi = dof + 10.0;
+  const double target_sf = 1.0 - probability;
+  while (chi_squared_sf(hi, dof) > target_sf) {
+    hi *= 2.0;
+    if (hi > 1e12) break;
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (chi_squared_sf(mid, dof) > target_sf) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace causaliot::stats

@@ -1,0 +1,117 @@
+#include "causaliot/telemetry/device.hpp"
+
+#include <algorithm>
+
+namespace causaliot::telemetry {
+
+std::string_view attribute_abbreviation(AttributeType type) {
+  switch (type) {
+    case AttributeType::kSwitch: return "S";
+    case AttributeType::kPresenceSensor: return "PE";
+    case AttributeType::kContactSensor: return "C";
+    case AttributeType::kDimmer: return "D";
+    case AttributeType::kWaterMeter: return "W";
+    case AttributeType::kPowerSensor: return "P";
+    case AttributeType::kBrightnessSensor: return "B";
+    case AttributeType::kTemperatureSensor: return "T";
+    case AttributeType::kGenericActuator: return "GA";
+    case AttributeType::kGenericSensor: return "GS";
+  }
+  return "?";
+}
+
+std::string_view attribute_name(AttributeType type) {
+  switch (type) {
+    case AttributeType::kSwitch: return "Switch";
+    case AttributeType::kPresenceSensor: return "PresenceSensor";
+    case AttributeType::kContactSensor: return "ContactSensor";
+    case AttributeType::kDimmer: return "Dimmer";
+    case AttributeType::kWaterMeter: return "WaterMeter";
+    case AttributeType::kPowerSensor: return "PowerSensor";
+    case AttributeType::kBrightnessSensor: return "BrightnessSensor";
+    case AttributeType::kTemperatureSensor: return "TemperatureSensor";
+    case AttributeType::kGenericActuator: return "GenericActuator";
+    case AttributeType::kGenericSensor: return "GenericSensor";
+  }
+  return "?";
+}
+
+ValueType default_value_type(AttributeType type) {
+  switch (type) {
+    case AttributeType::kSwitch:
+    case AttributeType::kPresenceSensor:
+    case AttributeType::kContactSensor:
+    case AttributeType::kGenericActuator:
+    case AttributeType::kGenericSensor:
+      return ValueType::kBinary;
+    case AttributeType::kDimmer:
+    case AttributeType::kWaterMeter:
+    case AttributeType::kPowerSensor:
+      return ValueType::kResponsiveNumeric;
+    case AttributeType::kBrightnessSensor:
+    case AttributeType::kTemperatureSensor:
+      return ValueType::kAmbientNumeric;
+  }
+  return ValueType::kBinary;
+}
+
+bool is_actuator(AttributeType type) {
+  switch (type) {
+    case AttributeType::kSwitch:
+    case AttributeType::kDimmer:
+    case AttributeType::kPowerSensor:  // bound to a controllable appliance
+    case AttributeType::kGenericActuator:
+      return true;
+    case AttributeType::kPresenceSensor:
+    case AttributeType::kContactSensor:
+    case AttributeType::kWaterMeter:
+    case AttributeType::kBrightnessSensor:
+    case AttributeType::kTemperatureSensor:
+    case AttributeType::kGenericSensor:
+      return false;
+  }
+  return false;
+}
+
+util::Result<DeviceId> DeviceCatalog::add(DeviceInfo info) {
+  if (info.name.empty()) {
+    return util::Error::invalid_argument("device name must not be empty");
+  }
+  if (contains(info.name)) {
+    return util::Error::invalid_argument("duplicate device name: " +
+                                         info.name);
+  }
+  devices_.push_back(std::move(info));
+  return static_cast<DeviceId>(devices_.size() - 1);
+}
+
+const DeviceInfo& DeviceCatalog::info(DeviceId id) const {
+  CAUSALIOT_CHECK_MSG(id < devices_.size(), "device id out of range");
+  return devices_[id];
+}
+
+util::Result<DeviceId> DeviceCatalog::find(std::string_view name) const {
+  const auto it =
+      std::find_if(devices_.begin(), devices_.end(),
+                   [&](const DeviceInfo& d) { return d.name == name; });
+  if (it == devices_.end()) {
+    return util::Error::not_found("no device named '" + std::string(name) +
+                                  "'");
+  }
+  return static_cast<DeviceId>(it - devices_.begin());
+}
+
+bool DeviceCatalog::contains(std::string_view name) const {
+  return find(name).ok();
+}
+
+std::vector<DeviceId> DeviceCatalog::devices_of_type(
+    AttributeType type) const {
+  std::vector<DeviceId> out;
+  for (DeviceId id = 0; id < devices_.size(); ++id) {
+    if (devices_[id].attribute == type) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace causaliot::telemetry

@@ -1,0 +1,85 @@
+// Device model: attribute taxonomy and the device catalog.
+//
+// Follows the paper's Table I taxonomy. Each device exposes one attribute
+// whose raw value type falls into one of three classes (§V-A):
+//   * Binary            — ON/OFF actuators and open/closed sensors.
+//   * ResponsiveNumeric — zero when idle, positive when in use (water
+//                         meters, power sensors, dimmer levels).
+//   * AmbientNumeric    — continuous environmental measurement, always
+//                         positive (brightness, temperature).
+// The preprocessor unifies all three to binary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "causaliot/util/result.hpp"
+
+namespace causaliot::telemetry {
+
+/// Dense device index; also the variable index in every downstream module.
+using DeviceId = std::uint32_t;
+inline constexpr DeviceId kInvalidDevice = ~DeviceId{0};
+
+enum class AttributeType : std::uint8_t {
+  kSwitch,            // S  — actuator on/off
+  kPresenceSensor,    // PE — movement detection
+  kContactSensor,     // C  — door/window open/closed
+  kDimmer,            // D  — light level (responsive numeric)
+  kWaterMeter,        // W  — water flow (responsive numeric)
+  kPowerSensor,       // P  — appliance power draw (responsive numeric)
+  kBrightnessSensor,  // B  — luminosity (ambient numeric)
+  kTemperatureSensor, // T  — ambient numeric (industrial/ablation scenarios)
+  kGenericActuator,   // binary actuator outside the smart-home taxonomy
+  kGenericSensor,     // binary sensor outside the smart-home taxonomy
+};
+
+enum class ValueType : std::uint8_t {
+  kBinary,
+  kResponsiveNumeric,
+  kAmbientNumeric,
+};
+
+/// The paper's two-letter abbreviation for an attribute ("PE", "B", ...).
+std::string_view attribute_abbreviation(AttributeType type);
+std::string_view attribute_name(AttributeType type);
+
+/// Default raw value type of an attribute per Table I.
+ValueType default_value_type(AttributeType type);
+
+/// True for attributes bound to an actuator — i.e. eligible to be an
+/// automation rule's *action* device (§VI-A excludes brightness/presence).
+bool is_actuator(AttributeType type);
+
+struct DeviceInfo {
+  std::string name;      // unique, e.g. "dimmer_bathroom"
+  std::string room;      // installation location, e.g. "bathroom"
+  AttributeType attribute = AttributeType::kGenericSensor;
+  ValueType value_type = ValueType::kBinary;
+};
+
+/// Registry of deployed devices; assigns dense DeviceIds.
+class DeviceCatalog {
+ public:
+  /// Registers a device; fails on duplicate names.
+  util::Result<DeviceId> add(DeviceInfo info);
+
+  std::size_t size() const { return devices_.size(); }
+  bool empty() const { return devices_.empty(); }
+
+  const DeviceInfo& info(DeviceId id) const;
+  util::Result<DeviceId> find(std::string_view name) const;
+  bool contains(std::string_view name) const;
+
+  const std::vector<DeviceInfo>& devices() const { return devices_; }
+
+  /// Devices filtered by attribute type.
+  std::vector<DeviceId> devices_of_type(AttributeType type) const;
+
+ private:
+  std::vector<DeviceInfo> devices_;
+};
+
+}  // namespace causaliot::telemetry

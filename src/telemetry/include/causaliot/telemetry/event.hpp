@@ -1,0 +1,66 @@
+// Device events and event logs.
+//
+// The platform receives one event per device state report:
+//   (timestamp, device, state value)
+// matching the paper's event format (§II-A); the installation location
+// lives in the DeviceCatalog. Timestamps are wall-clock seconds since the
+// trace start; the *logical* time index used by the DIG is the event
+// ordinal after preprocessing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "causaliot/telemetry/device.hpp"
+#include "causaliot/util/result.hpp"
+
+namespace causaliot::telemetry {
+
+struct DeviceEvent {
+  double timestamp = 0.0;  // seconds since trace start
+  DeviceId device = kInvalidDevice;
+  double value = 0.0;      // raw value; 0/1 once unified to binary
+
+  friend bool operator==(const DeviceEvent&, const DeviceEvent&) = default;
+};
+
+/// An ordered trace of device events over a fixed catalog.
+class EventLog {
+ public:
+  EventLog() = default;
+  explicit EventLog(DeviceCatalog catalog) : catalog_(std::move(catalog)) {}
+
+  const DeviceCatalog& catalog() const { return catalog_; }
+  DeviceCatalog& catalog() { return catalog_; }
+
+  void append(DeviceEvent event);
+
+  const std::vector<DeviceEvent>& events() const { return events_; }
+  std::vector<DeviceEvent>& events() { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Average wall-clock seconds between neighbouring events; used by the
+  /// preprocessor's lag selection tau = d / v (§V-A). 0 for < 2 events.
+  double mean_inter_event_seconds() const;
+
+  /// True if timestamps are non-decreasing.
+  bool is_time_ordered() const;
+
+  /// Stable-sorts events by timestamp.
+  void sort_by_time();
+
+  /// Serializes to CSV: header `timestamp,device,value`, devices by name.
+  util::Status save_csv(const std::string& path) const;
+
+  /// Loads a CSV produced by save_csv against the given catalog; events
+  /// naming unknown devices are an error.
+  static util::Result<EventLog> load_csv(const std::string& path,
+                                         DeviceCatalog catalog);
+
+ private:
+  DeviceCatalog catalog_;
+  std::vector<DeviceEvent> events_;
+};
+
+}  // namespace causaliot::telemetry

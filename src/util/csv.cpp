@@ -1,0 +1,102 @@
+#include "causaliot/util/csv.hpp"
+
+#include <fstream>
+
+namespace causaliot::util {
+
+Result<CsvRow> parse_csv_line(std::string_view line, char delimiter) {
+  CsvRow fields;
+  std::string current;
+  bool in_quotes = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else {
+      if (c == '"') {
+        if (!current.empty()) {
+          return Error::parse_error("quote inside unquoted field");
+        }
+        in_quotes = true;
+      } else if (c == delimiter) {
+        fields.push_back(std::move(current));
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    ++i;
+  }
+  if (in_quotes) return Error::parse_error("unterminated quoted field");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string format_csv_line(const CsvRow& fields, char delimiter) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line.push_back(delimiter);
+    const std::string& field = fields[i];
+    const bool needs_quoting =
+        field.find(delimiter) != std::string::npos ||
+        field.find('"') != std::string::npos ||
+        field.find('\n') != std::string::npos;
+    if (needs_quoting) {
+      line.push_back('"');
+      for (char c : field) {
+        if (c == '"') line.push_back('"');
+        line.push_back(c);
+      }
+      line.push_back('"');
+    } else {
+      line.append(field);
+    }
+  }
+  return line;
+}
+
+Result<std::vector<CsvRow>> read_csv_file(const std::string& path,
+                                          bool skip_header, char delimiter) {
+  std::ifstream in(path);
+  if (!in) return Error::io_error("cannot open " + path);
+  std::vector<CsvRow> rows;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (first && skip_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (line.empty()) continue;
+    auto row = parse_csv_line(line, delimiter);
+    if (!row.ok()) return row.error();
+    rows.push_back(std::move(row).value());
+  }
+  return rows;
+}
+
+Status write_csv_file(const std::string& path, const std::vector<CsvRow>& rows,
+                      const CsvRow& header, char delimiter) {
+  std::ofstream out(path);
+  if (!out) return Error::io_error("cannot open " + path + " for writing");
+  if (!header.empty()) out << format_csv_line(header, delimiter) << '\n';
+  for (const CsvRow& row : rows) {
+    out << format_csv_line(row, delimiter) << '\n';
+  }
+  if (!out) return Error::io_error("write failed for " + path);
+  return Status::ok_status();
+}
+
+}  // namespace causaliot::util

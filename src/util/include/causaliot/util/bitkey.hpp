@@ -1,0 +1,50 @@
+// Bit-packed assignment keys.
+//
+// After type unification (see preprocess/) every device state is binary, so
+// an assignment of values to a set of up to 64 cause variables packs into a
+// single uint64_t: bit i holds the value of the i-th cause in a fixed
+// canonical order. CPT lookups and contingency-table strata indexing both
+// key on these.
+#pragma once
+
+#include <cstdint>
+
+#include "causaliot/util/check.hpp"
+
+namespace causaliot::util {
+
+class BitKey {
+ public:
+  BitKey() = default;
+
+  /// Sets bit `index` to `value`. index must be < 64.
+  void set(std::size_t index, bool value) {
+    CAUSALIOT_CHECK(index < 64);
+    const std::uint64_t mask = std::uint64_t{1} << index;
+    if (value) {
+      bits_ |= mask;
+    } else {
+      bits_ &= ~mask;
+    }
+  }
+
+  bool get(std::size_t index) const {
+    CAUSALIOT_CHECK(index < 64);
+    return (bits_ >> index & 1U) != 0;
+  }
+
+  std::uint64_t raw() const { return bits_; }
+
+  static BitKey from_raw(std::uint64_t raw) {
+    BitKey key;
+    key.bits_ = raw;
+    return key;
+  }
+
+  friend bool operator==(BitKey, BitKey) = default;
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace causaliot::util

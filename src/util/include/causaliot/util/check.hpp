@@ -1,0 +1,36 @@
+// Lightweight runtime-check macros for programming errors.
+//
+// CAUSALIOT_CHECK fires in all build types: invariant violations in a
+// security monitor must never be silently ignored. The macros print the
+// failing expression and location, then abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace causaliot::util::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg != nullptr ? " — " : "", msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace causaliot::util::detail
+
+#define CAUSALIOT_CHECK(expr)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::causaliot::util::detail::check_failed(#expr, __FILE__, __LINE__,   \
+                                              nullptr);                    \
+    }                                                                      \
+  } while (false)
+
+#define CAUSALIOT_CHECK_MSG(expr, msg)                                     \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::causaliot::util::detail::check_failed(#expr, __FILE__, __LINE__,   \
+                                              (msg));                      \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,34 @@
+// Minimal CSV reader/writer for event-log (de)serialization.
+//
+// Supports RFC-4180-style quoting (fields containing the delimiter, quotes,
+// or newlines are double-quoted; embedded quotes are doubled). Event logs in
+// practice never need quoting, but imported traces may.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "causaliot/util/result.hpp"
+
+namespace causaliot::util {
+
+using CsvRow = std::vector<std::string>;
+
+/// Parses one CSV line (no embedded newlines) into fields.
+Result<CsvRow> parse_csv_line(std::string_view line, char delimiter = ',');
+
+/// Formats fields into one CSV line, quoting where required.
+std::string format_csv_line(const CsvRow& fields, char delimiter = ',');
+
+/// Reads a whole CSV file. `skip_header` drops the first row.
+Result<std::vector<CsvRow>> read_csv_file(const std::string& path,
+                                          bool skip_header,
+                                          char delimiter = ',');
+
+/// Writes rows to a CSV file, with an optional header row first.
+Status write_csv_file(const std::string& path,
+                      const std::vector<CsvRow>& rows,
+                      const CsvRow& header = {}, char delimiter = ',');
+
+}  // namespace causaliot::util

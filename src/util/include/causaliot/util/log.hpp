@@ -1,0 +1,29 @@
+// Leveled stderr logger.
+//
+// Default level is kWarn so library consumers see problems but not chatter;
+// benches and examples raise it to kInfo for progress reporting.
+#pragma once
+
+#include <string_view>
+
+namespace causaliot::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits "[LEVEL] message\n" to stderr if `level` >= the global level.
+void log_message(LogLevel level, std::string_view message);
+
+inline void log_debug(std::string_view msg) {
+  log_message(LogLevel::kDebug, msg);
+}
+inline void log_info(std::string_view msg) { log_message(LogLevel::kInfo, msg); }
+inline void log_warn(std::string_view msg) { log_message(LogLevel::kWarn, msg); }
+inline void log_error(std::string_view msg) {
+  log_message(LogLevel::kError, msg);
+}
+
+}  // namespace causaliot::util

@@ -1,0 +1,120 @@
+// Expected-style result type for recoverable errors.
+//
+// The library does not throw across module boundaries; fallible operations
+// return Result<T>, carrying either a value or an Error{code, message}.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "causaliot/util/check.hpp"
+
+namespace causaliot::util {
+
+enum class ErrorCode {
+  kInvalidArgument,
+  kNotFound,
+  kParseError,
+  kIoError,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Human-readable name of an error code ("invalid_argument", ...).
+const char* to_string(ErrorCode code);
+
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  static Error invalid_argument(std::string msg) {
+    return {ErrorCode::kInvalidArgument, std::move(msg)};
+  }
+  static Error not_found(std::string msg) {
+    return {ErrorCode::kNotFound, std::move(msg)};
+  }
+  static Error parse_error(std::string msg) {
+    return {ErrorCode::kParseError, std::move(msg)};
+  }
+  static Error io_error(std::string msg) {
+    return {ErrorCode::kIoError, std::move(msg)};
+  }
+  static Error out_of_range(std::string msg) {
+    return {ErrorCode::kOutOfRange, std::move(msg)};
+  }
+  static Error failed_precondition(std::string msg) {
+    return {ErrorCode::kFailedPrecondition, std::move(msg)};
+  }
+  static Error internal(std::string msg) {
+    return {ErrorCode::kInternal, std::move(msg)};
+  }
+
+  /// "code: message" for logs and test diagnostics.
+  std::string to_string() const;
+};
+
+/// Either a T or an Error. Accessors CHECK on misuse.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    CAUSALIOT_CHECK_MSG(ok(), "Result::value() on error");
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    CAUSALIOT_CHECK_MSG(ok(), "Result::value() on error");
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    CAUSALIOT_CHECK_MSG(ok(), "Result::value() on error");
+    return std::get<T>(std::move(storage_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    CAUSALIOT_CHECK_MSG(!ok(), "Result::error() on value");
+    return std::get<Error>(storage_);
+  }
+
+  /// Returns the value or a fallback, never CHECKs.
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Result specialization for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), has_error_(true) {}  // NOLINT(google-explicit-constructor)
+
+  static Status ok_status() { return Status(); }
+
+  bool ok() const { return !has_error_; }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    CAUSALIOT_CHECK_MSG(has_error_, "Status::error() on OK status");
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool has_error_ = false;
+};
+
+}  // namespace causaliot::util

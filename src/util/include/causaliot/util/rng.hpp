@@ -1,0 +1,79 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (simulator, injector, baselines) takes an
+// explicit 64-bit seed so each experiment is exactly reproducible. The
+// engine is xoshiro256** seeded through SplitMix64, which gives independent
+// streams from sequential seeds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "causaliot/util/check.hpp"
+
+namespace causaliot::util {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xC0FFEEULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Standard normal via Box–Muller (cached spare value).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with the given rate (lambda > 0).
+  double exponential(double rate);
+
+  /// Index drawn according to the (non-negative, not necessarily
+  /// normalized) weights. CHECKs if all weights are zero.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    if (items.empty()) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      const std::size_t j = uniform(i + 1);
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+  /// k distinct indices sampled uniformly from [0, n) in increasing order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Derives an independent child generator (stream splitting).
+  Rng split();
+
+ private:
+  std::uint64_t state_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace causaliot::util

@@ -1,0 +1,25 @@
+#include "causaliot/util/result.hpp"
+
+namespace causaliot::util {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kIoError: return "io_error";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string out = causaliot::util::to_string(code);
+  out += ": ";
+  out += message;
+  return out;
+}
+
+}  // namespace causaliot::util

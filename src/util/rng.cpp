@@ -1,0 +1,130 @@
+#include "causaliot/util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace causaliot::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  CAUSALIOT_CHECK(bound > 0);
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  CAUSALIOT_CHECK(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Rng::uniform01() {
+  // 53 random mantissa bits.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  CAUSALIOT_CHECK(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u1 = uniform01();
+  while (u1 <= 0.0) u1 = uniform01();
+  const double u2 = uniform01();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  spare_normal_ = radius * std::sin(angle);
+  has_spare_normal_ = true;
+  return mean + stddev * radius * std::cos(angle);
+}
+
+double Rng::exponential(double rate) {
+  CAUSALIOT_CHECK(rate > 0.0);
+  double u = uniform01();
+  while (u <= 0.0) u = uniform01();
+  return -std::log(u) / rate;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  CAUSALIOT_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    CAUSALIOT_CHECK_MSG(w >= 0.0, "negative weight");
+    total += w;
+  }
+  CAUSALIOT_CHECK_MSG(total > 0.0, "all weights zero");
+  double point = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    point -= weights[i];
+    if (point < 0.0) return i;
+  }
+  return weights.size() - 1;  // Floating-point slack lands on the last item.
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  CAUSALIOT_CHECK(k <= n);
+  // Floyd's algorithm would avoid the O(n) init, but n here is bounded by
+  // trace length and this runs once per experiment; keep it simple.
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  shuffle(all);
+  all.resize(k);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+Rng Rng::split() { return Rng((*this)()); }
+
+}  // namespace causaliot::util

@@ -1,0 +1,86 @@
+#include "causaliot/detect/alarm_sink.hpp"
+
+#include <gtest/gtest.h>
+
+namespace causaliot::detect {
+namespace {
+
+AnomalyReport report_for(telemetry::DeviceId device, std::uint8_t state,
+                         double timestamp, double score) {
+  AnomalyEntry entry;
+  entry.event = {device, state, timestamp};
+  entry.score = score;
+  AnomalyReport report;
+  report.entries.push_back(entry);
+  return report;
+}
+
+TEST(AlarmSink, DeliversFirstAlarm) {
+  AlarmSink sink;
+  const auto delivered = sink.offer(report_for(3, 1, 100.0, 0.999));
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_EQ(delivered->suppressed_duplicates, 0u);
+  EXPECT_EQ(sink.delivered(), 1u);
+  EXPECT_EQ(sink.suppressed(), 0u);
+}
+
+TEST(AlarmSink, DeduplicatesWithinWindow) {
+  SinkConfig config;
+  config.dedup_window_s = 600.0;
+  AlarmSink sink(config);
+  ASSERT_TRUE(sink.offer(report_for(3, 1, 100.0, 0.999)).has_value());
+  EXPECT_FALSE(sink.offer(report_for(3, 1, 200.0, 0.999)).has_value());
+  EXPECT_FALSE(sink.offer(report_for(3, 1, 650.0, 0.999)).has_value());
+  EXPECT_EQ(sink.suppressed(), 2u);
+
+  // Outside the window the alarm flows again and reports what was eaten.
+  const auto later = sink.offer(report_for(3, 1, 800.0, 0.999));
+  ASSERT_TRUE(later.has_value());
+  EXPECT_EQ(later->suppressed_duplicates, 2u);
+  EXPECT_EQ(sink.delivered(), 2u);
+}
+
+TEST(AlarmSink, DifferentSignaturesDoNotInterfere) {
+  AlarmSink sink;
+  ASSERT_TRUE(sink.offer(report_for(3, 1, 100.0, 0.999)).has_value());
+  // Same device, opposite state: distinct signature.
+  ASSERT_TRUE(sink.offer(report_for(3, 0, 110.0, 0.999)).has_value());
+  // Different device.
+  ASSERT_TRUE(sink.offer(report_for(4, 1, 120.0, 0.999)).has_value());
+  EXPECT_EQ(sink.delivered(), 3u);
+  EXPECT_EQ(sink.suppressed(), 0u);
+}
+
+TEST(AlarmSink, SeverityGrading) {
+  SinkConfig config;
+  config.warning_score = 0.995;
+  config.critical_score = 0.9999;
+  AlarmSink sink(config);
+  EXPECT_EQ(sink.grade(0.991), AlarmSeverity::kNotice);
+  EXPECT_EQ(sink.grade(0.997), AlarmSeverity::kWarning);
+  EXPECT_EQ(sink.grade(1.0), AlarmSeverity::kCritical);
+  const auto delivered = sink.offer(report_for(1, 1, 50.0, 1.0));
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_EQ(delivered->severity, AlarmSeverity::kCritical);
+}
+
+TEST(AlarmSink, PerDeviceCounters) {
+  AlarmSink sink;
+  sink.offer(report_for(2, 1, 10.0, 0.999));
+  sink.offer(report_for(2, 0, 20.0, 0.999));
+  sink.offer(report_for(5, 1, 30.0, 0.999));
+  EXPECT_EQ(sink.delivered_by_device().at(2), 2u);
+  EXPECT_EQ(sink.delivered_by_device().at(5), 1u);
+}
+
+TEST(AlarmSink, ZeroWindowDisablesDeduplication) {
+  SinkConfig config;
+  config.dedup_window_s = 0.0;
+  AlarmSink sink(config);
+  EXPECT_TRUE(sink.offer(report_for(1, 1, 5.0, 0.999)).has_value());
+  EXPECT_TRUE(sink.offer(report_for(1, 1, 5.0, 0.999)).has_value());
+  EXPECT_EQ(sink.suppressed(), 0u);
+}
+
+}  // namespace
+}  // namespace causaliot::detect

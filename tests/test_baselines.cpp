@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "causaliot/baselines/hawatcher.hpp"
+#include "causaliot/baselines/markov.hpp"
+#include "causaliot/baselines/ocsvm.hpp"
+#include "causaliot/util/rng.hpp"
+
+namespace causaliot::baselines {
+namespace {
+
+using preprocess::BinaryEvent;
+using preprocess::StateSeries;
+
+// Two devices, strict alternation: 0 on, 1 on, 0 off, 1 off, repeat.
+StateSeries alternating_series(std::size_t cycles) {
+  StateSeries series(2, {0, 0});
+  double t = 0.0;
+  for (std::size_t i = 0; i < cycles; ++i) {
+    series.apply({0, 1, t += 1});
+    series.apply({1, 1, t += 1});
+    series.apply({0, 0, t += 1});
+    series.apply({1, 0, t += 1});
+  }
+  return series;
+}
+
+TEST(Markov, AcceptsSeenTransitions) {
+  MarkovDetector detector(2);
+  const StateSeries series = alternating_series(50);
+  detector.fit(series);
+  EXPECT_GT(detector.transition_count(), 0u);
+
+  detector.reset({0, 0});
+  // Replay the training pattern: after a warm-up prefix, transitions are
+  // all known.
+  std::size_t flagged = 0;
+  std::size_t total = 0;
+  for (std::size_t cycle = 0; cycle < 10; ++cycle) {
+    for (const BinaryEvent event :
+         {BinaryEvent{0, 1, 0.0}, BinaryEvent{1, 1, 0.0},
+          BinaryEvent{0, 0, 0.0}, BinaryEvent{1, 0, 0.0}}) {
+      flagged += detector.is_anomalous(event);
+      ++total;
+    }
+  }
+  EXPECT_LT(flagged, total / 4);  // only warm-up disagreements
+}
+
+TEST(Markov, FlagsUnseenTransition) {
+  MarkovDetector detector(2);
+  detector.fit(alternating_series(50));
+  detector.reset({0, 0});
+  detector.is_anomalous({0, 1, 0.0});
+  detector.is_anomalous({1, 1, 0.0});
+  // Out-of-pattern: device 0 turning on again was never observed here.
+  EXPECT_TRUE(detector.is_anomalous({0, 0, 0.0}) ||
+              detector.is_anomalous({0, 1, 0.0}));
+}
+
+TEST(Markov, OrderOneForgetsLongHistory) {
+  // With order 1 only the immediately preceding state matters.
+  MarkovDetector detector(1);
+  detector.fit(alternating_series(50));
+  detector.reset({0, 0});
+  EXPECT_FALSE(detector.is_anomalous({0, 1, 0.0}));
+}
+
+TEST(Ocsvm, TrainsAndAcceptsTrainingLikeStates) {
+  // States cluster around two patterns; a far-away state is an outlier.
+  util::Rng rng(1);
+  StateSeries series(8, std::vector<std::uint8_t>(8, 0));
+  double t = 0.0;
+  for (int i = 0; i < 600; ++i) {
+    // Flip only devices 0-2 (the "normal" subspace).
+    const auto device = static_cast<telemetry::DeviceId>(rng.uniform(3));
+    series.apply({device, static_cast<std::uint8_t>(rng.uniform(2)),
+                  t += 1});
+  }
+  OcsvmConfig config;
+  config.nu = 0.05;
+  OcsvmDetector detector(config);
+  detector.fit(series);
+  EXPECT_GT(detector.support_vector_count(), 0u);
+
+  // In-distribution states score above the boundary most of the time.
+  std::size_t inlier_accepts = 0;
+  for (std::size_t j = 0; j < series.length(); j += 10) {
+    inlier_accepts +=
+        detector.decision_value(series.snapshot_state(j)) >= 0.0;
+  }
+  EXPECT_GT(inlier_accepts, series.length() / 10 / 2);
+
+  // A state with all eight devices on was never seen.
+  EXPECT_LT(detector.decision_value(std::vector<std::uint8_t>(8, 1)), 0.0);
+}
+
+TEST(Ocsvm, IsAnomalousTracksState) {
+  util::Rng rng(2);
+  StateSeries series(4, std::vector<std::uint8_t>(4, 0));
+  double t = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    series.apply({0, static_cast<std::uint8_t>(rng.uniform(2)), t += 1});
+  }
+  OcsvmDetector detector;
+  detector.fit(series);
+  detector.reset({0, 0, 0, 0});
+  EXPECT_FALSE(detector.is_anomalous({0, 1, 0.0}));
+  // Devices 1-3 never active in training: all-on is anomalous.
+  detector.is_anomalous({1, 1, 0.0});
+  detector.is_anomalous({2, 1, 0.0});
+  EXPECT_TRUE(detector.is_anomalous({3, 1, 0.0}));
+}
+
+telemetry::DeviceCatalog two_room_catalog() {
+  telemetry::DeviceCatalog catalog;
+  EXPECT_TRUE(catalog
+                  .add({"pe_kitchen", "kitchen",
+                        telemetry::AttributeType::kPresenceSensor,
+                        telemetry::ValueType::kBinary})
+                  .ok());
+  EXPECT_TRUE(catalog
+                  .add({"lamp_kitchen", "kitchen",
+                        telemetry::AttributeType::kDimmer,
+                        telemetry::ValueType::kResponsiveNumeric})
+                  .ok());
+  EXPECT_TRUE(catalog
+                  .add({"pe_living", "living",
+                        telemetry::AttributeType::kPresenceSensor,
+                        telemetry::ValueType::kBinary})
+                  .ok());
+  return catalog;
+}
+
+StateSeries presence_lamp_series(std::size_t cycles) {
+  // Lamp is on exactly while kitchen presence is on.
+  StateSeries series(3, {0, 0, 0});
+  double t = 0.0;
+  for (std::size_t i = 0; i < cycles; ++i) {
+    series.apply({0, 1, t += 1});
+    series.apply({1, 1, t += 1});
+    series.apply({0, 0, t += 1});
+    series.apply({1, 0, t += 1});
+    series.apply({2, 1, t += 1});
+    series.apply({2, 0, t += 1});
+  }
+  return series;
+}
+
+TEST(HaWatcher, MinesSameRoomRules) {
+  const telemetry::DeviceCatalog catalog = two_room_catalog();
+  HaWatcherConfig config;
+  config.min_support = 10;
+  config.min_confidence = 0.9;
+  HaWatcherDetector detector(catalog, config);
+  detector.fit(presence_lamp_series(60));
+  EXPECT_FALSE(detector.rules().empty());
+  for (const auto& rule : detector.rules()) {
+    EXPECT_EQ(catalog.info(rule.antecedent).room,
+              catalog.info(rule.consequent).room);
+    EXPECT_GE(rule.confidence, 0.9);
+    EXPECT_GE(rule.support, 10u);
+  }
+}
+
+TEST(HaWatcher, BackgroundKnowledgeRejectsCrossRoom) {
+  const telemetry::DeviceCatalog catalog = two_room_catalog();
+  HaWatcherConfig gated;
+  gated.min_support = 10;
+  HaWatcherDetector with_gate(catalog, gated);
+  with_gate.fit(presence_lamp_series(60));
+
+  HaWatcherConfig open = gated;
+  open.use_background_knowledge = false;
+  HaWatcherDetector without_gate(catalog, open);
+  without_gate.fit(presence_lamp_series(60));
+
+  EXPECT_GT(with_gate.rejected_by_background_knowledge(), 0u);
+  EXPECT_GT(without_gate.rules().size(), with_gate.rules().size());
+  EXPECT_EQ(without_gate.rejected_by_background_knowledge(), 0u);
+}
+
+TEST(HaWatcher, FlagsRuleViolation) {
+  const telemetry::DeviceCatalog catalog = two_room_catalog();
+  HaWatcherConfig config;
+  config.min_support = 10;
+  HaWatcherDetector detector(catalog, config);
+  detector.fit(presence_lamp_series(60));
+  ASSERT_FALSE(detector.rules().empty());
+
+  detector.reset({0, 0, 0});
+  // Normal pattern: presence on, then lamp on — no violations.
+  EXPECT_FALSE(detector.is_anomalous({0, 1, 0.0}));
+  EXPECT_FALSE(detector.is_anomalous({1, 1, 0.0}));
+  // Lamp turning on while presence is OFF violates the mined correlation
+  // (lamp-on events always had presence on).
+  detector.reset({0, 0, 0});
+  EXPECT_TRUE(detector.is_anomalous({1, 1, 0.0}));
+}
+
+}  // namespace
+}  // namespace causaliot::baselines

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "causaliot/core/evaluation.hpp"
+#include "causaliot/core/experiment.hpp"
+#include "causaliot/core/pipeline.hpp"
+#include "causaliot/util/rng.hpp"
+
+namespace causaliot::core {
+namespace {
+
+using preprocess::BinaryEvent;
+using preprocess::StateSeries;
+
+StateSeries copy_pattern_series(std::size_t cycles) {
+  // Device 0 is a random driver; device 1 copies its previous state with
+  // 10% noise (a fully deterministic pattern would let TemporalPC
+  // legitimately explain the edge away via the child's own lag).
+  util::Rng rng(42);
+  StateSeries series(2, {0, 0});
+  double t = 0.0;
+  for (std::size_t i = 0; i < cycles; ++i) {
+    const auto driver = static_cast<std::uint8_t>(rng.uniform(2));
+    series.apply({0, driver, t += 1});
+    const std::uint8_t copy =
+        rng.bernoulli(0.1) ? static_cast<std::uint8_t>(1 - driver) : driver;
+    series.apply({1, copy, t += 1});
+  }
+  return series;
+}
+
+TEST(Pipeline, TrainOnSeriesProducesUsableModel) {
+  Pipeline pipeline{PipelineConfig{}};
+  const TrainedModel model =
+      pipeline.train_on_series(copy_pattern_series(500), 2);
+  EXPECT_EQ(model.lag, 2u);
+  EXPECT_TRUE(model.graph.has_interaction(0, 1));
+  EXPECT_GT(model.score_threshold, 0.0);
+  EXPECT_LE(model.score_threshold, 1.0);
+  EXPECT_EQ(model.training_scores.size(),
+            copy_pattern_series(500).length() - 2);
+  EXPECT_EQ(model.final_training_state.size(), 2u);
+}
+
+TEST(Pipeline, MonitorFromModelSeparatesScores) {
+  PipelineConfig config;
+  config.percentile_q = 99.0;
+  Pipeline pipeline(config);
+  const TrainedModel model =
+      pipeline.train_on_series(copy_pattern_series(500), 2);
+  detect::EventMonitor monitor =
+      model.make_monitor(1, model.final_training_state);
+  // A faithful copy scores as likely (score ~0.1); a violation (device 1
+  // reporting the opposite of device 0's last state) scores ~0.9.
+  monitor.score_event({0, 1, 1.0});
+  const double faithful = monitor.score_event({1, 1, 2.0});
+  monitor.score_event({0, 1, 3.0});
+  monitor.score_event({1, 1, 4.0});
+  monitor.score_event({0, 0, 5.0});
+  const double violation = monitor.score_event({1, 1, 6.0});
+  EXPECT_LT(faithful, 0.3);
+  EXPECT_GT(violation, 0.6);
+  EXPECT_GT(violation, model.score_threshold - 0.2);
+}
+
+TEST(MiningEvaluation, SymmetricScoring) {
+  graph::InteractionGraph graph(3, 1);
+  graph.set_causes(1, {{0, 1}});  // mined: 0 -> 1
+  graph.set_causes(2, {{1, 1}});  // mined: 1 -> 2
+
+  sim::GroundTruth gt;
+  gt.add({0, 1, sim::InteractionSource::kAutomation,
+          sim::ActivityCategory::kNone});  // TP
+  gt.add({2, 0, sim::InteractionSource::kUserActivity,
+          sim::ActivityCategory::kUseAfterUse});  // FN
+  const MiningEvaluation eval = evaluate_mining(graph, gt);
+  EXPECT_EQ(eval.true_positives, 1u);
+  EXPECT_EQ(eval.false_positives, 1u);  // 1 -> 2 not in GT
+  EXPECT_EQ(eval.false_negatives, 1u);
+  EXPECT_DOUBLE_EQ(eval.precision, 0.5);
+  EXPECT_DOUBLE_EQ(eval.recall, 0.5);
+}
+
+TEST(MiningEvaluation, AsymmetricOracleAcceptsExtraPairs) {
+  graph::InteractionGraph graph(3, 1);
+  graph.set_causes(1, {{0, 1}});
+  graph.set_causes(2, {{1, 1}});
+
+  sim::GroundTruth expected;
+  expected.add({0, 1, sim::InteractionSource::kAutomation,
+                sim::ActivityCategory::kNone});
+  sim::GroundTruth accepted = expected;
+  accepted.add({1, 2, sim::InteractionSource::kUserActivity,
+                sim::ActivityCategory::kUseAfterUse});
+  const MiningEvaluation eval = evaluate_mining(graph, expected, accepted);
+  // 1 -> 2 is oracle-accepted: counts toward precision, not recall.
+  EXPECT_EQ(eval.false_positives, 0u);
+  EXPECT_DOUBLE_EQ(eval.precision, 1.0);
+  EXPECT_DOUBLE_EQ(eval.recall, 1.0);
+}
+
+TEST(RefineGroundTruth, KeepsFrequentAdjacentPairsAndSelfLoops) {
+  sim::GroundTruth oracle;
+  oracle.add({0, 1, sim::InteractionSource::kUserActivity,
+              sim::ActivityCategory::kUseAfterUse});
+  oracle.add({1, 2, sim::InteractionSource::kUserActivity,
+              sim::ActivityCategory::kUseAfterUse});
+  oracle.add({2, 2, sim::InteractionSource::kAutocorrelation,
+              sim::ActivityCategory::kNone});
+
+  // 0 -> 1 appears adjacent 3 times, 1 -> 2 only once.
+  std::vector<BinaryEvent> events;
+  for (int i = 0; i < 3; ++i) {
+    events.push_back({0, 1, i * 10.0});
+    events.push_back({1, 1, i * 10.0 + 1});
+  }
+  events.push_back({2, 1, 100.0});
+
+  const sim::GroundTruth refined =
+      refine_ground_truth(oracle, events, /*window=*/1, /*min_count=*/2);
+  EXPECT_TRUE(refined.contains(0, 1));
+  EXPECT_FALSE(refined.contains(1, 2));
+  // Autocorrelation survives without adjacency support.
+  EXPECT_TRUE(refined.contains(2, 2));
+}
+
+TEST(EvaluateCollective, ScoresCraftedChains) {
+  // Model where device 1 never turns on unless device 0 was on, and a
+  // stream with one injected chain the monitor can track.
+  graph::InteractionGraph graph(2, 1);
+  graph.set_causes(0, {});
+  graph.set_causes(1, {{0, 1}});
+  graph::Cpt& cpt0 = graph.cpt(0);
+  for (int i = 0; i < 50; ++i) {
+    cpt0.observe(cpt0.pack({}), 0);
+    cpt0.observe(cpt0.pack({}), 1);
+  }
+  graph::Cpt& cpt1 = graph.cpt(1);
+  for (int i = 0; i < 100; ++i) {
+    cpt1.observe(cpt1.pack({1}), 1);
+    cpt1.observe(cpt1.pack({0}), 0);
+  }
+  TrainedModel model;
+  model.graph = std::move(graph);
+  model.lag = 1;
+  model.score_threshold = 0.9;
+  model.final_training_state = {0, 0};
+
+  inject::InjectionResult stream;
+  stream.initial_state = {0, 0};
+  // Benign prefix.
+  stream.events.push_back({0, 1, 1.0});
+  stream.chain_id.push_back(-1);
+  stream.events.push_back({0, 0, 2.0});
+  stream.chain_id.push_back(-1);
+  // Chain: head = device 1 on while 0 off (anomalous), follower = device 0
+  // turning on (benign-looking, score 0.5 < 0.9).
+  stream.events.push_back({1, 1, 3.0});
+  stream.chain_id.push_back(0);
+  stream.events.push_back({0, 1, 4.0});
+  stream.chain_id.push_back(0);
+  stream.chain_lengths = {2};
+  stream.chain_count = 1;
+  stream.injected_count = 2;
+
+  const CollectiveEvaluation eval = evaluate_collective(model, stream, 2);
+  EXPECT_EQ(eval.total_chains, 1u);
+  EXPECT_EQ(eval.detected_chains, 1u);
+  EXPECT_EQ(eval.fully_tracked_chains, 1u);
+  EXPECT_DOUBLE_EQ(eval.avg_anomaly_length, 2.0);
+  EXPECT_DOUBLE_EQ(eval.avg_detection_length, 2.0);
+  EXPECT_DOUBLE_EQ(eval.detected_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(eval.tracked_fraction(), 1.0);
+}
+
+TEST(Experiment, BuildsEndToEndOnTinyTrace) {
+  sim::HomeProfile profile = sim::contextact_profile();
+  profile.days = 3.0;
+  ExperimentConfig config;
+  config.seed = 123;
+  const Experiment experiment = build_experiment(std::move(profile), config);
+  EXPECT_EQ(experiment.catalog().size(), 22u);
+  EXPECT_GT(experiment.train_series.event_count(), 100u);
+  EXPECT_GT(experiment.test_series.event_count(), 10u);
+  EXPECT_GT(experiment.model.graph.edge_count(), 10u);
+  EXPECT_GT(experiment.ground_truth.size(), 20u);
+  EXPECT_GT(experiment.model.score_threshold, 0.5);
+  // The runtime stream covers the test period and is at least as long as
+  // the sanitized test series.
+  EXPECT_GE(experiment.test_runtime_events.size(),
+            experiment.test_series.event_count());
+}
+
+TEST(Experiment, FreshTestSeriesIsIndependentButSameHome) {
+  sim::HomeProfile profile = sim::contextact_profile();
+  profile.days = 2.0;
+  ExperimentConfig config;
+  config.seed = 321;
+  const Experiment experiment = build_experiment(std::move(profile), config);
+  const StateSeries fresh = make_fresh_test_series(experiment, 2.0, 999);
+  EXPECT_EQ(fresh.device_count(), experiment.catalog().size());
+  EXPECT_GT(fresh.event_count(), 50u);
+  // Different seed, different trace.
+  const StateSeries fresh2 = make_fresh_test_series(experiment, 2.0, 1000);
+  EXPECT_NE(fresh.event_count(), fresh2.event_count());
+}
+
+}  // namespace
+}  // namespace causaliot::core

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "causaliot/detect/monitor.hpp"
+#include "causaliot/detect/phantom_state_machine.hpp"
+
+namespace causaliot::detect {
+namespace {
+
+using preprocess::BinaryEvent;
+
+TEST(PhantomStateMachine, WindowPrefilledWithInitialState) {
+  PhantomStateMachine machine(3, 2, {1, 0, 1});
+  for (std::uint32_t lag = 0; lag <= 2; ++lag) {
+    EXPECT_EQ(machine.state_at_lag(0, lag), 1);
+    EXPECT_EQ(machine.state_at_lag(1, lag), 0);
+    EXPECT_EQ(machine.state_at_lag(2, lag), 1);
+  }
+}
+
+TEST(PhantomStateMachine, UpdateSlidesWindow) {
+  PhantomStateMachine machine(2, 2, {0, 0});
+  machine.update({0, 1, 1.0});  // S^1 = (1, 0)
+  machine.update({1, 1, 2.0});  // S^2 = (1, 1)
+  EXPECT_EQ(machine.state_at_lag(0, 0), 1);
+  EXPECT_EQ(machine.state_at_lag(1, 0), 1);
+  EXPECT_EQ(machine.state_at_lag(1, 1), 0);  // S^1
+  EXPECT_EQ(machine.state_at_lag(0, 1), 1);
+  EXPECT_EQ(machine.state_at_lag(0, 2), 0);  // S^0
+  EXPECT_EQ(machine.events_seen(), 2u);
+}
+
+TEST(PhantomStateMachine, OldStatesRotateOut) {
+  PhantomStateMachine machine(1, 1, {0});
+  machine.update({0, 1, 1.0});
+  machine.update({0, 0, 2.0});
+  machine.update({0, 1, 3.0});
+  // Window holds only S^2 and S^3 now.
+  EXPECT_EQ(machine.state_at_lag(0, 0), 1);
+  EXPECT_EQ(machine.state_at_lag(0, 1), 0);
+}
+
+TEST(PhantomStateMachine, CauseValuesFollowInputOrder) {
+  PhantomStateMachine machine(3, 2, {0, 0, 0});
+  machine.update({2, 1, 1.0});
+  machine.update({0, 1, 2.0});
+  const std::vector<graph::LaggedNode> causes{{2, 1}, {0, 1}, {2, 2}};
+  EXPECT_EQ(machine.cause_values(causes),
+            (std::vector<std::uint8_t>{1, 0, 0}));
+}
+
+TEST(PhantomStateMachine, CurrentStateCopy) {
+  PhantomStateMachine machine(2, 1, {0, 1});
+  machine.update({0, 1, 1.0});
+  EXPECT_EQ(machine.current_state(), (std::vector<std::uint8_t>{1, 1}));
+}
+
+// A graph where device 1's only cause is device 0 at lag 1, with
+// P(1 turns on | 0 was on) = 1 and P(1 turns on | 0 was off) = 0.
+graph::InteractionGraph copy_graph() {
+  graph::InteractionGraph graph(2, 2);
+  graph.set_causes(0, {});
+  graph.set_causes(1, {{0, 1}});
+  graph::Cpt& cpt0 = graph.cpt(0);
+  for (int i = 0; i < 50; ++i) {
+    cpt0.observe(cpt0.pack({}), 0);
+    cpt0.observe(cpt0.pack({}), 1);
+  }
+  graph::Cpt& cpt1 = graph.cpt(1);
+  for (int i = 0; i < 100; ++i) {
+    cpt1.observe(cpt1.pack({1}), 1);
+    cpt1.observe(cpt1.pack({0}), 0);
+  }
+  return graph;
+}
+
+TEST(EventMonitor, ScoreReflectsCpt) {
+  const graph::InteractionGraph graph = copy_graph();
+  MonitorConfig config;
+  config.score_threshold = 0.5;
+  EventMonitor monitor(graph, config, {0, 0});
+  // Device 0 turns on: marginal is 50/50 -> score 0.5.
+  EXPECT_NEAR(monitor.score_event({0, 1, 1.0}), 0.5, 1e-9);
+  // Device 1 turns on right after 0 was on: fully expected -> score 0.
+  EXPECT_NEAR(monitor.score_event({1, 1, 2.0}), 0.0, 1e-9);
+}
+
+TEST(EventMonitor, AnomalousEventScoresOne) {
+  const graph::InteractionGraph graph = copy_graph();
+  MonitorConfig config;
+  EventMonitor monitor(graph, config, {0, 0});
+  // Device 1 turns on while device 0 was off: never observed.
+  EXPECT_NEAR(monitor.score_event({1, 1, 1.0}), 1.0, 1e-9);
+}
+
+TEST(EventMonitor, ContextualAlarmAtKmaxOne) {
+  const graph::InteractionGraph graph = copy_graph();
+  MonitorConfig config;
+  config.score_threshold = 0.9;
+  config.k_max = 1;
+  EventMonitor monitor(graph, config, {0, 0});
+  EXPECT_FALSE(monitor.process({0, 1, 1.0}).has_value());  // score 0.5
+  const auto alarm = monitor.process({1, 0, 2.0});  // 1 stays off given on
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->chain_length(), 1u);
+  EXPECT_EQ(alarm->contextual().event.device, 1u);
+  EXPECT_NEAR(alarm->contextual().score, 1.0, 1e-9);
+  EXPECT_EQ(alarm->contextual().causes.size(), 1u);
+  EXPECT_EQ(alarm->contextual().cause_values[0], 1u);
+}
+
+TEST(EventMonitor, CollectiveTrackingUntilKmax) {
+  const graph::InteractionGraph graph = copy_graph();
+  MonitorConfig config;
+  config.score_threshold = 0.9;
+  config.k_max = 2;
+  EventMonitor monitor(graph, config, {0, 0});
+  // Head: device 1 turns on in a context where it never does.
+  EXPECT_FALSE(monitor.process({1, 1, 1.0}).has_value());  // W = [head]
+  // Follower: device 0 turning on is unsurprising (score 0.5 < c).
+  const auto alarm = monitor.process({0, 1, 2.0});
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->chain_length(), 2u);
+  EXPECT_FALSE(alarm->ended_by_abrupt_event);
+  EXPECT_EQ(alarm->entries[0].event.device, 1u);
+  EXPECT_EQ(alarm->entries[1].event.device, 0u);
+}
+
+TEST(EventMonitor, AbruptEventFlushesWindow) {
+  const graph::InteractionGraph graph = copy_graph();
+  MonitorConfig config;
+  config.score_threshold = 0.9;
+  config.k_max = 3;
+  EventMonitor monitor(graph, config, {0, 0});
+  EXPECT_FALSE(monitor.process({1, 1, 1.0}).has_value());  // head (score 1)
+  EXPECT_FALSE(monitor.process({0, 1, 2.0}).has_value());  // follower
+  // Another fully anomalous event interrupts tracking: device 1 turns off
+  // while device 0 was on (never observed).
+  const auto alarm = monitor.process({1, 0, 3.0});
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_TRUE(alarm->ended_by_abrupt_event);
+  EXPECT_EQ(alarm->chain_length(), 2u);  // the abrupt event is not in W
+}
+
+TEST(EventMonitor, FinishFlushesPendingWindow) {
+  const graph::InteractionGraph graph = copy_graph();
+  MonitorConfig config;
+  config.score_threshold = 0.9;
+  config.k_max = 5;
+  EventMonitor monitor(graph, config, {0, 0});
+  EXPECT_FALSE(monitor.process({1, 1, 1.0}).has_value());
+  const auto tail = monitor.finish();
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->chain_length(), 1u);
+  EXPECT_FALSE(monitor.finish().has_value());  // only flushes once
+}
+
+TEST(EventMonitor, NormalStreamRaisesNoAlarms) {
+  const graph::InteractionGraph graph = copy_graph();
+  MonitorConfig config;
+  config.score_threshold = 0.9;
+  config.k_max = 3;
+  EventMonitor monitor(graph, config, {0, 0});
+  // The generating pattern: 0 flips, 1 copies.
+  std::uint8_t value = 1;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(monitor.process({0, value, i * 2.0}).has_value());
+    EXPECT_FALSE(monitor.process({1, value, i * 2.0 + 1}).has_value());
+    value ^= 1;
+  }
+  EXPECT_FALSE(monitor.finish().has_value());
+}
+
+TEST(EventMonitor, LaplaceSoftensUnseenContexts) {
+  const graph::InteractionGraph graph = copy_graph();
+  MonitorConfig config;
+  config.laplace_alpha = 1.0;
+  EventMonitor monitor(graph, config, {0, 0});
+  monitor.score_event({0, 1, 0.5});
+  // Seen context (0 on): (100 + 1) / (100 + 2).
+  EXPECT_NEAR(monitor.score_event({1, 1, 1.0}), 1.0 - 101.0 / 102.0, 1e-9);
+}
+
+TEST(ThresholdCalculator, ScoresAndPercentile) {
+  const graph::InteractionGraph graph = copy_graph();
+  // Replay the generating pattern as a series.
+  preprocess::StateSeries series(2, {0, 0});
+  std::uint8_t value = 1;
+  for (int i = 0; i < 20; ++i) {
+    series.apply({0, value, i * 2.0});
+    series.apply({1, value, i * 2.0 + 1});
+    value ^= 1;
+  }
+  const std::vector<double> scores =
+      ThresholdCalculator::training_scores(graph, series);
+  ASSERT_EQ(scores.size(), series.length() - 2);
+  // Device-1 events are perfectly predicted (score 0); device-0 events
+  // score 0.5 (marginal).
+  for (double score : scores) {
+    EXPECT_TRUE(std::abs(score) < 1e-9 || std::abs(score - 0.5) < 1e-9);
+  }
+  const double threshold =
+      ThresholdCalculator::threshold_at_percentile(scores, 99.0);
+  EXPECT_NEAR(threshold, 0.5, 1e-9);
+  EXPECT_NEAR(ThresholdCalculator::threshold_at_percentile(scores, 0.0),
+              0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace causaliot::detect

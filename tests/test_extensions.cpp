@@ -1,0 +1,193 @@
+// Tests for the extension features beyond the paper's core algorithms:
+// PC-stable mining, online CPT adaptation (exponential forgetting), and
+// human-readable anomaly explanations.
+#include <gtest/gtest.h>
+
+#include "causaliot/detect/explanation.hpp"
+#include "causaliot/mining/temporal_pc.hpp"
+#include "causaliot/util/rng.hpp"
+
+namespace causaliot {
+namespace {
+
+using preprocess::BinaryEvent;
+using preprocess::StateSeries;
+
+StateSeries noisy_copy_series(std::size_t cycles, double flip,
+                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  StateSeries series(3, {0, 0, 0});
+  double t = 0.0;
+  for (std::size_t i = 0; i < cycles; ++i) {
+    const auto driver = static_cast<std::uint8_t>(rng.uniform(2));
+    series.apply({0, driver, t += 1});
+    series.apply({1,
+                  rng.bernoulli(flip)
+                      ? static_cast<std::uint8_t>(1 - driver)
+                      : driver,
+                  t += 1});
+    series.apply({2, static_cast<std::uint8_t>(rng.uniform(2)), t += 1});
+  }
+  return series;
+}
+
+TEST(PcStable, FindsSameCoreStructure) {
+  const StateSeries series = noisy_copy_series(1500, 0.1, 1);
+  mining::MinerConfig ordered;
+  ordered.max_lag = 2;
+  mining::MinerConfig stable = ordered;
+  stable.stable = true;
+  const graph::InteractionGraph a =
+      mining::InteractionMiner(ordered).mine(series);
+  const graph::InteractionGraph b =
+      mining::InteractionMiner(stable).mine(series);
+  EXPECT_TRUE(a.has_interaction(0, 1));
+  EXPECT_TRUE(b.has_interaction(0, 1));
+  // Device 2 is independent noise in both variants.
+  EXPECT_FALSE(a.has_interaction(0, 2));
+  EXPECT_FALSE(b.has_interaction(0, 2));
+}
+
+TEST(PcStable, RemovalsAreLevelConsistent) {
+  const StateSeries series = noisy_copy_series(800, 0.1, 2);
+  mining::MinerConfig config;
+  config.max_lag = 2;
+  config.stable = true;
+  mining::MiningDiagnostics diagnostics;
+  mining::InteractionMiner(config).mine(series, &diagnostics);
+  EXPECT_GT(diagnostics.tests_run, 0u);
+  // Separating sets at level l have exactly size l.
+  for (const mining::RemovalRecord& record : diagnostics.removals) {
+    EXPECT_EQ(record.separating_set.size(), record.condition_size);
+  }
+}
+
+TEST(CptScale, ShrinksSupportKeepsDistribution) {
+  graph::Cpt cpt({{0, 1}});
+  const util::BitKey key = cpt.pack({1});
+  for (int i = 0; i < 80; ++i) cpt.observe(key, 1);
+  for (int i = 0; i < 20; ++i) cpt.observe(key, 0);
+  cpt.scale(0.5);
+  EXPECT_DOUBLE_EQ(cpt.support(key), 50.0);
+  EXPECT_DOUBLE_EQ(cpt.probability(key, 1), 0.8);  // ratios preserved
+}
+
+TEST(UpdateCpts, AdaptsToBehaviouralDrift) {
+  // Train on copy behaviour, then the user's habit inverts: device 1
+  // now mirrors the *opposite* of device 0. Online updates with
+  // forgetting shift the CPT toward the new behaviour.
+  const StateSeries original = noisy_copy_series(800, 0.05, 3);
+  mining::MinerConfig config;
+  config.max_lag = 2;
+  const mining::InteractionMiner miner(config);
+  graph::InteractionGraph graph = miner.mine(original);
+  ASSERT_TRUE(graph.has_interaction(0, 1));
+
+  // Inverted behaviour series.
+  const StateSeries inverted = noisy_copy_series(800, 0.95, 4);
+  for (int round = 0; round < 6; ++round) {
+    miner.update_cpts(inverted, graph, /*forget_factor=*/0.3);
+  }
+
+  // Under the adapted CPT, device 1 copying device 0 should now be the
+  // UNLIKELY outcome. Find an assignment where the lag-1 driver bit is 1.
+  const graph::Cpt& cpt = graph.cpt(1);
+  bool checked = false;
+  for (const auto& [raw, counts] : cpt.counts()) {
+    if (counts[0] + counts[1] < 50) continue;
+    const util::BitKey key = util::BitKey::from_raw(raw);
+    // Locate the driver (device 0) among the causes.
+    for (std::size_t c = 0; c < cpt.causes().size(); ++c) {
+      if (cpt.causes()[c].device == 0 && cpt.causes()[c].lag == 1) {
+        const std::uint8_t driver = key.get(c) ? 1 : 0;
+        const double p_copy = cpt.probability(key, driver);
+        EXPECT_LT(p_copy, 0.5);
+        checked = true;
+      }
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+telemetry::DeviceCatalog explain_catalog() {
+  telemetry::DeviceCatalog catalog;
+  EXPECT_TRUE(catalog
+                  .add({"pe_bedroom", "bedroom",
+                        telemetry::AttributeType::kPresenceSensor,
+                        telemetry::ValueType::kBinary})
+                  .ok());
+  EXPECT_TRUE(catalog
+                  .add({"lamp", "bedroom", telemetry::AttributeType::kSwitch,
+                        telemetry::ValueType::kBinary})
+                  .ok());
+  return catalog;
+}
+
+TEST(Explanation, StateLabelsFollowAttributeClass) {
+  const telemetry::DeviceCatalog catalog = explain_catalog();
+  EXPECT_EQ(detect::state_label(catalog.info(0), 1), "motion");
+  EXPECT_EQ(detect::state_label(catalog.info(0), 0), "clear");
+  EXPECT_EQ(detect::state_label(catalog.info(1), 1), "ON");
+  telemetry::DeviceInfo bright{"b", "x",
+                               telemetry::AttributeType::kBrightnessSensor,
+                               telemetry::ValueType::kAmbientNumeric};
+  EXPECT_EQ(detect::state_label(bright, 1), "High");
+  telemetry::DeviceInfo meter{"m", "x",
+                              telemetry::AttributeType::kWaterMeter,
+                              telemetry::ValueType::kResponsiveNumeric};
+  EXPECT_EQ(detect::state_label(meter, 0), "idle");
+}
+
+detect::AnomalyReport ghost_lamp_report() {
+  detect::AnomalyEntry head;
+  head.event = {1, 1, 42.0};
+  head.stream_index = 7;
+  head.score = 0.998;
+  head.causes = {{0, 1}};
+  head.cause_values = {0};  // no presence
+  detect::AnomalyReport report;
+  report.entries.push_back(head);
+  return report;
+}
+
+TEST(Explanation, EntryMentionsEventAndContext) {
+  const telemetry::DeviceCatalog catalog = explain_catalog();
+  const std::string text =
+      detect::describe_entry(ghost_lamp_report().contextual(), catalog);
+  EXPECT_NE(text.find("lamp -> ON"), std::string::npos);
+  EXPECT_NE(text.find("0.998"), std::string::npos);
+  EXPECT_NE(text.find("pe_bedroom(t-1)=clear"), std::string::npos);
+}
+
+TEST(Explanation, ReportPointsAtMismatchedCauses) {
+  const telemetry::DeviceCatalog catalog = explain_catalog();
+  const std::string text =
+      detect::describe_report(ghost_lamp_report(), catalog);
+  EXPECT_NE(text.find("contextual anomaly"), std::string::npos);
+  EXPECT_NE(text.find("context mismatch with: pe_bedroom"),
+            std::string::npos);
+}
+
+TEST(Explanation, ChainIsRendered) {
+  const telemetry::DeviceCatalog catalog = explain_catalog();
+  detect::AnomalyReport report = ghost_lamp_report();
+  detect::AnomalyEntry follower;
+  follower.event = {0, 1, 43.0};
+  follower.score = 0.02;
+  report.entries.push_back(follower);
+  const std::string text = detect::describe_report(report, catalog);
+  EXPECT_NE(text.find("triggered interaction chain (1 events)"),
+            std::string::npos);
+  EXPECT_NE(text.find("pe_bedroom -> motion"), std::string::npos);
+}
+
+TEST(Explanation, AgreementHintWhenCausesMatch) {
+  const telemetry::DeviceCatalog catalog = explain_catalog();
+  detect::AnomalyReport report = ghost_lamp_report();
+  report.entries[0].cause_values = {1};  // presence agrees with lamp-on
+  const std::string text = detect::describe_report(report, catalog);
+  EXPECT_NE(text.find("transition itself is rare"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace causaliot

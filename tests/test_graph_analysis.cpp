@@ -1,0 +1,81 @@
+#include "causaliot/graph/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace causaliot::graph {
+namespace {
+
+InteractionGraph base_graph() {
+  InteractionGraph graph(4, 2);
+  graph.set_causes(1, {{0, 1}, {1, 1}});
+  graph.set_causes(2, {{1, 2}});
+  graph.set_causes(3, {});
+  return graph;
+}
+
+TEST(Summarize, CountsStructure) {
+  InteractionGraph graph = base_graph();
+  graph.cpt(1).observe(graph.cpt(1).pack({0, 0}), 1);
+  graph.cpt(1).observe(graph.cpt(1).pack({1, 0}), 0);
+  const GraphSummary summary = summarize(graph);
+  EXPECT_EQ(summary.device_count, 4u);
+  EXPECT_EQ(summary.edge_count, 3u);
+  EXPECT_EQ(summary.interaction_count, 3u);
+  EXPECT_EQ(summary.self_loop_count, 1u);  // 1 -> 1
+  EXPECT_EQ(summary.max_in_degree, 2u);
+  EXPECT_DOUBLE_EQ(summary.mean_in_degree, 3.0 / 4.0);
+  EXPECT_EQ(summary.orphan_count, 2u);  // devices 0 and 3
+  EXPECT_EQ(summary.cpt_assignment_count, 2u);
+}
+
+TEST(Summarize, EmptyGraph) {
+  const GraphSummary summary = summarize(InteractionGraph(3, 1));
+  EXPECT_EQ(summary.edge_count, 0u);
+  EXPECT_EQ(summary.orphan_count, 3u);
+  EXPECT_EQ(summary.max_in_degree, 0u);
+}
+
+TEST(Diff, IdenticalGraphs) {
+  const GraphDiff result = diff(base_graph(), base_graph());
+  EXPECT_TRUE(result.identical());
+  EXPECT_DOUBLE_EQ(result.edge_jaccard, 1.0);
+  EXPECT_EQ(describe_diff(result), "no structural drift");
+}
+
+TEST(Diff, DetectsAddedAndRemovedEdges) {
+  const InteractionGraph before = base_graph();
+  InteractionGraph after(4, 2);
+  after.set_causes(1, {{0, 1}});           // dropped the self loop
+  after.set_causes(2, {{1, 2}, {3, 1}});   // added 3 -> 2
+  after.set_causes(3, {});
+  const GraphDiff result = diff(before, after);
+  ASSERT_EQ(result.added.size(), 1u);
+  EXPECT_EQ(result.added[0].cause, (LaggedNode{3, 1}));
+  EXPECT_EQ(result.added[0].child, 2u);
+  ASSERT_EQ(result.removed.size(), 1u);
+  EXPECT_EQ(result.removed[0].cause, (LaggedNode{1, 1}));
+  EXPECT_EQ(result.removed[0].child, 1u);
+  // shared = 2 edges, union = 4.
+  EXPECT_DOUBLE_EQ(result.edge_jaccard, 0.5);
+  EXPECT_EQ(describe_diff(result), "drift: +1 edges, -1 edges, jaccard 0.50");
+}
+
+TEST(Diff, LagMattersInEdgeIdentity) {
+  const InteractionGraph before = base_graph();
+  InteractionGraph after(4, 2);
+  after.set_causes(1, {{0, 2}, {1, 1}});  // 0 -> 1 moved from lag 1 to 2
+  after.set_causes(2, {{1, 2}});
+  const GraphDiff result = diff(before, after);
+  EXPECT_EQ(result.added.size(), 1u);
+  EXPECT_EQ(result.removed.size(), 1u);
+}
+
+TEST(Diff, EmptyGraphsAreIdentical) {
+  const GraphDiff result =
+      diff(InteractionGraph(2, 1), InteractionGraph(2, 1));
+  EXPECT_TRUE(result.identical());
+  EXPECT_DOUBLE_EQ(result.edge_jaccard, 1.0);
+}
+
+}  // namespace
+}  // namespace causaliot::graph

@@ -1,0 +1,254 @@
+#include "causaliot/inject/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "causaliot/core/experiment.hpp"
+#include "causaliot/sim/simulator.hpp"
+
+namespace causaliot::inject {
+namespace {
+
+// A fixture that builds one small ContextAct experiment shared by all
+// injection tests (simulation + preprocessing is the expensive part).
+class InjectorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::HomeProfile profile = sim::contextact_profile();
+    profile.days = 6.0;
+    core::ExperimentConfig config;
+    config.seed = 77;
+    experiment_ = new core::Experiment(
+        core::build_experiment(std::move(profile), config));
+    injector_ = new AnomalyInjector(experiment_->catalog(),
+                                    experiment_->profile,
+                                    experiment_->sim.ground_truth);
+  }
+  static void TearDownTestSuite() {
+    delete injector_;
+    delete experiment_;
+    injector_ = nullptr;
+    experiment_ = nullptr;
+  }
+
+  const core::Experiment& experiment() { return *experiment_; }
+  const AnomalyInjector& injector() { return *injector_; }
+  std::span<const preprocess::BinaryEvent> base() {
+    return experiment_->test_series.events();
+  }
+  std::vector<std::uint8_t> initial() {
+    return experiment_->test_series.snapshot_state(0);
+  }
+
+  static core::Experiment* experiment_;
+  static AnomalyInjector* injector_;
+};
+
+core::Experiment* InjectorTest::experiment_ = nullptr;
+AnomalyInjector* InjectorTest::injector_ = nullptr;
+
+TEST_F(InjectorTest, ContextualPreservesBaseEvents) {
+  ContextualConfig config;
+  config.anomaly_case = ContextualCase::kRemoteControl;
+  config.injection_count = 50;
+  const InjectionResult result =
+      injector().inject_contextual(base(), initial(), config);
+  EXPECT_EQ(result.events.size(), result.chain_id.size());
+  // Removing labelled events recovers the base stream exactly.
+  std::vector<preprocess::BinaryEvent> benign;
+  for (std::size_t i = 0; i < result.events.size(); ++i) {
+    if (!result.is_injected(i)) benign.push_back(result.events[i]);
+  }
+  // Sensor resets (none for remote control) would add events; here the
+  // benign remainder is the base stream.
+  ASSERT_EQ(benign.size(), base().size());
+  for (std::size_t i = 0; i < benign.size(); ++i) {
+    EXPECT_EQ(benign[i], base()[i]);
+  }
+}
+
+TEST_F(InjectorTest, ContextualInjectionCountsAndLabels) {
+  ContextualConfig config;
+  config.anomaly_case = ContextualCase::kRemoteControl;
+  config.injection_count = 100;
+  const InjectionResult result =
+      injector().inject_contextual(base(), initial(), config);
+  EXPECT_EQ(result.injected_count, 100u);
+  EXPECT_EQ(result.chain_count, 100u);
+  EXPECT_EQ(result.chain_lengths.size(), 100u);
+  std::size_t labelled = 0;
+  for (std::size_t i = 0; i < result.events.size(); ++i) {
+    labelled += result.is_injected(i);
+  }
+  EXPECT_EQ(labelled, 100u);
+}
+
+TEST_F(InjectorTest, RemoteControlTargetsSwitchesAndDimmers) {
+  ContextualConfig config;
+  config.anomaly_case = ContextualCase::kRemoteControl;
+  config.injection_count = 200;
+  const InjectionResult result =
+      injector().inject_contextual(base(), initial(), config);
+  for (std::size_t i = 0; i < result.events.size(); ++i) {
+    if (!result.is_injected(i)) continue;
+    const auto type =
+        experiment().catalog().info(result.events[i].device).attribute;
+    EXPECT_TRUE(type == telemetry::AttributeType::kSwitch ||
+                type == telemetry::AttributeType::kDimmer);
+  }
+}
+
+TEST_F(InjectorTest, BurglarInjectsOnlyOnEvents) {
+  ContextualConfig config;
+  config.anomaly_case = ContextualCase::kBurglarIntrusion;
+  config.injection_count = 200;
+  const InjectionResult result =
+      injector().inject_contextual(base(), initial(), config);
+  EXPECT_GT(result.injected_count, 0u);
+  for (std::size_t i = 0; i < result.events.size(); ++i) {
+    if (!result.is_injected(i)) continue;
+    EXPECT_EQ(result.events[i].state, 1);
+    const auto type =
+        experiment().catalog().info(result.events[i].device).attribute;
+    EXPECT_TRUE(type == telemetry::AttributeType::kPresenceSensor ||
+                type == telemetry::AttributeType::kContactSensor);
+  }
+}
+
+TEST_F(InjectorTest, SensorGhostsAreFollowedByBenignResets) {
+  ContextualConfig config;
+  config.anomaly_case = ContextualCase::kBurglarIntrusion;
+  config.injection_count = 50;
+  const InjectionResult result =
+      injector().inject_contextual(base(), initial(), config);
+  // Resets add benign events, so the stream is longer than base+injected.
+  EXPECT_GT(result.events.size(), base().size() + result.injected_count);
+}
+
+TEST_F(InjectorTest, InjectedEventsAreStateTransitions) {
+  for (ContextualCase anomaly_case :
+       {ContextualCase::kSensorFault, ContextualCase::kBurglarIntrusion,
+        ContextualCase::kRemoteControl}) {
+    ContextualConfig config;
+    config.anomaly_case = anomaly_case;
+    config.injection_count = 100;
+    const InjectionResult result =
+        injector().inject_contextual(base(), initial(), config);
+    std::vector<std::uint8_t> state = result.initial_state;
+    for (std::size_t i = 0; i < result.events.size(); ++i) {
+      if (result.is_injected(i)) {
+        EXPECT_NE(state[result.events[i].device], result.events[i].state)
+            << "case " << to_string(anomaly_case) << " at " << i;
+      }
+      state[result.events[i].device] = result.events[i].state;
+    }
+  }
+}
+
+TEST_F(InjectorTest, MaliciousRulesRespectCapAndActuators) {
+  ContextualConfig config;
+  config.anomaly_case = ContextualCase::kMaliciousRule;
+  config.malicious_event_cap = 40;
+  const InjectionResult result =
+      injector().inject_contextual(base(), initial(), config);
+  EXPECT_LE(result.injected_count, 40u);
+  EXPECT_GT(result.injected_count, 0u);
+  for (std::size_t i = 0; i < result.events.size(); ++i) {
+    if (!result.is_injected(i)) continue;
+    EXPECT_TRUE(telemetry::is_actuator(
+        experiment().catalog().info(result.events[i].device).attribute));
+  }
+}
+
+TEST_F(InjectorTest, DeterministicGivenSeed) {
+  ContextualConfig config;
+  config.anomaly_case = ContextualCase::kSensorFault;
+  config.injection_count = 60;
+  config.seed = 5;
+  const InjectionResult a =
+      injector().inject_contextual(base(), initial(), config);
+  const InjectionResult b =
+      injector().inject_contextual(base(), initial(), config);
+  EXPECT_EQ(a.events.size(), b.events.size());
+  EXPECT_EQ(a.chain_id, b.chain_id);
+}
+
+TEST_F(InjectorTest, CollectiveChainLengthsBounded) {
+  for (std::size_t k_max : {2, 3, 4}) {
+    CollectiveConfig config;
+    config.anomaly_case = CollectiveCase::kBurglarWandering;
+    config.chain_count = 100;
+    config.k_max = k_max;
+    const InjectionResult result =
+        injector().inject_collective(base(), initial(), config);
+    EXPECT_GT(result.chain_count, 0u);
+    for (std::size_t length : result.chain_lengths) {
+      EXPECT_GE(length, 2u);
+      EXPECT_LE(length, k_max);
+    }
+  }
+}
+
+TEST_F(InjectorTest, CollectiveChainsAreContiguousAndLabelled) {
+  CollectiveConfig config;
+  config.anomaly_case = CollectiveCase::kActuatorManipulation;
+  config.chain_count = 50;
+  config.k_max = 3;
+  const InjectionResult result =
+      injector().inject_collective(base(), initial(), config);
+  // Events of one chain appear consecutively in the stream.
+  std::int32_t current = -1;
+  std::map<std::int32_t, std::size_t> seen;
+  for (std::size_t i = 0; i < result.events.size(); ++i) {
+    const std::int32_t id = result.chain_id[i];
+    if (id >= 0) {
+      if (id != current) {
+        EXPECT_EQ(seen.count(id), 0u) << "chain split apart";
+        current = id;
+      }
+      ++seen[id];
+    } else {
+      current = -1;
+    }
+  }
+  for (const auto& [id, count] : seen) {
+    EXPECT_EQ(count, result.chain_lengths[static_cast<std::size_t>(id)]);
+  }
+}
+
+TEST_F(InjectorTest, WanderingChainsFollowGroundTruth) {
+  CollectiveConfig config;
+  config.anomaly_case = CollectiveCase::kBurglarWandering;
+  config.chain_count = 60;
+  config.k_max = 4;
+  const InjectionResult result =
+      injector().inject_collective(base(), initial(), config);
+  // Followers are presence/contact events or off-resets of the head.
+  for (std::size_t i = 0; i + 1 < result.events.size(); ++i) {
+    if (result.chain_id[i] < 0 || result.chain_id[i + 1] < 0) continue;
+    if (result.chain_id[i] != result.chain_id[i + 1]) continue;
+    const auto& next = result.events[i + 1];
+    const auto type = experiment().catalog().info(next.device).attribute;
+    EXPECT_TRUE(type == telemetry::AttributeType::kPresenceSensor ||
+                type == telemetry::AttributeType::kContactSensor);
+  }
+}
+
+TEST_F(InjectorTest, ChainedAutomationFollowsRulesOrPhysical) {
+  CollectiveConfig config;
+  config.anomaly_case = CollectiveCase::kChainedAutomation;
+  config.chain_count = 60;
+  config.k_max = 4;
+  const InjectionResult result =
+      injector().inject_collective(base(), initial(), config);
+  EXPECT_GT(result.chain_count, 0u);
+  // At least some chains should exceed the trivial length 2 thanks to the
+  // attacker's look-ahead head selection.
+  std::size_t longer = 0;
+  for (std::size_t length : result.chain_lengths) longer += length >= 3;
+  EXPECT_GT(longer, 0u);
+}
+
+}  // namespace
+}  // namespace causaliot::inject

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "causaliot/preprocess/discretize.hpp"
+#include "causaliot/preprocess/preprocessor.hpp"
+#include "causaliot/util/rng.hpp"
+
+namespace causaliot::preprocess {
+namespace {
+
+using telemetry::AttributeType;
+using telemetry::DeviceCatalog;
+using telemetry::EventLog;
+using telemetry::ValueType;
+
+DeviceCatalog mixed_catalog() {
+  DeviceCatalog catalog;
+  EXPECT_TRUE(catalog
+                  .add({"switch", "a", AttributeType::kSwitch,
+                        ValueType::kBinary})
+                  .ok());
+  EXPECT_TRUE(catalog
+                  .add({"meter", "a", AttributeType::kWaterMeter,
+                        ValueType::kResponsiveNumeric})
+                  .ok());
+  EXPECT_TRUE(catalog
+                  .add({"bright", "a", AttributeType::kBrightnessSensor,
+                        ValueType::kAmbientNumeric})
+                  .ok());
+  return catalog;
+}
+
+EventLog bimodal_log() {
+  EventLog log(mixed_catalog());
+  util::Rng rng(1);
+  double t = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    t += 10.0;
+    log.append({t, 2, rng.normal(i % 2 == 0 ? 10.0 : 150.0, 4.0)});
+    if (i % 5 == 0) log.append({t + 1, 0, static_cast<double>(i % 2)});
+    if (i % 7 == 0) log.append({t + 2, 1, i % 2 == 0 ? 5.0 : 0.0});
+  }
+  return log;
+}
+
+TEST(DiscretizationModel, FitLearnsJenksCutForAmbient) {
+  const DiscretizationModel model = DiscretizationModel::fit(bimodal_log());
+  const auto& bright = model.device_model(2);
+  ASSERT_TRUE(bright.jenks_threshold.has_value());
+  EXPECT_GT(*bright.jenks_threshold, 20.0);
+  EXPECT_LT(*bright.jenks_threshold, 140.0);
+}
+
+TEST(DiscretizationModel, GlitchesDoNotCorruptJenksCut) {
+  // Extreme outliers must be excluded before the natural-breaks split,
+  // otherwise the far cluster absorbs one class (§V-A order: sanitation
+  // before type unification).
+  EventLog log = bimodal_log();
+  for (int i = 0; i < 5; ++i) {
+    log.append({10000.0 + i, 2, 5000.0});
+  }
+  const DiscretizationModel model = DiscretizationModel::fit(log);
+  const auto& bright = model.device_model(2);
+  ASSERT_TRUE(bright.jenks_threshold.has_value());
+  EXPECT_LT(*bright.jenks_threshold, 140.0);
+}
+
+TEST(DiscretizationModel, DiscretizeByType) {
+  const DiscretizationModel model = DiscretizationModel::fit(bimodal_log());
+  EXPECT_EQ(model.discretize(0, 1.0), 1);
+  EXPECT_EQ(model.discretize(0, 0.0), 0);
+  EXPECT_EQ(model.discretize(1, 3.5), 1);  // responsive: > 0 is Working
+  EXPECT_EQ(model.discretize(1, 0.0), 0);
+  EXPECT_EQ(model.discretize(2, 150.0), 1);  // above the Jenks cut
+  EXPECT_EQ(model.discretize(2, 10.0), 0);
+}
+
+TEST(DiscretizationModel, HysteresisHoldsStateNearCut) {
+  const DiscretizationModel model = DiscretizationModel::fit(bimodal_log());
+  const auto& dm = model.device_model(2);
+  const double cut = *dm.jenks_threshold;
+  ASSERT_GT(dm.hysteresis_margin, 0.0);
+  // Inside the dead band: without hysteresis this flips to High, with
+  // hysteresis from Low it must stay Low.
+  const double nudge = cut + 0.5 * dm.hysteresis_margin;
+  EXPECT_EQ(model.discretize(2, nudge), 1);
+  EXPECT_EQ(model.discretize(2, nudge, /*previous_state=*/0), 0);
+  // From High, the same value also stays High.
+  EXPECT_EQ(model.discretize(2, nudge, /*previous_state=*/1), 1);
+  // A decisive value flips regardless of the previous state.
+  EXPECT_EQ(model.discretize(2, 150.0, 0), 1);
+  EXPECT_EQ(model.discretize(2, 10.0, 1), 0);
+  // The band never bridges the class separation.
+  EXPECT_LT(dm.hysteresis_margin, 35.0);
+}
+
+TEST(DiscretizationModel, HysteresisIgnoredForBinary) {
+  const DiscretizationModel model = DiscretizationModel::fit(bimodal_log());
+  EXPECT_EQ(model.discretize(0, 1.0, 0), 1);
+  EXPECT_EQ(model.discretize(0, 0.0, 1), 0);
+}
+
+TEST(DiscretizationModel, ExtremeDetectionOnlyForAmbient) {
+  const DiscretizationModel model = DiscretizationModel::fit(bimodal_log());
+  EXPECT_TRUE(model.is_extreme(2, 1e6, 3.0));
+  EXPECT_FALSE(model.is_extreme(2, 80.0, 3.0));
+  EXPECT_FALSE(model.is_extreme(0, 1e6, 3.0));  // binary never extreme
+  EXPECT_FALSE(model.is_extreme(1, 1e6, 3.0));  // responsive never extreme
+}
+
+TEST(Preprocessor, FiltersDuplicateStates) {
+  EventLog log(mixed_catalog());
+  log.append({1.0, 0, 1.0});
+  log.append({2.0, 0, 1.0});  // duplicate ON report
+  log.append({3.0, 0, 0.0});
+  log.append({4.0, 0, 0.0});  // duplicate OFF report
+  const Preprocessor preprocessor;
+  const PreprocessResult result = preprocessor.run(log);
+  EXPECT_EQ(result.sanitized_events.size(), 2u);
+  EXPECT_EQ(result.dropped_duplicates, 2u);
+}
+
+TEST(Preprocessor, DuplicateFilterCanBeDisabled) {
+  EventLog log(mixed_catalog());
+  log.append({1.0, 0, 1.0});
+  log.append({2.0, 0, 1.0});
+  PreprocessorConfig config;
+  config.filter_duplicate_states = false;
+  const PreprocessResult result = Preprocessor(config).run(log);
+  EXPECT_EQ(result.sanitized_events.size(), 2u);
+}
+
+TEST(Preprocessor, FiltersExtremeAmbientReadings) {
+  EventLog log = bimodal_log();
+  log.append({99999.0, 2, 50000.0});
+  const PreprocessResult result = Preprocessor().run(log);
+  EXPECT_GE(result.dropped_extremes, 1u);
+  for (const BinaryEvent& event : result.sanitized_events) {
+    EXPECT_LT(event.timestamp, 99999.0);
+  }
+}
+
+TEST(Preprocessor, LagSelection) {
+  PreprocessorConfig config;
+  config.max_feedback_seconds = 60.0;
+  config.min_lag = 1;
+  config.max_lag = 4;
+  const Preprocessor preprocessor(config);
+  EXPECT_EQ(preprocessor.select_lag(30.0), 2u);  // 60/30
+  EXPECT_EQ(preprocessor.select_lag(20.0), 3u);
+  EXPECT_EQ(preprocessor.select_lag(200.0), 1u);  // rounds to 0 -> clamp
+  EXPECT_EQ(preprocessor.select_lag(1.0), 4u);    // clamped at max
+  EXPECT_EQ(preprocessor.select_lag(0.0), 1u);    // unknown -> min
+}
+
+TEST(Preprocessor, RunBuildsConsistentSeries) {
+  const PreprocessResult result = Preprocessor().run(bimodal_log());
+  EXPECT_EQ(result.series.event_count(), result.sanitized_events.size());
+  EXPECT_EQ(result.series.device_count(), 3u);
+  // Every sanitized event is a real transition in the series.
+  for (std::size_t j = 1; j < result.series.length(); ++j) {
+    const BinaryEvent& event = result.series.event_at(j);
+    EXPECT_NE(event.state, result.series.state(event.device, j - 1));
+  }
+}
+
+TEST(Preprocessor, RuntimeDiscretizationKeepsDuplicates) {
+  EventLog log(mixed_catalog());
+  log.append({1.0, 0, 1.0});
+  log.append({2.0, 0, 1.0});
+  log.append({3.0, 2, 150.0});
+  const Preprocessor preprocessor;
+  const DiscretizationModel model = DiscretizationModel::fit(bimodal_log());
+  const auto runtime = preprocessor.discretize_runtime(log, model, 0.0);
+  EXPECT_EQ(runtime.size(), 3u);  // duplicate retained
+  EXPECT_EQ(runtime[0].state, runtime[1].state);
+}
+
+TEST(Preprocessor, RuntimeDiscretizationHonorsFromTimestamp) {
+  EventLog log(mixed_catalog());
+  log.append({1.0, 0, 1.0});
+  log.append({5.0, 0, 0.0});
+  const DiscretizationModel model = DiscretizationModel::fit(log);
+  const auto runtime = Preprocessor().discretize_runtime(log, model, 2.0);
+  ASSERT_EQ(runtime.size(), 1u);
+  EXPECT_DOUBLE_EQ(runtime[0].timestamp, 5.0);
+}
+
+}  // namespace
+}  // namespace causaliot::preprocess

@@ -1,0 +1,123 @@
+#include "causaliot/preprocess/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include "causaliot/util/rng.hpp"
+
+namespace causaliot::preprocess {
+namespace {
+
+StateSeries demo_series() {
+  // 3 devices, S^0 = (0, 1, 0); events flip devices one at a time.
+  StateSeries series(3, {0, 1, 0});
+  series.apply({0, 1, 1.0});  // S^1 = (1, 1, 0)
+  series.apply({1, 0, 2.0});  // S^2 = (1, 0, 0)
+  series.apply({2, 1, 3.0});  // S^3 = (1, 0, 1)
+  series.apply({0, 0, 4.0});  // S^4 = (0, 0, 1)
+  return series;
+}
+
+TEST(StateSeries, FoldSemantics) {
+  const StateSeries series = demo_series();
+  EXPECT_EQ(series.length(), 5u);
+  EXPECT_EQ(series.event_count(), 4u);
+  EXPECT_EQ(series.snapshot_state(0), (std::vector<std::uint8_t>{0, 1, 0}));
+  EXPECT_EQ(series.snapshot_state(2), (std::vector<std::uint8_t>{1, 0, 0}));
+  EXPECT_EQ(series.snapshot_state(4), (std::vector<std::uint8_t>{0, 0, 1}));
+}
+
+TEST(StateSeries, OnlyReportedDeviceChangesPerStep) {
+  const StateSeries series = demo_series();
+  for (std::size_t j = 1; j < series.length(); ++j) {
+    std::size_t changed = 0;
+    for (telemetry::DeviceId d = 0; d < series.device_count(); ++d) {
+      changed += series.state(d, j) != series.state(d, j - 1);
+    }
+    EXPECT_LE(changed, 1u);
+    if (changed == 1) {
+      EXPECT_EQ(series.state(series.event_at(j).device, j),
+                series.event_at(j).state);
+    }
+  }
+}
+
+TEST(StateSeries, EventAtReturnsOriginalEvents) {
+  const StateSeries series = demo_series();
+  EXPECT_EQ(series.event_at(1).device, 0u);
+  EXPECT_EQ(series.event_at(1).state, 1u);
+  EXPECT_DOUBLE_EQ(series.event_at(3).timestamp, 3.0);
+}
+
+TEST(StateSeries, DeviceStatesSpan) {
+  const StateSeries series = demo_series();
+  const auto device0 = series.device_states(0);
+  EXPECT_EQ(std::vector<std::uint8_t>(device0.begin(), device0.end()),
+            (std::vector<std::uint8_t>{0, 1, 1, 1, 0}));
+}
+
+TEST(StateSeries, LaggedColumnAlignment) {
+  const StateSeries series = demo_series();
+  // Snapshots j = 2..4; lag 0 of device 0 -> states at times 2, 3, 4.
+  const auto lag0 = series.lagged_column(0, 0, 2);
+  EXPECT_EQ(std::vector<std::uint8_t>(lag0.begin(), lag0.end()),
+            (std::vector<std::uint8_t>{1, 1, 0}));
+  // lag 2 of device 0 -> states at times 0, 1, 2.
+  const auto lag2 = series.lagged_column(0, 2, 2);
+  EXPECT_EQ(std::vector<std::uint8_t>(lag2.begin(), lag2.end()),
+            (std::vector<std::uint8_t>{0, 1, 1}));
+}
+
+TEST(StateSeries, LaggedColumnsShareAlignmentProperty) {
+  // Property: column(device, lag, first)[i] == state(device, first+i-lag).
+  util::Rng rng(3);
+  StateSeries series(4, {0, 0, 0, 0});
+  for (int i = 0; i < 100; ++i) {
+    const auto device = static_cast<telemetry::DeviceId>(rng.uniform(4));
+    series.apply({device, static_cast<std::uint8_t>(rng.uniform(2)),
+                  static_cast<double>(i)});
+  }
+  for (std::size_t lag = 0; lag <= 3; ++lag) {
+    const auto column = series.lagged_column(2, lag, 3);
+    for (std::size_t i = 0; i < column.size(); ++i) {
+      EXPECT_EQ(column[i], series.state(2, 3 + i - lag));
+    }
+  }
+}
+
+TEST(StateSeries, SplitPreservesStates) {
+  const StateSeries series = demo_series();
+  const auto [head, tail] = series.split(2);
+  EXPECT_EQ(head.event_count(), 2u);
+  EXPECT_EQ(tail.event_count(), 2u);
+  // The tail's initial state is S^2 of the original.
+  EXPECT_EQ(tail.snapshot_state(0), series.snapshot_state(2));
+  // Replaying both parts reproduces the final state.
+  EXPECT_EQ(tail.snapshot_state(tail.length() - 1),
+            series.snapshot_state(series.length() - 1));
+  EXPECT_EQ(head.snapshot_state(head.length() - 1),
+            series.snapshot_state(2));
+}
+
+TEST(StateSeries, SplitAtEnd) {
+  const StateSeries series = demo_series();
+  const auto [head, tail] = series.split(4);
+  EXPECT_EQ(head.event_count(), 4u);
+  EXPECT_EQ(tail.event_count(), 0u);
+  EXPECT_EQ(tail.length(), 1u);
+}
+
+TEST(BuildSeries, StartsAllZero) {
+  const std::vector<BinaryEvent> events{{1, 1, 0.5}, {0, 1, 1.5}};
+  const StateSeries series = build_series(3, events);
+  EXPECT_EQ(series.snapshot_state(0), (std::vector<std::uint8_t>{0, 0, 0}));
+  EXPECT_EQ(series.snapshot_state(2), (std::vector<std::uint8_t>{1, 1, 0}));
+}
+
+TEST(StateSeries, DefaultConstructedIsEmpty) {
+  StateSeries series;
+  EXPECT_EQ(series.length(), 0u);
+  EXPECT_EQ(series.device_count(), 0u);
+}
+
+}  // namespace
+}  // namespace causaliot::preprocess

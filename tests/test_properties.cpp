@@ -1,0 +1,205 @@
+// Cross-module property and failure-injection tests: invariants that must
+// hold for arbitrary (seeded-random) inputs, not just curated examples.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "causaliot/detect/monitor.hpp"
+#include "causaliot/mining/temporal_pc.hpp"
+#include "causaliot/preprocess/preprocessor.hpp"
+#include "causaliot/util/rng.hpp"
+
+namespace causaliot {
+namespace {
+
+using preprocess::BinaryEvent;
+using preprocess::StateSeries;
+
+StateSeries random_series(std::size_t devices, std::size_t events,
+                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  StateSeries series(devices, std::vector<std::uint8_t>(devices, 0));
+  double t = 0.0;
+  for (std::size_t i = 0; i < events; ++i) {
+    const auto device =
+        static_cast<telemetry::DeviceId>(rng.uniform(devices));
+    series.apply({device, static_cast<std::uint8_t>(rng.uniform(2)),
+                  t += rng.uniform_real(1.0, 100.0)});
+  }
+  return series;
+}
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// --- StateSeries invariants ------------------------------------------------
+
+TEST_P(SeededProperty, SeriesSplitRecomposesExactly) {
+  const StateSeries series = random_series(6, 300, GetParam());
+  for (std::size_t split : {1ul, 100ul, 299ul, 300ul}) {
+    const auto [head, tail] = series.split(split);
+    EXPECT_EQ(head.event_count() + tail.event_count(),
+              series.event_count());
+    // Every snapshot of the original is reachable from one of the parts.
+    for (std::size_t j = 0; j <= series.event_count(); ++j) {
+      const auto expected = series.snapshot_state(j);
+      const auto actual = j <= split
+                              ? head.snapshot_state(j)
+                              : tail.snapshot_state(j - split);
+      EXPECT_EQ(actual, expected) << "split " << split << " time " << j;
+    }
+  }
+}
+
+TEST_P(SeededProperty, SnapshotMatchesEventFold) {
+  const StateSeries series = random_series(5, 200, GetParam() + 1);
+  // Independently fold the events and compare each snapshot.
+  std::vector<std::uint8_t> state(5, 0);
+  EXPECT_EQ(series.snapshot_state(0), state);
+  for (std::size_t j = 1; j <= series.event_count(); ++j) {
+    const BinaryEvent& event = series.event_at(j);
+    state[event.device] = event.state;
+    EXPECT_EQ(series.snapshot_state(j), state);
+  }
+}
+
+// --- Monitor invariants ------------------------------------------------------
+
+TEST_P(SeededProperty, MonitorScoresAlwaysInUnitInterval) {
+  const StateSeries series = random_series(6, 600, GetParam() + 2);
+  mining::MinerConfig config;
+  config.max_lag = 2;
+  const graph::InteractionGraph graph =
+      mining::InteractionMiner(config).mine(series);
+  detect::MonitorConfig monitor_config;
+  monitor_config.laplace_alpha = 0.0;
+  detect::EventMonitor monitor(graph, monitor_config,
+                               series.snapshot_state(0));
+  util::Rng rng(GetParam() + 3);
+  for (int i = 0; i < 500; ++i) {
+    const BinaryEvent event{
+        static_cast<telemetry::DeviceId>(rng.uniform(6)),
+        static_cast<std::uint8_t>(rng.uniform(2)), static_cast<double>(i)};
+    const double score = monitor.score_event(event);
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+}
+
+TEST_P(SeededProperty, AlgorithmTwoPartitionInvariants) {
+  // Whatever the stream, Algorithm 2's reports satisfy:
+  //  * the head (entries[0]) scores >= threshold,
+  //  * every later entry scores < threshold,
+  //  * reports never exceed k_max entries,
+  //  * stream indices inside a report are strictly increasing.
+  const StateSeries series = random_series(5, 800, GetParam() + 4);
+  mining::MinerConfig config;
+  config.max_lag = 2;
+  const graph::InteractionGraph graph =
+      mining::InteractionMiner(config).mine(series);
+  detect::MonitorConfig monitor_config;
+  monitor_config.score_threshold = 0.8;
+  monitor_config.k_max = 3;
+  detect::EventMonitor monitor(graph, monitor_config,
+                               series.snapshot_state(0));
+  util::Rng rng(GetParam() + 5);
+  std::vector<detect::AnomalyReport> reports;
+  for (int i = 0; i < 2000; ++i) {
+    const BinaryEvent event{
+        static_cast<telemetry::DeviceId>(rng.uniform(5)),
+        static_cast<std::uint8_t>(rng.uniform(2)), static_cast<double>(i)};
+    if (auto report = monitor.process(event)) {
+      reports.push_back(std::move(*report));
+    }
+  }
+  if (auto tail = monitor.finish()) reports.push_back(std::move(*tail));
+  ASSERT_FALSE(reports.empty());
+  for (const detect::AnomalyReport& report : reports) {
+    ASSERT_GE(report.chain_length(), 1u);
+    EXPECT_LE(report.chain_length(), 3u);
+    EXPECT_GE(report.entries[0].score, 0.8);
+    for (std::size_t e = 1; e < report.entries.size(); ++e) {
+      EXPECT_LT(report.entries[e].score, 0.8);
+      EXPECT_GT(report.entries[e].stream_index,
+                report.entries[e - 1].stream_index);
+    }
+  }
+}
+
+// --- Mining invariants -------------------------------------------------------
+
+TEST_P(SeededProperty, MiningIsPermutationStableUnderPcStable) {
+  // PC-stable skeletons must not depend on device numbering. Relabel the
+  // devices with a permutation and compare the device-level edge sets.
+  const std::size_t n = 5;
+  const StateSeries series = random_series(n, 700, GetParam() + 6);
+  util::Rng rng(GetParam() + 7);
+  std::vector<telemetry::DeviceId> perm(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    perm[i] = static_cast<telemetry::DeviceId>(i);
+  }
+  rng.shuffle(perm);
+
+  StateSeries permuted(n, std::vector<std::uint8_t>(n, 0));
+  for (std::size_t j = 1; j <= series.event_count(); ++j) {
+    BinaryEvent event = series.event_at(j);
+    event.device = perm[event.device];
+    permuted.apply(event);
+  }
+
+  mining::MinerConfig config;
+  config.max_lag = 1;
+  config.stable = true;
+  const graph::InteractionGraph original =
+      mining::InteractionMiner(config).mine(series);
+  const graph::InteractionGraph relabelled =
+      mining::InteractionMiner(config).mine(permuted);
+
+  std::set<std::pair<telemetry::DeviceId, telemetry::DeviceId>> a;
+  std::set<std::pair<telemetry::DeviceId, telemetry::DeviceId>> b;
+  for (const graph::Edge& edge : original.edges()) {
+    a.insert({perm[edge.cause.device], perm[edge.child]});
+  }
+  for (const graph::Edge& edge : relabelled.edges()) {
+    b.insert({edge.cause.device, edge.child});
+  }
+  EXPECT_EQ(a, b);
+}
+
+// --- Preprocessor invariants --------------------------------------------------
+
+TEST_P(SeededProperty, SanitizedStreamHasNoConsecutiveDuplicates) {
+  util::Rng rng(GetParam() + 8);
+  telemetry::DeviceCatalog catalog;
+  ASSERT_TRUE(catalog
+                  .add({"a", "r", telemetry::AttributeType::kSwitch,
+                        telemetry::ValueType::kBinary})
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .add({"b", "r", telemetry::AttributeType::kWaterMeter,
+                        telemetry::ValueType::kResponsiveNumeric})
+                  .ok());
+  telemetry::EventLog log(catalog);
+  double t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    log.append({t += 1.0, static_cast<telemetry::DeviceId>(rng.uniform(2)),
+                rng.uniform_real(0.0, 2.0)});
+  }
+  const preprocess::PreprocessResult result =
+      preprocess::Preprocessor().run(log);
+  std::vector<std::uint8_t> state(2, 0);
+  for (const BinaryEvent& event : result.sanitized_events) {
+    EXPECT_NE(state[event.device], event.state);
+    state[event.device] = event.state;
+  }
+  EXPECT_EQ(result.raw_event_count,
+            result.sanitized_events.size() + result.dropped_duplicates +
+                result.dropped_extremes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(101ULL, 202ULL, 303ULL, 404ULL,
+                                           505ULL));
+
+}  // namespace
+}  // namespace causaliot

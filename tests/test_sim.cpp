@@ -1,0 +1,242 @@
+#include "causaliot/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "causaliot/sim/physical.hpp"
+
+namespace causaliot::sim {
+namespace {
+
+HomeProfile tiny_profile() {
+  HomeProfile profile;
+  profile.name = "tiny";
+  profile.days = 2.0;
+  profile.rooms = {"kitchen", "living"};
+  profile.devices = {
+      {"pe_kitchen", "kitchen", telemetry::AttributeType::kPresenceSensor,
+       telemetry::ValueType::kBinary},
+      {"pe_living", "living", telemetry::AttributeType::kPresenceSensor,
+       telemetry::ValueType::kBinary},
+      {"lamp", "kitchen", telemetry::AttributeType::kDimmer,
+       telemetry::ValueType::kResponsiveNumeric},
+      {"bright", "kitchen", telemetry::AttributeType::kBrightnessSensor,
+       telemetry::ValueType::kAmbientNumeric},
+  };
+  profile.emitters = {{"lamp", "kitchen", 120.0}};
+  profile.activities = {
+      {"visit_kitchen",
+       1.0,
+       0.0,
+       24.0,
+       {{StepKind::kMoveTo, "kitchen", 0.0, 5.0, 10.0, 1.0},
+        {StepKind::kSetDevice, "lamp", 80.0, 5.0, 10.0, 1.0},
+        {StepKind::kSetDevice, "lamp", 0.0, 5.0, 10.0, 1.0},
+        {StepKind::kMoveTo, "living", 0.0, 5.0, 10.0, 1.0}}},
+  };
+  profile.rules = {{"R1", "pe_kitchen", 1, "lamp", 60.0, 2.0}};
+  profile.noise.periodic_report_s = 300.0;
+  profile.noise.duplicate_report_probability = 0.0;
+  profile.noise.extreme_probability = 0.0;
+  profile.mean_activity_gap_s = 600.0;
+  profile.min_pair_occurrences = 3;
+  return profile;
+}
+
+TEST(ClearSkyDaylight, ZeroAtNightPeakAtNoon) {
+  EXPECT_DOUBLE_EQ(clear_sky_daylight(0.0, 100.0), 0.0);          // midnight
+  EXPECT_DOUBLE_EQ(clear_sky_daylight(3.0 * 3600, 100.0), 0.0);   // 3 am
+  EXPECT_NEAR(clear_sky_daylight(13.0 * 3600, 100.0), 100.0, 1.0);  // solar noon
+  EXPECT_GT(clear_sky_daylight(9.0 * 3600, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(clear_sky_daylight(23.0 * 3600, 100.0), 0.0);
+  // Periodic across days.
+  EXPECT_DOUBLE_EQ(clear_sky_daylight(13.0 * 3600, 100.0),
+                   clear_sky_daylight(86400.0 + 13.0 * 3600, 100.0));
+}
+
+TEST(BrightnessModel, EmitterRaisesRoomLevel) {
+  const HomeProfile profile = tiny_profile();
+  SmartHomeSimulator simulator(profile, 1);
+  const BrightnessModel model(profile, simulator.catalog());
+  std::vector<double> raw(4, 0.0);
+  const std::size_t kitchen = model.room_index("kitchen");
+  const double dark = model.level(kitchen, 0.0, 1.0, raw);
+  raw[2] = 80.0;  // lamp on
+  const double lit = model.level(kitchen, 0.0, 1.0, raw);
+  EXPECT_NEAR(lit - dark, 120.0, 1e-9);
+}
+
+TEST(BrightnessModel, SensorAndRoomLookup) {
+  const HomeProfile profile = tiny_profile();
+  SmartHomeSimulator simulator(profile, 1);
+  const BrightnessModel model(profile, simulator.catalog());
+  EXPECT_EQ(model.sensor_in_room(model.room_index("kitchen")).value(), 3u);
+  EXPECT_FALSE(model.sensor_in_room(model.room_index("living")).has_value());
+  EXPECT_EQ(model.affected_room(2).value(), model.room_index("kitchen"));
+  EXPECT_FALSE(model.affected_room(0).has_value());
+  EXPECT_EQ(model.physical_pairs().size(), 1u);
+  EXPECT_EQ(model.physical_pairs()[0],
+            (std::pair<telemetry::DeviceId, telemetry::DeviceId>{2, 3}));
+}
+
+TEST(Simulator, DeterministicGivenSeed) {
+  SmartHomeSimulator a(tiny_profile(), 99);
+  SmartHomeSimulator b(tiny_profile(), 99);
+  const SimulationResult ra = a.run();
+  const SimulationResult rb = b.run();
+  ASSERT_EQ(ra.log.size(), rb.log.size());
+  for (std::size_t i = 0; i < ra.log.size(); ++i) {
+    EXPECT_EQ(ra.log.events()[i], rb.log.events()[i]);
+  }
+}
+
+TEST(Simulator, DifferentSeedsDiffer) {
+  SmartHomeSimulator a(tiny_profile(), 1);
+  SmartHomeSimulator b(tiny_profile(), 2);
+  EXPECT_NE(a.run().log.size(), b.run().log.size());
+}
+
+TEST(Simulator, LogIsTimeOrderedAndInHorizon) {
+  SmartHomeSimulator simulator(tiny_profile(), 5);
+  const SimulationResult result = simulator.run();
+  EXPECT_TRUE(result.log.is_time_ordered());
+  ASSERT_GT(result.log.size(), 0u);
+  EXPECT_LE(result.log.events().back().timestamp, 2.0 * 86400.0);
+}
+
+TEST(Simulator, GroundTruthContainsRuleAndPhysicalPairs) {
+  SmartHomeSimulator simulator(tiny_profile(), 7);
+  const SimulationResult result = simulator.run();
+  // R1: pe_kitchen -> lamp.
+  EXPECT_TRUE(result.ground_truth.contains(0, 2));
+  // Physical: lamp -> bright (both directions accepted).
+  EXPECT_TRUE(result.ground_truth.contains(2, 3));
+  EXPECT_TRUE(result.ground_truth.contains(3, 2));
+  // Autocorrelation for every device.
+  for (telemetry::DeviceId id = 0; id < 4; ++id) {
+    EXPECT_TRUE(result.ground_truth.contains(id, id));
+  }
+}
+
+TEST(Simulator, RulesActuallyFire) {
+  SmartHomeSimulator simulator(tiny_profile(), 11);
+  const SimulationResult result = simulator.run();
+  ASSERT_EQ(result.rule_fire_counts.size(), 1u);
+  EXPECT_GT(result.rule_fire_counts[0], 0u);
+  EXPECT_GT(result.automation_events, 0u);
+}
+
+TEST(Simulator, PresenceTimesOutWhenIdle) {
+  SmartHomeSimulator simulator(tiny_profile(), 13);
+  const SimulationResult result = simulator.run();
+  // Every presence-ON is eventually followed by a presence-OFF of the
+  // same sensor (motion sensors auto-reset).
+  int open_kitchen = 0;
+  for (const telemetry::DeviceEvent& event : result.log.events()) {
+    if (event.device != 0) continue;
+    if (event.value > 0.5) {
+      ++open_kitchen;
+    } else {
+      open_kitchen = 0;
+    }
+    // Never two ON reports without an intervening OFF (no duplicates in
+    // this profile).
+    EXPECT_LE(open_kitchen, 1);
+  }
+}
+
+TEST(Simulator, RunTwiceIsAnError) {
+  SmartHomeSimulator simulator(tiny_profile(), 17);
+  simulator.run();
+  EXPECT_DEATH(simulator.run(), "run\\(\\) may only be called once");
+}
+
+TEST(Profiles, ContextActMatchesTableI) {
+  const HomeProfile profile = contextact_profile();
+  EXPECT_EQ(profile.devices.size(), 22u);
+  SmartHomeSimulator simulator(profile, 1);
+  const auto& catalog = simulator.catalog();
+  using telemetry::AttributeType;
+  EXPECT_EQ(catalog.devices_of_type(AttributeType::kSwitch).size(), 2u);
+  EXPECT_EQ(catalog.devices_of_type(AttributeType::kPresenceSensor).size(),
+            5u);
+  EXPECT_EQ(catalog.devices_of_type(AttributeType::kContactSensor).size(),
+            2u);
+  EXPECT_EQ(catalog.devices_of_type(AttributeType::kDimmer).size(), 2u);
+  EXPECT_EQ(catalog.devices_of_type(AttributeType::kWaterMeter).size(), 1u);
+  EXPECT_EQ(catalog.devices_of_type(AttributeType::kPowerSensor).size(), 6u);
+  EXPECT_EQ(
+      catalog.devices_of_type(AttributeType::kBrightnessSensor).size(), 4u);
+  EXPECT_EQ(profile.rules.size(), 12u);
+}
+
+TEST(Profiles, CasasMatchesTableI) {
+  const HomeProfile profile = casas_profile();
+  EXPECT_EQ(profile.devices.size(), 8u);
+  EXPECT_DOUBLE_EQ(profile.days, 30.0);
+  EXPECT_TRUE(profile.rules.empty());
+  SmartHomeSimulator simulator(profile, 1);
+  using telemetry::AttributeType;
+  EXPECT_EQ(simulator.catalog()
+                .devices_of_type(AttributeType::kPresenceSensor)
+                .size(),
+            7u);
+}
+
+TEST(AutomationEngine, SkipsWhenActionAlreadySatisfied) {
+  const HomeProfile profile = tiny_profile();
+  SmartHomeSimulator simulator(profile, 1);
+  AutomationEngine engine(simulator.catalog(), profile.rules, 100.0);
+  std::vector<std::uint8_t> states(4, 0);
+  states[2] = 1;  // lamp already on
+  EXPECT_TRUE(engine.on_state_change(0, 1, 0.0, states).empty());
+  states[2] = 0;
+  const auto firings = engine.on_state_change(0, 1, 100.0, states);
+  ASSERT_EQ(firings.size(), 1u);
+  EXPECT_EQ(firings[0].action_device, 2u);
+  EXPECT_DOUBLE_EQ(firings[0].action_value, 60.0);
+}
+
+TEST(AutomationEngine, CooldownSuppressesRapidRefires) {
+  const HomeProfile profile = tiny_profile();
+  SmartHomeSimulator simulator(profile, 1);
+  AutomationEngine engine(simulator.catalog(), profile.rules, 100.0,
+                          /*cooldown_s=*/60.0);
+  std::vector<std::uint8_t> states(4, 0);
+  EXPECT_EQ(engine.on_state_change(0, 1, 0.0, states).size(), 1u);
+  EXPECT_TRUE(engine.on_state_change(0, 1, 10.0, states).empty());
+  EXPECT_EQ(engine.on_state_change(0, 1, 120.0, states).size(), 1u);
+  EXPECT_EQ(engine.fire_counts()[0], 2u);
+}
+
+TEST(AutomationEngine, BinaryStateSemantics) {
+  const HomeProfile profile = tiny_profile();
+  SmartHomeSimulator simulator(profile, 1);
+  AutomationEngine engine(simulator.catalog(), profile.rules, 100.0);
+  EXPECT_EQ(engine.binary_state(0, 1.0), 1);   // binary
+  EXPECT_EQ(engine.binary_state(2, 40.0), 1);  // responsive > 0
+  EXPECT_EQ(engine.binary_state(2, 0.0), 0);
+  EXPECT_EQ(engine.binary_state(3, 150.0), 1);  // ambient above cut
+  EXPECT_EQ(engine.binary_state(3, 50.0), 0);
+}
+
+TEST(GroundTruth, DedupAndQueries) {
+  GroundTruth gt;
+  EXPECT_TRUE(gt.add({0, 1, InteractionSource::kAutomation,
+                      ActivityCategory::kNone}));
+  EXPECT_FALSE(gt.add({0, 1, InteractionSource::kUserActivity,
+                       ActivityCategory::kUseAfterUse}));
+  EXPECT_EQ(gt.size(), 1u);
+  EXPECT_EQ(gt.interactions()[0].source, InteractionSource::kAutomation);
+  EXPECT_TRUE(gt.contains(0, 1));
+  EXPECT_FALSE(gt.contains(1, 0));
+  gt.add({0, 2, InteractionSource::kUserActivity,
+          ActivityCategory::kMoveAfterMove});
+  gt.add({0, 0, InteractionSource::kAutocorrelation,
+          ActivityCategory::kNone});
+  EXPECT_EQ(gt.children_of(0), (std::vector<telemetry::DeviceId>{1, 2}));
+  EXPECT_EQ(gt.count_by_source(InteractionSource::kAutomation), 1u);
+  EXPECT_EQ(gt.count_by_category(ActivityCategory::kMoveAfterMove), 1u);
+}
+
+}  // namespace
+}  // namespace causaliot::sim

@@ -1,0 +1,189 @@
+// End-to-end simulator dynamics: the physical channel reacts to emitters,
+// automation cascades propagate through chained rules, and the noise
+// sources appear in the trace with their configured character.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "causaliot/sim/simulator.hpp"
+
+namespace causaliot::sim {
+namespace {
+
+HomeProfile chain_profile() {
+  HomeProfile profile;
+  profile.name = "chain";
+  profile.days = 3.0;
+  profile.rooms = {"kitchen", "living"};
+  profile.devices = {
+      {"pe_kitchen", "kitchen", telemetry::AttributeType::kPresenceSensor,
+       telemetry::ValueType::kBinary},
+      {"pe_living", "living", telemetry::AttributeType::kPresenceSensor,
+       telemetry::ValueType::kBinary},
+      {"lamp", "kitchen", telemetry::AttributeType::kDimmer,
+       telemetry::ValueType::kResponsiveNumeric},
+      {"fan", "living", telemetry::AttributeType::kSwitch,
+       telemetry::ValueType::kBinary},
+      {"bright", "kitchen", telemetry::AttributeType::kBrightnessSensor,
+       telemetry::ValueType::kAmbientNumeric},
+  };
+  profile.emitters = {{"lamp", "kitchen", 200.0}};
+  profile.ambient_high_threshold = 100.0;
+  profile.daylight_peak_lumens = 20.0;  // lamp dominates the channel
+  // Chain: presence -> lamp (R1), bright High -> fan (R2).
+  profile.rules = {
+      {"R1", "pe_kitchen", 1, "lamp", 80.0, 2.0},
+      {"R2", "bright", 1, "fan", 1.0, 2.0},
+  };
+  profile.activities = {
+      {"visit",
+       1.0,
+       0.0,
+       24.0,
+       {{StepKind::kMoveTo, "kitchen", 0.0, 5.0, 10.0, 1.0},
+        {StepKind::kSetDevice, "lamp", 0.0, 120.0, 300.0, 1.0},
+        {StepKind::kSetDevice, "fan", 0.0, 10.0, 30.0, 1.0},
+        {StepKind::kMoveTo, "living", 0.0, 5.0, 10.0, 1.0}}},
+  };
+  profile.noise.periodic_report_s = 600.0;
+  profile.noise.ambient_noise_stddev = 2.0;
+  profile.noise.duplicate_report_probability = 0.0;
+  profile.noise.extreme_probability = 0.0;
+  profile.mean_activity_gap_s = 900.0;
+  return profile;
+}
+
+TEST(SimDynamics, EmitterChangeTriggersReactiveBrightnessReport) {
+  SmartHomeSimulator simulator(chain_profile(), 3);
+  const SimulationResult result = simulator.run();
+  EXPECT_GT(result.reactive_sensor_events, 0u);
+  // Within a few seconds of every lamp-on there is a brightness report.
+  const auto& events = result.log.events();
+  std::size_t reacted = 0;
+  std::size_t lamp_ons = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].device != 2 || events[i].value <= 0.0) continue;
+    ++lamp_ons;
+    for (std::size_t j = i + 1;
+         j < events.size() && events[j].timestamp < events[i].timestamp + 5.0;
+         ++j) {
+      if (events[j].device == 4) {
+        ++reacted;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(lamp_ons, 0u);
+  EXPECT_GE(reacted, lamp_ons * 9 / 10);
+}
+
+TEST(SimDynamics, PhysicalChainCascadesThroughRules) {
+  // pe_kitchen=1 -> R1 lamp on -> brightness High -> R2 fan on: the full
+  // trigger-physical-trigger cascade must appear in the trace order.
+  SmartHomeSimulator simulator(chain_profile(), 5);
+  const SimulationResult result = simulator.run();
+  ASSERT_EQ(result.rule_fire_counts.size(), 2u);
+  EXPECT_GT(result.rule_fire_counts[0], 0u);  // R1 fired
+  EXPECT_GT(result.rule_fire_counts[1], 0u);  // R2 fired via the channel
+
+  const auto& events = result.log.events();
+  bool found_cascade = false;
+  for (std::size_t i = 0; i + 3 < events.size() && !found_cascade; ++i) {
+    if (events[i].device != 0 || events[i].value < 0.5) continue;  // pe on
+    bool lamp = false;
+    bool bright_high = false;
+    bool fan = false;
+    for (std::size_t j = i + 1;
+         j < events.size() &&
+         events[j].timestamp < events[i].timestamp + 30.0;
+         ++j) {
+      lamp = lamp || (events[j].device == 2 && events[j].value > 0.0);
+      bright_high =
+          bright_high || (lamp && events[j].device == 4 &&
+                          events[j].value > 100.0);
+      fan = fan || (bright_high && events[j].device == 3 &&
+                    events[j].value > 0.5);
+    }
+    found_cascade = lamp && bright_high && fan;
+  }
+  EXPECT_TRUE(found_cascade);
+}
+
+TEST(SimDynamics, GroundTruthCoversTheWholeCascade) {
+  SmartHomeSimulator simulator(chain_profile(), 7);
+  const SimulationResult result = simulator.run();
+  EXPECT_TRUE(result.ground_truth.contains(0, 2));  // R1
+  EXPECT_TRUE(result.ground_truth.contains(2, 4));  // physical
+  EXPECT_TRUE(result.ground_truth.contains(4, 3));  // R2
+}
+
+TEST(SimDynamics, DuplicateNoiseAppearsWhenConfigured) {
+  HomeProfile profile = chain_profile();
+  profile.noise.duplicate_report_probability = 0.3;
+  SmartHomeSimulator simulator(profile, 11);
+  const SimulationResult result = simulator.run();
+  EXPECT_GT(result.duplicate_events, 0u);
+}
+
+TEST(SimDynamics, ExtremeGlitchesHaveConfiguredMagnitude) {
+  HomeProfile profile = chain_profile();
+  profile.noise.extreme_probability = 0.2;
+  profile.noise.extreme_magnitude = 9999.0;
+  profile.noise.periodic_report_s = 120.0;
+  SmartHomeSimulator simulator(profile, 13);
+  const SimulationResult result = simulator.run();
+  EXPECT_GT(result.extreme_events, 0u);
+  std::size_t seen = 0;
+  for (const telemetry::DeviceEvent& event : result.log.events()) {
+    seen += event.device == 4 && event.value == 9999.0;
+  }
+  EXPECT_EQ(seen, result.extreme_events);
+}
+
+TEST(SimDynamics, AutoOffEndsApplianceCycles) {
+  HomeProfile profile = chain_profile();
+  profile.auto_offs = {{"lamp", 300.0, 60.0}};
+  // Remove the manual lamp-off so only auto-off can end the cycle.
+  profile.activities[0].steps.erase(profile.activities[0].steps.begin() + 1);
+  SmartHomeSimulator simulator(profile, 17);
+  const SimulationResult result = simulator.run();
+  EXPECT_GT(result.auto_off_events, 0u);
+  // The lamp never stays on longer than cycle + jitter (+ scheduling slop).
+  double on_since = -1.0;
+  for (const telemetry::DeviceEvent& event : result.log.events()) {
+    if (event.device != 2) continue;
+    if (event.value > 0.0) {
+      if (on_since < 0.0) on_since = event.timestamp;
+    } else if (on_since >= 0.0) {
+      EXPECT_LE(event.timestamp - on_since, 300.0 + 60.0 + 5.0);
+      on_since = -1.0;
+    }
+  }
+}
+
+TEST(SimDynamics, WeatherVariesBrightnessAcrossDays) {
+  // With daylight dominating (no emitters used), periodic readings at the
+  // same hour differ across days because of the weather walk.
+  HomeProfile profile = chain_profile();
+  profile.rules.clear();
+  profile.activities.clear();
+  profile.daylight_peak_lumens = 150.0;
+  profile.days = 5.0;
+  profile.noise.periodic_report_s = 1800.0;
+  profile.noise.ambient_noise_stddev = 0.5;
+  SmartHomeSimulator simulator(profile, 19);
+  const SimulationResult result = simulator.run();
+  std::vector<double> noon_readings;
+  for (const telemetry::DeviceEvent& event : result.log.events()) {
+    if (event.device != 4) continue;
+    const double hour = std::fmod(event.timestamp, 86400.0) / 3600.0;
+    if (hour > 12.0 && hour < 14.0) noon_readings.push_back(event.value);
+  }
+  ASSERT_GE(noon_readings.size(), 4u);
+  const auto [min_it, max_it] =
+      std::minmax_element(noon_readings.begin(), noon_readings.end());
+  EXPECT_GT(*max_it - *min_it, 5.0);
+}
+
+}  // namespace
+}  // namespace causaliot::sim

@@ -1,0 +1,122 @@
+#include "causaliot/stats/cmh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "causaliot/util/rng.hpp"
+
+namespace causaliot::stats {
+namespace {
+
+using Column = std::vector<std::uint8_t>;
+
+Column random_column(std::size_t n, util::Rng& rng) {
+  Column column(n);
+  for (auto& value : column) {
+    value = static_cast<std::uint8_t>(rng.uniform(2));
+  }
+  return column;
+}
+
+TEST(Cmh, IndependentColumnsNotRejected) {
+  util::Rng rng(1);
+  const Column x = random_column(5000, rng);
+  const Column y = random_column(5000, rng);
+  EXPECT_GT(cmh_test(x, y).p_value, 0.001);
+}
+
+TEST(Cmh, DependentColumnsRejected) {
+  util::Rng rng(2);
+  const Column x = random_column(3000, rng);
+  Column y = x;
+  for (auto& value : y) {
+    if (rng.bernoulli(0.2)) value ^= 1;
+  }
+  const CmhResult result = cmh_test(x, y);
+  EXPECT_LT(result.p_value, 1e-10);
+  EXPECT_GT(result.statistic, 50.0);
+}
+
+TEST(Cmh, MediatorScreensOffChain) {
+  util::Rng rng(3);
+  const std::size_t n = 20000;
+  Column x(n);
+  Column z(n);
+  Column y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<std::uint8_t>(rng.uniform(2));
+    z[i] = rng.bernoulli(0.9) ? x[i] : static_cast<std::uint8_t>(1 - x[i]);
+    y[i] = rng.bernoulli(0.9) ? z[i] : static_cast<std::uint8_t>(1 - z[i]);
+  }
+  EXPECT_LT(cmh_test(x, y).p_value, 1e-10);
+  const std::vector<std::span<const std::uint8_t>> given{z};
+  EXPECT_GT(cmh_test(x, y, given).p_value, 0.001);
+}
+
+TEST(Cmh, PoolsPowerAcrossSparseStrata) {
+  // A weak but direction-consistent effect spread over 4 strata of a
+  // 2-variable conditioning set: each stratum alone is thin, the pooled
+  // CMH statistic still finds the dependence.
+  util::Rng rng(4);
+  const std::size_t n = 1200;
+  Column x(n);
+  Column y(n);
+  std::vector<Column> z(2, Column(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    z[0][i] = static_cast<std::uint8_t>(rng.uniform(2));
+    z[1][i] = static_cast<std::uint8_t>(rng.uniform(2));
+    x[i] = static_cast<std::uint8_t>(rng.uniform(2));
+    y[i] = rng.bernoulli(0.75) ? x[i] : static_cast<std::uint8_t>(1 - x[i]);
+  }
+  const std::vector<std::span<const std::uint8_t>> given(z.begin(), z.end());
+  const CmhResult result = cmh_test(x, y, given);
+  EXPECT_EQ(result.informative_strata, 4u);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(Cmh, DegenerateInputsAreVacuous) {
+  const Column empty;
+  EXPECT_DOUBLE_EQ(cmh_test(empty, empty).p_value, 1.0);
+  const Column constant(100, 1);
+  util::Rng rng(5);
+  const Column y = random_column(100, rng);
+  const CmhResult result = cmh_test(constant, y);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+  EXPECT_EQ(result.informative_strata, 0u);
+}
+
+TEST(Cmh, StatisticMatchesHandComputedTable) {
+  // Single stratum, table a=30 b=10 c=10 d=30 (n=80).
+  Column x;
+  Column y;
+  const auto push = [&](std::uint8_t xv, std::uint8_t yv, int count) {
+    for (int i = 0; i < count; ++i) {
+      x.push_back(xv);
+      y.push_back(yv);
+    }
+  };
+  push(1, 1, 30);
+  push(1, 0, 10);
+  push(0, 1, 10);
+  push(0, 0, 30);
+  const CmhResult result = cmh_test(x, y);
+  // E[a] = 40*40/80 = 20; Var = 40*40*40*40/(80^2*79) = 5.0633;
+  // CMH = (|30-20| - 0.5)^2 / Var = 90.25 / 5.0633 = 17.825.
+  EXPECT_NEAR(result.statistic, 17.825, 0.01);
+  EXPECT_LT(result.p_value, 1e-4);
+}
+
+TEST(Cmh, CalibrationUnderNull) {
+  util::Rng rng(6);
+  int rejections = 0;
+  const int trials = 300;
+  for (int trial = 0; trial < trials; ++trial) {
+    const Column x = random_column(400, rng);
+    const Column y = random_column(400, rng);
+    rejections += cmh_test(x, y).p_value <= 0.05;
+  }
+  // Continuity correction makes the test slightly conservative.
+  EXPECT_LE(static_cast<double>(rejections) / trials, 0.08);
+}
+
+}  // namespace
+}  // namespace causaliot::stats

@@ -1,0 +1,131 @@
+#include "causaliot/stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "causaliot/stats/metrics.hpp"
+#include "causaliot/util/rng.hpp"
+
+namespace causaliot::stats {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats stats;
+  for (double v : values) stats.add(v);
+  EXPECT_EQ(stats.count(), values.size());
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance with n-1 denominator: 32 / 7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValueHasZeroVariance) {
+  RunningStats stats;
+  stats.add(3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats stats;
+  util::Rng rng(1);
+  for (int i = 0; i < 10000; ++i) stats.add(1e9 + rng.normal(0.0, 1.0));
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.05);
+}
+
+TEST(RunningStats, WithinSigma) {
+  RunningStats stats;
+  for (double v : {8.0, 10.0, 12.0}) stats.add(v);  // mean 10, sd 2
+  EXPECT_TRUE(stats.within_sigma(13.0, 3.0));
+  EXPECT_TRUE(stats.within_sigma(10.0, 0.5));
+  EXPECT_FALSE(stats.within_sigma(17.0, 3.0));
+  EXPECT_FALSE(stats.within_sigma(3.0, 3.0));
+}
+
+TEST(Percentile, KnownValues) {
+  const std::vector<double> values{15, 20, 35, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(values, 0), 15.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 50), 35.0);
+  // Linear interpolation: rank = 0.25 * 4 = 1 -> exactly 20.
+  EXPECT_DOUBLE_EQ(percentile(values, 25), 20.0);
+  // rank = 0.4 * 4 = 1.6 -> 20 + 0.6 * 15 = 29.
+  EXPECT_DOUBLE_EQ(percentile(values, 40), 29.0);
+}
+
+TEST(Percentile, UnsortedInputIsSorted) {
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{9, 1, 5}, 50), 5.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{7}, 99), 7.0);
+}
+
+TEST(PercentileSorted, AgreesWithPercentile) {
+  util::Rng rng(2);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) values.push_back(rng.uniform_real(0, 100));
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {1.0, 25.0, 50.0, 75.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(percentile(values, q), percentile_sorted(sorted, q));
+  }
+}
+
+// Property: percentile is monotone in q.
+class PercentileMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PercentileMonotone, NonDecreasingInQ) {
+  util::Rng rng(GetParam());
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(rng.normal(0, 10));
+  std::sort(values.begin(), values.end());
+  double previous = percentile_sorted(values, 0);
+  for (double q = 1; q <= 100; q += 1) {
+    const double current = percentile_sorted(values, q);
+    EXPECT_GE(current, previous);
+    previous = current;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone,
+                         ::testing::Values(1ULL, 2ULL, 3ULL));
+
+TEST(ConfusionCounts, BasicMath) {
+  ConfusionCounts counts;
+  // 8 TP, 2 FP, 85 TN, 5 FN.
+  for (int i = 0; i < 8; ++i) counts.add(true, true);
+  for (int i = 0; i < 2; ++i) counts.add(true, false);
+  for (int i = 0; i < 85; ++i) counts.add(false, false);
+  for (int i = 0; i < 5; ++i) counts.add(false, true);
+  EXPECT_EQ(counts.total(), 100u);
+  EXPECT_DOUBLE_EQ(counts.precision(), 0.8);
+  EXPECT_NEAR(counts.recall(), 8.0 / 13.0, 1e-12);
+  EXPECT_DOUBLE_EQ(counts.accuracy(), 0.93);
+  EXPECT_NEAR(counts.false_positive_rate(), 2.0 / 87.0, 1e-12);
+  const double p = 0.8;
+  const double r = 8.0 / 13.0;
+  EXPECT_NEAR(counts.f1(), 2 * p * r / (p + r), 1e-12);
+}
+
+TEST(ConfusionCounts, DegenerateCasesAreZeroNotNan) {
+  ConfusionCounts counts;
+  EXPECT_DOUBLE_EQ(counts.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(counts.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(counts.f1(), 0.0);
+  EXPECT_DOUBLE_EQ(counts.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(counts.false_positive_rate(), 0.0);
+}
+
+TEST(ConfusionCounts, SummaryFormat) {
+  ConfusionCounts counts;
+  counts.add(true, true);
+  EXPECT_EQ(counts.summary(), "P=1.000 R=1.000 F1=1.000 Acc=1.000");
+}
+
+}  // namespace
+}  // namespace causaliot::stats

@@ -1,0 +1,183 @@
+#include "causaliot/stats/gsquare.hpp"
+
+#include <gtest/gtest.h>
+
+#include "causaliot/util/rng.hpp"
+
+namespace causaliot::stats {
+namespace {
+
+using Column = std::vector<std::uint8_t>;
+
+Column random_column(std::size_t n, util::Rng& rng) {
+  Column column(n);
+  for (auto& value : column) {
+    value = static_cast<std::uint8_t>(rng.uniform(2));
+  }
+  return column;
+}
+
+TEST(GSquare, IndependentColumnsGiveHighPValue) {
+  util::Rng rng(1);
+  const Column x = random_column(5000, rng);
+  const Column y = random_column(5000, rng);
+  const GSquareResult result = g_square_test(x, y);
+  EXPECT_GT(result.p_value, 0.001);
+  EXPECT_EQ(result.sample_count, 5000u);
+}
+
+TEST(GSquare, IdenticalColumnsAreDependent) {
+  util::Rng rng(2);
+  const Column x = random_column(2000, rng);
+  const GSquareResult result = g_square_test(x, x);
+  EXPECT_LT(result.p_value, 1e-10);
+  EXPECT_GT(result.statistic, 100.0);
+}
+
+TEST(GSquare, NoisyCopyIsDependent) {
+  util::Rng rng(3);
+  const Column x = random_column(5000, rng);
+  Column y = x;
+  for (auto& value : y) {
+    if (rng.bernoulli(0.2)) value ^= 1;  // 20% flip noise
+  }
+  EXPECT_LT(g_square_test(x, y).p_value, 1e-6);
+}
+
+TEST(GSquare, ChainBecomesIndependentGivenMediator) {
+  // X -> Z -> Y: X and Y are marginally dependent but independent given Z.
+  util::Rng rng(4);
+  const std::size_t n = 20000;
+  Column x(n);
+  Column z(n);
+  Column y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<std::uint8_t>(rng.uniform(2));
+    z[i] = rng.bernoulli(0.9) ? x[i] : static_cast<std::uint8_t>(1 - x[i]);
+    y[i] = rng.bernoulli(0.9) ? z[i] : static_cast<std::uint8_t>(1 - z[i]);
+  }
+  EXPECT_LT(g_square_test(x, y).p_value, 1e-10);  // marginally dependent
+  const std::vector<std::span<const std::uint8_t>> given{z};
+  EXPECT_GT(g_square_test(x, y, given).p_value, 0.001);  // screened off
+}
+
+TEST(GSquare, CommonCauseScreenedOff) {
+  // X <- Z -> Y.
+  util::Rng rng(5);
+  const std::size_t n = 20000;
+  Column x(n);
+  Column z(n);
+  Column y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    z[i] = static_cast<std::uint8_t>(rng.uniform(2));
+    x[i] = rng.bernoulli(0.85) ? z[i] : static_cast<std::uint8_t>(1 - z[i]);
+    y[i] = rng.bernoulli(0.85) ? z[i] : static_cast<std::uint8_t>(1 - z[i]);
+  }
+  EXPECT_LT(g_square_test(x, y).p_value, 1e-10);
+  const std::vector<std::span<const std::uint8_t>> given{z};
+  EXPECT_GT(g_square_test(x, y, given).p_value, 0.001);
+}
+
+TEST(GSquare, DirectEdgeSurvivesConditioning) {
+  // X -> Y with an irrelevant W: conditioning on W must not remove the
+  // dependence.
+  util::Rng rng(6);
+  const std::size_t n = 10000;
+  Column x(n);
+  Column y(n);
+  Column w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<std::uint8_t>(rng.uniform(2));
+    y[i] = rng.bernoulli(0.9) ? x[i] : static_cast<std::uint8_t>(1 - x[i]);
+    w[i] = static_cast<std::uint8_t>(rng.uniform(2));
+  }
+  const std::vector<std::span<const std::uint8_t>> given{w};
+  EXPECT_LT(g_square_test(x, y, given).p_value, 1e-10);
+}
+
+TEST(GSquare, EmptyInputIsVacuouslyIndependent) {
+  const Column empty;
+  const GSquareResult result = g_square_test(empty, empty);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+  EXPECT_EQ(result.sample_count, 0u);
+}
+
+TEST(GSquare, ConstantColumnHasZeroDof) {
+  const Column x(100, 1);  // constant
+  util::Rng rng(7);
+  const Column y = random_column(100, rng);
+  const GSquareResult result = g_square_test(x, y);
+  EXPECT_DOUBLE_EQ(result.dof, 0.0);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(GSquare, DofAdjustsForEmptyStrata) {
+  // Conditioning set value 1 never occurs -> only one live stratum.
+  util::Rng rng(8);
+  const std::size_t n = 1000;
+  const Column x = random_column(n, rng);
+  const Column y = random_column(n, rng);
+  const Column z(n, 0);  // constant conditioning variable
+  const std::vector<std::span<const std::uint8_t>> given{z};
+  const GSquareResult result = g_square_test(x, y, given);
+  EXPECT_DOUBLE_EQ(result.dof, 1.0);  // one stratum * (2-1)(2-1)
+}
+
+TEST(GSquare, SmallSampleGuardSkips) {
+  util::Rng rng(9);
+  const std::size_t n = 30;
+  const Column x = random_column(n, rng);
+  const Column y = random_column(n, rng);
+  std::vector<Column> z_data(3);
+  std::vector<std::span<const std::uint8_t>> z;
+  for (auto& column : z_data) {
+    column = random_column(n, rng);
+    z.emplace_back(column);
+  }
+  GSquareOptions options;
+  options.min_samples_per_dof = 10.0;  // needs 10 * 2^3 = 80 > 30 samples
+  const GSquareResult result = g_square_test(x, y, z, options);
+  EXPECT_TRUE(result.skipped_insufficient_data);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(GSquare, GuardDisabledByDefault) {
+  util::Rng rng(10);
+  const Column x = random_column(30, rng);
+  const Column y = random_column(30, rng);
+  EXPECT_FALSE(g_square_test(x, y).skipped_insufficient_data);
+}
+
+TEST(GSquare, StatisticIsNonNegative) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Column x = random_column(200, rng);
+    const Column y = random_column(200, rng);
+    EXPECT_GE(g_square_test(x, y).statistic, 0.0);
+  }
+}
+
+// Property: p-values of independent data are roughly uniform — the
+// fraction below alpha should be about alpha.
+class GSquareCalibration : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GSquareCalibration, FalsePositiveRateNearAlpha) {
+  const std::size_t n = GetParam();
+  util::Rng rng(12345);
+  const double alpha = 0.05;
+  int rejections = 0;
+  const int trials = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    const Column x = random_column(n, rng);
+    const Column y = random_column(n, rng);
+    rejections += g_square_test(x, y).p_value <= alpha;
+  }
+  const double rate = static_cast<double>(rejections) / trials;
+  EXPECT_NEAR(rate, alpha, 0.04);
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleSizes, GSquareCalibration,
+                         ::testing::Values(100, 500, 2000));
+
+}  // namespace
+}  // namespace causaliot::stats

@@ -1,0 +1,117 @@
+#include "causaliot/stats/jenks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "causaliot/util/rng.hpp"
+
+namespace causaliot::stats {
+namespace {
+
+TEST(Jenks, TwoClearClusters) {
+  const std::vector<double> values{1, 2, 1.5, 2.5, 100, 101, 99, 102};
+  const auto result = jenks_natural_breaks(values, 2);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().breaks.size(), 1u);
+  EXPECT_GE(result.value().breaks[0], 2.5);
+  EXPECT_LT(result.value().breaks[0], 99.0);
+  EXPECT_GT(result.value().goodness_of_fit, 0.99);
+}
+
+TEST(Jenks, ThreeClusters) {
+  std::vector<double> values;
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) values.push_back(rng.normal(0.0, 0.5));
+  for (int i = 0; i < 50; ++i) values.push_back(rng.normal(50.0, 0.5));
+  for (int i = 0; i < 50; ++i) values.push_back(rng.normal(100.0, 0.5));
+  const auto result = jenks_natural_breaks(values, 3);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().breaks.size(), 2u);
+  // Convention: a break is the last value of its class, so breaks sit at
+  // the upper edge of each cluster.
+  EXPECT_GT(result.value().breaks[0], -5.0);
+  EXPECT_LT(result.value().breaks[0], 45.0);
+  EXPECT_GT(result.value().breaks[1], 45.0);
+  EXPECT_LT(result.value().breaks[1], 95.0);
+}
+
+TEST(Jenks, DuplicatesAreWeighted) {
+  // The heavy cluster at 10 should not shift the break toward sparse
+  // outliers.
+  std::vector<double> values(100, 10.0);
+  values.insert(values.end(), {200.0, 201.0, 202.0});
+  const auto result = jenks_natural_breaks(values, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result.value().breaks[0], 10.0);
+  EXPECT_LT(result.value().breaks[0], 200.0);
+}
+
+TEST(Jenks, BreaksAreSorted) {
+  util::Rng rng(2);
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(rng.uniform_real(0, 1000));
+  const auto result = jenks_natural_breaks(values, 4);
+  ASSERT_TRUE(result.ok());
+  const auto& breaks = result.value().breaks;
+  EXPECT_TRUE(std::is_sorted(breaks.begin(), breaks.end()));
+}
+
+TEST(Jenks, ErrorOnTooFewDistinctValues) {
+  EXPECT_FALSE(jenks_natural_breaks(std::vector<double>{5, 5, 5}, 2).ok());
+}
+
+TEST(Jenks, ErrorOnEmptyInput) {
+  EXPECT_FALSE(jenks_natural_breaks(std::vector<double>{}, 2).ok());
+}
+
+TEST(Jenks, ErrorOnOneClass) {
+  EXPECT_FALSE(jenks_natural_breaks(std::vector<double>{1, 2, 3}, 1).ok());
+}
+
+TEST(Jenks, ExactlyTwoDistinctValues) {
+  const auto result =
+      jenks_natural_breaks(std::vector<double>{0, 0, 0, 7, 7}, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().breaks[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.value().goodness_of_fit, 1.0);
+}
+
+TEST(JenksBinaryThreshold, SplitsBimodalData) {
+  util::Rng rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 300; ++i) values.push_back(rng.normal(5.0, 1.0));
+  for (int i = 0; i < 300; ++i) values.push_back(rng.normal(120.0, 10.0));
+  const auto threshold = jenks_binary_threshold(values);
+  ASSERT_TRUE(threshold.ok());
+  EXPECT_GT(threshold.value(), 2.0);
+  EXPECT_LT(threshold.value(), 100.0);
+}
+
+// Property: for 2 classes, every value below the break is closer to the
+// low-class mean and most values above are closer to the high-class mean.
+class JenksSeparation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JenksSeparation, BreakSeparatesBimodalMass) {
+  util::Rng rng(GetParam());
+  std::vector<double> values;
+  const double low_center = rng.uniform_real(0, 20);
+  const double high_center = low_center + rng.uniform_real(60, 200);
+  for (int i = 0; i < 200; ++i) values.push_back(rng.normal(low_center, 3));
+  for (int i = 0; i < 200; ++i) values.push_back(rng.normal(high_center, 3));
+  const auto threshold = jenks_binary_threshold(values);
+  ASSERT_TRUE(threshold.ok());
+  std::size_t misassigned = 0;
+  for (double v : values) {
+    const bool below = v <= threshold.value();
+    const bool from_low_cluster =
+        std::abs(v - low_center) < std::abs(v - high_center);
+    misassigned += below != from_low_cluster;
+  }
+  EXPECT_LE(misassigned, values.size() / 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JenksSeparation,
+                         ::testing::Values(10ULL, 20ULL, 30ULL, 40ULL,
+                                           50ULL));
+
+}  // namespace
+}  // namespace causaliot::stats

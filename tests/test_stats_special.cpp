@@ -1,0 +1,86 @@
+#include "causaliot/stats/special_functions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace causaliot::stats {
+namespace {
+
+TEST(RegularizedGamma, PAndQSumToOne) {
+  for (double a : {0.5, 1.0, 2.5, 10.0, 50.0}) {
+    for (double x : {0.1, 1.0, 5.0, 20.0, 100.0}) {
+      EXPECT_NEAR(regularized_gamma_p(a, x) + regularized_gamma_q(a, x), 1.0,
+                  1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGamma, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_gamma_q(3.0, 0.0), 1.0);
+  EXPECT_NEAR(regularized_gamma_p(1.0, 700.0), 1.0, 1e-12);
+}
+
+TEST(RegularizedGamma, ExponentialSpecialCase) {
+  // For a = 1, P(1, x) = 1 - exp(-x).
+  for (double x : {0.2, 1.0, 3.0, 8.0}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(ChiSquaredSf, KnownValues) {
+  // Reference values from standard chi-square tables.
+  EXPECT_NEAR(chi_squared_sf(3.841, 1.0), 0.05, 2e-4);
+  EXPECT_NEAR(chi_squared_sf(6.635, 1.0), 0.01, 2e-4);
+  EXPECT_NEAR(chi_squared_sf(5.991, 2.0), 0.05, 2e-4);
+  EXPECT_NEAR(chi_squared_sf(9.210, 2.0), 0.01, 2e-4);
+  EXPECT_NEAR(chi_squared_sf(18.307, 10.0), 0.05, 2e-4);
+}
+
+TEST(ChiSquaredSf, DofTwoIsExponential) {
+  // chi2(2) survival is exp(-x/2).
+  for (double x : {0.5, 2.0, 6.0, 15.0}) {
+    EXPECT_NEAR(chi_squared_sf(x, 2.0), std::exp(-x / 2.0), 1e-12);
+  }
+}
+
+TEST(ChiSquaredSf, MonotoneDecreasingInStatistic) {
+  double previous = 1.1;
+  for (double x = 0.0; x <= 30.0; x += 0.5) {
+    const double sf = chi_squared_sf(x, 4.0);
+    EXPECT_LE(sf, previous);
+    previous = sf;
+  }
+}
+
+TEST(ChiSquaredSf, NonPositiveStatisticIsCertain) {
+  EXPECT_DOUBLE_EQ(chi_squared_sf(0.0, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(chi_squared_sf(-5.0, 3.0), 1.0);
+}
+
+// Property: quantile inverts the survival function over a dof sweep.
+class ChiSquaredInverse : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChiSquaredInverse, QuantileInvertsSf) {
+  const double dof = GetParam();
+  for (double p : {0.01, 0.1, 0.5, 0.9, 0.99, 0.999}) {
+    const double q = chi_squared_quantile(p, dof);
+    // CDF(q) == p  <=>  SF(q) == 1 - p.
+    EXPECT_NEAR(chi_squared_sf(q, dof), 1.0 - p, 1e-8)
+        << "dof=" << dof << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DofSweep, ChiSquaredInverse,
+                         ::testing::Values(1.0, 2.0, 3.0, 5.0, 10.0, 30.0,
+                                           100.0));
+
+TEST(ChiSquaredQuantile, MedianOfDof2) {
+  // Median of chi2(2) is 2 ln 2.
+  EXPECT_NEAR(chi_squared_quantile(0.5, 2.0), 2.0 * std::log(2.0), 1e-8);
+}
+
+}  // namespace
+}  // namespace causaliot::stats

@@ -1,0 +1,99 @@
+#include "causaliot/util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace causaliot::util {
+namespace {
+
+TEST(CsvParse, PlainFields) {
+  EXPECT_EQ(parse_csv_line("a,b,c").value(), (CsvRow{"a", "b", "c"}));
+}
+
+TEST(CsvParse, EmptyFields) {
+  EXPECT_EQ(parse_csv_line(",,").value(), (CsvRow{"", "", ""}));
+}
+
+TEST(CsvParse, QuotedFieldWithDelimiter) {
+  EXPECT_EQ(parse_csv_line("\"a,b\",c").value(), (CsvRow{"a,b", "c"}));
+}
+
+TEST(CsvParse, EscapedQuotes) {
+  EXPECT_EQ(parse_csv_line("\"he said \"\"hi\"\"\"").value(),
+            (CsvRow{"he said \"hi\""}));
+}
+
+TEST(CsvParse, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(parse_csv_line("\"abc").ok());
+}
+
+TEST(CsvParse, RejectsQuoteInsideUnquotedField) {
+  EXPECT_FALSE(parse_csv_line("ab\"c").ok());
+}
+
+TEST(CsvParse, CustomDelimiter) {
+  EXPECT_EQ(parse_csv_line("a;b;c", ';').value(), (CsvRow{"a", "b", "c"}));
+}
+
+TEST(CsvFormat, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(format_csv_line({"plain", "with,comma", "with\"quote"}),
+            "plain,\"with,comma\",\"with\"\"quote\"");
+}
+
+TEST(CsvRoundTrip, FormatThenParse) {
+  const CsvRow original{"a,b", "c\"d", "", "plain", "line\nbreak"};
+  const auto parsed = parse_csv_line(format_csv_line(original));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), original);
+}
+
+class CsvFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("causaliot_csv_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(CsvFileTest, WriteAndReadBack) {
+  const std::vector<CsvRow> rows{{"1", "x"}, {"2", "y,z"}};
+  ASSERT_TRUE(write_csv_file(path_.string(), rows, {"id", "value"}).ok());
+  const auto back = read_csv_file(path_.string(), /*skip_header=*/true);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), rows);
+}
+
+TEST_F(CsvFileTest, HeaderIsFirstRowWhenNotSkipped) {
+  ASSERT_TRUE(write_csv_file(path_.string(), {{"1"}}, {"id"}).ok());
+  const auto all = read_csv_file(path_.string(), /*skip_header=*/false);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.value().size(), 2u);
+  EXPECT_EQ(all.value()[0], (CsvRow{"id"}));
+}
+
+TEST_F(CsvFileTest, SkipsBlankLinesAndCarriageReturns) {
+  std::ofstream out(path_);
+  out << "a,b\r\n\r\n" << "c,d\n";
+  out.close();
+  const auto rows = read_csv_file(path_.string(), /*skip_header=*/false);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0], (CsvRow{"a", "b"}));
+  EXPECT_EQ(rows.value()[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvFile, MissingFileIsIoError) {
+  const auto result = read_csv_file("/nonexistent/path/file.csv", false);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kIoError);
+}
+
+}  // namespace
+}  // namespace causaliot::util

@@ -1,0 +1,104 @@
+#include "causaliot/util/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include "causaliot/util/bitkey.hpp"
+
+namespace causaliot::util {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Error::not_found("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(r.error().message, "missing");
+}
+
+TEST(Result, ValueOrFallsBack) {
+  Result<int> ok(7);
+  Result<int> bad(Error::internal("x"));
+  EXPECT_EQ(ok.value_or(0), 7);
+  EXPECT_EQ(bad.value_or(0), 0);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "hello");
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(Status, CarriesError) {
+  Status s(Error::io_error("disk"));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::kIoError);
+}
+
+TEST(Error, ToStringIncludesCodeAndMessage) {
+  EXPECT_EQ(Error::parse_error("bad line").to_string(),
+            "parse_error: bad line");
+}
+
+TEST(ErrorCode, AllCodesHaveNames) {
+  for (ErrorCode code :
+       {ErrorCode::kInvalidArgument, ErrorCode::kNotFound,
+        ErrorCode::kParseError, ErrorCode::kIoError, ErrorCode::kOutOfRange,
+        ErrorCode::kFailedPrecondition, ErrorCode::kInternal}) {
+    EXPECT_STRNE(to_string(code), "unknown");
+  }
+}
+
+TEST(BitKey, SetAndGet) {
+  BitKey key;
+  key.set(0, true);
+  key.set(5, true);
+  key.set(63, true);
+  EXPECT_TRUE(key.get(0));
+  EXPECT_FALSE(key.get(1));
+  EXPECT_TRUE(key.get(5));
+  EXPECT_TRUE(key.get(63));
+}
+
+TEST(BitKey, ClearBit) {
+  BitKey key;
+  key.set(3, true);
+  key.set(3, false);
+  EXPECT_FALSE(key.get(3));
+  EXPECT_EQ(key.raw(), 0u);
+}
+
+TEST(BitKey, RawRoundTrip) {
+  BitKey key;
+  key.set(1, true);
+  key.set(4, true);
+  EXPECT_EQ(key.raw(), 0b10010u);
+  EXPECT_EQ(BitKey::from_raw(0b10010u), key);
+}
+
+TEST(BitKey, EqualityIsValueBased) {
+  BitKey a;
+  BitKey b;
+  a.set(2, true);
+  EXPECT_NE(a, b);
+  b.set(2, true);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace causaliot::util

@@ -1,0 +1,87 @@
+#include <cstdio>
+#include <cstdlib>
+#include "causaliot/core/evaluation.hpp"
+#include "causaliot/core/experiment.hpp"
+#include "causaliot/util/log.hpp"
+
+int main(int argc, char** argv) {
+  using namespace causaliot;
+  util::set_log_level(util::LogLevel::kInfo);
+  core::ExperimentConfig config;
+  config.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2023;
+  if (argc > 2) config.pipeline.alpha = std::strtod(argv[2], nullptr);
+  std::size_t refine_min = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 0;
+  auto ex = core::build_experiment(sim::contextact_profile(), config);
+  if (refine_min > 0) {
+    ex.ground_truth = core::refine_ground_truth(
+        ex.sim.ground_truth, ex.pre.sanitized_events, 1, refine_min);
+  }
+  auto ev = core::evaluate_mining(ex.model.graph, ex.ground_truth, ex.sim.ground_truth);
+  auto name = [&](telemetry::DeviceId d){ return ex.catalog().info(d).name.c_str(); };
+  std::printf("GT=%zu mined_pairs=%zu TP=%zu FP=%zu FN=%zu P=%.3f R=%.3f\n",
+    ex.ground_truth.size(), ev.true_positives+ev.false_positives,
+    ev.true_positives, ev.false_positives, ev.false_negatives, ev.precision, ev.recall);
+  std::printf("GT by source: auto=%zu phys=%zu user=%zu self=%zu\n",
+    ex.ground_truth.count_by_source(sim::InteractionSource::kAutomation),
+    ex.ground_truth.count_by_source(sim::InteractionSource::kPhysicalChannel),
+    ex.ground_truth.count_by_source(sim::InteractionSource::kUserActivity),
+    ex.ground_truth.count_by_source(sim::InteractionSource::kAutocorrelation));
+  std::printf("identified by source: auto=%zu phys=%zu user=%zu self=%zu\n",
+    ev.identified_by_source[2], ev.identified_by_source[1],
+    ev.identified_by_source[0], ev.identified_by_source[3]);
+  std::printf("-- missed:\n");
+  for (auto& [c, h] : ev.missed_pairs) std::printf("  %s -> %s\n", name(c), name(h));
+  std::printf("-- false positives ([oracle] = accepted by generator oracle):\n");
+  std::size_t oracle_ok = 0;
+  for (auto& [c, h] : ev.false_positive_pairs) {
+    const bool acc = ex.sim.ground_truth.contains(c, h);
+    oracle_ok += acc;
+    std::printf("  %s -> %s%s\n", name(c), name(h), acc ? " [oracle]" : "");
+  }
+  std::printf("  (%zu of %zu FPs oracle-accepted)\n", oracle_ok, ev.false_positive_pairs.size());
+  std::printf("-- per-device: flips in training series, jenks threshold:\n");
+  for (telemetry::DeviceId d = 0; d < ex.catalog().size(); ++d) {
+    auto col = ex.train_series.device_states(d);
+    std::size_t flips = 0;
+    for (std::size_t j = 1; j < col.size(); ++j) flips += col[j] != col[j-1];
+    const auto& dm = ex.model.discretization.device_model(d);
+    std::printf("  %-20s flips=%-5zu jenks=%s%.1f mean=%.1f sd=%.1f\n", name(d), flips,
+                dm.jenks_threshold ? "" : "(none)",
+                dm.jenks_threshold.value_or(0.0), dm.training_mean, dm.training_stddev);
+  }
+  std::printf("-- removal records for self-edges and physical edges:\n");
+  for (const auto& r : ex.model.mining_diagnostics.removals) {
+    const bool self_edge = r.cause.device == r.child;
+    const bool phys = ex.catalog().info(r.child).attribute == telemetry::AttributeType::kBrightnessSensor;
+    if (!self_edge && !phys) continue;
+    if (self_edge && r.cause.device != r.child) continue;
+    // only show interesting ones
+    if (!(self_edge || phys)) continue;
+    if (self_edge || phys) {
+      if (!(r.cause.device == r.child || phys)) continue;
+    }
+    if (!(r.cause.device == r.child) && !phys) continue;
+    if ((r.cause.device == r.child) || phys) {
+      std::printf("  %s(l%u) -> %s removed at |C|=%zu p=%.4f sep={", name(r.cause.device), r.cause.lag, name(r.child), r.condition_size, r.p_value);
+      for (auto& sp : r.separating_set) std::printf(" %s(l%u)", name(sp.device), sp.lag);
+      std::printf(" }\n");
+    }
+  }
+  std::printf("-- removal records for automation GT pairs:\n");
+  for (const auto& r : ex.model.mining_diagnostics.removals) {
+    bool is_auto = false;
+    for (const auto& g : ex.sim.ground_truth.interactions())
+      if (g.source == sim::InteractionSource::kAutomation &&
+          g.cause == r.cause.device && g.child == r.child) is_auto = true;
+    if (!is_auto) continue;
+    std::printf("  %s(l%u) -> %s removed at |C|=%zu p=%.5f sep={", name(r.cause.device), r.cause.lag, name(r.child), r.condition_size, r.p_value);
+    for (auto& sp : r.separating_set) std::printf(" %s(l%u)", name(sp.device), sp.lag);
+    std::printf(" }\n");
+  }
+  std::printf("rule fires:");
+  for (size_t i = 0; i < ex.sim.rule_fire_counts.size(); ++i)
+    std::printf(" R%zu=%zu", i+1, ex.sim.rule_fire_counts[i]);
+  std::printf("\nsanitized=%zu train=%zu test=%zu\n",
+    ex.pre.sanitized_events.size(), ex.train_series.event_count(), ex.test_series.event_count());
+  return 0;
+}
