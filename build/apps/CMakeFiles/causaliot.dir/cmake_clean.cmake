@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causaliot.dir/causaliot.cpp.o"
+  "CMakeFiles/causaliot.dir/causaliot.cpp.o.d"
+  "causaliot"
+  "causaliot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causaliot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mining_accuracy.dir/bench_mining_accuracy.cpp.o"
+  "CMakeFiles/bench_mining_accuracy.dir/bench_mining_accuracy.cpp.o.d"
+  "bench_mining_accuracy"
+  "bench_mining_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mining_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

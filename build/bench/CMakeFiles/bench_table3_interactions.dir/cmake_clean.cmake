@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_interactions.dir/bench_table3_interactions.cpp.o"
+  "CMakeFiles/bench_table3_interactions.dir/bench_table3_interactions.cpp.o.d"
+  "bench_table3_interactions"
+  "bench_table3_interactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_interactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_contextual.dir/bench_table4_contextual.cpp.o"
+  "CMakeFiles/bench_table4_contextual.dir/bench_table4_contextual.cpp.o.d"
+  "bench_table4_contextual"
+  "bench_table4_contextual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_contextual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

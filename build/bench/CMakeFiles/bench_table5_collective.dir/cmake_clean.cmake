@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_collective.dir/bench_table5_collective.cpp.o"
+  "CMakeFiles/bench_table5_collective.dir/bench_table5_collective.cpp.o.d"
+  "bench_table5_collective"
+  "bench_table5_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

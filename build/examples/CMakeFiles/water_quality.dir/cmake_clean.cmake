@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/water_quality.dir/water_quality.cpp.o"
+  "CMakeFiles/water_quality.dir/water_quality.cpp.o.d"
+  "water_quality"
+  "water_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/water_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

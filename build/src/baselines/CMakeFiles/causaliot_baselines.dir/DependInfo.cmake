@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/hawatcher.cpp" "src/baselines/CMakeFiles/causaliot_baselines.dir/hawatcher.cpp.o" "gcc" "src/baselines/CMakeFiles/causaliot_baselines.dir/hawatcher.cpp.o.d"
+  "/root/repo/src/baselines/markov.cpp" "src/baselines/CMakeFiles/causaliot_baselines.dir/markov.cpp.o" "gcc" "src/baselines/CMakeFiles/causaliot_baselines.dir/markov.cpp.o.d"
+  "/root/repo/src/baselines/ocsvm.cpp" "src/baselines/CMakeFiles/causaliot_baselines.dir/ocsvm.cpp.o" "gcc" "src/baselines/CMakeFiles/causaliot_baselines.dir/ocsvm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/preprocess/CMakeFiles/causaliot_preprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/causaliot_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/causaliot_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/causaliot_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

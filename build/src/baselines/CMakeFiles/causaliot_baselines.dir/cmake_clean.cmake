@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causaliot_baselines.dir/hawatcher.cpp.o"
+  "CMakeFiles/causaliot_baselines.dir/hawatcher.cpp.o.d"
+  "CMakeFiles/causaliot_baselines.dir/markov.cpp.o"
+  "CMakeFiles/causaliot_baselines.dir/markov.cpp.o.d"
+  "CMakeFiles/causaliot_baselines.dir/ocsvm.cpp.o"
+  "CMakeFiles/causaliot_baselines.dir/ocsvm.cpp.o.d"
+  "libcausaliot_baselines.a"
+  "libcausaliot_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causaliot_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

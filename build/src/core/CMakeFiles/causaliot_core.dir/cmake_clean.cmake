@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causaliot_core.dir/evaluation.cpp.o"
+  "CMakeFiles/causaliot_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/causaliot_core.dir/experiment.cpp.o"
+  "CMakeFiles/causaliot_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/causaliot_core.dir/pipeline.cpp.o"
+  "CMakeFiles/causaliot_core.dir/pipeline.cpp.o.d"
+  "libcausaliot_core.a"
+  "libcausaliot_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causaliot_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/alarm_sink.cpp" "src/detect/CMakeFiles/causaliot_detect.dir/alarm_sink.cpp.o" "gcc" "src/detect/CMakeFiles/causaliot_detect.dir/alarm_sink.cpp.o.d"
+  "/root/repo/src/detect/explanation.cpp" "src/detect/CMakeFiles/causaliot_detect.dir/explanation.cpp.o" "gcc" "src/detect/CMakeFiles/causaliot_detect.dir/explanation.cpp.o.d"
+  "/root/repo/src/detect/monitor.cpp" "src/detect/CMakeFiles/causaliot_detect.dir/monitor.cpp.o" "gcc" "src/detect/CMakeFiles/causaliot_detect.dir/monitor.cpp.o.d"
+  "/root/repo/src/detect/phantom_state_machine.cpp" "src/detect/CMakeFiles/causaliot_detect.dir/phantom_state_machine.cpp.o" "gcc" "src/detect/CMakeFiles/causaliot_detect.dir/phantom_state_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/causaliot_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/preprocess/CMakeFiles/causaliot_preprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/causaliot_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/causaliot_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/causaliot_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

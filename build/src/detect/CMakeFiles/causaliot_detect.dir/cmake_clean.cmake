@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causaliot_detect.dir/alarm_sink.cpp.o"
+  "CMakeFiles/causaliot_detect.dir/alarm_sink.cpp.o.d"
+  "CMakeFiles/causaliot_detect.dir/explanation.cpp.o"
+  "CMakeFiles/causaliot_detect.dir/explanation.cpp.o.d"
+  "CMakeFiles/causaliot_detect.dir/monitor.cpp.o"
+  "CMakeFiles/causaliot_detect.dir/monitor.cpp.o.d"
+  "CMakeFiles/causaliot_detect.dir/phantom_state_machine.cpp.o"
+  "CMakeFiles/causaliot_detect.dir/phantom_state_machine.cpp.o.d"
+  "libcausaliot_detect.a"
+  "libcausaliot_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causaliot_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/analysis.cpp" "src/graph/CMakeFiles/causaliot_graph.dir/analysis.cpp.o" "gcc" "src/graph/CMakeFiles/causaliot_graph.dir/analysis.cpp.o.d"
+  "/root/repo/src/graph/cpt.cpp" "src/graph/CMakeFiles/causaliot_graph.dir/cpt.cpp.o" "gcc" "src/graph/CMakeFiles/causaliot_graph.dir/cpt.cpp.o.d"
+  "/root/repo/src/graph/dig.cpp" "src/graph/CMakeFiles/causaliot_graph.dir/dig.cpp.o" "gcc" "src/graph/CMakeFiles/causaliot_graph.dir/dig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/telemetry/CMakeFiles/causaliot_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/causaliot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causaliot_graph.dir/analysis.cpp.o"
+  "CMakeFiles/causaliot_graph.dir/analysis.cpp.o.d"
+  "CMakeFiles/causaliot_graph.dir/cpt.cpp.o"
+  "CMakeFiles/causaliot_graph.dir/cpt.cpp.o.d"
+  "CMakeFiles/causaliot_graph.dir/dig.cpp.o"
+  "CMakeFiles/causaliot_graph.dir/dig.cpp.o.d"
+  "libcausaliot_graph.a"
+  "libcausaliot_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causaliot_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causaliot_inject.dir/injector.cpp.o"
+  "CMakeFiles/causaliot_inject.dir/injector.cpp.o.d"
+  "libcausaliot_inject.a"
+  "libcausaliot_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causaliot_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

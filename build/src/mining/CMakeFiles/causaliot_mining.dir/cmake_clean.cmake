@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causaliot_mining.dir/temporal_pc.cpp.o"
+  "CMakeFiles/causaliot_mining.dir/temporal_pc.cpp.o.d"
+  "libcausaliot_mining.a"
+  "libcausaliot_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causaliot_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for causaliot_mining.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causaliot_preprocess.dir/discretize.cpp.o"
+  "CMakeFiles/causaliot_preprocess.dir/discretize.cpp.o.d"
+  "CMakeFiles/causaliot_preprocess.dir/preprocessor.cpp.o"
+  "CMakeFiles/causaliot_preprocess.dir/preprocessor.cpp.o.d"
+  "CMakeFiles/causaliot_preprocess.dir/series.cpp.o"
+  "CMakeFiles/causaliot_preprocess.dir/series.cpp.o.d"
+  "libcausaliot_preprocess.a"
+  "libcausaliot_preprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causaliot_preprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcausaliot_preprocess.a"
+)

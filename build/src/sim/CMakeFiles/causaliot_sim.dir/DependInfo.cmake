@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/automation.cpp" "src/sim/CMakeFiles/causaliot_sim.dir/automation.cpp.o" "gcc" "src/sim/CMakeFiles/causaliot_sim.dir/automation.cpp.o.d"
+  "/root/repo/src/sim/ground_truth.cpp" "src/sim/CMakeFiles/causaliot_sim.dir/ground_truth.cpp.o" "gcc" "src/sim/CMakeFiles/causaliot_sim.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/sim/physical.cpp" "src/sim/CMakeFiles/causaliot_sim.dir/physical.cpp.o" "gcc" "src/sim/CMakeFiles/causaliot_sim.dir/physical.cpp.o.d"
+  "/root/repo/src/sim/profiles.cpp" "src/sim/CMakeFiles/causaliot_sim.dir/profiles.cpp.o" "gcc" "src/sim/CMakeFiles/causaliot_sim.dir/profiles.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/causaliot_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/causaliot_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/telemetry/CMakeFiles/causaliot_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/causaliot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

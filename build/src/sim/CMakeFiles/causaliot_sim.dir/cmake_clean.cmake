@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causaliot_sim.dir/automation.cpp.o"
+  "CMakeFiles/causaliot_sim.dir/automation.cpp.o.d"
+  "CMakeFiles/causaliot_sim.dir/ground_truth.cpp.o"
+  "CMakeFiles/causaliot_sim.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/causaliot_sim.dir/physical.cpp.o"
+  "CMakeFiles/causaliot_sim.dir/physical.cpp.o.d"
+  "CMakeFiles/causaliot_sim.dir/profiles.cpp.o"
+  "CMakeFiles/causaliot_sim.dir/profiles.cpp.o.d"
+  "CMakeFiles/causaliot_sim.dir/simulator.cpp.o"
+  "CMakeFiles/causaliot_sim.dir/simulator.cpp.o.d"
+  "libcausaliot_sim.a"
+  "libcausaliot_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causaliot_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

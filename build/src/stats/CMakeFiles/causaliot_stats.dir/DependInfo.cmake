@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/cmh.cpp" "src/stats/CMakeFiles/causaliot_stats.dir/cmh.cpp.o" "gcc" "src/stats/CMakeFiles/causaliot_stats.dir/cmh.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/causaliot_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/causaliot_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/gsquare.cpp" "src/stats/CMakeFiles/causaliot_stats.dir/gsquare.cpp.o" "gcc" "src/stats/CMakeFiles/causaliot_stats.dir/gsquare.cpp.o.d"
+  "/root/repo/src/stats/jenks.cpp" "src/stats/CMakeFiles/causaliot_stats.dir/jenks.cpp.o" "gcc" "src/stats/CMakeFiles/causaliot_stats.dir/jenks.cpp.o.d"
+  "/root/repo/src/stats/metrics.cpp" "src/stats/CMakeFiles/causaliot_stats.dir/metrics.cpp.o" "gcc" "src/stats/CMakeFiles/causaliot_stats.dir/metrics.cpp.o.d"
+  "/root/repo/src/stats/special_functions.cpp" "src/stats/CMakeFiles/causaliot_stats.dir/special_functions.cpp.o" "gcc" "src/stats/CMakeFiles/causaliot_stats.dir/special_functions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/causaliot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causaliot_stats.dir/cmh.cpp.o"
+  "CMakeFiles/causaliot_stats.dir/cmh.cpp.o.d"
+  "CMakeFiles/causaliot_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/causaliot_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/causaliot_stats.dir/gsquare.cpp.o"
+  "CMakeFiles/causaliot_stats.dir/gsquare.cpp.o.d"
+  "CMakeFiles/causaliot_stats.dir/jenks.cpp.o"
+  "CMakeFiles/causaliot_stats.dir/jenks.cpp.o.d"
+  "CMakeFiles/causaliot_stats.dir/metrics.cpp.o"
+  "CMakeFiles/causaliot_stats.dir/metrics.cpp.o.d"
+  "CMakeFiles/causaliot_stats.dir/special_functions.cpp.o"
+  "CMakeFiles/causaliot_stats.dir/special_functions.cpp.o.d"
+  "libcausaliot_stats.a"
+  "libcausaliot_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causaliot_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/device.cpp" "src/telemetry/CMakeFiles/causaliot_telemetry.dir/device.cpp.o" "gcc" "src/telemetry/CMakeFiles/causaliot_telemetry.dir/device.cpp.o.d"
+  "/root/repo/src/telemetry/event.cpp" "src/telemetry/CMakeFiles/causaliot_telemetry.dir/event.cpp.o" "gcc" "src/telemetry/CMakeFiles/causaliot_telemetry.dir/event.cpp.o.d"
+  "/root/repo/src/telemetry/jsonl.cpp" "src/telemetry/CMakeFiles/causaliot_telemetry.dir/jsonl.cpp.o" "gcc" "src/telemetry/CMakeFiles/causaliot_telemetry.dir/jsonl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/causaliot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

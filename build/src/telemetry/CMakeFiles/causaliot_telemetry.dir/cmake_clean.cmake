@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causaliot_telemetry.dir/device.cpp.o"
+  "CMakeFiles/causaliot_telemetry.dir/device.cpp.o.d"
+  "CMakeFiles/causaliot_telemetry.dir/event.cpp.o"
+  "CMakeFiles/causaliot_telemetry.dir/event.cpp.o.d"
+  "CMakeFiles/causaliot_telemetry.dir/jsonl.cpp.o"
+  "CMakeFiles/causaliot_telemetry.dir/jsonl.cpp.o.d"
+  "libcausaliot_telemetry.a"
+  "libcausaliot_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causaliot_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

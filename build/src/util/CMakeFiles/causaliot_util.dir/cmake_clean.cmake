@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causaliot_util.dir/csv.cpp.o"
+  "CMakeFiles/causaliot_util.dir/csv.cpp.o.d"
+  "CMakeFiles/causaliot_util.dir/log.cpp.o"
+  "CMakeFiles/causaliot_util.dir/log.cpp.o.d"
+  "CMakeFiles/causaliot_util.dir/result.cpp.o"
+  "CMakeFiles/causaliot_util.dir/result.cpp.o.d"
+  "CMakeFiles/causaliot_util.dir/rng.cpp.o"
+  "CMakeFiles/causaliot_util.dir/rng.cpp.o.d"
+  "CMakeFiles/causaliot_util.dir/strings.cpp.o"
+  "CMakeFiles/causaliot_util.dir/strings.cpp.o.d"
+  "libcausaliot_util.a"
+  "libcausaliot_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causaliot_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alarm_sink.dir/test_alarm_sink.cpp.o"
+  "CMakeFiles/test_alarm_sink.dir/test_alarm_sink.cpp.o.d"
+  "test_alarm_sink"
+  "test_alarm_sink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alarm_sink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

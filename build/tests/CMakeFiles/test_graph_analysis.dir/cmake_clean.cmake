@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_analysis.dir/test_graph_analysis.cpp.o"
+  "CMakeFiles/test_graph_analysis.dir/test_graph_analysis.cpp.o.d"
+  "test_graph_analysis"
+  "test_graph_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mining.dir/test_mining.cpp.o"
+  "CMakeFiles/test_mining.dir/test_mining.cpp.o.d"
+  "test_mining"
+  "test_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preprocess_series.dir/test_preprocess_series.cpp.o"
+  "CMakeFiles/test_preprocess_series.dir/test_preprocess_series.cpp.o.d"
+  "test_preprocess_series"
+  "test_preprocess_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preprocess_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_dynamics.dir/test_sim_dynamics.cpp.o"
+  "CMakeFiles/test_sim_dynamics.dir/test_sim_dynamics.cpp.o.d"
+  "test_sim_dynamics"
+  "test_sim_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_stats_cmh.cpp" "tests/CMakeFiles/test_stats_cmh.dir/test_stats_cmh.cpp.o" "gcc" "tests/CMakeFiles/test_stats_cmh.dir/test_stats_cmh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/causaliot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/causaliot_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/causaliot_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/causaliot_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/causaliot_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/inject/CMakeFiles/causaliot_inject.dir/DependInfo.cmake"
+  "/root/repo/build/src/preprocess/CMakeFiles/causaliot_preprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/causaliot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/causaliot_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/causaliot_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/causaliot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

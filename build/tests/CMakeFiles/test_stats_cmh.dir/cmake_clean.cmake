@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_cmh.dir/test_stats_cmh.cpp.o"
+  "CMakeFiles/test_stats_cmh.dir/test_stats_cmh.cpp.o.d"
+  "test_stats_cmh"
+  "test_stats_cmh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_cmh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_gsquare.dir/test_stats_gsquare.cpp.o"
+  "CMakeFiles/test_stats_gsquare.dir/test_stats_gsquare.cpp.o.d"
+  "test_stats_gsquare"
+  "test_stats_gsquare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_gsquare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_jenks.dir/test_stats_jenks.cpp.o"
+  "CMakeFiles/test_stats_jenks.dir/test_stats_jenks.cpp.o.d"
+  "test_stats_jenks"
+  "test_stats_jenks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_jenks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_special.dir/test_stats_special.cpp.o"
+  "CMakeFiles/test_stats_special.dir/test_stats_special.cpp.o.d"
+  "test_stats_special"
+  "test_stats_special.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_special.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_telemetry_jsonl.dir/test_telemetry_jsonl.cpp.o"
+  "CMakeFiles/test_telemetry_jsonl.dir/test_telemetry_jsonl.cpp.o.d"
+  "test_telemetry_jsonl"
+  "test_telemetry_jsonl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_telemetry_jsonl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

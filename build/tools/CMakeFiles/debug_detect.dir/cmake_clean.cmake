@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_detect.dir/debug_detect.cpp.o"
+  "CMakeFiles/debug_detect.dir/debug_detect.cpp.o.d"
+  "debug_detect"
+  "debug_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

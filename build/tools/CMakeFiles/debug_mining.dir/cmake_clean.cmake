@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_mining.dir/debug_mining.cpp.o"
+  "CMakeFiles/debug_mining.dir/debug_mining.cpp.o.d"
+  "debug_mining"
+  "debug_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
