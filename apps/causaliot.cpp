@@ -131,6 +131,8 @@ int cmd_train(const Args& args) {
   config.percentile_q = args.get_double("q", 99.0);
   config.laplace_alpha = args.get_double("laplace", 0.1);
   config.min_samples_per_dof = args.get_double("guard", 10.0);
+  config.mining_threads =
+      static_cast<std::size_t>(args.get_u64("threads", 1));
   core::Pipeline pipeline(config);
   const core::TrainedModel model = pipeline.train(*log);
 
@@ -254,7 +256,7 @@ void usage() {
       "  simulate --out trace.csv [--profile contextact|casas] [--days N]"
       " [--seed N] [--format csv|jsonl]\n"
       "  train    --trace trace.csv --out model.dig [--profile P] [--tau N]"
-      " [--alpha A] [--q Q] [--laplace L]\n"
+      " [--alpha A] [--q Q] [--laplace L] [--threads N (0 = all cores)]\n"
       "  monitor  --model model.dig --trace live.csv [--profile P]"
       " [--kmax K] [--threshold C]\n"
       "  inspect  --model model.dig [--profile P] [--dot out.dot]\n");

@@ -10,6 +10,7 @@
 #include "causaliot/preprocess/series.hpp"
 #include "causaliot/stats/gsquare.hpp"
 #include "causaliot/util/rng.hpp"
+#include "causaliot/util/thread_pool.hpp"
 
 namespace {
 
@@ -59,6 +60,33 @@ void BM_TemporalPCMining(benchmark::State& bench_state) {
 }
 BENCHMARK(BM_TemporalPCMining)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(22)
     ->Unit(benchmark::kMillisecond);
+
+// Thread-count sweep at the ContextAct scale (n = 22 devices): per-child
+// discovery fans out over a reusable pool (hoisted out of the timed loop,
+// as a long-running service would hold it). The result is bit-identical
+// to the serial run at every thread count.
+void BM_TemporalPCMiningThreads(benchmark::State& bench_state) {
+  const auto threads = static_cast<std::size_t>(bench_state.range(0));
+  const std::size_t device_count = 22;
+  const preprocess::StateSeries series =
+      synthetic_series(device_count, 4000, 42);
+  mining::MinerConfig config;
+  config.max_lag = 2;
+  config.alpha = 0.001;
+  const mining::InteractionMiner miner(config);
+  util::ThreadPool pool(threads);
+  std::size_t edges = 0;
+  for (auto _ : bench_state) {
+    graph::InteractionGraph graph =
+        miner.mine(series, nullptr, threads > 1 ? &pool : nullptr);
+    edges = graph.edge_count();
+    benchmark::DoNotOptimize(edges);
+  }
+  bench_state.counters["threads"] = static_cast<double>(threads);
+  bench_state.counters["edges"] = static_cast<double>(edges);
+}
+BENCHMARK(BM_TemporalPCMiningThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_MonitorPerEvent(benchmark::State& bench_state) {
   const std::size_t device_count = 22;
@@ -115,6 +143,47 @@ void BM_GSquareTest(benchmark::State& bench_state) {
       static_cast<std::int64_t>(sample_count));
 }
 BENCHMARK(BM_GSquareTest)
+    ->Args({1000, 0})
+    ->Args({10000, 0})
+    ->Args({10000, 2})
+    ->Args({10000, 4})
+    ->Args({100000, 2});
+
+// The miner's actual hot path: packed columns + reused scratch.
+void BM_GSquareTestPacked(benchmark::State& bench_state) {
+  const auto sample_count = static_cast<std::size_t>(bench_state.range(0));
+  const auto conditioning = static_cast<std::size_t>(bench_state.range(1));
+  util::Rng rng(5);
+  std::vector<std::uint8_t> x(sample_count);
+  std::vector<std::uint8_t> y(sample_count);
+  std::vector<std::vector<std::uint8_t>> z(conditioning,
+                                           std::vector<std::uint8_t>(
+                                               sample_count));
+  for (std::size_t i = 0; i < sample_count; ++i) {
+    x[i] = static_cast<std::uint8_t>(rng.uniform(2));
+    y[i] = static_cast<std::uint8_t>((x[i] + rng.uniform(2)) % 2);
+    for (auto& column : z) {
+      column[i] = static_cast<std::uint8_t>(rng.uniform(2));
+    }
+  }
+  const stats::PackedColumn px{std::span<const std::uint8_t>(x)};
+  const stats::PackedColumn py{std::span<const std::uint8_t>(y)};
+  std::vector<stats::PackedColumn> pz;
+  for (const auto& column : z) {
+    pz.emplace_back(std::span<const std::uint8_t>(column));
+  }
+  std::vector<const stats::PackedColumn*> z_ptrs;
+  for (const auto& column : pz) z_ptrs.push_back(&column);
+  stats::CiTestContext context;
+  for (auto _ : bench_state) {
+    benchmark::DoNotOptimize(
+        stats::g_square_test(px, py, z_ptrs, {}, context));
+  }
+  bench_state.SetItemsProcessed(
+      static_cast<std::int64_t>(bench_state.iterations()) *
+      static_cast<std::int64_t>(sample_count));
+}
+BENCHMARK(BM_GSquareTestPacked)
     ->Args({1000, 0})
     ->Args({10000, 0})
     ->Args({10000, 2})

@@ -42,6 +42,7 @@ TrainedModel Pipeline::train_on_series(const preprocess::StateSeries& series,
   miner_config.stable = config_.pc_stable;
   miner_config.ci_test = config_.use_cmh_test ? mining::CiTest::kCmh
                                               : mining::CiTest::kGSquare;
+  miner_config.threads = config_.mining_threads;
   const mining::InteractionMiner miner(miner_config);
 
   TrainedModel model;

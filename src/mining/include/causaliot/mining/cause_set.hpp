@@ -1,0 +1,85 @@
+// Indexed candidate-cause set for TemporalPC.
+//
+// Algorithm 1 starts from the full grid of lagged candidates
+// {(device, lag) : device < n, lag in [1, tau]} and only ever *removes*
+// members. Keying each node to the dense index (lag - 1) * n + device
+// gives O(1) membership tests and removals via an alive-flag array,
+// replacing the O(|Ca|) std::find scans the level-wise loop used to run
+// per parent (three per tested edge). Iteration order is the canonical
+// enumeration order (lag-major, then device) — the exact order the
+// original vector preserved across erasures, so skeletons are unchanged.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "causaliot/graph/cpt.hpp"
+#include "causaliot/util/check.hpp"
+
+namespace causaliot::mining {
+
+class CauseSet {
+ public:
+  /// Starts full: every (device, lag) with device < device_count and
+  /// lag in [1, max_lag] is a member.
+  CauseSet(std::size_t device_count, std::size_t max_lag)
+      : device_count_(device_count),
+        max_lag_(max_lag),
+        alive_(device_count * max_lag, 1),
+        size_(device_count * max_lag) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Dense index of `node` in canonical enumeration order.
+  std::size_t index_of(graph::LaggedNode node) const {
+    CAUSALIOT_CHECK(node.device < device_count_);
+    CAUSALIOT_CHECK(node.lag >= 1 && node.lag <= max_lag_);
+    return (node.lag - 1) * device_count_ + node.device;
+  }
+
+  bool contains(graph::LaggedNode node) const {
+    return alive_[index_of(node)] != 0;
+  }
+
+  /// Removes `node`; must currently be a member (CHECKed — Algorithm 1
+  /// never removes an edge twice).
+  void remove(graph::LaggedNode node) {
+    std::uint8_t& flag = alive_[index_of(node)];
+    CAUSALIOT_CHECK_MSG(flag != 0, "removing a non-member cause");
+    flag = 0;
+    --size_;
+  }
+
+  /// Visits members in canonical (lag-major, then device) order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::size_t index = 0;
+    for (std::uint32_t lag = 1; lag <= max_lag_; ++lag) {
+      for (telemetry::DeviceId device = 0; device < device_count_; ++device) {
+        if (alive_[index++] != 0) fn(graph::LaggedNode{device, lag});
+      }
+    }
+  }
+
+  /// Members in canonical (lag-major, then device) order.
+  std::vector<graph::LaggedNode> to_vector() const {
+    std::vector<graph::LaggedNode> members;
+    members.reserve(size_);
+    std::size_t index = 0;
+    for (std::uint32_t lag = 1; lag <= max_lag_; ++lag) {
+      for (telemetry::DeviceId device = 0; device < device_count_; ++device) {
+        if (alive_[index++] != 0) members.push_back({device, lag});
+      }
+    }
+    return members;
+  }
+
+ private:
+  std::size_t device_count_ = 0;
+  std::size_t max_lag_ = 0;
+  std::vector<std::uint8_t> alive_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace causaliot::mining

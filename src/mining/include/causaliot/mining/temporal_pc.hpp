@@ -14,6 +14,7 @@
 #include "causaliot/graph/dig.hpp"
 #include "causaliot/preprocess/series.hpp"
 #include "causaliot/stats/gsquare.hpp"
+#include "causaliot/util/thread_pool.hpp"
 
 namespace causaliot::mining {
 
@@ -43,6 +44,10 @@ struct MinerConfig {
   bool stable = false;
   /// Conditional-independence test statistic.
   CiTest ci_test = CiTest::kGSquare;
+  /// Worker threads for mine(): children are discovered in parallel (each
+  /// child's Algorithm 1 run is independent, so the result is identical to
+  /// the serial run). 1 = serial; 0 = hardware concurrency.
+  std::size_t threads = 1;
 };
 
 /// Why a candidate edge was removed — the paper distinguishes marginally
@@ -78,8 +83,13 @@ class InteractionMiner {
       MiningDiagnostics* diagnostics = nullptr) const;
 
   /// Full DIG construction: skeleton for every device + CPT estimation.
+  /// With config().threads != 1 the per-child discovery runs on a worker
+  /// pool; skeleton, CPTs, and diagnostics (merged in child order) are
+  /// bit-identical to the serial run. Pass `pool` to reuse an existing
+  /// pool across mines (its size then overrides config().threads).
   graph::InteractionGraph mine(const preprocess::StateSeries& series,
-                               MiningDiagnostics* diagnostics = nullptr) const;
+                               MiningDiagnostics* diagnostics = nullptr,
+                               util::ThreadPool* pool = nullptr) const;
 
   /// MLE CPT estimation over all snapshots (counts of child state per
   /// cause assignment). Adds on top of any existing counts; mine() calls

@@ -1,7 +1,9 @@
 #include "causaliot/mining/temporal_pc.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "causaliot/mining/cause_set.hpp"
 #include "causaliot/stats/cmh.hpp"
 #include "causaliot/util/check.hpp"
 
@@ -35,6 +37,179 @@ bool for_each_combination(std::size_t n, std::size_t k, Fn&& fn) {
   }
 }
 
+// Raw spans plus bit-packed forms of every lagged column the CI tests can
+// ask for, all aligned to first_snapshot = tau. Built once per mine() and
+// shared read-only across worker threads; index (lag, device) with lag 0
+// holding the present-time (child) columns.
+struct ColumnCache {
+  std::size_t device_count = 0;
+  std::vector<std::span<const std::uint8_t>> raw;
+  std::vector<stats::PackedColumn> packed;
+
+  ColumnCache(const preprocess::StateSeries& series, std::size_t tau) {
+    device_count = series.device_count();
+    const std::size_t column_count = device_count * (tau + 1);
+    raw.reserve(column_count);
+    packed.reserve(column_count);
+    for (std::uint32_t lag = 0; lag <= tau; ++lag) {
+      for (telemetry::DeviceId device = 0; device < device_count; ++device) {
+        raw.push_back(series.lagged_column(device, lag, tau));
+        packed.emplace_back(raw.back());
+      }
+    }
+  }
+
+  std::size_t index_of(telemetry::DeviceId device, std::uint32_t lag) const {
+    return static_cast<std::size_t>(lag) * device_count + device;
+  }
+  std::span<const std::uint8_t> raw_of(graph::LaggedNode node) const {
+    return raw[index_of(node.device, node.lag)];
+  }
+  const stats::PackedColumn& packed_of(graph::LaggedNode node) const {
+    return packed[index_of(node.device, node.lag)];
+  }
+};
+
+// One Algorithm 1 run for a single child against a prebuilt column cache,
+// reusing `context`'s scratch across every CI test.
+std::vector<graph::LaggedNode> discover_causes_cached(
+    const MinerConfig& config, const preprocess::StateSeries& series,
+    telemetry::DeviceId child, MiningDiagnostics* diagnostics,
+    const ColumnCache& cache, stats::CiTestContext& context) {
+  const std::size_t n = series.device_count();
+  const std::size_t tau = config.max_lag;
+  CAUSALIOT_CHECK(child < n);
+  CAUSALIOT_CHECK_MSG(series.length() > tau,
+                      "series shorter than the maximum lag");
+
+  // Line 5: the preliminary cause set is every lagged state, and every
+  // edge is already oriented lagged -> present.
+  CauseSet causes(n, tau);
+  if (diagnostics != nullptr) diagnostics->candidate_edges += causes.size();
+
+  const auto child_raw = cache.raw_of({child, 0});
+  const stats::PackedColumn& child_packed = cache.packed_of({child, 0});
+  const stats::GSquareOptions test_options{config.min_samples_per_dof};
+
+  std::vector<graph::LaggedNode> pool;
+  std::vector<std::span<const std::uint8_t>> z_columns;
+  std::vector<const stats::PackedColumn*> z_packed;
+
+  // Lines 6-21: level-wise conditional-independence pruning.
+  std::size_t l = 0;
+  while (l <= n * tau) {
+    // Line 9: terminate once no conditioning set of size l can be formed.
+    if (causes.size() < l + 1) break;
+    if (l > config.max_condition_size) break;
+    // The packed kernel's per-word cost is O(2^l); beyond the crossover it
+    // loses to the per-row kernel, so fall back to raw spans.
+    const bool use_packed = l <= stats::kPackedConditioningLimit;
+
+    // Iterate over a fixed copy of the current parents. In Algorithm 1's
+    // printed form removals take effect immediately; the PC-stable
+    // variant defers them to the end of the level so conditioning pools
+    // are order-independent.
+    const std::vector<graph::LaggedNode> parents_at_level = causes.to_vector();
+    std::vector<graph::LaggedNode> deferred_removals;
+    for (const graph::LaggedNode& parent : parents_at_level) {
+      // The parent may have been removed while testing an earlier one.
+      if (!causes.contains(parent)) continue;
+
+      // Candidate conditioning variables: the current causes (or, for
+      // PC-stable, the level-start causes) minus the parent.
+      pool.clear();
+      if (config.stable) {
+        for (const graph::LaggedNode& c : parents_at_level) {
+          if (!(c == parent)) pool.push_back(c);
+        }
+      } else {
+        causes.for_each([&](graph::LaggedNode c) {
+          if (!(c == parent)) pool.push_back(c);
+        });
+      }
+      if (pool.size() < l) continue;
+
+      bool removed = false;
+      for_each_combination(pool.size(), l, [&](const std::vector<std::size_t>&
+                                                   subset) {
+        stats::GSquareResult test;
+        if (use_packed) {
+          z_packed.clear();
+          z_packed.reserve(l);
+          for (std::size_t index : subset) {
+            z_packed.push_back(&cache.packed_of(pool[index]));
+          }
+          if (config.ci_test == CiTest::kCmh) {
+            const stats::CmhResult cmh = stats::cmh_test(
+                cache.packed_of(parent), child_packed, z_packed, context);
+            test.statistic = cmh.statistic;
+            test.p_value = cmh.p_value;
+            test.sample_count = cmh.sample_count;
+            test.dof = 1.0;
+          } else {
+            test = stats::g_square_test(cache.packed_of(parent), child_packed,
+                                        z_packed, test_options, context);
+          }
+        } else {
+          z_columns.clear();
+          z_columns.reserve(l);
+          for (std::size_t index : subset) {
+            z_columns.push_back(cache.raw_of(pool[index]));
+          }
+          if (config.ci_test == CiTest::kCmh) {
+            const stats::CmhResult cmh = stats::cmh_test(
+                cache.raw_of(parent), child_raw, z_columns, context);
+            test.statistic = cmh.statistic;
+            test.p_value = cmh.p_value;
+            test.sample_count = cmh.sample_count;
+            test.dof = 1.0;
+          } else {
+            test = stats::g_square_test(cache.raw_of(parent), child_raw,
+                                        z_columns, test_options, context);
+          }
+        }
+        if (diagnostics != nullptr) ++diagnostics->tests_run;
+        // A test skipped for insufficient samples carries no evidence of
+        // independence — only a *valid* test may remove the edge.
+        if (test.p_value > config.alpha && !test.skipped_insufficient_data) {
+          // Independent given this set: remove the edge (Line 16).
+          if (diagnostics != nullptr) {
+            RemovalRecord record;
+            record.cause = parent;
+            record.child = child;
+            record.condition_size = l;
+            record.p_value = test.p_value;
+            for (std::size_t index : subset) {
+              record.separating_set.push_back(pool[index]);
+            }
+            diagnostics->removals.push_back(std::move(record));
+          }
+          removed = true;
+          return false;  // stop enumerating subsets for this parent
+        }
+        return true;
+      });
+      if (removed) {
+        if (config.stable) {
+          deferred_removals.push_back(parent);
+        } else {
+          causes.remove(parent);
+        }
+      }
+    }
+    for (const graph::LaggedNode& parent : deferred_removals) {
+      causes.remove(parent);
+    }
+    ++l;
+  }
+
+  // CauseSet iterates lag-major, which is already LaggedNode's canonical
+  // order; the sort stays as a belt-and-braces invariant.
+  std::vector<graph::LaggedNode> result = causes.to_vector();
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
 }  // namespace
 
 std::size_t MiningDiagnostics::removed_marginal() const {
@@ -58,125 +233,55 @@ InteractionMiner::InteractionMiner(MinerConfig config) : config_(config) {
 std::vector<graph::LaggedNode> InteractionMiner::discover_causes(
     const preprocess::StateSeries& series, telemetry::DeviceId child,
     MiningDiagnostics* diagnostics) const {
-  const std::size_t n = series.device_count();
-  const std::size_t tau = config_.max_lag;
-  CAUSALIOT_CHECK(child < n);
-  CAUSALIOT_CHECK_MSG(series.length() > tau,
+  CAUSALIOT_CHECK_MSG(series.length() > config_.max_lag,
                       "series shorter than the maximum lag");
-
-  // Line 5: the preliminary cause set is every lagged state, and every
-  // edge is already oriented lagged -> present.
-  std::vector<graph::LaggedNode> causes;
-  causes.reserve(n * tau);
-  for (std::uint32_t lag = 1; lag <= tau; ++lag) {
-    for (telemetry::DeviceId device = 0; device < n; ++device) {
-      causes.push_back({device, lag});
-    }
-  }
-  if (diagnostics != nullptr) diagnostics->candidate_edges += causes.size();
-
-  const auto child_column = series.lagged_column(child, 0, tau);
-  const auto column_of = [&](const graph::LaggedNode& node) {
-    return series.lagged_column(node.device, node.lag, tau);
-  };
-  const stats::GSquareOptions test_options{config_.min_samples_per_dof};
-
-  // Lines 6-21: level-wise conditional-independence pruning.
-  std::size_t l = 0;
-  while (l <= n * tau) {
-    // Line 9: terminate once no conditioning set of size l can be formed.
-    if (causes.size() < l + 1) break;
-    if (l > config_.max_condition_size) break;
-
-    // Iterate over a fixed copy of the current parents. In Algorithm 1's
-    // printed form removals take effect immediately; the PC-stable
-    // variant defers them to the end of the level so conditioning pools
-    // are order-independent.
-    const std::vector<graph::LaggedNode> parents_at_level = causes;
-    std::vector<graph::LaggedNode> deferred_removals;
-    for (const graph::LaggedNode& parent : parents_at_level) {
-      // The parent may have been removed while testing an earlier one.
-      auto parent_it = std::find(causes.begin(), causes.end(), parent);
-      if (parent_it == causes.end()) continue;
-
-      // Candidate conditioning variables: the current causes (or, for
-      // PC-stable, the level-start causes) minus the parent.
-      const std::vector<graph::LaggedNode>& pool_source =
-          config_.stable ? parents_at_level : causes;
-      std::vector<graph::LaggedNode> pool;
-      pool.reserve(pool_source.size());
-      for (const graph::LaggedNode& c : pool_source) {
-        if (!(c == parent)) pool.push_back(c);
-      }
-      if (pool.size() < l) continue;
-
-      const auto parent_column = column_of(parent);
-      bool removed = false;
-      for_each_combination(pool.size(), l, [&](const std::vector<std::size_t>&
-                                                   subset) {
-        std::vector<std::span<const std::uint8_t>> z_columns;
-        z_columns.reserve(l);
-        for (std::size_t index : subset) {
-          z_columns.push_back(column_of(pool[index]));
-        }
-        stats::GSquareResult test;
-        if (config_.ci_test == CiTest::kCmh) {
-          const stats::CmhResult cmh =
-              stats::cmh_test(parent_column, child_column, z_columns);
-          test.statistic = cmh.statistic;
-          test.p_value = cmh.p_value;
-          test.sample_count = cmh.sample_count;
-          test.dof = 1.0;
-        } else {
-          test = stats::g_square_test(parent_column, child_column, z_columns,
-                                      test_options);
-        }
-        if (diagnostics != nullptr) ++diagnostics->tests_run;
-        // A test skipped for insufficient samples carries no evidence of
-        // independence — only a *valid* test may remove the edge.
-        if (test.p_value > config_.alpha && !test.skipped_insufficient_data) {
-          // Independent given this set: remove the edge (Line 16).
-          if (diagnostics != nullptr) {
-            RemovalRecord record;
-            record.cause = parent;
-            record.child = child;
-            record.condition_size = l;
-            record.p_value = test.p_value;
-            for (std::size_t index : subset) {
-              record.separating_set.push_back(pool[index]);
-            }
-            diagnostics->removals.push_back(std::move(record));
-          }
-          removed = true;
-          return false;  // stop enumerating subsets for this parent
-        }
-        return true;
-      });
-      if (removed) {
-        if (config_.stable) {
-          deferred_removals.push_back(parent);
-        } else {
-          causes.erase(std::find(causes.begin(), causes.end(), parent));
-        }
-      }
-    }
-    for (const graph::LaggedNode& parent : deferred_removals) {
-      causes.erase(std::find(causes.begin(), causes.end(), parent));
-    }
-    ++l;
-  }
-
-  std::sort(causes.begin(), causes.end());
-  return causes;
+  const ColumnCache cache(series, config_.max_lag);
+  stats::CiTestContext context;
+  return discover_causes_cached(config_, series, child, diagnostics, cache,
+                                context);
 }
 
 graph::InteractionGraph InteractionMiner::mine(
-    const preprocess::StateSeries& series,
-    MiningDiagnostics* diagnostics) const {
-  graph::InteractionGraph graph(series.device_count(), config_.max_lag);
-  for (telemetry::DeviceId child = 0; child < series.device_count();
-       ++child) {
-    graph.set_causes(child, discover_causes(series, child, diagnostics));
+    const preprocess::StateSeries& series, MiningDiagnostics* diagnostics,
+    util::ThreadPool* pool) const {
+  const std::size_t n = series.device_count();
+  graph::InteractionGraph graph(n, config_.max_lag);
+  CAUSALIOT_CHECK_MSG(series.length() > config_.max_lag,
+                      "series shorter than the maximum lag");
+  const ColumnCache cache(series, config_.max_lag);
+
+  // Each child's discovery is independent: workers write only their own
+  // slot, so any schedule produces the serial result. Diagnostics are
+  // collected per child and merged in child order below — the exact
+  // sequence the serial loop would have appended.
+  std::vector<std::vector<graph::LaggedNode>> causes_per_child(n);
+  std::vector<MiningDiagnostics> diagnostics_per_child(
+      diagnostics != nullptr ? n : 0);
+
+  std::optional<util::ThreadPool> own_pool;
+  if (pool == nullptr && util::resolve_thread_count(config_.threads) > 1) {
+    own_pool.emplace(config_.threads);
+    pool = &*own_pool;
+  }
+  util::parallel_for(pool, 0, n, [&](std::size_t child) {
+    stats::CiTestContext context;
+    causes_per_child[child] = discover_causes_cached(
+        config_, series, static_cast<telemetry::DeviceId>(child),
+        diagnostics != nullptr ? &diagnostics_per_child[child] : nullptr,
+        cache, context);
+  });
+
+  for (telemetry::DeviceId child = 0; child < n; ++child) {
+    graph.set_causes(child, std::move(causes_per_child[child]));
+    if (diagnostics != nullptr) {
+      MiningDiagnostics& local = diagnostics_per_child[child];
+      diagnostics->tests_run += local.tests_run;
+      diagnostics->candidate_edges += local.candidate_edges;
+      diagnostics->removals.insert(
+          diagnostics->removals.end(),
+          std::make_move_iterator(local.removals.begin()),
+          std::make_move_iterator(local.removals.end()));
+    }
   }
   estimate_cpts(series, graph);
   return graph;

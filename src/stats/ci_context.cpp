@@ -1,0 +1,81 @@
+#include "causaliot/stats/ci_context.hpp"
+
+#include <bit>
+
+#include "causaliot/util/check.hpp"
+
+namespace causaliot::stats {
+
+PackedColumn::PackedColumn(std::span<const std::uint8_t> column)
+    : size_(column.size()), words_((column.size() + 63) / 64, 0) {
+  for (std::size_t row = 0; row < size_; ++row) {
+    CAUSALIOT_CHECK_MSG(column[row] <= 1, "non-binary column value");
+    words_[row / 64] |=
+        static_cast<std::uint64_t>(column[row]) << (row % 64);
+  }
+}
+
+std::span<const std::uint64_t> CiTestContext::count_strata(
+    std::span<const std::uint8_t> x, std::span<const std::uint8_t> y,
+    std::span<const std::span<const std::uint8_t>> z) {
+  const std::size_t n = x.size();
+  const std::size_t stratum_count = std::size_t{1} << z.size();
+  counts_.assign(stratum_count * 4, 0);
+  for (std::size_t row = 0; row < n; ++row) {
+    std::size_t key = 0;
+    for (std::size_t j = 0; j < z.size(); ++j) {
+      CAUSALIOT_CHECK_MSG(z[j][row] <= 1, "non-binary conditioning value");
+      key |= static_cast<std::size_t>(z[j][row]) << j;
+    }
+    CAUSALIOT_CHECK_MSG(x[row] <= 1 && y[row] <= 1, "non-binary test value");
+    ++counts_[key * 4 + static_cast<std::size_t>(x[row]) * 2 + y[row]];
+  }
+  return {counts_.data(), stratum_count * 4};
+}
+
+std::span<const std::uint64_t> CiTestContext::count_strata(
+    const PackedColumn& x, const PackedColumn& y,
+    std::span<const PackedColumn* const> z) {
+  const std::size_t n = x.size();
+  const std::size_t l = z.size();
+  const std::size_t stratum_count = std::size_t{1} << l;
+  counts_.assign(stratum_count * 4, 0);
+
+  const std::uint64_t* x_words = x.words().data();
+  const std::uint64_t* y_words = y.words().data();
+  const std::uint64_t* z_words[kPackedConditioningLimit] = {};
+  CAUSALIOT_CHECK_MSG(l <= kPackedConditioningLimit,
+                      "conditioning set too large for the packed kernel");
+  for (std::size_t j = 0; j < l; ++j) z_words[j] = z[j]->words().data();
+
+  const std::size_t word_count = (n + 63) / 64;
+  for (std::size_t w = 0; w < word_count; ++w) {
+    // Rows past n sit as zero padding in every column; mask them out so
+    // they don't count toward stratum 0 / cell (0, 0).
+    const std::uint64_t valid =
+        (w + 1 == word_count && n % 64 != 0)
+            ? (std::uint64_t{1} << (n % 64)) - 1
+            : ~std::uint64_t{0};
+    const std::uint64_t xw = x_words[w];
+    const std::uint64_t yw = y_words[w];
+    for (std::size_t key = 0; key < stratum_count; ++key) {
+      std::uint64_t stratum_mask = valid;
+      for (std::size_t j = 0; j < l; ++j) {
+        const std::uint64_t zw = z_words[j][w];
+        stratum_mask &= (key >> j & 1U) != 0 ? zw : ~zw;
+      }
+      if (stratum_mask == 0) continue;
+      counts_[key * 4 + 0] +=
+          static_cast<std::uint64_t>(std::popcount(stratum_mask & ~xw & ~yw));
+      counts_[key * 4 + 1] +=
+          static_cast<std::uint64_t>(std::popcount(stratum_mask & ~xw & yw));
+      counts_[key * 4 + 2] +=
+          static_cast<std::uint64_t>(std::popcount(stratum_mask & xw & ~yw));
+      counts_[key * 4 + 3] +=
+          static_cast<std::uint64_t>(std::popcount(stratum_mask & xw & yw));
+    }
+  }
+  return {counts_.data(), stratum_count * 4};
+}
+
+}  // namespace causaliot::stats

@@ -1,73 +1,88 @@
 #include "causaliot/stats/cmh.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <vector>
 
 #include "causaliot/stats/special_functions.hpp"
 #include "causaliot/util/check.hpp"
 
 namespace causaliot::stats {
 
-CmhResult cmh_test(std::span<const std::uint8_t> x,
-                   std::span<const std::uint8_t> y,
-                   std::span<const std::span<const std::uint8_t>> z) {
-  const std::size_t n = x.size();
-  CAUSALIOT_CHECK_MSG(y.size() == n, "column length mismatch");
-  CAUSALIOT_CHECK_MSG(z.size() <= 20, "conditioning set too large");
-  for (const auto& column : z) {
-    CAUSALIOT_CHECK_MSG(column.size() == n, "column length mismatch");
-  }
+namespace {
 
+// Computes the statistic from stratum-major 2x2 counts
+// (counts[key * 4 + x * 2 + y], see CiTestContext::count_strata).
+CmhResult cmh_from_counts(std::span<const std::uint64_t> counts,
+                          std::size_t sample_count) {
   CmhResult result;
-  result.sample_count = n;
-  if (n == 0) return result;
-
-  struct Table {
-    double a = 0.0;  // x=1, y=1
-    double b = 0.0;  // x=1, y=0
-    double c = 0.0;  // x=0, y=1
-    double d = 0.0;  // x=0, y=0
-    double total() const { return a + b + c + d; }
-  };
-  const std::size_t stratum_count = std::size_t{1} << z.size();
-  std::vector<Table> strata(stratum_count);
-  for (std::size_t row = 0; row < n; ++row) {
-    std::size_t key = 0;
-    for (std::size_t j = 0; j < z.size(); ++j) {
-      CAUSALIOT_CHECK_MSG(z[j][row] <= 1, "non-binary conditioning value");
-      key |= static_cast<std::size_t>(z[j][row]) << j;
-    }
-    CAUSALIOT_CHECK_MSG(x[row] <= 1 && y[row] <= 1, "non-binary test value");
-    Table& table = strata[key];
-    if (x[row] == 1) {
-      (y[row] == 1 ? table.a : table.b) += 1.0;
-    } else {
-      (y[row] == 1 ? table.c : table.d) += 1.0;
-    }
-  }
+  result.sample_count = sample_count;
 
   double deviation_sum = 0.0;
   double variance_sum = 0.0;
-  for (const Table& t : strata) {
-    const double total = t.total();
+  for (std::size_t key = 0; key * 4 < counts.size(); ++key) {
+    const double a = static_cast<double>(counts[key * 4 + 3]);  // x=1, y=1
+    const double b = static_cast<double>(counts[key * 4 + 2]);  // x=1, y=0
+    const double c = static_cast<double>(counts[key * 4 + 1]);  // x=0, y=1
+    const double d = static_cast<double>(counts[key * 4 + 0]);  // x=0, y=0
+    const double total = a + b + c + d;
     if (total < 2.0) continue;
-    const double row1 = t.a + t.b;
-    const double col1 = t.a + t.c;
-    const double row0 = t.c + t.d;
-    const double col0 = t.b + t.d;
+    const double row1 = a + b;
+    const double col1 = a + c;
+    const double row0 = c + d;
+    const double col0 = b + d;
     if (row1 == 0.0 || row0 == 0.0 || col1 == 0.0 || col0 == 0.0) continue;
-    deviation_sum += t.a - row1 * col1 / total;
+    deviation_sum += a - row1 * col1 / total;
     variance_sum += row1 * row0 * col1 * col0 / (total * total * (total - 1));
     ++result.informative_strata;
   }
   if (variance_sum <= 0.0) return result;  // nothing informative
 
   // Continuity-corrected CMH statistic.
-  const double corrected =
-      std::max(0.0, std::fabs(deviation_sum) - 0.5);
+  const double corrected = std::max(0.0, std::fabs(deviation_sum) - 0.5);
   result.statistic = corrected * corrected / variance_sum;
   result.p_value = chi_squared_sf(result.statistic, 1.0);
   return result;
+}
+
+}  // namespace
+
+CmhResult cmh_test(std::span<const std::uint8_t> x,
+                   std::span<const std::uint8_t> y,
+                   std::span<const std::span<const std::uint8_t>> z,
+                   CiTestContext& context) {
+  const std::size_t n = x.size();
+  CAUSALIOT_CHECK_MSG(y.size() == n, "column length mismatch");
+  CAUSALIOT_CHECK_MSG(z.size() <= 20, "conditioning set too large");
+  for (const auto& column : z) {
+    CAUSALIOT_CHECK_MSG(column.size() == n, "column length mismatch");
+  }
+  if (n == 0) {
+    CmhResult result;
+    return result;
+  }
+  return cmh_from_counts(context.count_strata(x, y, z), n);
+}
+
+CmhResult cmh_test(const PackedColumn& x, const PackedColumn& y,
+                   std::span<const PackedColumn* const> z,
+                   CiTestContext& context) {
+  const std::size_t n = x.size();
+  CAUSALIOT_CHECK_MSG(y.size() == n, "column length mismatch");
+  for (const PackedColumn* column : z) {
+    CAUSALIOT_CHECK_MSG(column->size() == n, "column length mismatch");
+  }
+  if (n == 0) {
+    CmhResult result;
+    return result;
+  }
+  return cmh_from_counts(context.count_strata(x, y, z), n);
+}
+
+CmhResult cmh_test(std::span<const std::uint8_t> x,
+                   std::span<const std::uint8_t> y,
+                   std::span<const std::span<const std::uint8_t>> z) {
+  CiTestContext context;
+  return cmh_test(x, y, z, context);
 }
 
 CmhResult cmh_test(std::span<const std::uint8_t> x,

@@ -9,70 +9,43 @@ namespace causaliot::stats {
 
 namespace {
 
-// Counts for one stratum of the conditioning set: a 2x2 table over (x, y).
-struct Stratum {
-  // cell[x][y]
-  double cell[2][2] = {{0.0, 0.0}, {0.0, 0.0}};
-
-  double row_total(int x) const { return cell[x][0] + cell[x][1]; }
-  double col_total(int y) const { return cell[0][y] + cell[1][y]; }
-  double total() const { return row_total(0) + row_total(1); }
-};
-
-}  // namespace
-
-GSquareResult g_square_test(std::span<const std::uint8_t> x,
-                            std::span<const std::uint8_t> y,
-                            std::span<const std::span<const std::uint8_t>> z,
-                            const GSquareOptions& options) {
-  const std::size_t n = x.size();
-  CAUSALIOT_CHECK_MSG(y.size() == n, "column length mismatch");
-  CAUSALIOT_CHECK_MSG(z.size() <= 20, "conditioning set too large");
-  for (const auto& column : z) {
-    CAUSALIOT_CHECK_MSG(column.size() == n, "column length mismatch");
-  }
-
+// Computes the statistic from stratum-major 2x2 counts
+// (counts[key * 4 + x * 2 + y], see CiTestContext::count_strata). Counts
+// are exact integers, so this matches the historical per-row double
+// accumulation bit for bit.
+GSquareResult g_square_from_counts(std::span<const std::uint64_t> counts,
+                                   std::size_t sample_count) {
   GSquareResult result;
-  result.sample_count = n;
-  if (n == 0) return result;
-
-  const double nominal_dof = std::ldexp(1.0, static_cast<int>(z.size()));
-  if (options.min_samples_per_dof > 0.0 &&
-      static_cast<double>(n) < options.min_samples_per_dof * nominal_dof) {
-    result.skipped_insufficient_data = true;
-    return result;
-  }
-
-  // Bucket samples into strata. With |Z| <= 20 a dense vector of 2^|Z|
-  // strata is at most 1M entries of 32 bytes; |Z| in practice is <= 5.
-  const std::size_t stratum_count = std::size_t{1} << z.size();
-  std::vector<Stratum> strata(stratum_count);
-  for (std::size_t row = 0; row < n; ++row) {
-    std::size_t key = 0;
-    for (std::size_t j = 0; j < z.size(); ++j) {
-      CAUSALIOT_CHECK_MSG(z[j][row] <= 1, "non-binary conditioning value");
-      key |= static_cast<std::size_t>(z[j][row]) << j;
-    }
-    CAUSALIOT_CHECK_MSG(x[row] <= 1 && y[row] <= 1, "non-binary test value");
-    strata[key].cell[x[row]][y[row]] += 1.0;
-  }
+  result.sample_count = sample_count;
 
   double statistic = 0.0;
   double dof = 0.0;
-  for (const Stratum& s : strata) {
-    const double total = s.total();
+  for (std::size_t key = 0; key * 4 < counts.size(); ++key) {
+    double cell[2][2];
+    for (int xv = 0; xv < 2; ++xv) {
+      for (int yv = 0; yv < 2; ++yv) {
+        cell[xv][yv] = static_cast<double>(
+            counts[key * 4 + static_cast<std::size_t>(xv) * 2 +
+                   static_cast<std::size_t>(yv)]);
+      }
+    }
+    const double row_total[2] = {cell[0][0] + cell[0][1],
+                                 cell[1][0] + cell[1][1]};
+    const double col_total[2] = {cell[0][0] + cell[1][0],
+                                 cell[0][1] + cell[1][1]};
+    const double total = row_total[0] + row_total[1];
     if (total <= 0.0) continue;
     // Adjusted dof: only rows/columns with non-zero marginals contribute.
-    const int live_rows = (s.row_total(0) > 0.0 ? 1 : 0) +
-                          (s.row_total(1) > 0.0 ? 1 : 0);
-    const int live_cols = (s.col_total(0) > 0.0 ? 1 : 0) +
-                          (s.col_total(1) > 0.0 ? 1 : 0);
+    const int live_rows =
+        (row_total[0] > 0.0 ? 1 : 0) + (row_total[1] > 0.0 ? 1 : 0);
+    const int live_cols =
+        (col_total[0] > 0.0 ? 1 : 0) + (col_total[1] > 0.0 ? 1 : 0);
     dof += static_cast<double>((live_rows - 1) * (live_cols - 1));
     for (int xv = 0; xv < 2; ++xv) {
       for (int yv = 0; yv < 2; ++yv) {
-        const double observed = s.cell[xv][yv];
+        const double observed = cell[xv][yv];
         if (observed <= 0.0) continue;  // 0 * ln(0) term is 0 in the limit.
-        const double expected = s.row_total(xv) * s.col_total(yv) / total;
+        const double expected = row_total[xv] * col_total[yv] / total;
         statistic += 2.0 * observed * std::log(observed / expected);
       }
     }
@@ -85,6 +58,64 @@ GSquareResult g_square_test(std::span<const std::uint8_t> x,
   result.dof = dof;
   result.p_value = dof > 0.0 ? chi_squared_sf(statistic, dof) : 1.0;
   return result;
+}
+
+// Shared preamble: empty-sample and small-sample-guard early outs. Returns
+// true when `result` is already final.
+bool g_square_preamble(std::size_t n, std::size_t conditioning_count,
+                       const GSquareOptions& options, GSquareResult& result) {
+  result.sample_count = n;
+  if (n == 0) return true;
+  const double nominal_dof =
+      std::ldexp(1.0, static_cast<int>(conditioning_count));
+  if (options.min_samples_per_dof > 0.0 &&
+      static_cast<double>(n) < options.min_samples_per_dof * nominal_dof) {
+    result.skipped_insufficient_data = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+GSquareResult g_square_test(std::span<const std::uint8_t> x,
+                            std::span<const std::uint8_t> y,
+                            std::span<const std::span<const std::uint8_t>> z,
+                            const GSquareOptions& options,
+                            CiTestContext& context) {
+  const std::size_t n = x.size();
+  CAUSALIOT_CHECK_MSG(y.size() == n, "column length mismatch");
+  CAUSALIOT_CHECK_MSG(z.size() <= 20, "conditioning set too large");
+  for (const auto& column : z) {
+    CAUSALIOT_CHECK_MSG(column.size() == n, "column length mismatch");
+  }
+
+  GSquareResult result;
+  if (g_square_preamble(n, z.size(), options, result)) return result;
+  return g_square_from_counts(context.count_strata(x, y, z), n);
+}
+
+GSquareResult g_square_test(const PackedColumn& x, const PackedColumn& y,
+                            std::span<const PackedColumn* const> z,
+                            const GSquareOptions& options,
+                            CiTestContext& context) {
+  const std::size_t n = x.size();
+  CAUSALIOT_CHECK_MSG(y.size() == n, "column length mismatch");
+  for (const PackedColumn* column : z) {
+    CAUSALIOT_CHECK_MSG(column->size() == n, "column length mismatch");
+  }
+
+  GSquareResult result;
+  if (g_square_preamble(n, z.size(), options, result)) return result;
+  return g_square_from_counts(context.count_strata(x, y, z), n);
+}
+
+GSquareResult g_square_test(std::span<const std::uint8_t> x,
+                            std::span<const std::uint8_t> y,
+                            std::span<const std::span<const std::uint8_t>> z,
+                            const GSquareOptions& options) {
+  CiTestContext context;
+  return g_square_test(x, y, z, options, context);
 }
 
 GSquareResult g_square_test(std::span<const std::uint8_t> x,

@@ -1,0 +1,70 @@
+// Shared machinery of the conditional-independence tests: contingency
+// counting plus reusable scratch.
+//
+// Both G-square and CMH reduce to the same first stage — bucket every
+// sample row into one of 2^|Z| strata of the conditioning set and count
+// the four (x, y) cells per stratum. TemporalPC runs millions of such
+// tests per mine, so this stage dominates; two optimizations live here:
+//
+//   * CiTestContext owns the count buffer and reuses it across calls, so
+//     a mining run performs O(1) allocations per test instead of
+//     allocating a fresh 2^|Z|-entry table each time.
+//   * PackedColumn stores a binary column as uint64_t words (bit r of
+//     word r/64 = row r, the util/bitkey.hpp convention). For small |Z|
+//     the counting kernel then processes 64 rows per step with bitwise
+//     AND + popcount instead of a per-row inner loop over Z.
+//
+// Counts are exact integers, so both paths produce bit-identical test
+// statistics to the original per-row double accumulation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace causaliot::stats {
+
+/// Largest conditioning-set size for which the packed kernel wins: its
+/// per-word cost is O(2^|Z|), the per-row kernel's is O(|Z| * rows), and
+/// they cross around |Z| = 6. Callers holding PackedColumns should fall
+/// back to the span-based tests above this size.
+inline constexpr std::size_t kPackedConditioningLimit = 6;
+
+/// A binary column bit-packed into uint64_t words; rows beyond size() are
+/// zero-padded.
+class PackedColumn {
+ public:
+  PackedColumn() = default;
+  /// Packs `column`; every value must be 0 or 1 (CHECKed).
+  explicit PackedColumn(std::span<const std::uint8_t> column);
+
+  std::size_t size() const { return size_; }
+  std::span<const std::uint64_t> words() const { return words_; }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Reusable scratch for CI tests. Not thread-safe: use one context per
+/// thread (the miner keeps one per worker).
+class CiTestContext {
+ public:
+  /// Buckets rows into 2^|z| strata and counts the 2x2 table per stratum.
+  /// Returned span (valid until the next call) is stratum-major:
+  /// counts[key * 4 + x * 2 + y]. Column lengths must match; |z| <= 20
+  /// (CHECKed by callers before the 2^|z| buffer is sized).
+  std::span<const std::uint64_t> count_strata(
+      std::span<const std::uint8_t> x, std::span<const std::uint8_t> y,
+      std::span<const std::span<const std::uint8_t>> z);
+
+  /// Packed-kernel equivalent: identical counts, word-at-a-time.
+  std::span<const std::uint64_t> count_strata(
+      const PackedColumn& x, const PackedColumn& y,
+      std::span<const PackedColumn* const> z);
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace causaliot::stats

@@ -33,6 +33,19 @@ CmhResult cmh_test(std::span<const std::uint8_t> x,
                    std::span<const std::uint8_t> y,
                    std::span<const std::span<const std::uint8_t>> z);
 
+/// Hot-path variant: reuses `context`'s scratch instead of allocating a
+/// fresh stratum table. One context per thread.
+CmhResult cmh_test(std::span<const std::uint8_t> x,
+                   std::span<const std::uint8_t> y,
+                   std::span<const std::span<const std::uint8_t>> z,
+                   CiTestContext& context);
+
+/// Packed-column variant: word-parallel counting kernel, same result bit
+/// for bit. |z| <= kPackedConditioningLimit.
+CmhResult cmh_test(const PackedColumn& x, const PackedColumn& y,
+                   std::span<const PackedColumn* const> z,
+                   CiTestContext& context);
+
 /// Marginal variant (single stratum).
 CmhResult cmh_test(std::span<const std::uint8_t> x,
                    std::span<const std::uint8_t> y);

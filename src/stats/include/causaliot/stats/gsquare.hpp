@@ -17,6 +17,8 @@
 #include <span>
 #include <vector>
 
+#include "causaliot/stats/ci_context.hpp"
+
 namespace causaliot::stats {
 
 struct GSquareResult {
@@ -44,6 +46,21 @@ GSquareResult g_square_test(std::span<const std::uint8_t> x,
                             std::span<const std::uint8_t> y,
                             std::span<const std::span<const std::uint8_t>> z,
                             const GSquareOptions& options = {});
+
+/// Hot-path variant: reuses `context`'s scratch instead of allocating a
+/// fresh stratum table. One context per thread.
+GSquareResult g_square_test(std::span<const std::uint8_t> x,
+                            std::span<const std::uint8_t> y,
+                            std::span<const std::span<const std::uint8_t>> z,
+                            const GSquareOptions& options,
+                            CiTestContext& context);
+
+/// Packed-column variant: word-parallel counting kernel, same result bit
+/// for bit. |z| <= kPackedConditioningLimit.
+GSquareResult g_square_test(const PackedColumn& x, const PackedColumn& y,
+                            std::span<const PackedColumn* const> z,
+                            const GSquareOptions& options,
+                            CiTestContext& context);
 
 /// Convenience overload with no conditioning set (marginal independence).
 GSquareResult g_square_test(std::span<const std::uint8_t> x,

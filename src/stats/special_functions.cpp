@@ -5,6 +5,12 @@
 
 #include "causaliot/util/check.hpp"
 
+#if defined(__GLIBC__)
+// Declared by <math.h> only under feature-test macros that strict -std
+// hides; the symbol itself is always exported.
+extern "C" double lgamma_r(double, int*);
+#endif
+
 namespace causaliot::stats {
 
 namespace {
@@ -12,6 +18,18 @@ namespace {
 constexpr int kMaxIterations = 500;
 constexpr double kEpsilon = 1e-14;
 constexpr double kTiny = 1e-300;
+
+// std::lgamma writes the process-global `signgam` — a data race once CI
+// tests run on the miner's worker threads. lgamma_r returns the identical
+// value without the global write (the sign is always +1 here: a > 0).
+double log_gamma(double a) {
+#if defined(__GLIBC__)
+  int sign = 0;
+  return lgamma_r(a, &sign);
+#else
+  return std::lgamma(a);
+#endif
+}
 
 // Series representation of P(a, x); converges quickly for x < a + 1.
 double gamma_p_series(double a, double x) {
@@ -24,7 +42,7 @@ double gamma_p_series(double a, double x) {
     sum += term;
     if (std::fabs(term) < std::fabs(sum) * kEpsilon) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
 }
 
 // Modified Lentz continued fraction for Q(a, x); for x >= a + 1.
@@ -45,7 +63,7 @@ double gamma_q_continued_fraction(double a, double x) {
     h *= delta;
     if (std::fabs(delta - 1.0) < kEpsilon) break;
   }
-  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+  return std::exp(-x + a * std::log(x) - log_gamma(a)) * h;
 }
 
 }  // namespace

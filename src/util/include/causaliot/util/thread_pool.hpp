@@ -1,0 +1,109 @@
+// Fixed-size worker-thread pool plus a blocking parallel_for helper.
+//
+// The miner's per-child cause discovery (and, later, per-shard workloads)
+// are embarrassingly parallel: parallel_for(pool, 0, n, fn) runs fn(i)
+// for every i in [begin, end) and blocks until all iterations finished.
+// Scheduling is dynamic (a shared atomic cursor), so skewed per-item cost
+// — common in TemporalPC, where a well-connected child runs far more CI
+// tests than an isolated one — balances automatically.
+//
+// Design rules:
+//   * The calling thread participates in the loop. parallel_for therefore
+//     never deadlocks when invoked from inside a pool task (nested
+//     parallelism): the caller alone can drain the whole range even if no
+//     worker is free.
+//   * Exceptions thrown by fn are captured; the first one is rethrown on
+//     the calling thread after the range completes or is abandoned.
+//     Remaining iterations are skipped once an exception is pending.
+//   * A null pool or a single-threaded pool degrades to a plain serial
+//     loop — callers need no special casing for threads == 1.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace causaliot::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `thread_count` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1). The pool is fixed-size for its lifetime.
+  explicit ThreadPool(std::size_t thread_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task; rethrowing / result retrieval is the caller's
+  /// business via the returned future.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Fire-and-forget task submission.
+  void enqueue(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  bool stopping_ = false;
+};
+
+/// Resolves a user-facing thread-count option: 0 -> hardware concurrency,
+/// otherwise the value itself (minimum 1).
+std::size_t resolve_thread_count(std::size_t requested);
+
+namespace detail {
+
+// Type-erased core of parallel_for (implemented in thread_pool.cpp).
+void parallel_for_impl(ThreadPool* pool, std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t)>& fn);
+
+}  // namespace detail
+
+/// Runs fn(i) for every i in [begin, end); blocks until all complete.
+/// Serial when pool is null or has a single worker. See file comment for
+/// the exception and nesting contract.
+template <typename Fn>
+void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
+                  Fn&& fn) {
+  if (begin >= end) return;
+  if (pool == nullptr || pool->thread_count() <= 1 || end - begin == 1) {
+    std::exception_ptr first_error;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (first_error) break;
+      try {
+        fn(i);
+      } catch (...) {
+        first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+  detail::parallel_for_impl(pool, begin, end,
+                            std::function<void(std::size_t)>(fn));
+}
+
+}  // namespace causaliot::util

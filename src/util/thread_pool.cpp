@@ -1,0 +1,141 @@
+#include "causaliot/util/thread_pool.hpp"
+
+namespace causaliot::util {
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  const std::size_t count = resolve_thread_count(thread_count);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock,
+                           [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? hardware : 1;
+}
+
+namespace detail {
+
+namespace {
+
+// Shared state of one parallel_for call. Helpers submitted to the pool and
+// the calling thread all pull indices from `cursor`; the last finisher
+// signals `all_done`. shared_ptr-held because helper tasks that were queued
+// but never scheduled can still run after the caller returned — they must
+// find valid state (and bail immediately: every index is claimed by then,
+// so they never touch `fn`, which lives on the caller's stack).
+struct LoopState {
+  std::size_t end = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> abandoned{false};
+
+  std::mutex mutex;
+  std::condition_variable all_done;
+  std::size_t pending = 0;  // iterations claimed but not yet finished
+  std::size_t remaining = 0;  // iterations not yet finished
+  std::exception_ptr first_error;
+
+  // Runs iterations until the range is drained or abandoned.
+  void drain() {
+    while (!abandoned.load(std::memory_order_relaxed)) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) break;
+      std::exception_ptr error;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      --remaining;
+      if (error) {
+        if (!first_error) first_error = error;
+        abandoned.store(true, std::memory_order_relaxed);
+        // Iterations never claimed will not run; account for them so the
+        // caller's wait terminates.
+        const std::size_t claimed =
+            cursor.exchange(end, std::memory_order_relaxed);
+        if (claimed < end) remaining -= end - claimed;
+      }
+      if (remaining == 0) all_done.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void parallel_for_impl(ThreadPool* pool, std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t)>& fn) {
+  const std::size_t count = end - begin;
+  auto state = std::make_shared<LoopState>();
+  state->end = count;
+  state->fn = &fn;
+  state->remaining = count;
+
+  // fn is only dereferenced by threads the caller waits on, but helper
+  // *tasks* may outlive this call if they never got scheduled before the
+  // range drained — they must touch nothing but the shared state's atomics.
+  // Wrap indices so fn sees [begin, end).
+  std::function<void(std::size_t)> shifted;
+  if (begin != 0) {
+    shifted = [&fn, begin](std::size_t i) { fn(begin + i); };
+    state->fn = &shifted;
+  }
+
+  const std::size_t helpers =
+      std::min(count > 0 ? count - 1 : 0, pool->thread_count());
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool->enqueue([state] { state->drain(); });
+  }
+
+  state->drain();  // the caller participates — see header contract
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&] { return state->remaining == 0; });
+  // remaining == 0 implies every index was claimed and finished, so any
+  // late-starting helper sees cursor >= end and exits without touching
+  // `fn`/`shifted` (which die with this stack frame). Flag anyway so such
+  // helpers take the cheapest exit.
+  state->abandoned.store(true, std::memory_order_relaxed);
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+}  // namespace detail
+
+}  // namespace causaliot::util

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "causaliot/mining/cause_set.hpp"
 #include "causaliot/util/rng.hpp"
 
 namespace causaliot::mining {
@@ -228,6 +229,51 @@ TEST_P(TemporalPCLagSweep, CauseLagsWithinTau) {
 
 INSTANTIATE_TEST_SUITE_P(Lags, TemporalPCLagSweep,
                          ::testing::Values(1, 2, 3));
+
+TEST(CauseSet, StartsFullInCanonicalOrder) {
+  const CauseSet set(3, 2);
+  EXPECT_EQ(set.size(), 6u);
+  EXPECT_FALSE(set.empty());
+  const std::vector<graph::LaggedNode> expected = {
+      {0, 1}, {1, 1}, {2, 1}, {0, 2}, {1, 2}, {2, 2}};
+  EXPECT_EQ(set.to_vector(), expected);
+  for (const graph::LaggedNode& node : expected) {
+    EXPECT_TRUE(set.contains(node));
+  }
+}
+
+TEST(CauseSet, RemovePreservesOrderOfSurvivors) {
+  CauseSet set(3, 2);
+  set.remove({1, 1});
+  set.remove({0, 2});
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_FALSE(set.contains({1, 1}));
+  EXPECT_FALSE(set.contains({0, 2}));
+  const std::vector<graph::LaggedNode> expected = {
+      {0, 1}, {2, 1}, {1, 2}, {2, 2}};
+  EXPECT_EQ(set.to_vector(), expected);
+
+  std::vector<graph::LaggedNode> visited;
+  set.for_each([&](graph::LaggedNode node) { visited.push_back(node); });
+  EXPECT_EQ(visited, expected);
+}
+
+TEST(CauseSet, CanDrainCompletely) {
+  CauseSet set(2, 1);
+  set.remove({0, 1});
+  set.remove({1, 1});
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.to_vector().empty());
+}
+
+TEST(CauseSet, CanonicalOrderMatchesLaggedNodeSort) {
+  // The set's iteration order must equal LaggedNode's operator<=> order,
+  // so discover_causes' final sort is a no-op rather than a reshuffle.
+  const CauseSet set(4, 3);
+  std::vector<graph::LaggedNode> sorted = set.to_vector();
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, set.to_vector());
+}
 
 }  // namespace
 }  // namespace causaliot::mining

@@ -1,0 +1,190 @@
+// Parallel mining must be bit-identical to the serial run: same skeleton,
+// same CPT counts, same diagnostics in the same order — for every
+// combination of skeleton variant (plain / PC-stable) and CI test
+// (G-square / CMH). This is the contract that lets deployments scale
+// mining across cores without revalidating detection behaviour.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "causaliot/mining/temporal_pc.hpp"
+#include "causaliot/stats/cmh.hpp"
+#include "causaliot/util/rng.hpp"
+
+namespace causaliot::mining {
+namespace {
+
+using preprocess::StateSeries;
+
+// A busy synthetic home: chain interactions plus noise, enough devices
+// that the per-child workloads are skewed and the pool actually reorders
+// execution relative to the serial child loop.
+StateSeries busy_series(std::size_t device_count, std::size_t event_count,
+                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint8_t> state(device_count, 0);
+  StateSeries series(device_count, state);
+  telemetry::DeviceId last = 0;
+  for (std::size_t j = 0; j < event_count; ++j) {
+    telemetry::DeviceId device;
+    if (rng.bernoulli(0.6)) {
+      device = (last + 1) % static_cast<telemetry::DeviceId>(device_count);
+    } else {
+      device = static_cast<telemetry::DeviceId>(rng.uniform(device_count));
+    }
+    state[device] ^= 1;
+    series.apply({device, state[device], static_cast<double>(j)});
+    last = device;
+  }
+  return series;
+}
+
+void expect_identical_removal(const RemovalRecord& a, const RemovalRecord& b,
+                              std::size_t position) {
+  EXPECT_EQ(a.cause, b.cause) << "removal " << position;
+  EXPECT_EQ(a.child, b.child) << "removal " << position;
+  EXPECT_EQ(a.condition_size, b.condition_size) << "removal " << position;
+  EXPECT_EQ(a.p_value, b.p_value) << "removal " << position;  // bit-exact
+  EXPECT_EQ(a.separating_set, b.separating_set) << "removal " << position;
+}
+
+void expect_identical_models(const graph::InteractionGraph& serial,
+                             const graph::InteractionGraph& parallel,
+                             const MiningDiagnostics& serial_diag,
+                             const MiningDiagnostics& parallel_diag) {
+  // Skeleton: edge-for-edge, including order within each child.
+  EXPECT_EQ(serial.edges(), parallel.edges());
+
+  // CPTs: every observed assignment with bit-identical counts.
+  ASSERT_EQ(serial.device_count(), parallel.device_count());
+  for (telemetry::DeviceId child = 0; child < serial.device_count();
+       ++child) {
+    const graph::Cpt& s = serial.cpt(child);
+    const graph::Cpt& p = parallel.cpt(child);
+    EXPECT_EQ(s.causes(), p.causes()) << "child " << child;
+    ASSERT_EQ(s.assignment_count(), p.assignment_count()) << "child " << child;
+    for (const auto& [key, counts] : s.counts()) {
+      const auto it = p.counts().find(key);
+      ASSERT_NE(it, p.counts().end()) << "child " << child << " key " << key;
+      EXPECT_EQ(counts, it->second) << "child " << child << " key " << key;
+    }
+  }
+
+  // Diagnostics: same totals and the same removal sequence (parallel
+  // mining merges per-child records in child order — the serial order).
+  EXPECT_EQ(serial_diag.tests_run, parallel_diag.tests_run);
+  EXPECT_EQ(serial_diag.candidate_edges, parallel_diag.candidate_edges);
+  ASSERT_EQ(serial_diag.removals.size(), parallel_diag.removals.size());
+  for (std::size_t i = 0; i < serial_diag.removals.size(); ++i) {
+    expect_identical_removal(serial_diag.removals[i],
+                             parallel_diag.removals[i], i);
+  }
+}
+
+class ParallelMiningEquivalence
+    : public ::testing::TestWithParam<std::tuple<bool, CiTest>> {};
+
+TEST_P(ParallelMiningEquivalence, EightThreadsMatchesSerial) {
+  const auto [stable, ci_test] = GetParam();
+  const StateSeries series = busy_series(12, 3000, 2024);
+
+  MinerConfig config;
+  config.max_lag = 2;
+  config.alpha = 0.001;
+  config.stable = stable;
+  config.ci_test = ci_test;
+
+  config.threads = 1;
+  MiningDiagnostics serial_diag;
+  const graph::InteractionGraph serial =
+      InteractionMiner(config).mine(series, &serial_diag);
+
+  config.threads = 8;
+  MiningDiagnostics parallel_diag;
+  const graph::InteractionGraph parallel =
+      InteractionMiner(config).mine(series, &parallel_diag);
+
+  expect_identical_models(serial, parallel, serial_diag, parallel_diag);
+}
+
+TEST_P(ParallelMiningEquivalence, ExternalPoolMatchesSerial) {
+  const auto [stable, ci_test] = GetParam();
+  const StateSeries series = busy_series(8, 2000, 7);
+
+  MinerConfig config;
+  config.max_lag = 2;
+  config.stable = stable;
+  config.ci_test = ci_test;
+
+  MiningDiagnostics serial_diag;
+  const graph::InteractionGraph serial =
+      InteractionMiner(config).mine(series, &serial_diag);
+
+  util::ThreadPool pool(4);
+  MiningDiagnostics pooled_diag;
+  const graph::InteractionGraph pooled =
+      InteractionMiner(config).mine(series, &pooled_diag, &pool);
+
+  expect_identical_models(serial, pooled, serial_diag, pooled_diag);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, ParallelMiningEquivalence,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(CiTest::kGSquare, CiTest::kCmh)),
+    [](const ::testing::TestParamInfo<std::tuple<bool, CiTest>>& info) {
+      return std::string(std::get<0>(info.param) ? "Stable" : "Plain") +
+             (std::get<1>(info.param) == CiTest::kCmh ? "Cmh" : "GSquare");
+    });
+
+// The packed counting kernel and the per-row kernel must agree exactly
+// for every conditioning-set size up to the packed limit — including a
+// sample count that leaves a partial tail word.
+TEST(PackedKernel, MatchesByteKernelAcrossConditioningSizes) {
+  util::Rng rng(99);
+  const std::size_t n = 4097;  // odd tail word exercises the valid mask
+  std::vector<std::uint8_t> x(n), y(n);
+  std::vector<std::vector<std::uint8_t>> z(stats::kPackedConditioningLimit,
+                                           std::vector<std::uint8_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<std::uint8_t>(rng.uniform(2));
+    y[i] = static_cast<std::uint8_t>((x[i] + rng.uniform(2)) % 2);
+    for (auto& column : z) {
+      column[i] = static_cast<std::uint8_t>(rng.uniform(2));
+    }
+  }
+  const stats::PackedColumn px{std::span<const std::uint8_t>(x)};
+  const stats::PackedColumn py{std::span<const std::uint8_t>(y)};
+  std::vector<stats::PackedColumn> pz;
+  for (const auto& column : z) {
+    pz.emplace_back(std::span<const std::uint8_t>(column));
+  }
+
+  stats::CiTestContext context;
+  for (std::size_t l = 0; l <= stats::kPackedConditioningLimit; ++l) {
+    std::vector<std::span<const std::uint8_t>> z_spans;
+    std::vector<const stats::PackedColumn*> z_packed;
+    for (std::size_t j = 0; j < l; ++j) {
+      z_spans.emplace_back(z[j]);
+      z_packed.push_back(&pz[j]);
+    }
+    const stats::GSquareResult byte_g =
+        stats::g_square_test(x, y, z_spans, {}, context);
+    const stats::GSquareResult packed_g =
+        stats::g_square_test(px, py, z_packed, {}, context);
+    EXPECT_EQ(byte_g.statistic, packed_g.statistic) << "l=" << l;
+    EXPECT_EQ(byte_g.dof, packed_g.dof) << "l=" << l;
+    EXPECT_EQ(byte_g.p_value, packed_g.p_value) << "l=" << l;
+
+    const stats::CmhResult byte_cmh = stats::cmh_test(x, y, z_spans, context);
+    const stats::CmhResult packed_cmh =
+        stats::cmh_test(px, py, z_packed, context);
+    EXPECT_EQ(byte_cmh.statistic, packed_cmh.statistic) << "l=" << l;
+    EXPECT_EQ(byte_cmh.p_value, packed_cmh.p_value) << "l=" << l;
+    EXPECT_EQ(byte_cmh.informative_strata, packed_cmh.informative_strata)
+        << "l=" << l;
+  }
+}
+
+}  // namespace
+}  // namespace causaliot::mining

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Runs the mining performance benchmarks and records the numbers that the
+# perf trajectory tracks (see DESIGN.md "Parallel mining & G² fast path").
+#
+#   tools/run_bench.sh [build-dir] [out-json]
+#
+# Defaults: build-dir = build, out-json = BENCH_mining.json (repo root).
+# The JSON is google-benchmark's --benchmark_format=json output for the
+# TemporalPC mining benchmarks (device sweep, thread sweep, and the G²
+# kernel micro-benchmarks).
+set -eu
+
+build_dir="${1:-build}"
+out_json="${2:-BENCH_mining.json}"
+bench_bin="$build_dir/bench/bench_complexity"
+
+if [ ! -x "$bench_bin" ]; then
+  echo "error: $bench_bin not built (cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
+  exit 1
+fi
+
+"$bench_bin" \
+  --benchmark_filter='BM_TemporalPCMining|BM_GSquareTest' \
+  --benchmark_out="$out_json" \
+  --benchmark_out_format=json
+
+echo "wrote $out_json"
