@@ -4,6 +4,9 @@
 //   causaliot train    --trace trace.csv --profile contextact --out model.dig
 //   causaliot monitor  --model model.dig --trace live.csv --profile contextact
 //                      [--kmax 3] [--threshold 0.99]
+//   causaliot serve    --model model.dig --trace live.csv [--tenants 4]
+//                      [--shards 2] [--speedup 0] [--policy block]
+//                      [--stdin 1]
 //   causaliot inspect  --model model.dig --profile contextact [--dot graph.dot]
 //
 // The profile argument supplies the device catalog (column order of the
@@ -11,13 +14,16 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
 #include "causaliot/core/pipeline.hpp"
 #include "causaliot/detect/explanation.hpp"
 #include "causaliot/graph/analysis.hpp"
+#include "causaliot/serve/service.hpp"
 #include "causaliot/sim/simulator.hpp"
 #include "causaliot/telemetry/jsonl.hpp"
 #include "causaliot/util/log.hpp"
@@ -201,6 +207,156 @@ int cmd_monitor(const Args& args) {
   return 0;
 }
 
+const char* severity_label(detect::AlarmSeverity severity) {
+  switch (severity) {
+    case detect::AlarmSeverity::kNotice: return "notice";
+    case detect::AlarmSeverity::kWarning: return "warning";
+    case detect::AlarmSeverity::kCritical: return "critical";
+  }
+  return "notice";
+}
+
+// Extracts the string value of a top-level "tenant" field from a JSONL
+// line (the event fields go through telemetry::parse_jsonl_event, which
+// ignores the extra field).
+std::optional<std::string> extract_tenant(const std::string& line) {
+  const std::size_t key = line.find("\"tenant\"");
+  if (key == std::string::npos) return std::nullopt;
+  std::size_t open = line.find('"', line.find(':', key) + 1);
+  if (open == std::string::npos) return std::nullopt;
+  const std::size_t close = line.find('"', open + 1);
+  if (close == std::string::npos) return std::nullopt;
+  return line.substr(open + 1, close - open - 1);
+}
+
+int cmd_serve(const Args& args) {
+  if (!args.require("model")) return 2;
+  const bool from_stdin = args.get_u64("stdin", 0) != 0;
+  if (!from_stdin && !args.require("trace")) return 2;
+  auto profile = profile_by_name(args.get("profile", "contextact"));
+  if (!profile) return 2;
+  telemetry::DeviceCatalog catalog;
+  for (const telemetry::DeviceInfo& info : profile->devices) {
+    if (!catalog.add(info).ok()) return 1;
+  }
+  auto graph = graph::InteractionGraph::load(args.get("model", ""));
+  if (!graph.ok()) {
+    std::fprintf(stderr, "cannot load model: %s\n",
+                 graph.error().to_string().c_str());
+    return 1;
+  }
+  if (graph.value().device_count() != catalog.size()) {
+    std::fprintf(stderr, "model/catalog device-count mismatch\n");
+    return 1;
+  }
+
+  serve::ServiceConfig config;
+  config.shard_count = static_cast<std::size_t>(args.get_u64("shards", 2));
+  config.queue_capacity =
+      static_cast<std::size_t>(args.get_u64("queue", 4096));
+  const std::string policy = args.get("policy", "block");
+  if (policy == "block") {
+    config.overflow = util::OverflowPolicy::kBlock;
+  } else if (policy == "drop") {
+    config.overflow = util::OverflowPolicy::kDropOldest;
+  } else if (policy == "reject") {
+    config.overflow = util::OverflowPolicy::kReject;
+  } else {
+    std::fprintf(stderr, "unknown policy '%s' (block | drop | reject)\n",
+                 policy.c_str());
+    return 2;
+  }
+  config.session.k_max = static_cast<std::size_t>(args.get_u64("kmax", 1));
+  config.session.deduplicate_alarms = args.get_u64("dedup", 0) != 0;
+
+  auto snapshot = serve::make_snapshot(
+      std::move(graph).value(), args.get_double("threshold", 0.99),
+      args.get_double("laplace", 0.1), /*version=*/1);
+
+  // Alarms stream out as JSONL; stdout is shared by worker threads.
+  std::mutex out_mutex;
+  serve::DetectionService service(
+      config, [&](const serve::ServedAlarm& alarm) {
+        const detect::AnomalyEntry& head = alarm.report.contextual();
+        const telemetry::DeviceInfo& info = catalog.info(head.event.device);
+        std::lock_guard<std::mutex> lock(out_mutex);
+        std::printf(
+            "{\"tenant\": \"%s\", \"severity\": \"%s\", \"device\": \"%s\", "
+            "\"state\": \"%s\", \"score\": %.6f, \"stream_index\": %zu, "
+            "\"timestamp\": %.3f, \"chain\": %zu, \"model_version\": %llu}\n",
+            alarm.tenant_name.c_str(), severity_label(alarm.severity),
+            info.name.c_str(),
+            detect::state_label(info, head.event.state).c_str(), head.score,
+            head.stream_index, head.event.timestamp,
+            alarm.report.chain_length(),
+            static_cast<unsigned long long>(alarm.model_version));
+      });
+
+  const auto tenant_count =
+      static_cast<std::size_t>(args.get_u64("tenants", 4));
+  std::vector<serve::TenantHandle> tenants;
+  for (std::size_t i = 0; i < tenant_count; ++i) {
+    tenants.push_back(service.add_tenant(
+        "home-" + std::to_string(i), snapshot,
+        std::vector<std::uint8_t>(catalog.size(), 0)));
+  }
+  service.start();
+
+  if (from_stdin) {
+    // One JSON object per line:
+    //   {"tenant": "home-0", "device": "pe_kitchen", "value": 1,
+    //    "timestamp": 12.5}
+    // Values are taken as already-binary (a deployment would persist the
+    // training-time DiscretizationModel and discretize here).
+    std::string line;
+    std::size_t line_number = 0, skipped = 0;
+    while (std::getline(std::cin, line)) {
+      ++line_number;
+      if (util::trim(line).empty()) continue;
+      const auto event = telemetry::parse_jsonl_event(line, catalog);
+      const auto tenant_name = extract_tenant(line);
+      const auto tenant = tenant_name
+                              ? service.find_tenant(*tenant_name)
+                              : tenants.front();
+      if (!event.ok() || tenant == serve::DetectionService::kInvalidTenant) {
+        std::fprintf(stderr, "line %zu skipped: %s\n", line_number,
+                     event.ok() ? "unknown tenant"
+                                : event.error().to_string().c_str());
+        ++skipped;
+        continue;
+      }
+      service.submit(tenant,
+                     {event.value().device,
+                      static_cast<std::uint8_t>(
+                          event.value().value != 0.0 ? 1 : 0),
+                      event.value().timestamp});
+    }
+    if (skipped > 0) {
+      std::fprintf(stderr, "-- %zu malformed lines skipped\n", skipped);
+    }
+  } else {
+    const auto log = load_trace(args);
+    if (!log) return 1;
+    preprocess::Preprocessor preprocessor;
+    const preprocess::DiscretizationModel discretization =
+        preprocess::DiscretizationModel::fit(*log);
+    const auto events =
+        preprocessor.discretize_runtime(*log, discretization, 0.0);
+    serve::ReplayOptions replay;
+    replay.speedup = args.get_double("speedup", 0.0);
+    const serve::ReplayStats replayed =
+        serve::replay_trace(service, tenants, events, replay);
+    if (replayed.rejected > 0) {
+      std::fprintf(stderr, "-- %zu submissions rejected by backpressure\n",
+                   replayed.rejected);
+    }
+  }
+
+  service.shutdown();
+  std::printf("%s\n", service.stats_json().c_str());
+  return 0;
+}
+
 int cmd_inspect(const Args& args) {
   if (!args.require("model")) return 2;
   auto profile = profile_by_name(args.get("profile", "contextact"));
@@ -259,6 +415,10 @@ void usage() {
       " [--alpha A] [--q Q] [--laplace L] [--threads N (0 = all cores)]\n"
       "  monitor  --model model.dig --trace live.csv [--profile P]"
       " [--kmax K] [--threshold C]\n"
+      "  serve    --model model.dig (--trace live.csv | --stdin 1)"
+      " [--profile P] [--tenants N] [--shards N] [--queue N]"
+      " [--policy block|drop|reject] [--speedup X (0 = max)] [--kmax K]"
+      " [--threshold C] [--dedup 0|1]\n"
       "  inspect  --model model.dig [--profile P] [--dot out.dot]\n");
 }
 
@@ -274,6 +434,7 @@ int main(int argc, char** argv) {
   if (args->command == "simulate") return cmd_simulate(*args);
   if (args->command == "train") return cmd_train(*args);
   if (args->command == "monitor") return cmd_monitor(*args);
+  if (args->command == "serve") return cmd_serve(*args);
   if (args->command == "inspect") return cmd_inspect(*args);
   usage();
   return 2;

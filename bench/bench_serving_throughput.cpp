@@ -1,0 +1,133 @@
+// Serving-path throughput benchmarks (google-benchmark): events/sec
+// through serve::DetectionService as a function of shard and tenant
+// count, end to end — submit() through the bounded queue, the shard
+// worker's Algorithm 2 step, metrics, and drain-on-shutdown. The
+// perf trajectory tracks the single-shard number (target: >= 100k
+// events/sec) and the shard-sweep scaling curve.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "causaliot/core/pipeline.hpp"
+#include "causaliot/serve/service.hpp"
+#include "causaliot/util/rng.hpp"
+
+namespace {
+
+using namespace causaliot;
+
+// Same synthetic home as bench_complexity: a chain of interactions plus
+// noise, so the mined DIG has real CPT lookups on the hot path.
+preprocess::StateSeries synthetic_series(std::size_t device_count,
+                                         std::size_t event_count,
+                                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint8_t> state(device_count, 0);
+  preprocess::StateSeries series(device_count, state);
+  telemetry::DeviceId last = 0;
+  for (std::size_t j = 0; j < event_count; ++j) {
+    telemetry::DeviceId device;
+    if (rng.bernoulli(0.6)) {
+      device = (last + 1) % static_cast<telemetry::DeviceId>(device_count);
+    } else {
+      device = static_cast<telemetry::DeviceId>(rng.uniform(device_count));
+    }
+    state[device] ^= 1;
+    series.apply({device, state[device], static_cast<double>(j)});
+    last = device;
+  }
+  return series;
+}
+
+struct ServingFixture {
+  core::TrainedModel model;
+  std::vector<preprocess::BinaryEvent> events;
+  std::vector<std::uint8_t> initial_state;
+};
+
+const ServingFixture& fixture() {
+  static const ServingFixture data = [] {
+    ServingFixture out;
+    const preprocess::StateSeries series = synthetic_series(22, 20000, 42);
+    core::PipelineConfig config;
+    config.laplace_alpha = 0.1;
+    out.model = core::Pipeline(config).train_on_series(series, 2);
+    out.events = series.events();
+    out.initial_state = series.snapshot_state(0);
+    return out;
+  }();
+  return data;
+}
+
+// One full service lifetime per iteration: events are spread round-robin
+// over the tenants, so items processed == events submitted regardless of
+// the (shards, tenants) shape.
+void BM_ServeThroughput(benchmark::State& bench_state) {
+  const auto shard_count = static_cast<std::size_t>(bench_state.range(0));
+  const auto tenant_count = static_cast<std::size_t>(bench_state.range(1));
+  const ServingFixture& data = fixture();
+
+  std::uint64_t alarms = 0;
+  std::uint64_t p99_ns = 0;
+  for (auto _ : bench_state) {
+    serve::ServiceConfig config;
+    config.shard_count = shard_count;
+    config.queue_capacity = 8192;
+    serve::DetectionService service(config, nullptr);
+    std::vector<serve::TenantHandle> handles;
+    for (std::size_t i = 0; i < tenant_count; ++i) {
+      handles.push_back(service.add_tenant(
+          "home-" + std::to_string(i),
+          serve::make_snapshot(data.model.graph, data.model.score_threshold,
+                               data.model.laplace_alpha, 1),
+          data.initial_state));
+    }
+    service.start();
+    std::size_t next = 0;
+    for (const preprocess::BinaryEvent& event : data.events) {
+      service.submit(handles[next++ % tenant_count], event);
+    }
+    service.shutdown();
+    const serve::ServiceStats stats = service.stats();
+    benchmark::DoNotOptimize(stats.events_processed);
+    alarms = stats.alarms_total;
+    p99_ns = stats.latency.p99_ns;
+  }
+  bench_state.SetItemsProcessed(
+      static_cast<std::int64_t>(bench_state.iterations() *
+                                data.events.size()));
+  bench_state.counters["shards"] = static_cast<double>(shard_count);
+  bench_state.counters["tenants"] = static_cast<double>(tenant_count);
+  bench_state.counters["alarms"] = static_cast<double>(alarms);
+  bench_state.counters["latency_p99_ns"] = static_cast<double>(p99_ns);
+}
+BENCHMARK(BM_ServeThroughput)
+    ->Args({1, 1})
+    ->Args({1, 4})
+    ->Args({2, 4})
+    ->Args({4, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The raw session step without the queue: upper bound for a shard worker.
+void BM_SessionProcess(benchmark::State& bench_state) {
+  const ServingFixture& data = fixture();
+  serve::TenantSession session(
+      "solo",
+      serve::make_snapshot(data.model.graph, data.model.score_threshold,
+                           data.model.laplace_alpha, 1),
+      {}, data.initial_state);
+  std::size_t next = 0;
+  for (auto _ : bench_state) {
+    benchmark::DoNotOptimize(
+        session.process(data.events[next++ % data.events.size()]));
+  }
+  bench_state.SetItemsProcessed(
+      static_cast<std::int64_t>(bench_state.iterations()));
+}
+BENCHMARK(BM_SessionProcess);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,6 +1,9 @@
 #include "causaliot/core/pipeline.hpp"
 
+#include <optional>
+
 #include "causaliot/util/check.hpp"
+#include "causaliot/util/thread_pool.hpp"
 
 namespace causaliot::core {
 
@@ -45,12 +48,20 @@ TrainedModel Pipeline::train_on_series(const preprocess::StateSeries& series,
   miner_config.threads = config_.mining_threads;
   const mining::InteractionMiner miner(miner_config);
 
+  // One pool for the whole training pass: mining, CPT estimation, and
+  // threshold calibration all ride it (each is bit-identical to serial).
+  std::optional<util::ThreadPool> pool;
+  if (util::resolve_thread_count(config_.mining_threads) > 1) {
+    pool.emplace(config_.mining_threads);
+  }
+  util::ThreadPool* pool_ptr = pool ? &*pool : nullptr;
+
   TrainedModel model;
   model.lag = lag;
   model.laplace_alpha = config_.laplace_alpha;
-  model.graph = miner.mine(series, &model.mining_diagnostics);
+  model.graph = miner.mine(series, &model.mining_diagnostics, pool_ptr);
   model.training_scores = detect::ThresholdCalculator::training_scores(
-      model.graph, series, config_.laplace_alpha);
+      model.graph, series, config_.laplace_alpha, pool_ptr);
   model.score_threshold = detect::ThresholdCalculator::threshold_at_percentile(
       model.training_scores, config_.percentile_q);
   model.final_training_state = series.snapshot_state(series.length() - 1);

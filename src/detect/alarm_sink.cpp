@@ -20,6 +20,7 @@ std::optional<SunkAlarm> AlarmSink::offer(AnomalyReport report) {
   const std::uint64_t signature_key =
       (static_cast<std::uint64_t>(head.event.device) << 1) |
       head.event.state;
+  std::lock_guard<std::mutex> lock(mutex_);
   Signature& signature = signatures_[signature_key];
 
   const double now = head.event.timestamp;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -39,6 +40,12 @@ struct SunkAlarm {
   std::size_t suppressed_duplicates = 0;
 };
 
+/// Thread-safety contract: one sink may be shared by every shard of a
+/// serving deployment. offer() and the counter accessors are safe to call
+/// concurrently from any thread; each offer is atomic (dedup decision +
+/// counter updates happen under one lock), so delivered() + suppressed()
+/// always equals the number of completed offers. grade() is pure
+/// configuration and needs no lock.
 class AlarmSink {
  public:
   explicit AlarmSink(SinkConfig config = {});
@@ -47,12 +54,20 @@ class AlarmSink {
   /// delivered, or nullopt if it was deduplicated.
   std::optional<SunkAlarm> offer(AnomalyReport report);
 
-  std::size_t delivered() const { return delivered_; }
-  std::size_t suppressed() const { return suppressed_; }
+  std::size_t delivered() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return delivered_;
+  }
+  std::size_t suppressed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return suppressed_;
+  }
 
-  /// Alarms delivered per head device (dashboard counter).
-  const std::unordered_map<telemetry::DeviceId, std::size_t>&
-  delivered_by_device() const {
+  /// Alarms delivered per head device (dashboard counter); a snapshot,
+  /// consistent with one atomic point in the offer stream.
+  std::unordered_map<telemetry::DeviceId, std::size_t> delivered_by_device()
+      const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return delivered_by_device_;
   }
 
@@ -65,6 +80,7 @@ class AlarmSink {
   };
 
   SinkConfig config_;
+  mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, Signature> signatures_;
   std::unordered_map<telemetry::DeviceId, std::size_t> delivered_by_device_;
   std::size_t delivered_ = 0;

@@ -8,6 +8,7 @@
 #include "causaliot/detect/phantom_state_machine.hpp"
 #include "causaliot/graph/dig.hpp"
 #include "causaliot/preprocess/series.hpp"
+#include "causaliot/util/thread_pool.hpp"
 
 namespace causaliot::detect {
 
@@ -49,12 +50,29 @@ struct AnomalyReport {
 class ThresholdCalculator {
  public:
   /// Scores events e^j for j in [max_lag, m] of `series` under `graph`.
+  /// Each event's score depends only on the immutable series and graph
+  /// and is written to its own output slot, so with a `pool` the snapshot
+  /// range is chunked across workers with bit-identical results.
   static std::vector<double> training_scores(
       const graph::InteractionGraph& graph,
-      const preprocess::StateSeries& series, double laplace_alpha = 0.0);
+      const preprocess::StateSeries& series, double laplace_alpha = 0.0,
+      util::ThreadPool* pool = nullptr);
 
   /// The q-th percentile (q in [0, 100], paper default 99) of the scores.
   static double threshold_at_percentile(std::vector<double> scores, double q);
+};
+
+/// The monitor's full runtime state, decoupled from any particular DIG:
+/// the phantom state machine's lagged window, the pending Algorithm 2
+/// anomaly list W, and the stream position. A serving session exports it
+/// before a hot model swap and seeds a monitor over the new graph with
+/// it, so detection continues mid-stream without losing tracked context.
+struct MonitorState {
+  /// Lagged system states, newest first (index = lag).
+  std::vector<std::vector<std::uint8_t>> lagged_states;
+  /// Pending anomaly list W (entries carry their own cause copies).
+  std::vector<AnomalyEntry> window;
+  std::size_t events_processed = 0;
 };
 
 class EventMonitor {
@@ -63,6 +81,15 @@ class EventMonitor {
   /// training-trace system state when monitoring its continuation.
   EventMonitor(const graph::InteractionGraph& graph, MonitorConfig config,
                std::vector<std::uint8_t> initial_state);
+
+  /// Resumes from an exported MonitorState under a (possibly different)
+  /// graph. The state window is re-fitted to the new graph's max_lag;
+  /// device counts must match.
+  EventMonitor(const graph::InteractionGraph& graph, MonitorConfig config,
+               MonitorState state);
+
+  /// Snapshot of the runtime state for transplant onto another graph.
+  MonitorState export_state() const;
 
   const MonitorConfig& config() const { return config_; }
   const PhantomStateMachine& state_machine() const { return machine_; }

@@ -21,6 +21,16 @@ class PhantomStateMachine {
   PhantomStateMachine(std::size_t device_count, std::size_t max_lag,
                       std::vector<std::uint8_t> initial_state);
 
+  /// Rebuilds a machine from exported lagged states (index = lag, newest
+  /// first; see lagged_states()). The new window may be a different size
+  /// than the exported one — e.g. a freshly trained model with a larger
+  /// tau adopted mid-stream by a serve session: missing older lags are
+  /// padded with the oldest exported state, extra ones are dropped.
+  PhantomStateMachine(std::size_t device_count, std::size_t max_lag,
+                      const std::vector<std::vector<std::uint8_t>>&
+                          lagged_newest_first,
+                      std::size_t events_seen);
+
   std::size_t device_count() const { return device_count_; }
   std::size_t max_lag() const { return max_lag_; }
 
@@ -39,6 +49,11 @@ class PhantomStateMachine {
 
   /// Copy of the current system state S^t.
   std::vector<std::uint8_t> current_state() const;
+
+  /// The full window, newest first: element l is the state at lag l.
+  /// Together with the restoring constructor this lets a serving session
+  /// transplant its runtime state onto a freshly swapped-in model.
+  std::vector<std::vector<std::uint8_t>> lagged_states() const;
 
   /// Number of events applied since construction.
   std::size_t events_seen() const { return events_seen_; }

@@ -8,25 +8,36 @@ namespace causaliot::detect {
 
 std::vector<double> ThresholdCalculator::training_scores(
     const graph::InteractionGraph& graph,
-    const preprocess::StateSeries& series, double laplace_alpha) {
+    const preprocess::StateSeries& series, double laplace_alpha,
+    util::ThreadPool* pool) {
   const std::size_t tau = graph.max_lag();
   CAUSALIOT_CHECK(series.device_count() == graph.device_count());
   CAUSALIOT_CHECK(series.length() > tau);
 
-  std::vector<double> scores;
-  scores.reserve(series.length() - tau);
-  std::vector<std::uint8_t> cause_values;
-  for (std::size_t j = tau; j < series.length(); ++j) {
-    const preprocess::BinaryEvent& event = series.event_at(j);
-    const graph::Cpt& cpt = graph.cpt(event.device);
-    cause_values.clear();
-    for (const graph::LaggedNode& cause : cpt.causes()) {
-      cause_values.push_back(series.state(cause.device, j - cause.lag));
+  const std::size_t count = series.length() - tau;
+  std::vector<double> scores(count);
+  // Chunked so the per-iteration work amortizes the scheduling cost; each
+  // chunk writes only its own slots, so any schedule matches the serial
+  // pass bit-for-bit.
+  constexpr std::size_t kChunk = 1024;
+  const std::size_t chunk_count = (count + kChunk - 1) / kChunk;
+  util::parallel_for(pool, 0, chunk_count, [&](std::size_t chunk) {
+    std::vector<std::uint8_t> cause_values;
+    const std::size_t begin = chunk * kChunk;
+    const std::size_t end = std::min(begin + kChunk, count);
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t j = tau + i;
+      const preprocess::BinaryEvent& event = series.event_at(j);
+      const graph::Cpt& cpt = graph.cpt(event.device);
+      cause_values.clear();
+      for (const graph::LaggedNode& cause : cpt.causes()) {
+        cause_values.push_back(series.state(cause.device, j - cause.lag));
+      }
+      const double likelihood =
+          cpt.probability(cpt.pack(cause_values), event.state, laplace_alpha);
+      scores[i] = 1.0 - likelihood;
     }
-    const double likelihood =
-        cpt.probability(cpt.pack(cause_values), event.state, laplace_alpha);
-    scores.push_back(1.0 - likelihood);
-  }
+  });
   return scores;
 }
 
@@ -48,6 +59,28 @@ EventMonitor::EventMonitor(const graph::InteractionGraph& graph,
   CAUSALIOT_CHECK_MSG(
       config_.score_threshold >= 0.0 && config_.score_threshold <= 1.0,
       "score threshold must be in [0, 1]");
+}
+
+EventMonitor::EventMonitor(const graph::InteractionGraph& graph,
+                           MonitorConfig config, MonitorState state)
+    : graph_(graph),
+      config_(config),
+      machine_(graph.device_count(), graph.max_lag(), state.lagged_states,
+               state.events_processed),
+      window_(std::move(state.window)),
+      events_processed_(state.events_processed) {
+  CAUSALIOT_CHECK_MSG(config_.k_max >= 1, "k_max must be >= 1");
+  CAUSALIOT_CHECK_MSG(
+      config_.score_threshold >= 0.0 && config_.score_threshold <= 1.0,
+      "score threshold must be in [0, 1]");
+}
+
+MonitorState EventMonitor::export_state() const {
+  MonitorState state;
+  state.lagged_states = machine_.lagged_states();
+  state.window = window_;
+  state.events_processed = events_processed_;
+  return state;
 }
 
 double EventMonitor::score_event(const preprocess::BinaryEvent& event) {
@@ -94,7 +127,9 @@ std::optional<AnomalyReport> EventMonitor::process(
   std::optional<AnomalyReport> report;
   // Line 9: flush on reaching k_max, or on an abrupt high-score event
   // arriving mid-tracking.
-  const bool full = window_.size() == config_.k_max;
+  // >= (not ==): a MonitorState transplanted from a session with a larger
+  // k_max may arrive with an oversized pending window; flush it now.
+  const bool full = window_.size() >= config_.k_max;
   const bool abrupt = !window_.empty() && window_.size() < config_.k_max &&
                       anomalous && window_.back().stream_index != events_processed_;
   if (full || abrupt) {

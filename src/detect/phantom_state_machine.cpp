@@ -1,5 +1,7 @@
 #include "causaliot/detect/phantom_state_machine.hpp"
 
+#include <algorithm>
+
 namespace causaliot::detect {
 
 PhantomStateMachine::PhantomStateMachine(std::size_t device_count,
@@ -11,6 +13,29 @@ PhantomStateMachine::PhantomStateMachine(std::size_t device_count,
   CAUSALIOT_CHECK_MSG(max_lag >= 1, "max_lag must be >= 1");
   for (std::uint8_t v : initial_state) CAUSALIOT_CHECK(v <= 1);
   ring_.assign(max_lag_ + 1, initial_state);
+}
+
+PhantomStateMachine::PhantomStateMachine(
+    std::size_t device_count, std::size_t max_lag,
+    const std::vector<std::vector<std::uint8_t>>& lagged_newest_first,
+    std::size_t events_seen)
+    : device_count_(device_count),
+      max_lag_(max_lag),
+      events_seen_(events_seen) {
+  CAUSALIOT_CHECK_MSG(max_lag >= 1, "max_lag must be >= 1");
+  CAUSALIOT_CHECK_MSG(!lagged_newest_first.empty(), "no lagged states");
+  for (const auto& state : lagged_newest_first) {
+    CAUSALIOT_CHECK_MSG(state.size() == device_count,
+                        "lagged state size mismatch");
+  }
+  // ring_[0] holds the oldest retained state; head_ points at the newest.
+  ring_.resize(max_lag_ + 1);
+  head_ = max_lag_;
+  for (std::uint32_t lag = 0; lag <= max_lag_; ++lag) {
+    const std::size_t source =
+        std::min<std::size_t>(lag, lagged_newest_first.size() - 1);
+    ring_[max_lag_ - lag] = lagged_newest_first[source];
+  }
 }
 
 void PhantomStateMachine::update(const preprocess::BinaryEvent& event) {
@@ -44,6 +69,17 @@ std::vector<std::uint8_t> PhantomStateMachine::cause_values(
 
 std::vector<std::uint8_t> PhantomStateMachine::current_state() const {
   return ring_[head_];
+}
+
+std::vector<std::vector<std::uint8_t>> PhantomStateMachine::lagged_states()
+    const {
+  std::vector<std::vector<std::uint8_t>> window;
+  window.reserve(max_lag_ + 1);
+  for (std::uint32_t lag = 0; lag <= max_lag_; ++lag) {
+    const std::size_t slot = (head_ + ring_.size() - lag) % ring_.size();
+    window.push_back(ring_[slot]);
+  }
+  return window;
 }
 
 }  // namespace causaliot::detect

@@ -93,17 +93,23 @@ class InteractionMiner {
 
   /// MLE CPT estimation over all snapshots (counts of child state per
   /// cause assignment). Adds on top of any existing counts; mine() calls
-  /// it exactly once on fresh tables.
+  /// it exactly once on fresh tables. Per-child tables are independent
+  /// (each worker touches only its child's Cpt), so with a pool — or
+  /// config().threads != 1, which spins one up — counts are bit-identical
+  /// to the serial pass.
   void estimate_cpts(const preprocess::StateSeries& series,
-                     graph::InteractionGraph& graph) const;
+                     graph::InteractionGraph& graph,
+                     util::ThreadPool* pool = nullptr) const;
 
   /// Online adaptation to behavioural drift (the paper's main source of
   /// false alarms): decays the existing CPT counts by `forget_factor`
   /// and folds in fresh observations from `series`, keeping the skeleton
-  /// fixed. forget_factor = 1 keeps all history.
+  /// fixed. forget_factor = 1 keeps all history. Parallelizes like
+  /// estimate_cpts.
   void update_cpts(const preprocess::StateSeries& series,
                    graph::InteractionGraph& graph,
-                   double forget_factor = 0.9) const;
+                   double forget_factor = 0.9,
+                   util::ThreadPool* pool = nullptr) const;
 
  private:
   MinerConfig config_;

@@ -283,19 +283,29 @@ graph::InteractionGraph InteractionMiner::mine(
           std::make_move_iterator(local.removals.end()));
     }
   }
-  estimate_cpts(series, graph);
+  estimate_cpts(series, graph, pool);
   return graph;
 }
 
 void InteractionMiner::estimate_cpts(const preprocess::StateSeries& series,
-                                     graph::InteractionGraph& graph) const {
+                                     graph::InteractionGraph& graph,
+                                     util::ThreadPool* pool) const {
   const std::size_t tau = config_.max_lag;
   CAUSALIOT_CHECK(series.length() > tau);
   CAUSALIOT_CHECK(graph.device_count() == series.device_count());
 
-  std::vector<std::uint8_t> cause_values;
-  for (telemetry::DeviceId child = 0; child < graph.device_count(); ++child) {
+  std::optional<util::ThreadPool> own_pool;
+  if (pool == nullptr && util::resolve_thread_count(config_.threads) > 1) {
+    own_pool.emplace(config_.threads);
+    pool = &*own_pool;
+  }
+  // One task per child: each touches only its own Cpt, and within a child
+  // the snapshots are walked in serial order, so the counts match the
+  // serial pass bit-for-bit under any schedule.
+  util::parallel_for(pool, 0, graph.device_count(), [&](std::size_t c) {
+    const auto child = static_cast<telemetry::DeviceId>(c);
     graph::Cpt& cpt = graph.cpt(child);
+    std::vector<std::uint8_t> cause_values;
     for (std::size_t j = tau; j < series.length(); ++j) {
       cause_values.clear();
       for (const graph::LaggedNode& cause : cpt.causes()) {
@@ -303,16 +313,17 @@ void InteractionMiner::estimate_cpts(const preprocess::StateSeries& series,
       }
       cpt.observe(cpt.pack(cause_values), series.state(child, j));
     }
-  }
+  });
 }
 
 void InteractionMiner::update_cpts(const preprocess::StateSeries& series,
                                    graph::InteractionGraph& graph,
-                                   double forget_factor) const {
+                                   double forget_factor,
+                                   util::ThreadPool* pool) const {
   for (telemetry::DeviceId child = 0; child < graph.device_count(); ++child) {
     graph.cpt(child).scale(forget_factor);
   }
-  estimate_cpts(series, graph);
+  estimate_cpts(series, graph, pool);
 }
 
 }  // namespace causaliot::mining

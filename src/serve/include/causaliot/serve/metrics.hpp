@@ -1,0 +1,106 @@
+// Serving metrics: lock-free counters and fixed-bucket latency
+// histograms, snapshotted into a JSON report.
+//
+// Everything on the event hot path is a relaxed atomic increment — the
+// counters are monotone totals, so cross-counter skew during a snapshot
+// is acceptable and no ordering is needed. The histogram uses
+// power-of-two nanosecond buckets (index = bit_width of the sample):
+// recording is one relaxed fetch_add, and quantiles are answered at
+// snapshot time by walking the cumulative distribution, with each
+// bucket's upper bound as the reported value (i.e. quantiles are
+// conservative within a factor of two — the right trade for a counter
+// that is hit a million times per second).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace causaliot::serve {
+
+class LatencyHistogram {
+ public:
+  /// Doubling buckets from 1 ns; the last bucket absorbs everything from
+  /// ~2.3 minutes up.
+  static constexpr std::size_t kBucketCount = 48;
+
+  void record(std::uint64_t nanos) {
+    const std::size_t width = std::bit_width(nanos);  // 0 for nanos == 0
+    const std::size_t index =
+        width < kBucketCount ? width : kBucketCount - 1;
+    buckets_[index].fetch_add(1, std::memory_order_relaxed);
+    // Keep the true maximum exactly (CAS loop; contention is negligible
+    // because the max changes rarely once warm).
+    std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+    while (nanos > seen &&
+           !max_ns_.compare_exchange_weak(seen, nanos,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t p50_ns = 0;
+    std::uint64_t p95_ns = 0;
+    std::uint64_t p99_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+
+  Snapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// Counters owned by serve::DetectionService; queue-level backpressure
+/// counters live in each shard's BoundedQueue and are merged into the
+/// ServiceStats snapshot at read time.
+struct Metrics {
+  std::atomic<std::uint64_t> events_submitted{0};
+  std::atomic<std::uint64_t> events_processed{0};
+  std::atomic<std::uint64_t> alarms_total{0};
+  std::atomic<std::uint64_t> alarms_notice{0};
+  std::atomic<std::uint64_t> alarms_warning{0};
+  std::atomic<std::uint64_t> alarms_critical{0};
+  /// Alarms whose report tracked a collective chain (> 1 entry).
+  std::atomic<std::uint64_t> alarms_collective{0};
+  std::atomic<std::uint64_t> alarms_suppressed{0};
+  std::atomic<std::uint64_t> model_swaps_published{0};
+  std::atomic<std::uint64_t> model_swaps_adopted{0};
+  /// Enqueue-to-processed latency per event.
+  LatencyHistogram latency;
+};
+
+/// Point-in-time, plain-value view of a running service, exported as the
+/// final (or on-demand) metrics report.
+struct ServiceStats {
+  std::size_t shard_count = 0;
+  std::size_t tenant_count = 0;
+  std::uint64_t events_submitted = 0;
+  std::uint64_t events_processed = 0;
+  // Backpressure (summed over shard queues).
+  std::uint64_t queue_accepted = 0;
+  std::uint64_t queue_dropped_oldest = 0;
+  std::uint64_t queue_rejected = 0;
+  std::uint64_t queue_closed_rejects = 0;
+  std::uint64_t queue_block_waits = 0;
+  // Alarms.
+  std::uint64_t alarms_total = 0;
+  std::uint64_t alarms_notice = 0;
+  std::uint64_t alarms_warning = 0;
+  std::uint64_t alarms_critical = 0;
+  std::uint64_t alarms_collective = 0;
+  std::uint64_t alarms_suppressed = 0;
+  // Hot swap.
+  std::uint64_t model_swaps_published = 0;
+  std::uint64_t model_swaps_adopted = 0;
+  LatencyHistogram::Snapshot latency;
+
+  std::string to_json() const;
+};
+
+}  // namespace causaliot::serve

@@ -1,0 +1,74 @@
+// Immutable, atomically swappable detection models.
+//
+// A serving session must keep detecting while a retrained model (drift
+// adaptation via `update_cpts`, or a full re-mine) is rolled out. The
+// unit of rollout is a ModelSnapshot: the DIG plus its calibrated score
+// threshold, frozen at publication. Sessions hold snapshots through a
+// ModelSlot — an atomic shared_ptr — so a publisher thread can install a
+// new snapshot without pausing ingestion, and a worker mid-event keeps
+// the old snapshot alive through its own reference until it reaches the
+// next event boundary.
+//
+// Memory-ordering argument (see DESIGN.md §3c): the publisher fully
+// constructs the snapshot before ModelSlot::store (release); a worker's
+// ModelSlot::load (acquire) that observes the new pointer therefore
+// observes every write that built the model. The snapshot is never
+// mutated after publication, so workers need no further synchronization,
+// and the shared_ptr refcount retires the old model only after the last
+// in-flight reader drops it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "causaliot/graph/dig.hpp"
+
+namespace causaliot::serve {
+
+struct ModelSnapshot {
+  graph::InteractionGraph graph;
+  /// Score threshold c calibrated for this graph (Definition 2).
+  double score_threshold = 1.0;
+  /// CPT Laplace smoothing used at detection time.
+  double laplace_alpha = 0.0;
+  /// Publisher-assigned monotonic version, carried on alarms for
+  /// observability ("which model raised this?").
+  std::uint64_t version = 0;
+};
+
+inline std::shared_ptr<const ModelSnapshot> make_snapshot(
+    graph::InteractionGraph graph, double score_threshold,
+    double laplace_alpha = 0.0, std::uint64_t version = 0) {
+  auto snapshot = std::make_shared<ModelSnapshot>();
+  snapshot->graph = std::move(graph);
+  snapshot->score_threshold = score_threshold;
+  snapshot->laplace_alpha = laplace_alpha;
+  snapshot->version = version;
+  return snapshot;
+}
+
+/// One session's current model. store() may race with load() freely;
+/// both are wait-free on libstdc++'s atomic<shared_ptr> fast path.
+class ModelSlot {
+ public:
+  explicit ModelSlot(std::shared_ptr<const ModelSnapshot> initial)
+      : current_(std::move(initial)) {}
+
+  ModelSlot(const ModelSlot&) = delete;
+  ModelSlot& operator=(const ModelSlot&) = delete;
+
+  std::shared_ptr<const ModelSnapshot> load() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  void store(std::shared_ptr<const ModelSnapshot> next) {
+    current_.store(std::move(next), std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const ModelSnapshot>> current_;
+};
+
+}  // namespace causaliot::serve

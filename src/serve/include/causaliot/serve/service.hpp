@@ -1,0 +1,171 @@
+// Streaming multi-tenant detection service.
+//
+// The missing layer between the miner and a deployment: many independent
+// homes (tenant sessions), each an O(1)-per-event Event Monitor, sharded
+// over N worker threads. Producers submit(), which routes the event to
+// the owning shard's bounded queue; the shard worker is the single
+// consumer and the only thread that touches its sessions, so the entire
+// detection path is lock-free beyond the queue handoff.
+//
+//   serve::DetectionService service(config, [](const ServedAlarm& a) {...});
+//   auto home = service.add_tenant("home-0", snapshot, initial_state);
+//   service.start();
+//   service.submit(home, event);            // any thread
+//   service.swap_model(home, new_snapshot); // any thread, no pause
+//   service.shutdown();                     // drain queues, flush windows
+//
+// Backpressure is explicit (util::BoundedQueue policy per shard) and
+// counted; hot model swap is an atomic snapshot publication adopted at
+// the session's next event boundary; shutdown() closes the queues,
+// drains every queued event, then flushes each session's pending
+// Algorithm 2 window — nothing accepted is ever silently discarded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "causaliot/preprocess/series.hpp"
+#include "causaliot/serve/metrics.hpp"
+#include "causaliot/serve/session.hpp"
+#include "causaliot/util/bounded_queue.hpp"
+
+namespace causaliot::serve {
+
+struct ServiceConfig {
+  /// Worker threads; tenants are spread round-robin over shards.
+  std::size_t shard_count = 1;
+  /// Bounded event-queue capacity per shard.
+  std::size_t queue_capacity = 4096;
+  /// What a full shard queue does to producers.
+  util::OverflowPolicy overflow = util::OverflowPolicy::kBlock;
+  /// Per-session Algorithm 2 / alarm-filter settings.
+  SessionConfig session;
+};
+
+/// Opaque tenant identifier returned by add_tenant.
+using TenantHandle = std::uint32_t;
+
+/// An alarm leaving the service, decorated for delivery.
+struct ServedAlarm {
+  TenantHandle tenant = 0;
+  std::string tenant_name;
+  detect::AnomalyReport report;
+  detect::AlarmSeverity severity = detect::AlarmSeverity::kNotice;
+  std::size_t suppressed_duplicates = 0;
+  /// Version of the ModelSnapshot that scored the anomaly.
+  std::uint64_t model_version = 0;
+};
+
+/// Invoked from shard worker threads (and from shutdown() for flushed
+/// windows). Must be thread-safe; keep it fast — it runs on the
+/// detection path.
+using AlarmCallback = std::function<void(const ServedAlarm&)>;
+
+class DetectionService {
+ public:
+  DetectionService(ServiceConfig config, AlarmCallback on_alarm);
+  /// Calls shutdown() if the service is still running.
+  ~DetectionService();
+
+  DetectionService(const DetectionService&) = delete;
+  DetectionService& operator=(const DetectionService&) = delete;
+
+  /// Registers a home before start(). `initial_state` seeds the phantom
+  /// state machine (size must match the model's device count).
+  TenantHandle add_tenant(std::string name,
+                          std::shared_ptr<const ModelSnapshot> model,
+                          std::vector<std::uint8_t> initial_state);
+
+  /// Handle lookup by registration name; kInvalidTenant when unknown.
+  static constexpr TenantHandle kInvalidTenant = ~TenantHandle{0};
+  TenantHandle find_tenant(std::string_view name) const;
+
+  /// Spawns the shard workers. Events submitted before start() queue up
+  /// (subject to the overflow policy) and are processed once it runs.
+  void start();
+
+  enum class SubmitResult : std::uint8_t {
+    kAccepted,  // queued (under kDropOldest possibly at a victim's cost)
+    kRejected,  // full queue under kReject; event not queued
+    kClosed,    // service shutting down; event not queued
+  };
+
+  /// Routes `event` to the tenant's shard. Callable from any thread.
+  /// Under kBlock this may wait for queue space (lossless backpressure).
+  SubmitResult submit(TenantHandle tenant,
+                      const preprocess::BinaryEvent& event);
+
+  /// Publishes a new model for one tenant without pausing ingestion;
+  /// adopted at that session's next event boundary. Any thread.
+  void swap_model(TenantHandle tenant,
+                  std::shared_ptr<const ModelSnapshot> model);
+
+  /// Graceful drain: stops accepting events, processes everything queued,
+  /// joins the workers, then flushes each session's pending anomaly
+  /// window through the alarm callback. Idempotent.
+  void shutdown();
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t tenant_count() const { return tenants_.size(); }
+  const TenantSession& session(TenantHandle tenant) const;
+
+  /// Point-in-time counters + latency quantiles (see metrics.hpp).
+  ServiceStats stats() const;
+  std::string stats_json() const { return stats().to_json(); }
+
+ private:
+  struct ShardItem {
+    TenantSession* session = nullptr;
+    TenantHandle handle = 0;
+    preprocess::BinaryEvent event;
+    std::uint64_t enqueue_ns = 0;
+  };
+
+  struct Shard {
+    Shard(std::size_t capacity, util::OverflowPolicy policy)
+        : queue(capacity, policy) {}
+    util::BoundedQueue<ShardItem> queue;
+    std::vector<std::unique_ptr<TenantSession>> sessions;
+    std::thread worker;
+  };
+
+  void worker_loop(Shard& shard);
+  void deliver(TenantHandle handle, TenantSession& session,
+               detect::AnomalyReport report);
+
+  ServiceConfig config_;
+  AlarmCallback on_alarm_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// handle -> session (sessions are owned by their shard; the vector is
+  /// immutable after start(), so workers read it without locking).
+  std::vector<TenantSession*> tenants_;
+  Metrics metrics_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+/// Replays a recorded (already discretized) trace into every listed
+/// tenant, preserving per-tenant event order. speedup scales trace time
+/// to wall time (2 = twice as fast as recorded); 0 replays as fast as
+/// the backpressure policy allows.
+struct ReplayOptions {
+  double speedup = 0.0;
+};
+
+struct ReplayStats {
+  std::size_t submitted = 0;
+  std::size_t rejected = 0;
+};
+
+ReplayStats replay_trace(DetectionService& service,
+                         std::span<const TenantHandle> tenants,
+                         std::span<const preprocess::BinaryEvent> events,
+                         const ReplayOptions& options = {});
+
+}  // namespace causaliot::serve

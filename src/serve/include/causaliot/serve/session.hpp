@@ -1,0 +1,85 @@
+// One tenant's detection state: a home.
+//
+// A TenantSession bundles everything that is per-home at runtime — the
+// active ModelSnapshot, the EventMonitor (phantom state machine +
+// Algorithm 2 window) built over it, and the alarm post-filter. Sessions
+// are pinned to exactly one shard of the DetectionService: all event
+// processing happens on that shard's worker thread, so the session body
+// needs no locking. The only cross-thread entry point is
+// publish_model(), which stores into the session's ModelSlot; the worker
+// adopts the new snapshot at the next event boundary, transplanting the
+// monitor's runtime state (MonitorState) onto the new graph so no event
+// and no tracked anomaly context is lost across the swap.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "causaliot/detect/alarm_sink.hpp"
+#include "causaliot/detect/monitor.hpp"
+#include "causaliot/serve/model_snapshot.hpp"
+
+namespace causaliot::serve {
+
+struct SessionConfig {
+  /// Algorithm 2 anomaly-list length k_max per session.
+  std::size_t k_max = 1;
+  /// Route reports through a per-session AlarmSink (signature dedup). Off
+  /// by default: the raw stream then matches the batch monitor exactly.
+  bool deduplicate_alarms = false;
+  /// Severity grading (always applied) and dedup parameters.
+  detect::SinkConfig sink;
+};
+
+class TenantSession {
+ public:
+  TenantSession(std::string name, std::shared_ptr<const ModelSnapshot> model,
+                SessionConfig config, std::vector<std::uint8_t> initial_state);
+
+  const std::string& name() const { return name_; }
+  std::size_t device_count() const { return device_count_; }
+
+  /// Thread-safe: publishes a new model for this session. The shard
+  /// worker adopts it before processing its next event.
+  void publish_model(std::shared_ptr<const ModelSnapshot> model);
+
+  // --- shard-worker-only interface below ---
+
+  /// Processes one event under the newest published model.
+  std::optional<detect::AnomalyReport> process(
+      const preprocess::BinaryEvent& event);
+
+  /// Flushes a pending anomaly window at end of stream (drain path).
+  std::optional<detect::AnomalyReport> finish();
+
+  /// Grades (and, if configured, deduplicates) a report for delivery.
+  /// Returns nullopt when the alarm was suppressed.
+  std::optional<detect::SunkAlarm> filter(detect::AnomalyReport report);
+
+  /// The snapshot the monitor currently runs on.
+  const ModelSnapshot& active_model() const { return *active_; }
+
+  std::size_t events_processed() const {
+    return monitor_->events_processed();
+  }
+  std::uint64_t swaps_adopted() const { return swaps_adopted_; }
+
+ private:
+  detect::MonitorConfig monitor_config(const ModelSnapshot& model) const;
+  void adopt(std::shared_ptr<const ModelSnapshot> next);
+
+  std::string name_;
+  SessionConfig config_;
+  std::size_t device_count_ = 0;
+  ModelSlot slot_;
+  std::shared_ptr<const ModelSnapshot> active_;
+  /// optional<> because EventMonitor holds a reference to the active
+  /// graph and must be re-emplaced, not assigned, on adoption.
+  std::optional<detect::EventMonitor> monitor_;
+  detect::AlarmSink sink_;
+  std::uint64_t swaps_adopted_ = 0;
+};
+
+}  // namespace causaliot::serve

@@ -1,0 +1,76 @@
+#include "causaliot/serve/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace causaliot::serve {
+
+namespace {
+
+// Upper bound of histogram bucket `index` (samples with bit_width ==
+// index, i.e. [2^(index-1), 2^index - 1]; bucket 0 holds only 0).
+std::uint64_t bucket_upper_ns(std::size_t index) {
+  if (index == 0) return 0;
+  if (index >= 63) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << index) - 1;
+}
+
+}  // namespace
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  std::array<std::uint64_t, kBucketCount> counts;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  Snapshot out;
+  out.count = total;
+  out.max_ns = max_ns_.load(std::memory_order_relaxed);
+  if (total == 0) return out;
+
+  const auto quantile = [&](double q) -> std::uint64_t {
+    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      cumulative += counts[i];
+      if (cumulative > rank) {
+        const std::uint64_t upper = bucket_upper_ns(i);
+        return upper < out.max_ns ? upper : out.max_ns;
+      }
+    }
+    return out.max_ns;
+  };
+  out.p50_ns = quantile(0.50);
+  out.p95_ns = quantile(0.95);
+  out.p99_ns = quantile(0.99);
+  return out;
+}
+
+std::string ServiceStats::to_json() const {
+  char buffer[1024];
+  const int written = std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"shards\": %zu, \"tenants\": %zu, "
+      "\"events\": {\"submitted\": %" PRIu64 ", \"processed\": %" PRIu64
+      ", \"queued_accepted\": %" PRIu64 ", \"dropped_oldest\": %" PRIu64
+      ", \"rejected\": %" PRIu64 ", \"rejected_after_close\": %" PRIu64
+      ", \"block_waits\": %" PRIu64 "}, "
+      "\"alarms\": {\"total\": %" PRIu64 ", \"notice\": %" PRIu64
+      ", \"warning\": %" PRIu64 ", \"critical\": %" PRIu64
+      ", \"collective\": %" PRIu64 ", \"suppressed\": %" PRIu64 "}, "
+      "\"model_swaps\": {\"published\": %" PRIu64 ", \"adopted\": %" PRIu64
+      "}, "
+      "\"latency_ns\": {\"count\": %" PRIu64 ", \"p50\": %" PRIu64
+      ", \"p95\": %" PRIu64 ", \"p99\": %" PRIu64 ", \"max\": %" PRIu64 "}}",
+      shard_count, tenant_count, events_submitted, events_processed,
+      queue_accepted, queue_dropped_oldest, queue_rejected,
+      queue_closed_rejects, queue_block_waits, alarms_total, alarms_notice,
+      alarms_warning, alarms_critical, alarms_collective, alarms_suppressed,
+      model_swaps_published, model_swaps_adopted, latency.count,
+      latency.p50_ns, latency.p95_ns, latency.p99_ns, latency.max_ns);
+  return std::string(buffer,
+                     written > 0 ? static_cast<std::size_t>(written) : 0);
+}
+
+}  // namespace causaliot::serve

@@ -1,0 +1,248 @@
+#include "causaliot/serve/service.hpp"
+
+#include <chrono>
+
+#include "causaliot/util/check.hpp"
+
+namespace causaliot::serve {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+DetectionService::DetectionService(ServiceConfig config, AlarmCallback on_alarm)
+    : config_(config), on_alarm_(std::move(on_alarm)) {
+  CAUSALIOT_CHECK_MSG(config_.shard_count >= 1, "shard_count must be >= 1");
+  shards_.reserve(config_.shard_count);
+  for (std::size_t i = 0; i < config_.shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config_.queue_capacity,
+                                              config_.overflow));
+  }
+}
+
+DetectionService::~DetectionService() { shutdown(); }
+
+TenantHandle DetectionService::add_tenant(
+    std::string name, std::shared_ptr<const ModelSnapshot> model,
+    std::vector<std::uint8_t> initial_state) {
+  CAUSALIOT_CHECK_MSG(!started_, "add_tenant must run before start()");
+  CAUSALIOT_CHECK_MSG(find_tenant(name) == kInvalidTenant,
+                      "duplicate tenant name");
+  const auto handle = static_cast<TenantHandle>(tenants_.size());
+  Shard& shard = *shards_[handle % shards_.size()];
+  shard.sessions.push_back(std::make_unique<TenantSession>(
+      std::move(name), std::move(model), config_.session,
+      std::move(initial_state)));
+  tenants_.push_back(shard.sessions.back().get());
+  return handle;
+}
+
+TenantHandle DetectionService::find_tenant(std::string_view name) const {
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    if (tenants_[i]->name() == name) {
+      return static_cast<TenantHandle>(i);
+    }
+  }
+  return kInvalidTenant;
+}
+
+void DetectionService::start() {
+  CAUSALIOT_CHECK_MSG(!started_, "service already started");
+  CAUSALIOT_CHECK_MSG(!stopped_, "service already shut down");
+  started_ = true;
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, raw = shard.get()] {
+      worker_loop(*raw);
+    });
+  }
+}
+
+DetectionService::SubmitResult DetectionService::submit(
+    TenantHandle tenant, const preprocess::BinaryEvent& event) {
+  CAUSALIOT_CHECK_MSG(tenant < tenants_.size(), "unknown tenant handle");
+  metrics_.events_submitted.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = *shards_[tenant % shards_.size()];
+  ShardItem item;
+  item.session = tenants_[tenant];
+  item.handle = tenant;
+  item.event = event;
+  item.enqueue_ns = now_ns();
+  switch (shard.queue.push(std::move(item))) {
+    case util::PushResult::kAccepted:
+    case util::PushResult::kDroppedOldest:
+      return SubmitResult::kAccepted;
+    case util::PushResult::kRejected:
+      return SubmitResult::kRejected;
+    case util::PushResult::kClosed:
+      return SubmitResult::kClosed;
+  }
+  return SubmitResult::kClosed;  // unreachable
+}
+
+void DetectionService::swap_model(TenantHandle tenant,
+                                  std::shared_ptr<const ModelSnapshot> model) {
+  CAUSALIOT_CHECK_MSG(tenant < tenants_.size(), "unknown tenant handle");
+  tenants_[tenant]->publish_model(std::move(model));
+  metrics_.model_swaps_published.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DetectionService::deliver(TenantHandle handle, TenantSession& session,
+                               detect::AnomalyReport report) {
+  const bool collective = report.chain_length() > 1;
+  std::optional<detect::SunkAlarm> sunk = session.filter(std::move(report));
+  if (!sunk.has_value()) {
+    metrics_.alarms_suppressed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  metrics_.alarms_total.fetch_add(1, std::memory_order_relaxed);
+  if (collective) {
+    metrics_.alarms_collective.fetch_add(1, std::memory_order_relaxed);
+  }
+  switch (sunk->severity) {
+    case detect::AlarmSeverity::kNotice:
+      metrics_.alarms_notice.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case detect::AlarmSeverity::kWarning:
+      metrics_.alarms_warning.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case detect::AlarmSeverity::kCritical:
+      metrics_.alarms_critical.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  if (!on_alarm_) return;
+  ServedAlarm alarm;
+  alarm.tenant = handle;
+  alarm.tenant_name = session.name();
+  alarm.report = std::move(sunk->report);
+  alarm.severity = sunk->severity;
+  alarm.suppressed_duplicates = sunk->suppressed_duplicates;
+  alarm.model_version = session.active_model().version;
+  on_alarm_(alarm);
+}
+
+void DetectionService::worker_loop(Shard& shard) {
+  while (std::optional<ShardItem> item = shard.queue.pop()) {
+    TenantSession& session = *item->session;
+    const std::uint64_t before_swaps = session.swaps_adopted();
+    std::optional<detect::AnomalyReport> report =
+        session.process(item->event);
+    if (session.swaps_adopted() != before_swaps) {
+      metrics_.model_swaps_adopted.fetch_add(
+          session.swaps_adopted() - before_swaps, std::memory_order_relaxed);
+    }
+    metrics_.events_processed.fetch_add(1, std::memory_order_relaxed);
+    metrics_.latency.record(now_ns() - item->enqueue_ns);
+    if (report.has_value()) {
+      deliver(item->handle, session, std::move(*report));
+    }
+  }
+}
+
+void DetectionService::shutdown() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& shard : shards_) shard->queue.close();
+  if (started_) {
+    for (auto& shard : shards_) {
+      if (shard->worker.joinable()) shard->worker.join();
+    }
+  } else {
+    // Never started: drain whatever was queued inline so accepted events
+    // are still processed (the contract shutdown() promises).
+    for (auto& shard : shards_) {
+      Shard& s = *shard;
+      while (std::optional<ShardItem> item = s.queue.try_pop()) {
+        std::optional<detect::AnomalyReport> report =
+            item->session->process(item->event);
+        metrics_.events_processed.fetch_add(1, std::memory_order_relaxed);
+        metrics_.latency.record(now_ns() - item->enqueue_ns);
+        if (report.has_value()) {
+          deliver(item->handle, *item->session, std::move(*report));
+        }
+      }
+    }
+  }
+  // Queues are drained and workers are gone: flush pending windows.
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    if (std::optional<detect::AnomalyReport> tail = tenants_[i]->finish()) {
+      deliver(static_cast<TenantHandle>(i), *tenants_[i], std::move(*tail));
+    }
+  }
+}
+
+const TenantSession& DetectionService::session(TenantHandle tenant) const {
+  CAUSALIOT_CHECK_MSG(tenant < tenants_.size(), "unknown tenant handle");
+  return *tenants_[tenant];
+}
+
+ServiceStats DetectionService::stats() const {
+  ServiceStats out;
+  out.shard_count = shards_.size();
+  out.tenant_count = tenants_.size();
+  out.events_submitted =
+      metrics_.events_submitted.load(std::memory_order_relaxed);
+  out.events_processed =
+      metrics_.events_processed.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    const auto counters = shard->queue.counters();
+    out.queue_accepted += counters.accepted;
+    out.queue_dropped_oldest += counters.dropped_oldest;
+    out.queue_rejected += counters.rejected;
+    out.queue_closed_rejects += counters.closed_rejects;
+    out.queue_block_waits += counters.block_waits;
+  }
+  out.alarms_total = metrics_.alarms_total.load(std::memory_order_relaxed);
+  out.alarms_notice = metrics_.alarms_notice.load(std::memory_order_relaxed);
+  out.alarms_warning =
+      metrics_.alarms_warning.load(std::memory_order_relaxed);
+  out.alarms_critical =
+      metrics_.alarms_critical.load(std::memory_order_relaxed);
+  out.alarms_collective =
+      metrics_.alarms_collective.load(std::memory_order_relaxed);
+  out.alarms_suppressed =
+      metrics_.alarms_suppressed.load(std::memory_order_relaxed);
+  out.model_swaps_published =
+      metrics_.model_swaps_published.load(std::memory_order_relaxed);
+  out.model_swaps_adopted =
+      metrics_.model_swaps_adopted.load(std::memory_order_relaxed);
+  out.latency = metrics_.latency.snapshot();
+  return out;
+}
+
+ReplayStats replay_trace(DetectionService& service,
+                         std::span<const TenantHandle> tenants,
+                         std::span<const preprocess::BinaryEvent> events,
+                         const ReplayOptions& options) {
+  ReplayStats stats;
+  if (events.empty() || tenants.empty()) return stats;
+  const auto wall_start = std::chrono::steady_clock::now();
+  const double trace_start = events.front().timestamp;
+  for (const preprocess::BinaryEvent& event : events) {
+    if (options.speedup > 0.0) {
+      const double trace_elapsed = event.timestamp - trace_start;
+      const auto due =
+          wall_start + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(
+                               trace_elapsed / options.speedup));
+      std::this_thread::sleep_until(due);
+    }
+    for (const TenantHandle tenant : tenants) {
+      ++stats.submitted;
+      if (service.submit(tenant, event) !=
+          DetectionService::SubmitResult::kAccepted) {
+        ++stats.rejected;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace causaliot::serve

@@ -1,0 +1,167 @@
+// Bounded multi-producer queue with an explicit overflow policy.
+//
+// The serving layer's ingestion path (serve::DetectionService) pushes
+// events from arbitrary producer threads into one queue per shard; the
+// shard worker is the single consumer. The queue is safe for any number
+// of producers and consumers — the MPSC restriction is the service's
+// usage, not a queue invariant.
+//
+// Overflow policy decides what a full queue does to a producer:
+//   * kBlock      — wait until the consumer makes room (lossless
+//                   backpressure; the producer inherits consumer latency),
+//   * kDropOldest — evict the oldest queued item to admit the new one
+//                   (bounded staleness; favours fresh events),
+//   * kReject     — refuse the new item (caller decides; favours queued
+//                   work already accepted).
+// Every outcome is counted, so operators can see which policy fired and
+// how often (serve::Metrics folds these into its report).
+//
+// close() ends the stream: producers are turned away (kClosed), while
+// consumers drain the remaining items and then observe end-of-stream —
+// the graceful shutdown path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "causaliot/util/check.hpp"
+
+namespace causaliot::util {
+
+enum class OverflowPolicy : std::uint8_t {
+  kBlock,
+  kDropOldest,
+  kReject,
+};
+
+enum class PushResult : std::uint8_t {
+  kAccepted,       // enqueued; with kDropOldest possibly at a victim's cost
+  kDroppedOldest,  // enqueued, evicting the oldest queued item
+  kRejected,       // queue full under kReject; item not enqueued
+  kClosed,         // queue closed; item not enqueued
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  struct Counters {
+    std::uint64_t accepted = 0;        // items that entered the queue
+    std::uint64_t dropped_oldest = 0;  // victims evicted by kDropOldest
+    std::uint64_t rejected = 0;        // pushes refused by kReject
+    std::uint64_t closed_rejects = 0;  // pushes refused after close()
+    std::uint64_t block_waits = 0;     // pushes that had to sleep (kBlock)
+  };
+
+  BoundedQueue(std::size_t capacity, OverflowPolicy policy)
+      : capacity_(capacity), policy_(policy) {
+    CAUSALIOT_CHECK_MSG(capacity_ >= 1, "queue capacity must be >= 1");
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  OverflowPolicy policy() const { return policy_; }
+
+  /// Enqueues `item` under the overflow policy. kBlock may sleep; the
+  /// other policies never do. Returns what happened (see PushResult).
+  PushResult push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_) {
+      ++counters_.closed_rejects;
+      return PushResult::kClosed;
+    }
+    if (items_.size() >= capacity_) {
+      switch (policy_) {
+        case OverflowPolicy::kBlock: {
+          ++counters_.block_waits;
+          space_available_.wait(lock, [this] {
+            return items_.size() < capacity_ || closed_;
+          });
+          if (closed_) {
+            ++counters_.closed_rejects;
+            return PushResult::kClosed;
+          }
+          break;
+        }
+        case OverflowPolicy::kDropOldest: {
+          items_.pop_front();
+          ++counters_.dropped_oldest;
+          items_.push_back(std::move(item));
+          ++counters_.accepted;
+          item_available_.notify_one();
+          return PushResult::kDroppedOldest;
+        }
+        case OverflowPolicy::kReject: {
+          ++counters_.rejected;
+          return PushResult::kRejected;
+        }
+      }
+    }
+    items_.push_back(std::move(item));
+    ++counters_.accepted;
+    item_available_.notify_one();
+    return PushResult::kAccepted;
+  }
+
+  /// Blocks until an item is available or the queue is closed and empty.
+  /// Returns nullopt only at end-of-stream (close() + fully drained).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    item_available_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    space_available_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop; nullopt when nothing is queued right now.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    space_available_.notify_one();
+    return item;
+  }
+
+  /// Stops accepting items. Queued items stay poppable (drain); blocked
+  /// producers wake up with kClosed. Idempotent.
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    item_available_.notify_all();
+    space_available_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  Counters counters() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  const OverflowPolicy policy_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable item_available_;
+  std::condition_variable space_available_;
+  std::deque<T> items_;
+  Counters counters_;
+  bool closed_ = false;
+};
+
+}  // namespace causaliot::util

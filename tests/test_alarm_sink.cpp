@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 namespace causaliot::detect {
 namespace {
 
@@ -71,6 +74,41 @@ TEST(AlarmSink, PerDeviceCounters) {
   sink.offer(report_for(5, 1, 30.0, 0.999));
   EXPECT_EQ(sink.delivered_by_device().at(2), 2u);
   EXPECT_EQ(sink.delivered_by_device().at(5), 1u);
+}
+
+// The sink is shared mutable state on the serving path (shard workers
+// plus the shutdown flush can all offer). Under concurrent emission every
+// offer must be counted exactly once: delivered + suppressed == offers.
+TEST(AlarmSink, ConcurrentEmissionConservesCounts) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kOffersPerThread = 1000;
+  SinkConfig config;
+  config.dedup_window_s = 600.0;
+  AlarmSink sink(config);
+
+  std::vector<std::thread> emitters;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    emitters.emplace_back([&sink, t] {
+      for (std::size_t i = 0; i < kOffersPerThread; ++i) {
+        // A handful of signatures (device, state) contended across
+        // threads, with timestamps that roll past the dedup window so
+        // both the suppress and the deliver paths run concurrently.
+        const auto device = static_cast<telemetry::DeviceId>((t + i) % 3);
+        const auto state = static_cast<std::uint8_t>(i % 2);
+        sink.offer(report_for(device, state, static_cast<double>(i), 0.999));
+      }
+    });
+  }
+  for (auto& emitter : emitters) emitter.join();
+
+  EXPECT_EQ(sink.delivered() + sink.suppressed(), kThreads * kOffersPerThread);
+  EXPECT_GT(sink.delivered(), 0u);
+  EXPECT_GT(sink.suppressed(), 0u);
+  std::size_t by_device = 0;
+  for (const auto& [device, count] : sink.delivered_by_device()) {
+    by_device += count;
+  }
+  EXPECT_EQ(by_device, sink.delivered());
 }
 
 TEST(AlarmSink, ZeroWindowDisablesDeduplication) {

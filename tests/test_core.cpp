@@ -41,6 +41,24 @@ TEST(Pipeline, TrainOnSeriesProducesUsableModel) {
   EXPECT_EQ(model.final_training_state.size(), 2u);
 }
 
+TEST(Pipeline, MiningThreadsDoNotChangeTheModel) {
+  // mining_threads is plumbed through mining AND threshold calibration;
+  // the whole trained model must be bit-identical to the serial run.
+  const StateSeries series = copy_pattern_series(500);
+  PipelineConfig config;
+  config.mining_threads = 1;
+  const TrainedModel serial = Pipeline(config).train_on_series(series, 2);
+  config.mining_threads = 4;
+  const TrainedModel pooled = Pipeline(config).train_on_series(series, 2);
+
+  EXPECT_EQ(serial.graph.edges(), pooled.graph.edges());
+  EXPECT_EQ(serial.score_threshold, pooled.score_threshold);
+  ASSERT_EQ(serial.training_scores.size(), pooled.training_scores.size());
+  for (std::size_t i = 0; i < serial.training_scores.size(); ++i) {
+    EXPECT_EQ(serial.training_scores[i], pooled.training_scores[i]) << i;
+  }
+}
+
 TEST(Pipeline, MonitorFromModelSeparatesScores) {
   PipelineConfig config;
   config.percentile_q = 99.0;

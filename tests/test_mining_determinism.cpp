@@ -7,6 +7,7 @@
 
 #include <tuple>
 
+#include "causaliot/detect/monitor.hpp"
 #include "causaliot/mining/temporal_pc.hpp"
 #include "causaliot/stats/cmh.hpp"
 #include "causaliot/util/rng.hpp"
@@ -48,14 +49,9 @@ void expect_identical_removal(const RemovalRecord& a, const RemovalRecord& b,
   EXPECT_EQ(a.separating_set, b.separating_set) << "removal " << position;
 }
 
-void expect_identical_models(const graph::InteractionGraph& serial,
-                             const graph::InteractionGraph& parallel,
-                             const MiningDiagnostics& serial_diag,
-                             const MiningDiagnostics& parallel_diag) {
-  // Skeleton: edge-for-edge, including order within each child.
-  EXPECT_EQ(serial.edges(), parallel.edges());
-
-  // CPTs: every observed assignment with bit-identical counts.
+// CPTs: every observed assignment with bit-identical counts.
+void expect_identical_cpts(const graph::InteractionGraph& serial,
+                           const graph::InteractionGraph& parallel) {
   ASSERT_EQ(serial.device_count(), parallel.device_count());
   for (telemetry::DeviceId child = 0; child < serial.device_count();
        ++child) {
@@ -69,6 +65,16 @@ void expect_identical_models(const graph::InteractionGraph& serial,
       EXPECT_EQ(counts, it->second) << "child " << child << " key " << key;
     }
   }
+}
+
+void expect_identical_models(const graph::InteractionGraph& serial,
+                             const graph::InteractionGraph& parallel,
+                             const MiningDiagnostics& serial_diag,
+                             const MiningDiagnostics& parallel_diag) {
+  // Skeleton: edge-for-edge, including order within each child.
+  EXPECT_EQ(serial.edges(), parallel.edges());
+
+  expect_identical_cpts(serial, parallel);
 
   // Diagnostics: same totals and the same removal sequence (parallel
   // mining merges per-child records in child order — the serial order).
@@ -136,6 +142,59 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(std::get<0>(info.param) ? "Stable" : "Plain") +
              (std::get<1>(info.param) == CiTest::kCmh ? "Cmh" : "GSquare");
     });
+
+// The CPT-estimation stage on its own: a pooled estimate over an already
+// mined skeleton must produce bit-identical counts to the serial pass
+// (each worker owns exactly one child's Cpt), and the same must hold for
+// the drift-adaptation path update_cpts, whose decayed counts are
+// floating-point and therefore sensitive to any accumulation reorder.
+TEST(ParallelCptEstimation, PooledEstimateAndUpdateMatchSerial) {
+  const StateSeries train = busy_series(10, 2500, 11);
+  const StateSeries fresh = busy_series(10, 1200, 12);
+
+  MinerConfig config;
+  config.max_lag = 2;
+  const InteractionMiner miner(config);
+  const graph::InteractionGraph mined = miner.mine(train);
+
+  // estimate_cpts: rebuild counts from scratch, serial vs pooled.
+  graph::InteractionGraph serial = mined;
+  graph::InteractionGraph pooled = mined;
+  util::ThreadPool pool(4);
+  miner.estimate_cpts(train, serial);
+  miner.estimate_cpts(train, pooled, &pool);
+  expect_identical_cpts(serial, pooled);
+
+  // update_cpts: decay + fold-in of a fresh series, serial vs pooled.
+  miner.update_cpts(fresh, serial, 0.9);
+  miner.update_cpts(fresh, pooled, 0.9, &pool);
+  expect_identical_cpts(serial, pooled);
+}
+
+// Threshold calibration: pooled training_scores must be bit-identical to
+// the serial pass (each event's score is written to its own slot from the
+// immutable series and graph), so the calibrated percentile threshold —
+// and hence every downstream alarm decision — is independent of
+// PipelineConfig::mining_threads.
+TEST(ParallelThresholdCalibration, PooledTrainingScoresMatchSerial) {
+  const StateSeries train = busy_series(10, 3000, 13);
+  MinerConfig config;
+  config.max_lag = 2;
+  const graph::InteractionGraph graph = InteractionMiner(config).mine(train);
+
+  const std::vector<double> serial =
+      detect::ThresholdCalculator::training_scores(graph, train, 0.1);
+  util::ThreadPool pool(4);
+  const std::vector<double> pooled =
+      detect::ThresholdCalculator::training_scores(graph, train, 0.1, &pool);
+  ASSERT_EQ(serial.size(), pooled.size());
+  ASSERT_FALSE(serial.empty());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], pooled[i]) << "score " << i;
+  }
+  EXPECT_EQ(detect::ThresholdCalculator::threshold_at_percentile(serial, 99.0),
+            detect::ThresholdCalculator::threshold_at_percentile(pooled, 99.0));
+}
 
 // The packed counting kernel and the per-row kernel must agree exactly
 // for every conditioning-set size up to the packed limit — including a

@@ -1,0 +1,315 @@
+// DetectionService integration tests: the acceptance bar for the serving
+// subsystem. A replayed trace through >= 4 concurrent tenant sessions
+// must produce, per tenant, the exact same alarm sequence as the batch
+// EventMonitor on the same trace; a hot model swap mid-stream must lose
+// no events; backpressure counters must be exact under each policy.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "causaliot/core/experiment.hpp"
+#include "causaliot/serve/service.hpp"
+
+namespace causaliot::serve {
+namespace {
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::HomeProfile profile = sim::contextact_profile();
+    profile.days = 6.0;
+    core::ExperimentConfig config;
+    config.seed = 77;
+    experiment_ =
+        new core::Experiment(core::build_experiment(std::move(profile), config));
+  }
+  static void TearDownTestSuite() {
+    delete experiment_;
+    experiment_ = nullptr;
+  }
+
+  /// The reference: the batch monitor path over the same runtime stream,
+  /// including the end-of-stream window flush (mirrored by shutdown()).
+  static std::vector<detect::AnomalyReport> batch_alarms(std::size_t k_max) {
+    detect::EventMonitor monitor = experiment_->model.make_monitor(
+        k_max, experiment_->test_series.snapshot_state(0));
+    std::vector<detect::AnomalyReport> alarms;
+    for (const auto& event : experiment_->test_runtime_events) {
+      if (auto report = monitor.process(event)) {
+        alarms.push_back(std::move(*report));
+      }
+    }
+    if (auto tail = monitor.finish()) alarms.push_back(std::move(*tail));
+    return alarms;
+  }
+
+  static std::shared_ptr<const ModelSnapshot> snapshot(std::uint64_t version) {
+    const core::TrainedModel& model = experiment_->model;
+    return make_snapshot(model.graph, model.score_threshold,
+                         model.laplace_alpha, version);
+  }
+
+  static core::Experiment* experiment_;
+};
+
+core::Experiment* ServeTest::experiment_ = nullptr;
+
+/// Thread-safe per-tenant alarm collector. Per-tenant order is total:
+/// a tenant's alarms all come from its single shard worker (and then,
+/// after the workers joined, from the shutdown flush).
+struct AlarmLog {
+  std::mutex mutex;
+  std::map<std::string, std::vector<ServedAlarm>> by_tenant;
+
+  AlarmCallback callback() {
+    return [this](const ServedAlarm& alarm) {
+      std::lock_guard<std::mutex> lock(mutex);
+      by_tenant[alarm.tenant_name].push_back(alarm);
+    };
+  }
+};
+
+void expect_matches_batch(const std::vector<ServedAlarm>& served,
+                          const std::vector<detect::AnomalyReport>& batch) {
+  ASSERT_EQ(served.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const detect::AnomalyReport& got = served[i].report;
+    const detect::AnomalyReport& want = batch[i];
+    ASSERT_EQ(got.entries.size(), want.entries.size()) << "alarm " << i;
+    EXPECT_EQ(got.ended_by_abrupt_event, want.ended_by_abrupt_event)
+        << "alarm " << i;
+    for (std::size_t e = 0; e < want.entries.size(); ++e) {
+      EXPECT_EQ(got.entries[e].stream_index, want.entries[e].stream_index);
+      EXPECT_EQ(got.entries[e].event, want.entries[e].event);
+      // Same code path, same doubles: bit-identical, not approximately.
+      EXPECT_EQ(got.entries[e].score, want.entries[e].score);
+    }
+  }
+}
+
+TEST_F(ServeTest, MultiTenantReplayMatchesBatchMonitor) {
+  constexpr std::size_t kTenants = 5;
+  const std::vector<detect::AnomalyReport> batch = batch_alarms(3);
+  ASSERT_FALSE(batch.empty());  // the bar is meaningless on a silent trace
+
+  ServiceConfig config;
+  config.shard_count = 2;
+  config.queue_capacity = 256;
+  config.overflow = util::OverflowPolicy::kBlock;  // lossless
+  config.session.k_max = 3;
+  AlarmLog log;
+  DetectionService service(config, log.callback());
+
+  std::vector<TenantHandle> handles;
+  for (std::size_t i = 0; i < kTenants; ++i) {
+    handles.push_back(service.add_tenant("home-" + std::to_string(i),
+                                         snapshot(1),
+                                         experiment_->test_series.snapshot_state(0)));
+  }
+  service.start();
+  const ReplayStats replay = replay_trace(service, handles,
+                                          experiment_->test_runtime_events);
+  service.shutdown();
+
+  const std::size_t events = experiment_->test_runtime_events.size();
+  EXPECT_EQ(replay.submitted, events * kTenants);
+  EXPECT_EQ(replay.rejected, 0u);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.events_submitted, events * kTenants);
+  EXPECT_EQ(stats.events_processed, events * kTenants);
+  EXPECT_EQ(stats.queue_dropped_oldest, 0u);
+  EXPECT_EQ(stats.queue_rejected, 0u);
+  EXPECT_EQ(stats.latency.count, events * kTenants);
+  EXPECT_LE(stats.latency.p50_ns, stats.latency.p99_ns);
+  EXPECT_LE(stats.latency.p99_ns, stats.latency.max_ns);
+
+  // Every tenant independently reproduces the batch alarm sequence.
+  for (const TenantHandle handle : handles) {
+    const std::string& name = service.session(handle).name();
+    ASSERT_TRUE(log.by_tenant.count(name)) << name;
+    expect_matches_batch(log.by_tenant[name], batch);
+    EXPECT_EQ(service.session(handle).events_processed(), events);
+  }
+  EXPECT_EQ(stats.alarms_total, batch.size() * kTenants);
+}
+
+TEST_F(ServeTest, HotSwapMidStreamLosesNoEvents) {
+  constexpr std::size_t kTenants = 4;
+  const std::vector<detect::AnomalyReport> batch = batch_alarms(2);
+  ASSERT_FALSE(batch.empty());
+
+  ServiceConfig config;
+  config.shard_count = 2;
+  config.session.k_max = 2;
+  AlarmLog log;
+  DetectionService service(config, log.callback());
+  std::vector<TenantHandle> handles;
+  for (std::size_t i = 0; i < kTenants; ++i) {
+    handles.push_back(service.add_tenant("home-" + std::to_string(i),
+                                         snapshot(1),
+                                         experiment_->test_series.snapshot_state(0)));
+  }
+  service.start();
+
+  // First half under model v1, then publish an equivalent v2 snapshot for
+  // every tenant while its worker is mid-stream, then the second half.
+  // The swap transplants the monitor state, so the alarm sequence must be
+  // indistinguishable from an uninterrupted run.
+  const auto& events = experiment_->test_runtime_events;
+  const std::size_t half = events.size() / 2;
+  for (std::size_t j = 0; j < half; ++j) {
+    for (const TenantHandle handle : handles) {
+      ASSERT_EQ(service.submit(handle, events[j]),
+                DetectionService::SubmitResult::kAccepted);
+    }
+  }
+  for (const TenantHandle handle : handles) {
+    service.swap_model(handle, snapshot(2));
+  }
+  for (std::size_t j = half; j < events.size(); ++j) {
+    for (const TenantHandle handle : handles) {
+      ASSERT_EQ(service.submit(handle, events[j]),
+                DetectionService::SubmitResult::kAccepted);
+    }
+  }
+  service.shutdown();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.events_submitted, events.size() * kTenants);
+  EXPECT_EQ(stats.events_processed, events.size() * kTenants);
+  EXPECT_EQ(stats.model_swaps_published, kTenants);
+  EXPECT_EQ(stats.model_swaps_adopted, kTenants);
+  for (const TenantHandle handle : handles) {
+    const TenantSession& session = service.session(handle);
+    EXPECT_EQ(session.events_processed(), events.size());
+    EXPECT_EQ(session.swaps_adopted(), 1u);
+    EXPECT_EQ(session.active_model().version, 2u);
+    expect_matches_batch(log.by_tenant[session.name()], batch);
+  }
+}
+
+TEST_F(ServeTest, SessionAdoptsPublishedModelAtEventBoundary) {
+  // Deterministic single-threaded view of the swap: after publishing a
+  // snapshot with threshold 1.0 (scores are <= 1, and alarms need a score
+  // strictly above the threshold), the session must fall silent — proof
+  // the new model actually took over.
+  const auto& events = experiment_->test_runtime_events;
+  SessionConfig config;
+  config.k_max = 1;
+  TenantSession session("solo", snapshot(1), config,
+                        experiment_->test_series.snapshot_state(0));
+
+  std::size_t alarms_before = 0;
+  const std::size_t half = events.size() / 2;
+  for (std::size_t j = 0; j < half; ++j) {
+    alarms_before += session.process(events[j]).has_value();
+  }
+  ASSERT_GT(alarms_before, 0u);
+  session.publish_model(make_snapshot(experiment_->model.graph,
+                                      /*score_threshold=*/1.0,
+                                      experiment_->model.laplace_alpha, 2));
+  std::size_t alarms_after = 0;
+  for (std::size_t j = half; j < events.size(); ++j) {
+    alarms_after += session.process(events[j]).has_value();
+  }
+  EXPECT_EQ(alarms_after, 0u);
+  EXPECT_EQ(session.swaps_adopted(), 1u);
+  EXPECT_EQ(session.active_model().version, 2u);
+  EXPECT_EQ(session.events_processed(), events.size());
+}
+
+TEST_F(ServeTest, RejectPolicyCountsExactly) {
+  // Submitting before start() makes the overflow deterministic: the queue
+  // fills with no consumer, so with capacity 4 the 5th and 6th submissions
+  // must be rejected — and shutdown() still processes the accepted 4.
+  ServiceConfig config;
+  config.shard_count = 1;
+  config.queue_capacity = 4;
+  config.overflow = util::OverflowPolicy::kReject;
+  DetectionService service(config, nullptr);
+  const TenantHandle home = service.add_tenant(
+      "home", snapshot(1), experiment_->test_series.snapshot_state(0));
+
+  const auto& events = experiment_->test_runtime_events;
+  ASSERT_GE(events.size(), 6u);
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  for (std::size_t j = 0; j < 6; ++j) {
+    switch (service.submit(home, events[j])) {
+      case DetectionService::SubmitResult::kAccepted: ++accepted; break;
+      case DetectionService::SubmitResult::kRejected: ++rejected; break;
+      case DetectionService::SubmitResult::kClosed: FAIL(); break;
+    }
+  }
+  EXPECT_EQ(accepted, 4u);
+  EXPECT_EQ(rejected, 2u);
+  service.shutdown();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.events_submitted, 6u);
+  EXPECT_EQ(stats.queue_rejected, 2u);
+  EXPECT_EQ(stats.events_processed, 4u);
+  EXPECT_EQ(service.session(home).events_processed(), 4u);
+  // Once shut down, further submissions report kClosed.
+  EXPECT_EQ(service.submit(home, events[0]),
+            DetectionService::SubmitResult::kClosed);
+}
+
+TEST_F(ServeTest, DropOldestPolicyEvictsAndCounts) {
+  ServiceConfig config;
+  config.shard_count = 1;
+  config.queue_capacity = 4;
+  config.overflow = util::OverflowPolicy::kDropOldest;
+  DetectionService service(config, nullptr);
+  const TenantHandle home = service.add_tenant(
+      "home", snapshot(1), experiment_->test_series.snapshot_state(0));
+
+  const auto& events = experiment_->test_runtime_events;
+  for (std::size_t j = 0; j < 6; ++j) {
+    // DropOldest never refuses the new event; it evicts the front.
+    EXPECT_EQ(service.submit(home, events[j]),
+              DetectionService::SubmitResult::kAccepted);
+  }
+  service.shutdown();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.events_submitted, 6u);
+  EXPECT_EQ(stats.queue_dropped_oldest, 2u);
+  EXPECT_EQ(stats.queue_rejected, 0u);
+  EXPECT_EQ(stats.events_processed, 4u);
+}
+
+TEST_F(ServeTest, FindTenantRoundTripsHandles) {
+  ServiceConfig config;
+  config.shard_count = 3;
+  DetectionService service(config, nullptr);
+  std::vector<TenantHandle> handles;
+  for (std::size_t i = 0; i < 4; ++i) {
+    handles.push_back(service.add_tenant("home-" + std::to_string(i),
+                                         snapshot(1),
+                                         experiment_->test_series.snapshot_state(0)));
+  }
+  EXPECT_EQ(service.tenant_count(), 4u);
+  EXPECT_EQ(service.shard_count(), 3u);
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    EXPECT_EQ(service.find_tenant("home-" + std::to_string(i)), handles[i]);
+    EXPECT_EQ(service.session(handles[i]).name(),
+              "home-" + std::to_string(i));
+  }
+  EXPECT_EQ(service.find_tenant("no-such-home"),
+            DetectionService::kInvalidTenant);
+}
+
+TEST_F(ServeTest, StatsJsonIsWellFormedAndNonEmpty) {
+  ServiceConfig config;
+  DetectionService service(config, nullptr);
+  const std::string json = service.stats_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"events\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency_ns\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace causaliot::serve

@@ -1,0 +1,126 @@
+// BoundedQueue: FIFO order, the three overflow policies with their
+// counters, close()/drain semantics, and multi-producer conservation.
+#include "causaliot/util/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace causaliot::util {
+namespace {
+
+TEST(BoundedQueue, FifoWithinCapacity) {
+  BoundedQueue<int> queue(4, OverflowPolicy::kBlock);
+  EXPECT_EQ(queue.push(1), PushResult::kAccepted);
+  EXPECT_EQ(queue.push(2), PushResult::kAccepted);
+  EXPECT_EQ(queue.push(3), PushResult::kAccepted);
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.try_pop(), 1);
+  EXPECT_EQ(queue.try_pop(), 2);
+  EXPECT_EQ(queue.try_pop(), 3);
+  EXPECT_EQ(queue.try_pop(), std::nullopt);
+  EXPECT_EQ(queue.counters().accepted, 3u);
+}
+
+TEST(BoundedQueue, RejectPolicyRefusesWhenFull) {
+  BoundedQueue<int> queue(2, OverflowPolicy::kReject);
+  EXPECT_EQ(queue.push(1), PushResult::kAccepted);
+  EXPECT_EQ(queue.push(2), PushResult::kAccepted);
+  EXPECT_EQ(queue.push(3), PushResult::kRejected);
+  EXPECT_EQ(queue.push(4), PushResult::kRejected);
+  const auto counters = queue.counters();
+  EXPECT_EQ(counters.accepted, 2u);
+  EXPECT_EQ(counters.rejected, 2u);
+  // The queued items are untouched.
+  EXPECT_EQ(queue.try_pop(), 1);
+  EXPECT_EQ(queue.try_pop(), 2);
+}
+
+TEST(BoundedQueue, DropOldestEvictsTheFront) {
+  BoundedQueue<int> queue(3, OverflowPolicy::kDropOldest);
+  queue.push(1);
+  queue.push(2);
+  queue.push(3);
+  EXPECT_EQ(queue.push(4), PushResult::kDroppedOldest);
+  EXPECT_EQ(queue.push(5), PushResult::kDroppedOldest);
+  const auto counters = queue.counters();
+  EXPECT_EQ(counters.accepted, 5u);
+  EXPECT_EQ(counters.dropped_oldest, 2u);
+  // 1 and 2 were the victims; order of the survivors is preserved.
+  EXPECT_EQ(queue.try_pop(), 3);
+  EXPECT_EQ(queue.try_pop(), 4);
+  EXPECT_EQ(queue.try_pop(), 5);
+}
+
+TEST(BoundedQueue, BlockPolicyWaitsForSpace) {
+  BoundedQueue<int> queue(1, OverflowPolicy::kBlock);
+  ASSERT_EQ(queue.push(1), PushResult::kAccepted);
+
+  std::atomic<bool> second_push_done{false};
+  std::thread producer([&] {
+    EXPECT_EQ(queue.push(2), PushResult::kAccepted);  // must wait
+    second_push_done.store(true);
+  });
+  // The producer cannot finish until we pop; give it a moment to park.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_push_done.load());
+  EXPECT_EQ(queue.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(second_push_done.load());
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_GE(queue.counters().block_waits, 1u);
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsEndOfStream) {
+  BoundedQueue<int> queue(4, OverflowPolicy::kBlock);
+  queue.push(1);
+  queue.push(2);
+  queue.close();
+  EXPECT_EQ(queue.push(3), PushResult::kClosed);
+  EXPECT_EQ(queue.counters().closed_rejects, 1u);
+  // Queued items survive the close (drain)...
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  // ...then pop reports end-of-stream instead of blocking.
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducer) {
+  BoundedQueue<int> queue(1, OverflowPolicy::kBlock);
+  ASSERT_EQ(queue.push(1), PushResult::kAccepted);
+  std::thread producer([&] {
+    EXPECT_EQ(queue.push(2), PushResult::kClosed);  // woken by close()
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  producer.join();
+}
+
+TEST(BoundedQueue, MultiProducerConservation) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 500;
+  BoundedQueue<int> queue(16, OverflowPolicy::kBlock);
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        EXPECT_EQ(queue.push(1), PushResult::kAccepted);
+      }
+    });
+  }
+  std::size_t consumed = 0;
+  std::thread consumer([&] {
+    while (queue.pop().has_value()) ++consumed;
+  });
+  for (auto& producer : producers) producer.join();
+  queue.close();
+  consumer.join();
+  EXPECT_EQ(consumed, kProducers * kPerProducer);
+  EXPECT_EQ(queue.counters().accepted, kProducers * kPerProducer);
+}
+
+}  // namespace
+}  // namespace causaliot::util

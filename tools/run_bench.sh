@@ -1,27 +1,39 @@
 #!/usr/bin/env sh
-# Runs the mining performance benchmarks and records the numbers that the
-# perf trajectory tracks (see DESIGN.md "Parallel mining & G² fast path").
+# Runs the performance benchmarks and records the numbers that the perf
+# trajectory tracks (see DESIGN.md "Parallel mining & G² fast path" and
+# "§3c Serving architecture").
 #
-#   tools/run_bench.sh [build-dir] [out-json]
+#   tools/run_bench.sh [build-dir] [mining-json] [serving-json]
 #
-# Defaults: build-dir = build, out-json = BENCH_mining.json (repo root).
-# The JSON is google-benchmark's --benchmark_format=json output for the
-# TemporalPC mining benchmarks (device sweep, thread sweep, and the G²
-# kernel micro-benchmarks).
+# Defaults: build-dir = build, mining-json = BENCH_mining.json,
+# serving-json = BENCH_serving.json (repo root). Each JSON is
+# google-benchmark's --benchmark_format=json output: the TemporalPC
+# mining benchmarks (device sweep, thread sweep, G² kernel micro-
+# benchmarks) and the DetectionService throughput sweep respectively.
 set -eu
 
 build_dir="${1:-build}"
-out_json="${2:-BENCH_mining.json}"
-bench_bin="$build_dir/bench/bench_complexity"
+mining_json="${2:-BENCH_mining.json}"
+serving_json="${3:-BENCH_serving.json}"
+mining_bin="$build_dir/bench/bench_complexity"
+serving_bin="$build_dir/bench/bench_serving_throughput"
 
-if [ ! -x "$bench_bin" ]; then
-  echo "error: $bench_bin not built (cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
-  exit 1
-fi
+for bench_bin in "$mining_bin" "$serving_bin"; do
+  if [ ! -x "$bench_bin" ]; then
+    echo "error: $bench_bin not built (cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
+    exit 1
+  fi
+done
 
-"$bench_bin" \
+"$mining_bin" \
   --benchmark_filter='BM_TemporalPCMining|BM_GSquareTest' \
-  --benchmark_out="$out_json" \
+  --benchmark_out="$mining_json" \
   --benchmark_out_format=json
 
-echo "wrote $out_json"
+echo "wrote $mining_json"
+
+"$serving_bin" \
+  --benchmark_out="$serving_json" \
+  --benchmark_out_format=json
+
+echo "wrote $serving_json"
