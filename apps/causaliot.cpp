@@ -11,6 +11,8 @@
 //
 // The profile argument supplies the device catalog (column order of the
 // CSV); custom deployments would register their own catalog the same way.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,10 +21,14 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "causaliot/core/pipeline.hpp"
 #include "causaliot/detect/explanation.hpp"
 #include "causaliot/graph/analysis.hpp"
+#include "causaliot/obs/registry.hpp"
+#include "causaliot/obs/trace.hpp"
+#include "causaliot/serve/alarm_json.hpp"
 #include "causaliot/serve/service.hpp"
 #include "causaliot/sim/simulator.hpp"
 #include "causaliot/telemetry/jsonl.hpp"
@@ -71,6 +77,27 @@ std::optional<Args> parse_args(int argc, char** argv) {
     args.options[argv[i] + 2] = argv[i + 1];
   }
   return args;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Per-stage timing table from the tracer's aggregated span totals.
+void print_stage_table(const obs::Tracer& tracer) {
+  const auto totals = tracer.stage_totals();
+  std::printf("%-20s %10s %12s\n", "stage", "spans", "total ms");
+  for (const auto& [name, total] : totals) {
+    std::printf("%-20s %10llu %12.3f\n", name.c_str(),
+                static_cast<unsigned long long>(total.count),
+                static_cast<double>(total.total_ns) / 1e6);
+  }
 }
 
 std::optional<sim::HomeProfile> profile_by_name(const std::string& name) {
@@ -131,6 +158,12 @@ int cmd_train(const Args& args) {
   const auto log = load_trace(args);
   if (!log) return 1;
 
+  const std::string trace_out = args.get("trace-out", "");
+  const bool verbose = args.get_u64("verbose", 0) != 0;
+  if (!trace_out.empty() || verbose) {
+    obs::Tracer::global().set_enabled(true);
+  }
+
   core::PipelineConfig config;
   config.max_lag = static_cast<std::size_t>(args.get_u64("tau", 0));
   config.alpha = args.get_double("alpha", 0.001);
@@ -154,6 +187,24 @@ int cmd_train(const Args& args) {
               model.score_threshold, out.c_str());
   std::printf("(pass --threshold %.4f to `causaliot monitor`)\n",
               model.score_threshold);
+
+  if (!trace_out.empty() &&
+      !write_text_file(trace_out,
+                       obs::Tracer::global().export_chrome_json())) {
+    return 1;
+  }
+  if (!trace_out.empty()) {
+    std::printf("trace (%zu spans) written to %s — load it at "
+                "https://ui.perfetto.dev\n",
+                obs::Tracer::global().event_count(), trace_out.c_str());
+  }
+  const std::string prom_out = args.get("prom-out", "");
+  if (!prom_out.empty() &&
+      !write_text_file(prom_out,
+                       obs::Registry::global().to_prometheus())) {
+    return 1;
+  }
+  if (verbose) print_stage_table(obs::Tracer::global());
   return 0;
 }
 
@@ -205,15 +256,6 @@ int cmd_monitor(const Args& args) {
   }
   std::printf("-- %zu alarms over %zu events\n", alarms, events.size());
   return 0;
-}
-
-const char* severity_label(detect::AlarmSeverity severity) {
-  switch (severity) {
-    case detect::AlarmSeverity::kNotice: return "notice";
-    case detect::AlarmSeverity::kWarning: return "warning";
-    case detect::AlarmSeverity::kCritical: return "critical";
-  }
-  return "notice";
 }
 
 // Extracts the string value of a top-level "tenant" field from a JSONL
@@ -269,28 +311,52 @@ int cmd_serve(const Args& args) {
   config.session.k_max = static_cast<std::size_t>(args.get_u64("kmax", 1));
   config.session.deduplicate_alarms = args.get_u64("dedup", 0) != 0;
 
+  // Observability: the serve registry is the process-global one so mining
+  // metrics from a colocated retrain land in the same snapshot stream.
+  config.registry = &obs::Registry::global();
+  const std::string trace_out = args.get("trace-out", "");
+  config.trace_sample_every = static_cast<std::size_t>(
+      args.get_u64("trace-sample", trace_out.empty() ? 0 : 1000));
+  if (!trace_out.empty()) obs::Tracer::global().set_enabled(true);
+
   auto snapshot = serve::make_snapshot(
       std::move(graph).value(), args.get_double("threshold", 0.99),
       args.get_double("laplace", 0.1), /*version=*/1);
 
-  // Alarms stream out as JSONL; stdout is shared by worker threads.
+  // Alarms stream out as provenance-enriched JSONL; stdout is shared by
+  // worker threads and the metrics streamer.
   std::mutex out_mutex;
   serve::DetectionService service(
       config, [&](const serve::ServedAlarm& alarm) {
-        const detect::AnomalyEntry& head = alarm.report.contextual();
-        const telemetry::DeviceInfo& info = catalog.info(head.event.device);
+        const std::string line = serve::alarm_to_json(alarm, catalog);
         std::lock_guard<std::mutex> lock(out_mutex);
-        std::printf(
-            "{\"tenant\": \"%s\", \"severity\": \"%s\", \"device\": \"%s\", "
-            "\"state\": \"%s\", \"score\": %.6f, \"stream_index\": %zu, "
-            "\"timestamp\": %.3f, \"chain\": %zu, \"model_version\": %llu}\n",
-            alarm.tenant_name.c_str(), severity_label(alarm.severity),
-            info.name.c_str(),
-            detect::state_label(info, head.event.state).c_str(), head.score,
-            head.stream_index, head.event.timestamp,
-            alarm.report.chain_length(),
-            static_cast<unsigned long long>(alarm.model_version));
+        std::printf("%s\n", line.c_str());
       });
+
+  // --metrics-interval N streams one registry snapshot line every N
+  // seconds onto the same JSONL stream as the alarms.
+  const auto metrics_interval = args.get_u64("metrics-interval", 0);
+  std::atomic<bool> metrics_stop{false};
+  std::thread metrics_thread;
+  const auto emit_metrics = [&] {
+    const std::string snapshot = service.registry_json();
+    // registry_json() yields {"metrics": [...]}; tag the stream record.
+    std::lock_guard<std::mutex> lock(out_mutex);
+    std::printf("{\"type\": \"metrics\", %s\n", snapshot.c_str() + 1);
+  };
+  if (metrics_interval > 0) {
+    metrics_thread = std::thread([&] {
+      const auto interval = std::chrono::seconds(metrics_interval);
+      auto next = std::chrono::steady_clock::now() + interval;
+      while (!metrics_stop.load(std::memory_order_relaxed)) {
+        if (std::chrono::steady_clock::now() >= next) {
+          emit_metrics();
+          next += interval;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    });
+  }
 
   const auto tenant_count =
       static_cast<std::size_t>(args.get_u64("tenants", 4));
@@ -353,7 +419,23 @@ int cmd_serve(const Args& args) {
   }
 
   service.shutdown();
+  if (metrics_thread.joinable()) {
+    metrics_stop.store(true, std::memory_order_relaxed);
+    metrics_thread.join();
+  }
+  if (metrics_interval > 0) emit_metrics();  // final snapshot, post-drain
   std::printf("%s\n", service.stats_json().c_str());
+
+  const std::string prom_out = args.get("prom-out", "");
+  if (!prom_out.empty() &&
+      !write_text_file(prom_out, service.registry().to_prometheus())) {
+    return 1;
+  }
+  if (!trace_out.empty() &&
+      !write_text_file(trace_out,
+                       obs::Tracer::global().export_chrome_json())) {
+    return 1;
+  }
   return 0;
 }
 
@@ -412,13 +494,16 @@ void usage() {
       "  simulate --out trace.csv [--profile contextact|casas] [--days N]"
       " [--seed N] [--format csv|jsonl]\n"
       "  train    --trace trace.csv --out model.dig [--profile P] [--tau N]"
-      " [--alpha A] [--q Q] [--laplace L] [--threads N (0 = all cores)]\n"
+      " [--alpha A] [--q Q] [--laplace L] [--threads N (0 = all cores)]"
+      " [--trace-out trace.json] [--prom-out metrics.prom] [--verbose 1]\n"
       "  monitor  --model model.dig --trace live.csv [--profile P]"
       " [--kmax K] [--threshold C]\n"
       "  serve    --model model.dig (--trace live.csv | --stdin 1)"
       " [--profile P] [--tenants N] [--shards N] [--queue N]"
       " [--policy block|drop|reject] [--speedup X (0 = max)] [--kmax K]"
-      " [--threshold C] [--dedup 0|1]\n"
+      " [--threshold C] [--dedup 0|1] [--metrics-interval SECS]"
+      " [--prom-out metrics.prom] [--trace-out trace.json]"
+      " [--trace-sample N (span every Nth event)]\n"
       "  inspect  --model model.dig [--profile P] [--dot out.dot]\n");
 }
 

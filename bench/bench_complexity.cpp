@@ -5,8 +5,10 @@
 //   * the G-square test primitive itself.
 #include <benchmark/benchmark.h>
 
+#include "causaliot/core/pipeline.hpp"
 #include "causaliot/detect/monitor.hpp"
 #include "causaliot/mining/temporal_pc.hpp"
+#include "causaliot/obs/trace.hpp"
 #include "causaliot/preprocess/series.hpp"
 #include "causaliot/stats/gsquare.hpp"
 #include "causaliot/util/rng.hpp"
@@ -189,6 +191,44 @@ BENCHMARK(BM_GSquareTestPacked)
     ->Args({10000, 2})
     ->Args({10000, 4})
     ->Args({100000, 2});
+
+// Full training pass with span tracing on: the per-stage counters are the
+// tracer's aggregated span totals divided by iteration count, so
+// BENCH_mining.json records where training time goes (mine vs CPT vs
+// threshold calibration) alongside the end-to-end rate.
+void BM_TrainStages(benchmark::State& bench_state) {
+  const std::size_t device_count = 16;
+  const preprocess::StateSeries series =
+      synthetic_series(device_count, 4000, 42);
+  core::PipelineConfig config;
+  config.alpha = 0.001;
+  config.laplace_alpha = 0.1;
+  const core::Pipeline pipeline(config);
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.reset();
+  tracer.set_enabled(true);
+  for (auto _ : bench_state) {
+    const core::TrainedModel model = pipeline.train_on_series(series, 2);
+    benchmark::DoNotOptimize(model.score_threshold);
+  }
+  tracer.set_enabled(false);
+
+  const auto totals = tracer.stage_totals();
+  const auto per_iter = [&](const char* stage) {
+    const auto it = totals.find(stage);
+    return it == totals.end()
+               ? 0.0
+               : static_cast<double>(it->second.total_ns) /
+                     static_cast<double>(bench_state.iterations());
+  };
+  bench_state.counters["mine_ns"] = per_iter("train.mine");
+  bench_state.counters["cpt_ns"] = per_iter("mine.cpt");
+  bench_state.counters["threshold_ns"] = per_iter("train.threshold");
+  bench_state.counters["tpc_level_ns"] = per_iter("tpc.level");
+  tracer.reset();
+}
+BENCHMARK(BM_TrainStages)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -92,7 +92,7 @@ void BM_ServeThroughput(benchmark::State& bench_state) {
     const serve::ServiceStats stats = service.stats();
     benchmark::DoNotOptimize(stats.events_processed);
     alarms = stats.alarms_total;
-    p99_ns = stats.latency.p99_ns;
+    p99_ns = stats.latency.p99;
   }
   bench_state.SetItemsProcessed(
       static_cast<std::int64_t>(bench_state.iterations() *

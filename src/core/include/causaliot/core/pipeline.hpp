@@ -41,6 +41,9 @@ struct PipelineConfig {
   /// Worker threads for mining (1 = serial, 0 = hardware concurrency).
   /// Results are identical to the serial run regardless of the value.
   std::size_t mining_threads = 1;
+  /// Registry receiving mining metrics (forwarded to MinerConfig);
+  /// nullptr uses obs::Registry::global().
+  obs::Registry* metrics_registry = nullptr;
 };
 
 /// Everything learned at training time. Owns the DIG; monitors created by

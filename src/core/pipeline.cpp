@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "causaliot/obs/trace.hpp"
 #include "causaliot/util/check.hpp"
 #include "causaliot/util/thread_pool.hpp"
 
@@ -24,7 +25,10 @@ Pipeline::Pipeline(PipelineConfig config) : config_(config) {}
 
 TrainedModel Pipeline::train(const telemetry::EventLog& log) const {
   preprocess::Preprocessor preprocessor(config_.preprocessor);
-  preprocess::PreprocessResult pre = preprocessor.run(log);
+  preprocess::PreprocessResult pre = [&] {
+    obs::Span span("train.preprocess", "train");
+    return preprocessor.run(log);
+  }();
   const std::size_t lag =
       config_.max_lag > 0 ? config_.max_lag : pre.lag;
   TrainedModel model = train_on_series(pre.series, lag);
@@ -46,6 +50,7 @@ TrainedModel Pipeline::train_on_series(const preprocess::StateSeries& series,
   miner_config.ci_test = config_.use_cmh_test ? mining::CiTest::kCmh
                                               : mining::CiTest::kGSquare;
   miner_config.threads = config_.mining_threads;
+  miner_config.metrics_registry = config_.metrics_registry;
   const mining::InteractionMiner miner(miner_config);
 
   // One pool for the whole training pass: mining, CPT estimation, and
@@ -59,11 +64,18 @@ TrainedModel Pipeline::train_on_series(const preprocess::StateSeries& series,
   TrainedModel model;
   model.lag = lag;
   model.laplace_alpha = config_.laplace_alpha;
-  model.graph = miner.mine(series, &model.mining_diagnostics, pool_ptr);
-  model.training_scores = detect::ThresholdCalculator::training_scores(
-      model.graph, series, config_.laplace_alpha, pool_ptr);
-  model.score_threshold = detect::ThresholdCalculator::threshold_at_percentile(
-      model.training_scores, config_.percentile_q);
+  {
+    obs::Span span("train.mine", "train");
+    model.graph = miner.mine(series, &model.mining_diagnostics, pool_ptr);
+  }
+  {
+    obs::Span span("train.threshold", "train");
+    model.training_scores = detect::ThresholdCalculator::training_scores(
+        model.graph, series, config_.laplace_alpha, pool_ptr);
+    model.score_threshold =
+        detect::ThresholdCalculator::threshold_at_percentile(
+            model.training_scores, config_.percentile_q);
+  }
   model.final_training_state = series.snapshot_state(series.length() - 1);
   return model;
 }

@@ -48,8 +48,6 @@ std::string describe_entry(const AnomalyEntry& entry,
   return out.str();
 }
 
-namespace {
-
 // Root-cause hint: which cause values made the head event surprising? We
 // single out causes that are "inactive" while the event is an activation
 // (and vice versa) — the pattern behind the paper's examples ("no
@@ -73,8 +71,6 @@ std::string root_cause_hint(const AnomalyEntry& head,
   return "context mismatch with: " + util::join(quiet, ", ") +
          " — check for remote control or sensor fault";
 }
-
-}  // namespace
 
 std::string describe_report(const AnomalyReport& report,
                             const telemetry::DeviceCatalog& catalog) {

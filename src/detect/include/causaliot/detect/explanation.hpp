@@ -24,6 +24,12 @@ std::string describe_entry(const AnomalyEntry& entry,
 std::string describe_report(const AnomalyReport& report,
                             const telemetry::DeviceCatalog& catalog);
 
+/// The root-cause hint alone: which cause values made the event
+/// surprising ("no presence was detected, yet the plug activated").
+/// Also the provenance `hint` field of the serving alarm JSONL.
+std::string root_cause_hint(const AnomalyEntry& entry,
+                            const telemetry::DeviceCatalog& catalog);
+
 /// State rendering respecting the attribute class: ON/OFF for actuators,
 /// detected/clear for presence, open/closed for contacts, High/Low for
 /// ambient sensors, working/idle for responsive meters.

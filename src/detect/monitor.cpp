@@ -1,8 +1,11 @@
 #include "causaliot/detect/monitor.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "causaliot/obs/trace.hpp"
 #include "causaliot/stats/descriptive.hpp"
+#include "causaliot/util/strings.hpp"
 
 namespace causaliot::detect {
 
@@ -22,6 +25,13 @@ std::vector<double> ThresholdCalculator::training_scores(
   constexpr std::size_t kChunk = 1024;
   const std::size_t chunk_count = (count + kChunk - 1) / kChunk;
   util::parallel_for(pool, 0, chunk_count, [&](std::size_t chunk) {
+    // Per-chunk spans attribute calibration work to the pool worker that
+    // scored it (the trace's "threshold" rows).
+    std::optional<obs::Span> chunk_span;
+    if (obs::Tracer::global().enabled()) {
+      chunk_span.emplace("threshold.chunk",
+                         util::format("\"chunk\": %zu", chunk), "train");
+    }
     std::vector<std::uint8_t> cause_values;
     const std::size_t begin = chunk * kChunk;
     const std::size_t end = std::min(begin + kChunk, count);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "causaliot/graph/dig.hpp"
+#include "causaliot/obs/registry.hpp"
 #include "causaliot/preprocess/series.hpp"
 #include "causaliot/stats/gsquare.hpp"
 #include "causaliot/util/thread_pool.hpp"
@@ -48,6 +49,13 @@ struct MinerConfig {
   /// child's Algorithm 1 run is independent, so the result is identical to
   /// the serial run). 1 = serial; 0 = hardware concurrency.
   std::size_t threads = 1;
+  /// Registry receiving mining metrics: CI tests per conditioning level
+  /// (mining_ci_tests_total{level}), packed- vs byte-kernel dispatch
+  /// (mining_ci_kernel_hits_total{kernel}), and CPT observation counts
+  /// (mining_cpt_updates_total). nullptr uses obs::Registry::global().
+  /// Counters are accumulated locally and flushed once per child, so the
+  /// registry mutex never sits on the per-test path.
+  obs::Registry* metrics_registry = nullptr;
 };
 
 /// Why a candidate edge was removed — the paper distinguishes marginally

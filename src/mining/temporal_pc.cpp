@@ -4,12 +4,57 @@
 #include <optional>
 
 #include "causaliot/mining/cause_set.hpp"
+#include "causaliot/obs/trace.hpp"
 #include "causaliot/stats/cmh.hpp"
 #include "causaliot/util/check.hpp"
+#include "causaliot/util/strings.hpp"
 
 namespace causaliot::mining {
 
 namespace {
+
+obs::Registry& metrics_for(const MinerConfig& config) {
+  return config.metrics_registry != nullptr ? *config.metrics_registry
+                                            : obs::Registry::global();
+}
+
+// Per-child CI-test tallies, flushed to the registry in one batch after
+// the child's Algorithm 1 run so workers never contend on the registry
+// mutex mid-level.
+struct ChildTally {
+  std::vector<std::uint64_t> tests_per_level;
+  std::uint64_t packed_tests = 0;
+  std::uint64_t byte_tests = 0;
+
+  void note_level(std::size_t level, std::uint64_t tests, bool packed) {
+    if (tests == 0) return;
+    if (tests_per_level.size() <= level) tests_per_level.resize(level + 1);
+    tests_per_level[level] += tests;
+    (packed ? packed_tests : byte_tests) += tests;
+  }
+
+  void flush(obs::Registry& registry) const {
+    static constexpr const char* kKernelHelp =
+        "CI tests dispatched to the bit-packed vs per-row kernel";
+    for (std::size_t l = 0; l < tests_per_level.size(); ++l) {
+      if (tests_per_level[l] == 0) continue;
+      registry
+          .counter("mining_ci_tests_total", {{"level", std::to_string(l)}},
+                   "Conditional-independence tests per conditioning-set size")
+          .add(tests_per_level[l]);
+    }
+    if (packed_tests > 0) {
+      registry.counter("mining_ci_kernel_hits_total", {{"kernel", "packed"}},
+                       kKernelHelp)
+          .add(packed_tests);
+    }
+    if (byte_tests > 0) {
+      registry.counter("mining_ci_kernel_hits_total", {{"kernel", "byte"}},
+                       kKernelHelp)
+          .add(byte_tests);
+    }
+  }
+};
 
 // Enumerates all k-combinations of {0, ..., n-1}; calls fn(indices) for
 // each. Returns false early if fn returns false ("stop enumeration").
@@ -94,6 +139,7 @@ std::vector<graph::LaggedNode> discover_causes_cached(
   std::vector<graph::LaggedNode> pool;
   std::vector<std::span<const std::uint8_t>> z_columns;
   std::vector<const stats::PackedColumn*> z_packed;
+  ChildTally tally;
 
   // Lines 6-21: level-wise conditional-independence pruning.
   std::size_t l = 0;
@@ -104,6 +150,19 @@ std::vector<graph::LaggedNode> discover_causes_cached(
     // The packed kernel's per-word cost is O(2^l); beyond the crossover it
     // loses to the per-row kernel, so fall back to raw spans.
     const bool use_packed = l <= stats::kPackedConditioningLimit;
+
+    // One span per (child, level): the unit the trace groups mining time
+    // by. Constructed only when tracing is on so the serial hot loop never
+    // pays for the args string.
+    std::optional<obs::Span> level_span;
+    if (obs::Tracer::global().enabled()) {
+      level_span.emplace(
+          "tpc.level",
+          util::format("\"child\": %u, \"level\": %zu",
+                       static_cast<unsigned>(child), l),
+          "mine");
+    }
+    std::uint64_t level_tests = 0;
 
     // Iterate over a fixed copy of the current parents. In Algorithm 1's
     // printed form removals take effect immediately; the PC-stable
@@ -168,6 +227,7 @@ std::vector<graph::LaggedNode> discover_causes_cached(
                                         z_columns, test_options, context);
           }
         }
+        ++level_tests;
         if (diagnostics != nullptr) ++diagnostics->tests_run;
         // A test skipped for insufficient samples carries no evidence of
         // independence — only a *valid* test may remove the edge.
@@ -200,8 +260,10 @@ std::vector<graph::LaggedNode> discover_causes_cached(
     for (const graph::LaggedNode& parent : deferred_removals) {
       causes.remove(parent);
     }
+    tally.note_level(l, level_tests, use_packed);
     ++l;
   }
+  tally.flush(metrics_for(config));
 
   // CauseSet iterates lag-major, which is already LaggedNode's canonical
   // order; the sort stays as a belt-and-braces invariant.
@@ -248,7 +310,12 @@ graph::InteractionGraph InteractionMiner::mine(
   graph::InteractionGraph graph(n, config_.max_lag);
   CAUSALIOT_CHECK_MSG(series.length() > config_.max_lag,
                       "series shorter than the maximum lag");
+  std::optional<obs::Span> columns_span;
+  if (obs::Tracer::global().enabled()) {
+    columns_span.emplace("mine.columns", "mine");
+  }
   const ColumnCache cache(series, config_.max_lag);
+  columns_span.reset();
 
   // Each child's discovery is independent: workers write only their own
   // slot, so any schedule produces the serial result. Diagnostics are
@@ -264,6 +331,13 @@ graph::InteractionGraph InteractionMiner::mine(
     pool = &*own_pool;
   }
   util::parallel_for(pool, 0, n, [&](std::size_t child) {
+    // Worker attribution: the span lands in the executing thread's buffer,
+    // so the trace shows which pool worker mined which child.
+    std::optional<obs::Span> child_span;
+    if (obs::Tracer::global().enabled()) {
+      child_span.emplace("tpc.child", util::format("\"child\": %zu", child),
+                         "mine");
+    }
     stats::CiTestContext context;
     causes_per_child[child] = discover_causes_cached(
         config_, series, static_cast<telemetry::DeviceId>(child),
@@ -293,6 +367,7 @@ void InteractionMiner::estimate_cpts(const preprocess::StateSeries& series,
   const std::size_t tau = config_.max_lag;
   CAUSALIOT_CHECK(series.length() > tau);
   CAUSALIOT_CHECK(graph.device_count() == series.device_count());
+  obs::Span cpt_span("mine.cpt", "mine");
 
   std::optional<util::ThreadPool> own_pool;
   if (pool == nullptr && util::resolve_thread_count(config_.threads) > 1) {
@@ -303,6 +378,11 @@ void InteractionMiner::estimate_cpts(const preprocess::StateSeries& series,
   // the snapshots are walked in serial order, so the counts match the
   // serial pass bit-for-bit under any schedule.
   util::parallel_for(pool, 0, graph.device_count(), [&](std::size_t c) {
+    std::optional<obs::Span> child_span;
+    if (obs::Tracer::global().enabled()) {
+      child_span.emplace("cpt.child", util::format("\"child\": %zu", c),
+                         "mine");
+    }
     const auto child = static_cast<telemetry::DeviceId>(c);
     graph::Cpt& cpt = graph.cpt(child);
     std::vector<std::uint8_t> cause_values;
@@ -314,6 +394,11 @@ void InteractionMiner::estimate_cpts(const preprocess::StateSeries& series,
       cpt.observe(cpt.pack(cause_values), series.state(child, j));
     }
   });
+  metrics_for(config_)
+      .counter("mining_cpt_updates_total", {},
+               "CPT observations folded in by estimate_cpts / update_cpts")
+      .add(static_cast<std::uint64_t>(graph.device_count()) *
+           (series.length() - tau));
 }
 
 void InteractionMiner::update_cpts(const preprocess::StateSeries& series,

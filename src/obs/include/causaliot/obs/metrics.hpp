@@ -1,0 +1,106 @@
+// Observability metric primitives: relaxed-atomic counters, gauges, and
+// power-of-two-bucket histograms.
+//
+// Everything on a hot path is a single relaxed atomic RMW — the values
+// are monotone totals (or last-write-wins gauges), so cross-metric skew
+// during a snapshot is acceptable and no ordering is needed. The
+// histogram doubles the discipline serve's latency counter pioneered:
+// bucket index = bit_width of the sample, so recording is two relaxed
+// fetch_adds (bucket + running sum) plus a rarely-contended max CAS, and
+// quantiles are answered at snapshot time by walking the cumulative
+// distribution. Quantiles are conservative within a factor of two — the
+// right trade for counters hit millions of times per second.
+//
+// Instances are registered in (and owned by) an obs::Registry; the
+// returned references are stable for the registry's lifetime, so hot
+// paths cache them once and never touch the registry lock again.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace causaliot::obs {
+
+/// Monotone event count. add() is one relaxed fetch_add.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time signed level (queue depth, active sessions, ...).
+class Gauge {
+ public:
+  void set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Power-of-two-bucket distribution of non-negative samples.
+class Histogram {
+ public:
+  /// Doubling buckets from 1; bucket 0 holds only the value 0, bucket i
+  /// holds [2^(i-1), 2^i - 1], and the last bucket absorbs everything
+  /// from 2^(kBucketCount-2) up.
+  static constexpr std::size_t kBucketCount = 48;
+
+  void record(std::uint64_t value) {
+    const std::size_t width = std::bit_width(value);  // 0 for value == 0
+    const std::size_t index =
+        width < kBucketCount ? width : kBucketCount - 1;
+    buckets_[index].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    // Keep the true maximum exactly (CAS loop; contention is negligible
+    // because the max changes rarely once warm).
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p95 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t max = 0;
+  };
+
+  /// Quantiles report each bucket's upper bound clamped to the observed
+  /// maximum; a quantile landing in the saturated last bucket reports
+  /// the true max instead of a fabricated bound.
+  Snapshot snapshot() const;
+
+  std::uint64_t bucket_count_at(std::size_t index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace causaliot::obs

@@ -1,0 +1,89 @@
+// Process-wide metric registry.
+//
+// A Registry owns named, labeled metric instances (Counter / Gauge /
+// Histogram) and serializes them to JSON (one compact object, suitable
+// for JSONL streaming) and to the Prometheus text exposition format
+// (`# HELP` / `# TYPE` + one sample line per instance; histograms are
+// exposed as summaries with quantile labels).
+//
+// Lookup (counter() / gauge() / histogram()) takes the registry mutex;
+// the returned reference is stable for the registry's lifetime, so a hot
+// path resolves its handles once at setup and afterwards touches only
+// the relaxed atomics inside the metric. Requesting the same (name,
+// labels) pair again returns the same instance; requesting an existing
+// family with a different kind is a programming error and aborts.
+//
+// Registry::global() is the process-wide default used by the CLI and the
+// mining instrumentation; subsystems that need isolation (a
+// DetectionService under test, a bench loop) construct their own.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "causaliot/obs/metrics.hpp"
+
+namespace causaliot::obs {
+
+/// Label key/value pairs; canonicalized (sorted by key) at registration,
+/// so the same set in any order names the same instance.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// `help` is recorded on first registration of the family and emitted
+  /// as the Prometheus `# HELP` line (later calls may omit it).
+  Counter& counter(std::string_view name, Labels labels = {},
+                   std::string_view help = {});
+  Gauge& gauge(std::string_view name, Labels labels = {},
+               std::string_view help = {});
+  Histogram& histogram(std::string_view name, Labels labels = {},
+                       std::string_view help = {});
+
+  /// One compact JSON object:
+  ///   {"metrics": [{"name": ..., "labels": {...}, "kind": "counter",
+  ///                 "value": 12}, ...]}
+  /// Histogram entries carry count/sum/p50/p95/p99/max instead of value.
+  std::string to_json() const;
+
+  /// Prometheus text exposition (version 0.0.4): # HELP / # TYPE per
+  /// family, label values escaped (\\, \", \n), histograms as summaries.
+  std::string to_prometheus() const;
+
+  /// Families registered so far (diagnostics / tests).
+  std::size_t family_count() const;
+
+  static Registry& global();
+
+ private:
+  struct Instance {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    MetricKind kind = MetricKind::kCounter;
+    std::string help;
+    std::map<Labels, Instance> instances;
+  };
+
+  Instance& resolve(std::string_view name, Labels labels,
+                    std::string_view help, MetricKind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family, std::less<>> families_;
+};
+
+}  // namespace causaliot::obs

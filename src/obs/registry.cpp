@@ -1,0 +1,284 @@
+#include "causaliot/obs/registry.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "causaliot/util/check.hpp"
+#include "causaliot/util/strings.hpp"
+
+namespace causaliot::obs {
+
+namespace {
+
+// Upper bound of histogram bucket `index` (samples with bit_width ==
+// index, i.e. [2^(index-1), 2^index - 1]; bucket 0 holds only 0).
+std::uint64_t bucket_upper(std::size_t index) {
+  if (index == 0) return 0;
+  if (index >= 63) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << index) - 1;
+}
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+// Prometheus label-value escaping: backslash, double quote, newline.
+std::string prometheus_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// Renders `{k="v",...}` (empty string for no labels). `extra` appends one
+// more pair (used for the summary quantile label).
+std::string prometheus_labels(const Labels& labels,
+                              const std::pair<std::string_view,
+                                              std::string_view>* extra) {
+  if (labels.empty() && extra == nullptr) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += prometheus_escape(value);
+    out += '"';
+  }
+  if (extra != nullptr) {
+    if (!first) out += ',';
+    out += extra->first;
+    out += "=\"";
+    out += prometheus_escape(extra->second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string json_labels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    out += util::json_escape(key);
+    out += "\": \"";
+    out += util::json_escape(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto ok_head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!ok_head(name.front())) return false;
+  return std::all_of(name.begin(), name.end(), [&](char c) {
+    return ok_head(c) || (c >= '0' && c <= '9');
+  });
+}
+
+}  // namespace
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::array<std::uint64_t, kBucketCount> counts;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  Snapshot out;
+  out.count = total;
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.max = max_.load(std::memory_order_relaxed);
+  if (total == 0) return out;
+
+  const auto quantile = [&](double q) -> std::uint64_t {
+    const auto rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(total));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      cumulative += counts[i];
+      if (cumulative > rank) {
+        // The last bucket is open-ended: its samples may exceed the
+        // nominal 2^47-1 bound, so report the observed maximum instead
+        // of fabricating one.
+        if (i == kBucketCount - 1) return out.max;
+        const std::uint64_t upper = bucket_upper(i);
+        return upper < out.max ? upper : out.max;
+      }
+    }
+    return out.max;
+  };
+  out.p50 = quantile(0.50);
+  out.p95 = quantile(0.95);
+  out.p99 = quantile(0.99);
+  return out;
+}
+
+Registry::Instance& Registry::resolve(std::string_view name, Labels labels,
+                                      std::string_view help,
+                                      MetricKind kind) {
+  CAUSALIOT_CHECK_MSG(valid_metric_name(name),
+                      "metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*");
+  for (const auto& [key, value] : labels) {
+    CAUSALIOT_CHECK_MSG(valid_metric_name(key), "invalid label key");
+    (void)value;  // values are free-form; escaped at exposition time
+  }
+  std::sort(labels.begin(), labels.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto family_it = families_.find(name);
+  if (family_it == families_.end()) {
+    Family family;
+    family.kind = kind;
+    family.help = std::string(help);
+    family_it = families_.emplace(std::string(name), std::move(family)).first;
+  } else {
+    CAUSALIOT_CHECK_MSG(family_it->second.kind == kind,
+                        "metric family re-registered with a different kind");
+    if (family_it->second.help.empty() && !help.empty()) {
+      family_it->second.help = std::string(help);
+    }
+  }
+  return family_it->second.instances[std::move(labels)];
+}
+
+Counter& Registry::counter(std::string_view name, Labels labels,
+                           std::string_view help) {
+  Instance& instance =
+      resolve(name, std::move(labels), help, MetricKind::kCounter);
+  if (!instance.counter) instance.counter = std::make_unique<Counter>();
+  return *instance.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, Labels labels,
+                       std::string_view help) {
+  Instance& instance =
+      resolve(name, std::move(labels), help, MetricKind::kGauge);
+  if (!instance.gauge) instance.gauge = std::make_unique<Gauge>();
+  return *instance.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, Labels labels,
+                               std::string_view help) {
+  Instance& instance =
+      resolve(name, std::move(labels), help, MetricKind::kHistogram);
+  if (!instance.histogram) instance.histogram = std::make_unique<Histogram>();
+  return *instance.histogram;
+}
+
+std::size_t Registry::family_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return families_.size();
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"metrics\": [";
+  bool first = true;
+  for (const auto& [name, family] : families_) {
+    for (const auto& [labels, instance] : family.instances) {
+      if (!first) out += ", ";
+      first = false;
+      out += "{\"name\": \"";
+      out += util::json_escape(name);
+      out += "\", \"labels\": ";
+      out += json_labels(labels);
+      out += ", \"kind\": \"";
+      out += kind_name(family.kind);
+      out += '"';
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          out += util::format(", \"value\": %" PRIu64,
+                              instance.counter->value());
+          break;
+        case MetricKind::kGauge:
+          out += util::format(", \"value\": %" PRId64,
+                              instance.gauge->value());
+          break;
+        case MetricKind::kHistogram: {
+          const Histogram::Snapshot s = instance.histogram->snapshot();
+          out += util::format(
+              ", \"count\": %" PRIu64 ", \"sum\": %" PRIu64
+              ", \"p50\": %" PRIu64 ", \"p95\": %" PRIu64 ", \"p99\": %" PRIu64
+              ", \"max\": %" PRIu64,
+              s.count, s.sum, s.p50, s.p95, s.p99, s.max);
+          break;
+        }
+      }
+      out += '}';
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Registry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      out += "# HELP " + name + " " + prometheus_escape(family.help) + "\n";
+    }
+    out += "# TYPE " + name + " ";
+    // Histograms expose precomputed quantiles: a Prometheus summary.
+    out += family.kind == MetricKind::kHistogram
+               ? "summary"
+               : kind_name(family.kind);
+    out += '\n';
+    for (const auto& [labels, instance] : family.instances) {
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          out += name + prometheus_labels(labels, nullptr) +
+                 util::format(" %" PRIu64 "\n", instance.counter->value());
+          break;
+        case MetricKind::kGauge:
+          out += name + prometheus_labels(labels, nullptr) +
+                 util::format(" %" PRId64 "\n", instance.gauge->value());
+          break;
+        case MetricKind::kHistogram: {
+          const Histogram::Snapshot s = instance.histogram->snapshot();
+          const std::pair<std::string_view, std::string_view> quantiles[] = {
+              {"quantile", "0.5"}, {"quantile", "0.95"}, {"quantile", "0.99"}};
+          const std::uint64_t values[] = {s.p50, s.p95, s.p99};
+          for (std::size_t q = 0; q < 3; ++q) {
+            out += name + prometheus_labels(labels, &quantiles[q]) +
+                   util::format(" %" PRIu64 "\n", values[q]);
+          }
+          out += name + "_sum" + prometheus_labels(labels, nullptr) +
+                 util::format(" %" PRIu64 "\n", s.sum);
+          out += name + "_count" + prometheus_labels(labels, nullptr) +
+                 util::format(" %" PRIu64 "\n", s.count);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // never destroyed
+  return *instance;
+}
+
+}  // namespace causaliot::obs

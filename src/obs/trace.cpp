@@ -1,0 +1,191 @@
+#include "causaliot/obs/trace.hpp"
+
+#include <chrono>
+#include <cinttypes>
+
+#include "causaliot/util/strings.hpp"
+
+namespace causaliot::obs {
+
+namespace {
+
+// Thread-local cache of (tracer-id -> buffer) registrations. A thread
+// normally talks to one tracer (the global one), so the linear scan is a
+// single compare; test tracers add a second entry at most.
+thread_local std::vector<std::pair<std::uint64_t, void*>> tls_buffers;
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Tracer::Tracer() : id_(next_tracer_id()) {}
+
+std::uint64_t Tracer::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Tracer::ThreadBuffer::append(Event event) {
+  const std::size_t index = committed.load(std::memory_order_relaxed);
+  const std::size_t chunk = index / kChunkSize;
+  const std::size_t offset = index % kChunkSize;
+  if (offset == 0) {
+    // New chunk: the only recording-path lock, taken once per kChunkSize
+    // events, and only against a concurrent exporter.
+    std::lock_guard<std::mutex> lock(chunks_mutex);
+    chunks.push_back(std::make_unique<Chunk>());
+  }
+  (*chunks[chunk])[offset] = std::move(event);
+  committed.store(index + 1, std::memory_order_release);
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  for (const auto& [tracer_id, buffer] : tls_buffers) {
+    if (tracer_id == id_) return *static_cast<ThreadBuffer*>(buffer);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>(
+      static_cast<std::uint32_t>(buffers_.size())));
+  ThreadBuffer* buffer = buffers_.back().get();
+  tls_buffers.emplace_back(id_, buffer);
+  return *buffer;
+}
+
+void Tracer::record(const char* name, const char* category,
+                    std::uint64_t start_ns, std::uint64_t duration_ns,
+                    std::string args_json) {
+  Event event;
+  event.name = name;
+  event.category = category;
+  event.start_ns = start_ns;
+  event.duration_ns = duration_ns;
+  event.args_json = std::move(args_json);
+  local_buffer().append(std::move(event));
+}
+
+std::string Tracer::export_chrome_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Time base: earliest committed span start, so ts starts near 0.
+  std::uint64_t base_ns = ~std::uint64_t{0};
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> chunks_lock(buffer->chunks_mutex);
+    const std::size_t committed =
+        buffer->committed.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < committed; ++i) {
+      const Event& event =
+          (*buffer->chunks[i / ThreadBuffer::kChunkSize])
+              [i % ThreadBuffer::kChunkSize];
+      if (event.start_ns < base_ns) base_ns = event.start_ns;
+    }
+  }
+  if (base_ns == ~std::uint64_t{0}) base_ns = 0;
+
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> chunks_lock(buffer->chunks_mutex);
+    const std::size_t committed =
+        buffer->committed.load(std::memory_order_acquire);
+    if (committed > 0) {
+      if (!first) out += ", ";
+      first = false;
+      out += util::format(
+          "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+          "\"tid\": %u, \"args\": {\"name\": \"thread-%u\"}}",
+          buffer->tid, buffer->tid);
+    }
+    for (std::size_t i = 0; i < committed; ++i) {
+      const Event& event =
+          (*buffer->chunks[i / ThreadBuffer::kChunkSize])
+              [i % ThreadBuffer::kChunkSize];
+      if (!first) out += ", ";
+      first = false;
+      out += util::format(
+          "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+          "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u",
+          event.name, event.category,
+          static_cast<double>(event.start_ns - base_ns) / 1000.0,
+          static_cast<double>(event.duration_ns) / 1000.0, buffer->tid);
+      if (!event.args_json.empty()) {
+        out += ", \"args\": {" + event.args_json + "}";
+      }
+      out += '}';
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::map<std::string, Tracer::StageTotal> Tracer::stage_totals() const {
+  std::map<std::string, StageTotal> totals;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> chunks_lock(buffer->chunks_mutex);
+    const std::size_t committed =
+        buffer->committed.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < committed; ++i) {
+      const Event& event =
+          (*buffer->chunks[i / ThreadBuffer::kChunkSize])
+              [i % ThreadBuffer::kChunkSize];
+      StageTotal& total = totals[event.name];
+      ++total.count;
+      total.total_ns += event.duration_ns;
+    }
+  }
+  return totals;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& buffer : buffers_) {
+    count += buffer->committed.load(std::memory_order_acquire);
+  }
+  return count;
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> chunks_lock(buffer->chunks_mutex);
+    buffer->committed.store(0, std::memory_order_release);
+    buffer->chunks.clear();
+  }
+}
+
+Tracer& Tracer::global() {
+  static Tracer* instance = new Tracer();  // never destroyed
+  return *instance;
+}
+
+Span::Span(const char* name, const char* category, Tracer* tracer)
+    : name_(name), category_(category) {
+  Tracer& target = tracer != nullptr ? *tracer : Tracer::global();
+  if (!target.enabled()) return;
+  tracer_ = &target;
+  start_ns_ = Tracer::now_ns();
+}
+
+Span::Span(const char* name, std::string args_json, const char* category,
+           Tracer* tracer)
+    : name_(name), category_(category) {
+  Tracer& target = tracer != nullptr ? *tracer : Tracer::global();
+  if (!target.enabled()) return;
+  tracer_ = &target;
+  start_ns_ = Tracer::now_ns();
+  args_json_ = std::move(args_json);
+}
+
+Span::~Span() {
+  if (tracer_ == nullptr) return;
+  const std::uint64_t end_ns = Tracer::now_ns();
+  tracer_->record(name_, category_, start_ns_, end_ns - start_ns_,
+                  std::move(args_json_));
+}
+
+}  // namespace causaliot::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "causaliot/obs/trace.hpp"
+
 namespace causaliot::preprocess {
 
 std::vector<BinaryEvent> Preprocessor::sanitize(
@@ -67,13 +69,18 @@ std::vector<BinaryEvent> Preprocessor::discretize_runtime(
 
 PreprocessResult Preprocessor::run(const telemetry::EventLog& log) const {
   const std::size_t n = log.catalog().size();
-  DiscretizationModel model = DiscretizationModel::fit(log);
+  DiscretizationModel model = [&] {
+    obs::Span span("preprocess.fit", "preprocess");
+    return DiscretizationModel::fit(log);
+  }();
 
   std::size_t duplicates = 0;
   std::size_t extremes = 0;
-  std::vector<BinaryEvent> sanitized =
-      sanitize(log, model, std::vector<std::uint8_t>(n, 0), &duplicates,
-               &extremes);
+  std::vector<BinaryEvent> sanitized = [&] {
+    obs::Span span("preprocess.sanitize", "preprocess");
+    return sanitize(log, model, std::vector<std::uint8_t>(n, 0), &duplicates,
+                    &extremes);
+  }();
 
   double mean_gap = 0.0;
   if (sanitized.size() >= 2) {
@@ -81,7 +88,10 @@ PreprocessResult Preprocessor::run(const telemetry::EventLog& log) const {
                static_cast<double>(sanitized.size() - 1);
   }
 
-  StateSeries series = build_series(n, sanitized);
+  StateSeries series = [&] {
+    obs::Span span("preprocess.series", "preprocess");
+    return build_series(n, sanitized);
+  }();
   PreprocessResult result{std::move(model),
                           std::move(sanitized),
                           std::move(series),

@@ -1,0 +1,64 @@
+#include "causaliot/serve/alarm_json.hpp"
+
+#include "causaliot/detect/explanation.hpp"
+#include "causaliot/util/strings.hpp"
+
+namespace causaliot::serve {
+
+const char* severity_label(detect::AlarmSeverity severity) {
+  switch (severity) {
+    case detect::AlarmSeverity::kNotice: return "notice";
+    case detect::AlarmSeverity::kWarning: return "warning";
+    case detect::AlarmSeverity::kCritical: return "critical";
+  }
+  return "notice";
+}
+
+std::string alarm_to_json(const ServedAlarm& alarm,
+                          const telemetry::DeviceCatalog& catalog) {
+  const detect::AnomalyEntry& head = alarm.report.contextual();
+  const telemetry::DeviceInfo& info = catalog.info(head.event.device);
+
+  std::string out = util::format(
+      "{\"type\": \"alarm\", \"tenant\": \"%s\", \"severity\": \"%s\", "
+      "\"device\": \"%s\", \"state\": \"%s\", \"score\": %.6f, "
+      "\"threshold\": %.6f, \"margin\": %.6f, \"probability\": %.6f, "
+      "\"stream_index\": %zu, \"timestamp\": %.3f, \"model_version\": %llu, "
+      "\"suppressed_duplicates\": %zu, \"chain\": %zu, \"interrupted\": %s",
+      util::json_escape(alarm.tenant_name).c_str(),
+      severity_label(alarm.severity), util::json_escape(info.name).c_str(),
+      detect::state_label(info, head.event.state).c_str(), head.score,
+      alarm.score_threshold, head.score - alarm.score_threshold,
+      1.0 - head.score, head.stream_index, head.event.timestamp,
+      static_cast<unsigned long long>(alarm.model_version),
+      alarm.suppressed_duplicates, alarm.report.chain_length(),
+      alarm.report.ended_by_abrupt_event ? "true" : "false");
+
+  out += ", \"context\": [";
+  for (std::size_t c = 0; c < head.causes.size(); ++c) {
+    const telemetry::DeviceInfo& cause_info =
+        catalog.info(head.causes[c].device);
+    out += util::format(
+        "%s{\"cause\": \"%s\", \"lag\": %u, \"state\": \"%s\"}",
+        c == 0 ? "" : ", ", util::json_escape(cause_info.name).c_str(),
+        head.causes[c].lag,
+        detect::state_label(cause_info, head.cause_values[c]).c_str());
+  }
+  out += "], \"entries\": [";
+  for (std::size_t i = 0; i < alarm.report.entries.size(); ++i) {
+    const detect::AnomalyEntry& entry = alarm.report.entries[i];
+    const telemetry::DeviceInfo& entry_info = catalog.info(entry.event.device);
+    out += util::format(
+        "%s{\"position\": %zu, \"device\": \"%s\", \"state\": \"%s\", "
+        "\"score\": %.6f, \"stream_index\": %zu, \"timestamp\": %.3f}",
+        i == 0 ? "" : ", ", i, util::json_escape(entry_info.name).c_str(),
+        detect::state_label(entry_info, entry.event.state).c_str(),
+        entry.score, entry.stream_index, entry.event.timestamp);
+  }
+  out += util::format(
+      "], \"hint\": \"%s\"}",
+      util::json_escape(detect::root_cause_hint(head, catalog)).c_str());
+  return out;
+}
+
+}  // namespace causaliot::serve

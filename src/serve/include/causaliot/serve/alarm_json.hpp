@@ -1,0 +1,37 @@
+// Provenance-enriched alarm JSONL.
+//
+// Every alarm leaving `causaliot serve` is one JSON line that carries
+// not just *what* fired but *why*: the interaction context (cause values
+// from detect::Explanation), the CPT probability of the observed
+// transition, the threshold and margin that tripped Definition 2, the
+// full anomaly chain with positions, and the root-cause hint. The
+// renderer lives in the library (not the CLI) so test_serve can assert
+// the stream field-by-field.
+#pragma once
+
+#include <string>
+
+#include "causaliot/serve/service.hpp"
+#include "causaliot/telemetry/device.hpp"
+
+namespace causaliot::serve {
+
+/// Severity as a lowercase label ("notice" | "warning" | "critical").
+const char* severity_label(detect::AlarmSeverity severity);
+
+/// One compact JSON object (no trailing newline):
+///   {"type": "alarm", "tenant": ..., "severity": ..., "device": ...,
+///    "state": ..., "score": ..., "threshold": ..., "margin": ...,
+///    "probability": ..., "stream_index": ..., "timestamp": ...,
+///    "model_version": ..., "suppressed_duplicates": ..., "chain": ...,
+///    "interrupted": ..., "context": [{"cause", "lag", "state"}, ...],
+///    "entries": [{"position", "device", "state", "score",
+///                 "stream_index", "timestamp"}, ...], "hint": ...}
+/// `margin` is score - threshold (how far past the line), `probability`
+/// is 1 - score (the CPT likelihood of the observed transition), and
+/// `context` lists the head event's cause values — the paper's
+/// interpretability payload.
+std::string alarm_to_json(const ServedAlarm& alarm,
+                          const telemetry::DeviceCatalog& catalog);
+
+}  // namespace causaliot::serve

@@ -1,78 +1,55 @@
-// Serving metrics: lock-free counters and fixed-bucket latency
-// histograms, snapshotted into a JSON report.
+// Serving metrics, hosted on the obs metric registry.
 //
-// Everything on the event hot path is a relaxed atomic increment — the
-// counters are monotone totals, so cross-counter skew during a snapshot
-// is acceptable and no ordering is needed. The histogram uses
-// power-of-two nanosecond buckets (index = bit_width of the sample):
-// recording is one relaxed fetch_add, and quantiles are answered at
-// snapshot time by walking the cumulative distribution, with each
-// bucket's upper bound as the reported value (i.e. quantiles are
-// conservative within a factor of two — the right trade for a counter
-// that is hit a million times per second).
+// Every counter the event hot path touches is resolved once at service
+// construction into a stable obs handle; recording is then one relaxed
+// atomic RMW per counter, exactly the discipline the original one-off
+// atomics struct had — but the values are now named, labeled, and
+// exportable through obs::Registry::to_json() / to_prometheus()
+// alongside the rest of the process (per-shard `shard` labels on the
+// processed counters and queue-depth gauges, per-tenant `tenant` labels
+// on the alarm counters).
+//
+// ServiceStats remains the plain-value, point-in-time view `stats()`
+// returns — the registry is the streaming/exposition surface, the
+// struct is the programmatic one.
 #pragma once
 
-#include <array>
-#include <atomic>
-#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 
+#include "causaliot/obs/metrics.hpp"
+#include "causaliot/obs/registry.hpp"
+
 namespace causaliot::serve {
 
-class LatencyHistogram {
- public:
-  /// Doubling buckets from 1 ns; the last bucket absorbs everything from
-  /// ~2.3 minutes up.
-  static constexpr std::size_t kBucketCount = 48;
+/// The serving latency histogram is the shared obs primitive (power-of-
+/// two nanosecond buckets, conservative quantiles, exact max).
+using LatencyHistogram = obs::Histogram;
 
-  void record(std::uint64_t nanos) {
-    const std::size_t width = std::bit_width(nanos);  // 0 for nanos == 0
-    const std::size_t index =
-        width < kBucketCount ? width : kBucketCount - 1;
-    buckets_[index].fetch_add(1, std::memory_order_relaxed);
-    // Keep the true maximum exactly (CAS loop; contention is negligible
-    // because the max changes rarely once warm).
-    std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
-    while (nanos > seen &&
-           !max_ns_.compare_exchange_weak(seen, nanos,
-                                          std::memory_order_relaxed)) {
-    }
-  }
-
-  struct Snapshot {
-    std::uint64_t count = 0;
-    std::uint64_t p50_ns = 0;
-    std::uint64_t p95_ns = 0;
-    std::uint64_t p99_ns = 0;
-    std::uint64_t max_ns = 0;
-  };
-
-  Snapshot snapshot() const;
-
- private:
-  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
-  std::atomic<std::uint64_t> max_ns_{0};
-};
-
-/// Counters owned by serve::DetectionService; queue-level backpressure
-/// counters live in each shard's BoundedQueue and are merged into the
-/// ServiceStats snapshot at read time.
+/// Aggregate registry handles owned by serve::DetectionService;
+/// queue-level backpressure counters live in each shard's BoundedQueue
+/// and per-shard/per-tenant handles on the shard/tenant records — all
+/// merged into the ServiceStats snapshot at read time.
 struct Metrics {
-  std::atomic<std::uint64_t> events_submitted{0};
-  std::atomic<std::uint64_t> events_processed{0};
-  std::atomic<std::uint64_t> alarms_total{0};
-  std::atomic<std::uint64_t> alarms_notice{0};
-  std::atomic<std::uint64_t> alarms_warning{0};
-  std::atomic<std::uint64_t> alarms_critical{0};
+  explicit Metrics(obs::Registry& registry);
+
+  obs::Counter* events_submitted;
+  obs::Counter* alarms_notice;
+  obs::Counter* alarms_warning;
+  obs::Counter* alarms_critical;
   /// Alarms whose report tracked a collective chain (> 1 entry).
-  std::atomic<std::uint64_t> alarms_collective{0};
-  std::atomic<std::uint64_t> alarms_suppressed{0};
-  std::atomic<std::uint64_t> model_swaps_published{0};
-  std::atomic<std::uint64_t> model_swaps_adopted{0};
+  obs::Counter* alarms_collective;
+  obs::Counter* alarms_suppressed;
+  obs::Counter* model_swaps_published;
+  obs::Counter* model_swaps_adopted;
   /// Enqueue-to-processed latency per event.
-  LatencyHistogram latency;
+  obs::Histogram* latency;
+
+  std::uint64_t alarms_total() const {
+    return alarms_notice->value() + alarms_warning->value() +
+           alarms_critical->value();
+  }
 };
 
 /// Point-in-time, plain-value view of a running service, exported as the

@@ -21,6 +21,7 @@
 // Algorithm 2 window — nothing accepted is ever silently discarded.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -30,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "causaliot/obs/registry.hpp"
 #include "causaliot/preprocess/series.hpp"
 #include "causaliot/serve/metrics.hpp"
 #include "causaliot/serve/session.hpp"
@@ -46,6 +48,14 @@ struct ServiceConfig {
   util::OverflowPolicy overflow = util::OverflowPolicy::kBlock;
   /// Per-session Algorithm 2 / alarm-filter settings.
   SessionConfig session;
+  /// Metric registry hosting this service's counters. nullptr gives the
+  /// service a private registry (isolated: the right default for tests
+  /// and embedded use); the CLI passes &obs::Registry::global().
+  obs::Registry* registry = nullptr;
+  /// Emit obs spans (enqueue wait, monitor step, alarm emit) for every
+  /// Nth submitted event; 0 disables sampling — the hot path then pays
+  /// one predictable branch per event.
+  std::size_t trace_sample_every = 0;
 };
 
 /// Opaque tenant identifier returned by add_tenant.
@@ -60,6 +70,9 @@ struct ServedAlarm {
   std::size_t suppressed_duplicates = 0;
   /// Version of the ModelSnapshot that scored the anomaly.
   std::uint64_t model_version = 0;
+  /// Score threshold c of that snapshot — provenance for "how far over
+  /// the line was this?" (margin = score - threshold).
+  double score_threshold = 0.0;
 };
 
 /// Invoked from shard worker threads (and from shutdown() for flushed
@@ -119,12 +132,21 @@ class DetectionService {
   ServiceStats stats() const;
   std::string stats_json() const { return stats().to_json(); }
 
+  /// The registry hosting this service's metrics (the config-supplied
+  /// one, or the service-private default). Queue-depth gauges are
+  /// refreshed on every stats()/registry_json() call.
+  obs::Registry& registry() const { return *registry_; }
+  /// Registry snapshot as one compact JSON object (JSONL-friendly).
+  std::string registry_json() const;
+
  private:
   struct ShardItem {
     TenantSession* session = nullptr;
     TenantHandle handle = 0;
     preprocess::BinaryEvent event;
     std::uint64_t enqueue_ns = 0;
+    /// Sampled for span tracing (see ServiceConfig::trace_sample_every).
+    bool traced = false;
   };
 
   struct Shard {
@@ -133,19 +155,29 @@ class DetectionService {
     util::BoundedQueue<ShardItem> queue;
     std::vector<std::unique_ptr<TenantSession>> sessions;
     std::thread worker;
+    /// Per-shard labeled registry handles.
+    obs::Counter* processed = nullptr;
+    obs::Gauge* queue_depth = nullptr;
   };
 
   void worker_loop(Shard& shard);
+  void process_item(Shard& shard, ShardItem& item);
   void deliver(TenantHandle handle, TenantSession& session,
                detect::AnomalyReport report);
+  void refresh_queue_gauges() const;
 
   ServiceConfig config_;
   AlarmCallback on_alarm_;
+  std::unique_ptr<obs::Registry> own_registry_;
+  obs::Registry* registry_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// handle -> session (sessions are owned by their shard; the vector is
   /// immutable after start(), so workers read it without locking).
   std::vector<TenantSession*> tenants_;
+  /// handle -> per-tenant alarm counter (same immutability argument).
+  std::vector<obs::Counter*> tenant_alarms_;
   Metrics metrics_;
+  std::atomic<std::uint64_t> trace_counter_{0};
   bool started_ = false;
   bool stopped_ = false;
 };

@@ -5,47 +5,32 @@
 
 namespace causaliot::serve {
 
-namespace {
-
-// Upper bound of histogram bucket `index` (samples with bit_width ==
-// index, i.e. [2^(index-1), 2^index - 1]; bucket 0 holds only 0).
-std::uint64_t bucket_upper_ns(std::size_t index) {
-  if (index == 0) return 0;
-  if (index >= 63) return ~std::uint64_t{0};
-  return (std::uint64_t{1} << index) - 1;
-}
-
-}  // namespace
-
-LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
-  std::array<std::uint64_t, kBucketCount> counts;
-  std::uint64_t total = 0;
-  for (std::size_t i = 0; i < kBucketCount; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += counts[i];
-  }
-  Snapshot out;
-  out.count = total;
-  out.max_ns = max_ns_.load(std::memory_order_relaxed);
-  if (total == 0) return out;
-
-  const auto quantile = [&](double q) -> std::uint64_t {
-    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
-    std::uint64_t cumulative = 0;
-    for (std::size_t i = 0; i < kBucketCount; ++i) {
-      cumulative += counts[i];
-      if (cumulative > rank) {
-        const std::uint64_t upper = bucket_upper_ns(i);
-        return upper < out.max_ns ? upper : out.max_ns;
-      }
-    }
-    return out.max_ns;
-  };
-  out.p50_ns = quantile(0.50);
-  out.p95_ns = quantile(0.95);
-  out.p99_ns = quantile(0.99);
-  return out;
-}
+Metrics::Metrics(obs::Registry& registry)
+    : events_submitted(&registry.counter(
+          "serve_events_submitted_total", {},
+          "Events accepted by DetectionService::submit")),
+      alarms_notice(&registry.counter("serve_alarms_total",
+                                      {{"severity", "notice"}},
+                                      "Alarms delivered, by severity")),
+      alarms_warning(&registry.counter("serve_alarms_total",
+                                       {{"severity", "warning"}})),
+      alarms_critical(&registry.counter("serve_alarms_total",
+                                        {{"severity", "critical"}})),
+      alarms_collective(&registry.counter(
+          "serve_alarms_collective_total", {},
+          "Alarms whose report tracked a collective chain")),
+      alarms_suppressed(&registry.counter(
+          "serve_alarms_suppressed_total", {},
+          "Alarms suppressed by the per-session dedup filter")),
+      model_swaps_published(&registry.counter(
+          "serve_model_swaps_published_total", {},
+          "Model snapshots published via swap_model")),
+      model_swaps_adopted(&registry.counter(
+          "serve_model_swaps_adopted_total", {},
+          "Model snapshots adopted at session event boundaries")),
+      latency(&registry.histogram(
+          "serve_event_latency_ns", {},
+          "Enqueue-to-processed latency per event, nanoseconds")) {}
 
 std::string ServiceStats::to_json() const {
   char buffer[1024];
@@ -68,7 +53,7 @@ std::string ServiceStats::to_json() const {
       queue_closed_rejects, queue_block_waits, alarms_total, alarms_notice,
       alarms_warning, alarms_critical, alarms_collective, alarms_suppressed,
       model_swaps_published, model_swaps_adopted, latency.count,
-      latency.p50_ns, latency.p95_ns, latency.p99_ns, latency.max_ns);
+      latency.p50, latency.p95, latency.p99, latency.max);
   return std::string(buffer,
                      written > 0 ? static_cast<std::size_t>(written) : 0);
 }

@@ -2,28 +2,39 @@
 
 #include <chrono>
 
+#include "causaliot/obs/trace.hpp"
 #include "causaliot/util/check.hpp"
+#include "causaliot/util/strings.hpp"
 
 namespace causaliot::serve {
 
 namespace {
 
-std::uint64_t now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+std::uint64_t now_ns() { return obs::Tracer::now_ns(); }
 
 }  // namespace
 
 DetectionService::DetectionService(ServiceConfig config, AlarmCallback on_alarm)
-    : config_(config), on_alarm_(std::move(on_alarm)) {
+    : config_(config),
+      on_alarm_(std::move(on_alarm)),
+      own_registry_(config.registry == nullptr
+                        ? std::make_unique<obs::Registry>()
+                        : nullptr),
+      registry_(config.registry != nullptr ? config.registry
+                                           : own_registry_.get()),
+      metrics_(*registry_) {
   CAUSALIOT_CHECK_MSG(config_.shard_count >= 1, "shard_count must be >= 1");
   shards_.reserve(config_.shard_count);
   for (std::size_t i = 0; i < config_.shard_count; ++i) {
     shards_.push_back(std::make_unique<Shard>(config_.queue_capacity,
                                               config_.overflow));
+    const std::string shard_label = std::to_string(i);
+    shards_.back()->processed = &registry_->counter(
+        "serve_events_processed_total", {{"shard", shard_label}},
+        "Events fully processed, by shard");
+    shards_.back()->queue_depth = &registry_->gauge(
+        "serve_queue_depth", {{"shard", shard_label}},
+        "Shard queue occupancy at snapshot time");
   }
 }
 
@@ -36,6 +47,9 @@ TenantHandle DetectionService::add_tenant(
   CAUSALIOT_CHECK_MSG(find_tenant(name) == kInvalidTenant,
                       "duplicate tenant name");
   const auto handle = static_cast<TenantHandle>(tenants_.size());
+  tenant_alarms_.push_back(&registry_->counter(
+      "serve_tenant_alarms_total", {{"tenant", name}},
+      "Alarms delivered, by tenant"));
   Shard& shard = *shards_[handle % shards_.size()];
   shard.sessions.push_back(std::make_unique<TenantSession>(
       std::move(name), std::move(model), config_.session,
@@ -67,13 +81,18 @@ void DetectionService::start() {
 DetectionService::SubmitResult DetectionService::submit(
     TenantHandle tenant, const preprocess::BinaryEvent& event) {
   CAUSALIOT_CHECK_MSG(tenant < tenants_.size(), "unknown tenant handle");
-  metrics_.events_submitted.fetch_add(1, std::memory_order_relaxed);
+  metrics_.events_submitted->increment();
   Shard& shard = *shards_[tenant % shards_.size()];
   ShardItem item;
   item.session = tenants_[tenant];
   item.handle = tenant;
   item.event = event;
   item.enqueue_ns = now_ns();
+  if (config_.trace_sample_every != 0) {
+    item.traced = trace_counter_.fetch_add(1, std::memory_order_relaxed) %
+                      config_.trace_sample_every ==
+                  0;
+  }
   switch (shard.queue.push(std::move(item))) {
     case util::PushResult::kAccepted:
     case util::PushResult::kDroppedOldest:
@@ -90,7 +109,7 @@ void DetectionService::swap_model(TenantHandle tenant,
                                   std::shared_ptr<const ModelSnapshot> model) {
   CAUSALIOT_CHECK_MSG(tenant < tenants_.size(), "unknown tenant handle");
   tenants_[tenant]->publish_model(std::move(model));
-  metrics_.model_swaps_published.fetch_add(1, std::memory_order_relaxed);
+  metrics_.model_swaps_published->increment();
 }
 
 void DetectionService::deliver(TenantHandle handle, TenantSession& session,
@@ -98,22 +117,20 @@ void DetectionService::deliver(TenantHandle handle, TenantSession& session,
   const bool collective = report.chain_length() > 1;
   std::optional<detect::SunkAlarm> sunk = session.filter(std::move(report));
   if (!sunk.has_value()) {
-    metrics_.alarms_suppressed.fetch_add(1, std::memory_order_relaxed);
+    metrics_.alarms_suppressed->increment();
     return;
   }
-  metrics_.alarms_total.fetch_add(1, std::memory_order_relaxed);
-  if (collective) {
-    metrics_.alarms_collective.fetch_add(1, std::memory_order_relaxed);
-  }
+  tenant_alarms_[handle]->increment();
+  if (collective) metrics_.alarms_collective->increment();
   switch (sunk->severity) {
     case detect::AlarmSeverity::kNotice:
-      metrics_.alarms_notice.fetch_add(1, std::memory_order_relaxed);
+      metrics_.alarms_notice->increment();
       break;
     case detect::AlarmSeverity::kWarning:
-      metrics_.alarms_warning.fetch_add(1, std::memory_order_relaxed);
+      metrics_.alarms_warning->increment();
       break;
     case detect::AlarmSeverity::kCritical:
-      metrics_.alarms_critical.fetch_add(1, std::memory_order_relaxed);
+      metrics_.alarms_critical->increment();
       break;
   }
   if (!on_alarm_) return;
@@ -124,24 +141,53 @@ void DetectionService::deliver(TenantHandle handle, TenantSession& session,
   alarm.severity = sunk->severity;
   alarm.suppressed_duplicates = sunk->suppressed_duplicates;
   alarm.model_version = session.active_model().version;
+  alarm.score_threshold = session.active_model().score_threshold;
   on_alarm_(alarm);
+}
+
+void DetectionService::process_item(Shard& shard, ShardItem& item) {
+  TenantSession& session = *item.session;
+  const std::uint64_t before_swaps = session.swaps_adopted();
+
+  std::optional<detect::AnomalyReport> report;
+  if (item.traced) {
+    // Sampled span path: reconstruct the enqueue->dequeue wait from the
+    // submit-side timestamp, then time the monitor step on this worker.
+    obs::Tracer& tracer = obs::Tracer::global();
+    const std::uint64_t dequeue_ns = now_ns();
+    tracer.record("serve.queue_wait", "serve", item.enqueue_ns,
+                  dequeue_ns - item.enqueue_ns,
+                  util::format("\"tenant\": \"%s\"", session.name().c_str()));
+    report = session.process(item.event);
+    tracer.record("serve.step", "serve", dequeue_ns, now_ns() - dequeue_ns,
+                  util::format("\"tenant\": \"%s\", \"device\": %u",
+                               session.name().c_str(),
+                               static_cast<unsigned>(item.event.device)));
+  } else {
+    report = session.process(item.event);
+  }
+
+  if (session.swaps_adopted() != before_swaps) {
+    metrics_.model_swaps_adopted->add(session.swaps_adopted() - before_swaps);
+  }
+  shard.processed->increment();
+  metrics_.latency->record(now_ns() - item.enqueue_ns);
+  if (report.has_value()) {
+    if (item.traced) {
+      obs::Span emit("serve.alarm",
+                     util::format("\"tenant\": \"%s\"",
+                                  session.name().c_str()),
+                     "serve");
+      deliver(item.handle, session, std::move(*report));
+    } else {
+      deliver(item.handle, session, std::move(*report));
+    }
+  }
 }
 
 void DetectionService::worker_loop(Shard& shard) {
   while (std::optional<ShardItem> item = shard.queue.pop()) {
-    TenantSession& session = *item->session;
-    const std::uint64_t before_swaps = session.swaps_adopted();
-    std::optional<detect::AnomalyReport> report =
-        session.process(item->event);
-    if (session.swaps_adopted() != before_swaps) {
-      metrics_.model_swaps_adopted.fetch_add(
-          session.swaps_adopted() - before_swaps, std::memory_order_relaxed);
-    }
-    metrics_.events_processed.fetch_add(1, std::memory_order_relaxed);
-    metrics_.latency.record(now_ns() - item->enqueue_ns);
-    if (report.has_value()) {
-      deliver(item->handle, session, std::move(*report));
-    }
+    process_item(shard, *item);
   }
 }
 
@@ -159,13 +205,7 @@ void DetectionService::shutdown() {
     for (auto& shard : shards_) {
       Shard& s = *shard;
       while (std::optional<ShardItem> item = s.queue.try_pop()) {
-        std::optional<detect::AnomalyReport> report =
-            item->session->process(item->event);
-        metrics_.events_processed.fetch_add(1, std::memory_order_relaxed);
-        metrics_.latency.record(now_ns() - item->enqueue_ns);
-        if (report.has_value()) {
-          deliver(item->handle, *item->session, std::move(*report));
-        }
+        process_item(s, *item);
       }
     }
   }
@@ -182,15 +222,20 @@ const TenantSession& DetectionService::session(TenantHandle tenant) const {
   return *tenants_[tenant];
 }
 
+void DetectionService::refresh_queue_gauges() const {
+  for (const auto& shard : shards_) {
+    shard->queue_depth->set(static_cast<std::int64_t>(shard->queue.size()));
+  }
+}
+
 ServiceStats DetectionService::stats() const {
+  refresh_queue_gauges();
   ServiceStats out;
   out.shard_count = shards_.size();
   out.tenant_count = tenants_.size();
-  out.events_submitted =
-      metrics_.events_submitted.load(std::memory_order_relaxed);
-  out.events_processed =
-      metrics_.events_processed.load(std::memory_order_relaxed);
+  out.events_submitted = metrics_.events_submitted->value();
   for (const auto& shard : shards_) {
+    out.events_processed += shard->processed->value();
     const auto counters = shard->queue.counters();
     out.queue_accepted += counters.accepted;
     out.queue_dropped_oldest += counters.dropped_oldest;
@@ -198,22 +243,21 @@ ServiceStats DetectionService::stats() const {
     out.queue_closed_rejects += counters.closed_rejects;
     out.queue_block_waits += counters.block_waits;
   }
-  out.alarms_total = metrics_.alarms_total.load(std::memory_order_relaxed);
-  out.alarms_notice = metrics_.alarms_notice.load(std::memory_order_relaxed);
-  out.alarms_warning =
-      metrics_.alarms_warning.load(std::memory_order_relaxed);
-  out.alarms_critical =
-      metrics_.alarms_critical.load(std::memory_order_relaxed);
-  out.alarms_collective =
-      metrics_.alarms_collective.load(std::memory_order_relaxed);
-  out.alarms_suppressed =
-      metrics_.alarms_suppressed.load(std::memory_order_relaxed);
-  out.model_swaps_published =
-      metrics_.model_swaps_published.load(std::memory_order_relaxed);
-  out.model_swaps_adopted =
-      metrics_.model_swaps_adopted.load(std::memory_order_relaxed);
-  out.latency = metrics_.latency.snapshot();
+  out.alarms_total = metrics_.alarms_total();
+  out.alarms_notice = metrics_.alarms_notice->value();
+  out.alarms_warning = metrics_.alarms_warning->value();
+  out.alarms_critical = metrics_.alarms_critical->value();
+  out.alarms_collective = metrics_.alarms_collective->value();
+  out.alarms_suppressed = metrics_.alarms_suppressed->value();
+  out.model_swaps_published = metrics_.model_swaps_published->value();
+  out.model_swaps_adopted = metrics_.model_swaps_adopted->value();
+  out.latency = metrics_.latency->snapshot();
   return out;
+}
+
+std::string DetectionService::registry_json() const {
+  refresh_queue_gauges();
+  return registry_->to_json();
 }
 
 ReplayStats replay_trace(DetectionService& service,

@@ -2,8 +2,14 @@
 //
 // Default level is kWarn so library consumers see problems but not chatter;
 // benches and examples raise it to kInfo for progress reporting.
+//
+// Thread-safe: each message goes out as a single fwrite, so lines from
+// concurrent threads never interleave mid-line. Every line is prefixed
+// with a monotonic uptime timestamp and a compact per-thread ordinal.
 #pragma once
 
+#include <cstdint>
+#include <string>
 #include <string_view>
 
 namespace causaliot::util {
@@ -14,7 +20,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits "[LEVEL] message\n" to stderr if `level` >= the global level.
+/// The exact bytes log_message emits (including the trailing newline):
+/// `[  1.234567] [t0] [WARN] message`. Exposed so tests can pin the
+/// format without scraping stderr.
+std::string format_log_line(LogLevel level, std::string_view message,
+                            double uptime, std::uint32_t thread);
+
+/// Emits "[uptime] [tN] [LEVEL] message\n" to stderr if `level` >= the
+/// global level, as one write.
 void log_message(LogLevel level, std::string_view message);
 
 inline void log_debug(std::string_view msg) {

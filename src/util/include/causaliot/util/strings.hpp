@@ -29,4 +29,9 @@ bool starts_with(std::string_view text, std::string_view prefix);
 /// printf-style formatting into a std::string.
 std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// Escapes `text` for embedding inside a double-quoted JSON string:
+/// backslash, quote, and control characters (\n, \t, ... and \u00XX for
+/// the rest). Does not add the surrounding quotes.
+std::string json_escape(std::string_view text);
+
 }  // namespace causaliot::util

@@ -1,7 +1,12 @@
 #include "causaliot/util/log.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cinttypes>
 #include <cstdio>
+#include <string>
+
+#include "causaliot/util/strings.hpp"
 
 namespace causaliot::util {
 
@@ -18,15 +23,43 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+// Monotonic seconds since the first log call — stable across wall-clock
+// adjustments, and small enough to read at a glance.
+double uptime_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+// Compact per-thread ordinal (assigned on first log from the thread):
+// readable where std::thread::id's opaque hash is not.
+std::uint32_t thread_ordinal() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+std::string format_log_line(LogLevel level, std::string_view message,
+                            double uptime, std::uint32_t thread) {
+  return format("[%10.6f] [t%" PRIu32 "] [%s] %.*s\n", uptime, thread,
+                level_name(level), static_cast<int>(message.size()),
+                message.data());
+}
+
 void log_message(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
-               static_cast<int>(message.size()), message.data());
+  // One fwrite per line: concurrent loggers may interleave *lines* but
+  // never the bytes within one (POSIX stdio streams lock around each
+  // call), unlike the multi-vararg fprintf this replaces.
+  const std::string line =
+      format_log_line(level, message, uptime_seconds(), thread_ordinal());
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace causaliot::util

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 
 #include "causaliot/mining/cause_set.hpp"
 #include "causaliot/util/rng.hpp"
@@ -229,6 +230,40 @@ TEST_P(TemporalPCLagSweep, CauseLagsWithinTau) {
 
 INSTANTIATE_TEST_SUITE_P(Lags, TemporalPCLagSweep,
                          ::testing::Values(1, 2, 3));
+
+TEST(TemporalPC, MetricsLandInInjectedRegistry) {
+  const StateSeries series = chain_series(500, 0.05, 9);
+  obs::Registry registry;
+  MinerConfig config;
+  config.max_lag = 1;
+  config.metrics_registry = &registry;
+  const InteractionMiner miner(config);
+  MiningDiagnostics diagnostics;
+  const graph::InteractionGraph graph = miner.mine(series, &diagnostics);
+  ASSERT_GT(diagnostics.tests_run, 0u);
+
+  // CI tests per level sum to the diagnostics total, and every test at
+  // these small conditioning sizes dispatched to the packed kernel.
+  std::uint64_t per_level = 0;
+  for (std::size_t l = 0; l < series.device_count() * config.max_lag; ++l) {
+    per_level += registry
+                     .counter("mining_ci_tests_total",
+                              {{"level", std::to_string(l)}})
+                     .value();
+  }
+  EXPECT_EQ(per_level, diagnostics.tests_run);
+  EXPECT_EQ(registry.counter("mining_ci_kernel_hits_total",
+                             {{"kernel", "packed"}})
+                .value(),
+            diagnostics.tests_run);
+  EXPECT_EQ(registry.counter("mining_ci_kernel_hits_total",
+                             {{"kernel", "byte"}})
+                .value(),
+            0u);
+  // One CPT observation per device per snapshot.
+  EXPECT_EQ(registry.counter("mining_cpt_updates_total").value(),
+            graph.device_count() * (series.length() - config.max_lag));
+}
 
 TEST(CauseSet, StartsFullInCanonicalOrder) {
   const CauseSet set(3, 2);

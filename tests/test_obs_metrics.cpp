@@ -1,0 +1,109 @@
+// Histogram quantile edge cases (the satellite fix: 0-sample snapshots,
+// all-zero samples, and last-bucket saturation reporting the observed max
+// instead of a fabricated 2^47 bound) plus counter/gauge exactness under
+// concurrency.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "causaliot/obs/metrics.hpp"
+
+namespace causaliot::obs {
+namespace {
+
+TEST(ObsHistogram, ZeroSampleSnapshotIsAllZero) {
+  Histogram histogram;
+  const Histogram::Snapshot s = histogram.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.p50, 0u);
+  EXPECT_EQ(s.p95, 0u);
+  EXPECT_EQ(s.p99, 0u);
+  EXPECT_EQ(s.max, 0u);
+}
+
+TEST(ObsHistogram, AllSamplesInBucketZero) {
+  Histogram histogram;
+  for (int i = 0; i < 100; ++i) histogram.record(0);
+  const Histogram::Snapshot s = histogram.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.p50, 0u);
+  EXPECT_EQ(s.p99, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_EQ(histogram.bucket_count_at(0), 100u);
+}
+
+TEST(ObsHistogram, SaturatedLastBucketReportsObservedMax) {
+  Histogram histogram;
+  // bit_width(2^55) = 56 >= 48, so every sample lands in the open-ended
+  // last bucket. The quantiles must report the true max, not the nominal
+  // 2^47 - 1 upper bound of a 48-bucket ladder.
+  const std::uint64_t huge = std::uint64_t{1} << 55;
+  for (int i = 0; i < 10; ++i) histogram.record(huge + i);
+  const Histogram::Snapshot s = histogram.snapshot();
+  EXPECT_EQ(s.count, 10u);
+  EXPECT_EQ(s.max, huge + 9);
+  EXPECT_EQ(s.p50, huge + 9);
+  EXPECT_EQ(s.p99, huge + 9);
+  EXPECT_EQ(histogram.bucket_count_at(Histogram::kBucketCount - 1), 10u);
+}
+
+TEST(ObsHistogram, QuantilesAreConservativeBucketBounds) {
+  Histogram histogram;
+  for (std::uint64_t v = 1; v <= 1000; ++v) histogram.record(v);
+  const Histogram::Snapshot s = histogram.snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.sum, 500500u);
+  // Rank 500 falls in bucket 9 ([256, 511], cumulative 511): the reported
+  // p50 is that bucket's upper bound.
+  EXPECT_EQ(s.p50, 511u);
+  // Ranks 950 and 990 fall in bucket 10, whose nominal bound 1023 clamps
+  // to the observed max.
+  EXPECT_EQ(s.p95, 1000u);
+  EXPECT_EQ(s.p99, 1000u);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
+}
+
+TEST(ObsHistogram, SingleSampleClampsEveryQuantileToMax) {
+  Histogram histogram;
+  histogram.record(5);
+  const Histogram::Snapshot s = histogram.snapshot();
+  EXPECT_EQ(s.p50, 5u);
+  EXPECT_EQ(s.p95, 5u);
+  EXPECT_EQ(s.p99, 5u);
+  EXPECT_EQ(s.max, 5u);
+  EXPECT_EQ(s.sum, 5u);
+}
+
+TEST(ObsHistogram, ConcurrentRecordsCountExactly) {
+  Histogram histogram;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) histogram.record(3);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const Histogram::Snapshot s = histogram.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(s.sum, static_cast<std::uint64_t>(kThreads * kPerThread) * 3);
+  EXPECT_EQ(s.max, 3u);
+}
+
+TEST(ObsGauge, SetAndAddAreLastWriteWins) {
+  Gauge gauge;
+  gauge.set(42);
+  EXPECT_EQ(gauge.value(), 42);
+  gauge.add(-50);
+  EXPECT_EQ(gauge.value(), -8);
+}
+
+}  // namespace
+}  // namespace causaliot::obs

@@ -1,0 +1,131 @@
+// Registry semantics: instance identity under label reordering, exact
+// concurrent counting through registry-resolved handles, and both
+// serializations — including the Prometheus label-escaping round-trip.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "causaliot/obs/registry.hpp"
+
+namespace causaliot::obs {
+namespace {
+
+TEST(ObsRegistry, SameLabelsAnyOrderNameTheSameInstance) {
+  Registry registry;
+  Counter& a = registry.counter("requests_total",
+                                {{"method", "get"}, {"code", "200"}});
+  Counter& b = registry.counter("requests_total",
+                                {{"code", "200"}, {"method", "get"}});
+  EXPECT_EQ(&a, &b);
+  Counter& c = registry.counter("requests_total",
+                                {{"code", "500"}, {"method", "get"}});
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(registry.family_count(), 1u);
+}
+
+TEST(ObsRegistry, RepeatedLookupReturnsStableReference) {
+  Registry registry;
+  Gauge& first = registry.gauge("depth");
+  first.set(7);
+  EXPECT_EQ(registry.gauge("depth").value(), 7);
+  EXPECT_EQ(&registry.gauge("depth"), &first);
+}
+
+TEST(ObsRegistry, ConcurrentIncrementsSumExactly) {
+  Registry registry;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      // Resolve once (the intended hot-path discipline), then hammer.
+      Counter& counter = registry.counter("hits_total", {{"worker", "w"}});
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.counter("hits_total", {{"worker", "w"}}).value(),
+            kThreads * kPerThread);
+}
+
+// Inverse of the exposition escaping; a fixpoint check that every escaped
+// byte maps back to the original label value.
+std::string prometheus_unescape(const std::string& text) {
+  std::string out;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\\' && i + 1 < text.size()) {
+      const char next = text[++i];
+      out += next == 'n' ? '\n' : next;
+    } else {
+      out += text[i];
+    }
+  }
+  return out;
+}
+
+TEST(ObsRegistry, PrometheusLabelEscapingRoundTrips) {
+  Registry registry;
+  const std::string nasty = "a\\b\"c\nd";
+  registry.counter("escaped_total", {{"tenant", nasty}}, "escape probe")
+      .add(3);
+  const std::string prom = registry.to_prometheus();
+  const std::string expected =
+      "escaped_total{tenant=\"a\\\\b\\\"c\\nd\"} 3\n";
+  ASSERT_NE(prom.find(expected), std::string::npos) << prom;
+
+  // Round trip: the escaped value decodes back to the original.
+  const std::size_t open = prom.find("tenant=\"") + 8;
+  const std::size_t close = prom.find("\"}", open);
+  EXPECT_EQ(prometheus_unescape(prom.substr(open, close - open)), nasty);
+}
+
+TEST(ObsRegistry, PrometheusExposesHelpTypeAndSummaries) {
+  Registry registry;
+  registry.counter("events_total", {}, "Total events").add(5);
+  registry.gauge("depth", {{"shard", "0"}}, "Queue depth").set(-2);
+  Histogram& histogram =
+      registry.histogram("latency_ns", {}, "Latency distribution");
+  histogram.record(100);
+  histogram.record(200);
+
+  const std::string prom = registry.to_prometheus();
+  EXPECT_NE(prom.find("# HELP events_total Total events\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE events_total counter\n"), std::string::npos);
+  EXPECT_NE(prom.find("events_total 5\n"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE depth gauge\n"), std::string::npos);
+  EXPECT_NE(prom.find("depth{shard=\"0\"} -2\n"), std::string::npos);
+  // Histograms surface as summaries: quantile samples plus _sum/_count.
+  EXPECT_NE(prom.find("# TYPE latency_ns summary\n"), std::string::npos);
+  EXPECT_NE(prom.find("latency_ns{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(prom.find("latency_ns{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(prom.find("latency_ns_sum 300\n"), std::string::npos);
+  EXPECT_NE(prom.find("latency_ns_count 2\n"), std::string::npos);
+}
+
+TEST(ObsRegistry, JsonSnapshotCarriesEveryKind) {
+  Registry registry;
+  registry.counter("a_total").add(1);
+  registry.gauge("b_level").set(2);
+  registry.histogram("c_ns").record(9);
+  const std::string json = registry.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("{\"name\": \"a_total\", \"labels\": {}, \"kind\": "
+                      "\"counter\", \"value\": 1}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\": \"b_level\", \"labels\": {}, \"kind\": "
+                      "\"gauge\", \"value\": 2}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"histogram\", \"count\": 1, \"sum\": 9"),
+            std::string::npos);
+}
+
+TEST(ObsRegistry, GlobalRegistryIsAProcessSingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+}  // namespace
+}  // namespace causaliot::obs

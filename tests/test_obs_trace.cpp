@@ -1,0 +1,130 @@
+// Tracer contract: inert when disabled, Chrome trace-event schema on
+// export (ph/ts/dur/pid/tid fields Perfetto requires), per-thread tid
+// attribution, stage aggregation, and chunked-buffer growth.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "causaliot/obs/trace.hpp"
+
+namespace causaliot::obs {
+namespace {
+
+TEST(ObsTrace, DisabledTracerIgnoresSpans) {
+  Tracer tracer;
+  ASSERT_FALSE(tracer.enabled());
+  {
+    Span span("noop", "test", &tracer);
+  }
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(ObsTrace, SpanRecordsWhenEnabled) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Span outer("outer", "test", &tracer);
+    Span inner("inner", "\"k\": 1", "test", &tracer);
+  }
+  EXPECT_EQ(tracer.event_count(), 2u);
+  const auto totals = tracer.stage_totals();
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ(totals.at("outer").count, 1u);
+  EXPECT_EQ(totals.at("inner").count, 1u);
+  // The outer span encloses the inner one.
+  EXPECT_GE(totals.at("outer").total_ns, totals.at("inner").total_ns);
+}
+
+TEST(ObsTrace, ExportMatchesChromeTraceEventSchema) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.record("stage.a", "test", 1000, 500, "\"child\": 3");
+  tracer.record("stage.b", "test", 2000, 250);
+
+  const std::string json = tracer.export_chrome_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  // Thread-name metadata record (ph "M") for the recording thread.
+  EXPECT_NE(json.find("\"name\": \"thread_name\", \"ph\": \"M\", "
+                      "\"pid\": 1, \"tid\": 0"),
+            std::string::npos);
+  // Complete events: ph "X" with µs-denominated ts/dur relative to the
+  // earliest span (1000 ns -> 0, 2000 ns -> 1 µs).
+  EXPECT_NE(json.find("\"name\": \"stage.a\", \"cat\": \"test\", "
+                      "\"ph\": \"X\", \"ts\": 0.000, \"dur\": 0.500, "
+                      "\"pid\": 1, \"tid\": 0, \"args\": {\"child\": 3}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\": \"stage.b\", \"cat\": \"test\", "
+                      "\"ph\": \"X\", \"ts\": 1.000, \"dur\": 0.250, "
+                      "\"pid\": 1, \"tid\": 0"),
+            std::string::npos)
+      << json;
+}
+
+TEST(ObsTrace, ThreadsGetDistinctTids) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.record("main", "test", 0, 1);
+  std::thread worker([&] { tracer.record("worker", "test", 10, 1); });
+  worker.join();
+  EXPECT_EQ(tracer.event_count(), 2u);
+  const std::string json = tracer.export_chrome_json();
+  // Two thread_name metadata records, and the worker's span carries its
+  // own tid.
+  EXPECT_NE(json.find("\"args\": {\"name\": \"thread-0\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"name\": \"thread-1\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"worker\", \"cat\": \"test\", "
+                      "\"ph\": \"X\", \"ts\": 0.010, \"dur\": 0.001, "
+                      "\"pid\": 1, \"tid\": 1"),
+            std::string::npos)
+      << json;
+}
+
+TEST(ObsTrace, StageTotalsAggregateAcrossThreads) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        tracer.record("work", "test", 0, 7);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(tracer.event_count(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  const auto totals = tracer.stage_totals();
+  EXPECT_EQ(totals.at("work").count,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(totals.at("work").total_ns,
+            static_cast<std::uint64_t>(kThreads * kPerThread) * 7);
+}
+
+TEST(ObsTrace, GrowsAcrossChunkBoundariesAndResets) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  // More than two 1024-event chunks from a single thread.
+  for (int i = 0; i < 2500; ++i) tracer.record("tick", "test", i, 1);
+  EXPECT_EQ(tracer.event_count(), 2500u);
+  tracer.reset();
+  EXPECT_EQ(tracer.event_count(), 0u);
+  // The thread's buffer registration survives a reset.
+  tracer.record("tick", "test", 0, 1);
+  EXPECT_EQ(tracer.event_count(), 1u);
+}
+
+TEST(ObsTrace, GlobalTracerIsAProcessSingleton) {
+  EXPECT_EQ(&Tracer::global(), &Tracer::global());
+}
+
+}  // namespace
+}  // namespace causaliot::obs

@@ -5,13 +5,17 @@
 // no events; backpressure counters must be exact under each policy.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "causaliot/core/experiment.hpp"
+#include "causaliot/detect/explanation.hpp"
+#include "causaliot/serve/alarm_json.hpp"
 #include "causaliot/serve/service.hpp"
+#include "causaliot/util/strings.hpp"
 
 namespace causaliot::serve {
 namespace {
@@ -123,8 +127,8 @@ TEST_F(ServeTest, MultiTenantReplayMatchesBatchMonitor) {
   EXPECT_EQ(stats.queue_dropped_oldest, 0u);
   EXPECT_EQ(stats.queue_rejected, 0u);
   EXPECT_EQ(stats.latency.count, events * kTenants);
-  EXPECT_LE(stats.latency.p50_ns, stats.latency.p99_ns);
-  EXPECT_LE(stats.latency.p99_ns, stats.latency.max_ns);
+  EXPECT_LE(stats.latency.p50, stats.latency.p99);
+  EXPECT_LE(stats.latency.p99, stats.latency.max);
 
   // Every tenant independently reproduces the batch alarm sequence.
   for (const TenantHandle handle : handles) {
@@ -299,6 +303,153 @@ TEST_F(ServeTest, FindTenantRoundTripsHandles) {
   }
   EXPECT_EQ(service.find_tenant("no-such-home"),
             DetectionService::kInvalidTenant);
+}
+
+// Minimal JSON field extractors for the flat renderer output (keys are
+// unique at top level; nested objects live inside arrays we skip past).
+std::string json_string_field(const std::string& json,
+                              const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return "<missing " + key + ">";
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = json.find('"', begin);
+  return json.substr(begin, end - begin);
+}
+
+double json_number_field(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return -1.0;
+  return std::strtod(json.c_str() + at + needle.size(), nullptr);
+}
+
+std::size_t json_array_size(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\": [";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return static_cast<std::size_t>(-1);
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = json.find(']', begin);
+  std::size_t objects = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    objects += json[i] == '{';
+  }
+  return objects;
+}
+
+TEST_F(ServeTest, AlarmJsonCarriesProvenanceFieldByField) {
+  const std::vector<detect::AnomalyReport> batch = batch_alarms(2);
+  ASSERT_FALSE(batch.empty());
+
+  ServiceConfig config;
+  config.shard_count = 1;
+  config.overflow = util::OverflowPolicy::kBlock;
+  config.session.k_max = 2;
+  AlarmLog log;
+  DetectionService service(config, log.callback());
+  const TenantHandle home = service.add_tenant(
+      "home-0", snapshot(7), experiment_->test_series.snapshot_state(0));
+  service.start();
+  replay_trace(service, {&home, 1}, experiment_->test_runtime_events);
+  service.shutdown();
+
+  const std::vector<ServedAlarm>& served = log.by_tenant["home-0"];
+  ASSERT_EQ(served.size(), batch.size());
+  const telemetry::DeviceCatalog& catalog = experiment_->catalog();
+  const double threshold = experiment_->model.score_threshold;
+  for (const ServedAlarm& alarm : served) {
+    const std::string json = alarm_to_json(alarm, catalog);
+    const detect::AnomalyEntry& head = alarm.report.contextual();
+    const telemetry::DeviceInfo& info = catalog.info(head.event.device);
+
+    EXPECT_EQ(json_string_field(json, "type"), "alarm");
+    EXPECT_EQ(json_string_field(json, "tenant"), "home-0");
+    EXPECT_EQ(json_string_field(json, "severity"),
+              severity_label(alarm.severity));
+    EXPECT_EQ(json_string_field(json, "device"), info.name);
+    EXPECT_EQ(json_string_field(json, "state"),
+              detect::state_label(info, head.event.state));
+    EXPECT_NEAR(json_number_field(json, "score"), head.score, 1e-6);
+    EXPECT_NEAR(json_number_field(json, "threshold"), threshold, 1e-6);
+    EXPECT_NEAR(json_number_field(json, "margin"), head.score - threshold,
+                1e-6);
+    EXPECT_NEAR(json_number_field(json, "probability"), 1.0 - head.score,
+                1e-6);
+    EXPECT_EQ(json_number_field(json, "stream_index"),
+              static_cast<double>(head.stream_index));
+    EXPECT_NEAR(json_number_field(json, "timestamp"), head.event.timestamp,
+                1e-3);
+    EXPECT_EQ(json_number_field(json, "model_version"), 7.0);
+    EXPECT_EQ(json_number_field(json, "suppressed_duplicates"),
+              static_cast<double>(alarm.suppressed_duplicates));
+    EXPECT_EQ(json_number_field(json, "chain"),
+              static_cast<double>(alarm.report.chain_length()));
+    EXPECT_EQ(json_array_size(json, "context"), head.causes.size());
+    EXPECT_EQ(json_array_size(json, "entries"), alarm.report.entries.size());
+    EXPECT_EQ(json_string_field(json, "hint"),
+              detect::root_cause_hint(head, catalog));
+    // The threshold provenance matches the snapshot that scored it.
+    EXPECT_EQ(alarm.score_threshold, threshold);
+  }
+}
+
+TEST_F(ServeTest, RegistrySnapshotExposesServeMetrics) {
+  constexpr std::size_t kTenants = 2;
+  const std::vector<detect::AnomalyReport> batch = batch_alarms(1);
+  ASSERT_FALSE(batch.empty());
+
+  obs::Registry registry;
+  ServiceConfig config;
+  config.shard_count = 2;
+  config.overflow = util::OverflowPolicy::kBlock;
+  config.registry = &registry;
+  AlarmLog log;
+  DetectionService service(config, log.callback());
+  std::vector<TenantHandle> handles;
+  for (std::size_t i = 0; i < kTenants; ++i) {
+    handles.push_back(service.add_tenant(
+        "home-" + std::to_string(i), snapshot(1),
+        experiment_->test_series.snapshot_state(0)));
+  }
+  service.start();
+  replay_trace(service, handles, experiment_->test_runtime_events);
+  service.shutdown();
+
+  // The injected registry is the one the service reports through.
+  EXPECT_EQ(&service.registry(), &registry);
+  const std::size_t events = experiment_->test_runtime_events.size();
+  const std::string json = service.registry_json();
+  EXPECT_NE(json.find(util::format(
+                "{\"name\": \"serve_events_submitted_total\", \"labels\": "
+                "{}, \"kind\": \"counter\", \"value\": %llu}",
+                static_cast<unsigned long long>(events * kTenants))),
+            std::string::npos)
+      << json;
+
+  const std::string prom = registry.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE serve_events_submitted_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find(util::format("serve_events_submitted_total %llu",
+                                   static_cast<unsigned long long>(
+                                       events * kTenants))),
+            std::string::npos);
+  // Per-tenant alarm attribution and per-shard processed counters.
+  for (std::size_t i = 0; i < kTenants; ++i) {
+    EXPECT_NE(
+        prom.find(util::format(
+            "serve_tenant_alarms_total{tenant=\"home-%zu\"} %llu", i,
+            static_cast<unsigned long long>(batch.size()))),
+        std::string::npos)
+        << prom;
+  }
+  EXPECT_NE(prom.find("serve_events_processed_total{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("serve_events_processed_total{shard=\"1\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("serve_event_latency_ns{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("serve_queue_depth{shard=\"0\"} 0"),
+            std::string::npos);
 }
 
 TEST_F(ServeTest, StatsJsonIsWellFormedAndNonEmpty) {

@@ -1,0 +1,100 @@
+// Logger satellite: pinned line format (monotonic timestamp + thread
+// ordinal + level) and the single-write guarantee — concurrent loggers
+// may interleave lines, never bytes within one.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "causaliot/util/log.hpp"
+
+namespace causaliot::util {
+namespace {
+
+TEST(UtilLog, FormatPinsTimestampThreadAndLevel) {
+  EXPECT_EQ(format_log_line(LogLevel::kWarn, "hello", 1.5, 3),
+            "[  1.500000] [t3] [WARN] hello\n");
+  EXPECT_EQ(format_log_line(LogLevel::kError, "", 0.0, 0),
+            "[  0.000000] [t0] [ERROR] \n");
+  EXPECT_EQ(format_log_line(LogLevel::kDebug, "x", 12345.25, 17),
+            "[12345.250000] [t17] [DEBUG] x\n");
+}
+
+bool parse_line(const std::string& line, std::string* message) {
+  // [  1.234567] [tN] [LEVEL] message
+  if (line.empty() || line.front() != '[') return false;
+  const std::size_t ts_end = line.find("] [t");
+  if (ts_end == std::string::npos) return false;
+  const std::size_t level_open = line.find("] [", ts_end + 1);
+  if (level_open == std::string::npos) return false;
+  const std::size_t level_close = line.find("] ", level_open + 3);
+  if (level_close == std::string::npos) return false;
+  *message = line.substr(level_close + 2);
+  return true;
+}
+
+TEST(UtilLog, ConcurrentLoggersNeverInterleaveWithinALine) {
+  const LogLevel previous = log_level();
+  set_log_level(LogLevel::kInfo);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+
+  ::testing::internal::CaptureStderr();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log_info("msg-" + std::to_string(t) + "-" + std::to_string(i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  set_log_level(previous);
+
+  // Every line must parse as exactly one well-formed record, and each
+  // thread's messages must all arrive intact and in per-thread order.
+  std::vector<std::vector<int>> seen(kThreads);
+  std::size_t lines = 0;
+  std::size_t begin = 0;
+  while (begin < captured.size()) {
+    std::size_t end = captured.find('\n', begin);
+    ASSERT_NE(end, std::string::npos) << "unterminated line";
+    const std::string line = captured.substr(begin, end - begin + 1);
+    begin = end + 1;
+    ++lines;
+    std::string message;
+    ASSERT_TRUE(parse_line(line, &message)) << "malformed: " << line;
+    int thread = -1, index = -1;
+    ASSERT_EQ(std::sscanf(message.c_str(), "msg-%d-%d\n", &thread, &index),
+              2)
+        << "mangled message: " << message;
+    ASSERT_GE(thread, 0);
+    ASSERT_LT(thread, kThreads);
+    seen[thread].push_back(index);
+  }
+  EXPECT_EQ(lines, static_cast<std::size_t>(kThreads * kPerThread));
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(seen[t].size(), static_cast<std::size_t>(kPerThread));
+    for (int i = 0; i < kPerThread; ++i) {
+      EXPECT_EQ(seen[t][i], i) << "thread " << t << " out of order";
+    }
+  }
+}
+
+TEST(UtilLog, LevelFilterStillApplies) {
+  const LogLevel previous = log_level();
+  set_log_level(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  log_warn("suppressed");
+  log_error("emitted");
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  set_log_level(previous);
+  EXPECT_EQ(captured.find("suppressed"), std::string::npos);
+  EXPECT_NE(captured.find("emitted"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace causaliot::util

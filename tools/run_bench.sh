@@ -25,8 +25,10 @@ for bench_bin in "$mining_bin" "$serving_bin"; do
   fi
 done
 
+# BM_TrainStages carries the per-stage span totals (mine_ns / cpt_ns /
+# threshold_ns / tpc_level_ns counters) from the obs tracer.
 "$mining_bin" \
-  --benchmark_filter='BM_TemporalPCMining|BM_GSquareTest' \
+  --benchmark_filter='BM_TemporalPCMining|BM_GSquareTest|BM_TrainStages' \
   --benchmark_out="$mining_json" \
   --benchmark_out_format=json
 
