@@ -145,6 +145,10 @@ Registry::Instance& Registry::resolve(std::string_view name, Labels labels,
     (void)value;  // values are free-form; escaped at exposition time
   }
   std::sort(labels.begin(), labels.end());
+  const auto duplicate = std::adjacent_find(
+      labels.begin(), labels.end(),
+      [](const auto& a, const auto& b) { return a.first == b.first; });
+  CAUSALIOT_CHECK_MSG(duplicate == labels.end(), "duplicate label key");
   std::lock_guard<std::mutex> lock(mutex_);
   auto family_it = families_.find(name);
   if (family_it == families_.end()) {
@@ -159,31 +163,40 @@ Registry::Instance& Registry::resolve(std::string_view name, Labels labels,
       family_it->second.help = std::string(help);
     }
   }
-  return family_it->second.instances[std::move(labels)];
+  // Construct the metric while the mutex is still held: two threads
+  // first-registering the same (name, labels) must not both see a null
+  // pointer and race the unique_ptr assignment.
+  Instance& instance = family_it->second.instances[std::move(labels)];
+  switch (kind) {
+    case MetricKind::kCounter:
+      if (!instance.counter) instance.counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      if (!instance.gauge) instance.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      if (!instance.histogram) {
+        instance.histogram = std::make_unique<Histogram>();
+      }
+      break;
+  }
+  return instance;
 }
 
 Counter& Registry::counter(std::string_view name, Labels labels,
                            std::string_view help) {
-  Instance& instance =
-      resolve(name, std::move(labels), help, MetricKind::kCounter);
-  if (!instance.counter) instance.counter = std::make_unique<Counter>();
-  return *instance.counter;
+  return *resolve(name, std::move(labels), help, MetricKind::kCounter).counter;
 }
 
 Gauge& Registry::gauge(std::string_view name, Labels labels,
                        std::string_view help) {
-  Instance& instance =
-      resolve(name, std::move(labels), help, MetricKind::kGauge);
-  if (!instance.gauge) instance.gauge = std::make_unique<Gauge>();
-  return *instance.gauge;
+  return *resolve(name, std::move(labels), help, MetricKind::kGauge).gauge;
 }
 
 Histogram& Registry::histogram(std::string_view name, Labels labels,
                                std::string_view help) {
-  Instance& instance =
-      resolve(name, std::move(labels), help, MetricKind::kHistogram);
-  if (!instance.histogram) instance.histogram = std::make_unique<Histogram>();
-  return *instance.histogram;
+  return *resolve(name, std::move(labels), help, MetricKind::kHistogram)
+              .histogram;
 }
 
 std::size_t Registry::family_count() const {

@@ -88,7 +88,10 @@ DetectionService::SubmitResult DetectionService::submit(
   item.handle = tenant;
   item.event = event;
   item.enqueue_ns = now_ns();
-  if (config_.trace_sample_every != 0) {
+  // Gate sampling on the tracer being enabled: record() appends even when
+  // disabled, so a sampled-but-disabled item would grow the per-thread
+  // span buffers forever without anything ever exporting them.
+  if (config_.trace_sample_every != 0 && obs::Tracer::global().enabled()) {
     item.traced = trace_counter_.fetch_add(1, std::memory_order_relaxed) %
                       config_.trace_sample_every ==
                   0;
@@ -154,14 +157,15 @@ void DetectionService::process_item(Shard& shard, ShardItem& item) {
     // Sampled span path: reconstruct the enqueue->dequeue wait from the
     // submit-side timestamp, then time the monitor step on this worker.
     obs::Tracer& tracer = obs::Tracer::global();
+    const std::string tenant_json = util::json_escape(session.name());
     const std::uint64_t dequeue_ns = now_ns();
     tracer.record("serve.queue_wait", "serve", item.enqueue_ns,
                   dequeue_ns - item.enqueue_ns,
-                  util::format("\"tenant\": \"%s\"", session.name().c_str()));
+                  util::format("\"tenant\": \"%s\"", tenant_json.c_str()));
     report = session.process(item.event);
     tracer.record("serve.step", "serve", dequeue_ns, now_ns() - dequeue_ns,
                   util::format("\"tenant\": \"%s\", \"device\": %u",
-                               session.name().c_str(),
+                               tenant_json.c_str(),
                                static_cast<unsigned>(item.event.device)));
   } else {
     report = session.process(item.event);
@@ -176,7 +180,7 @@ void DetectionService::process_item(Shard& shard, ShardItem& item) {
     if (item.traced) {
       obs::Span emit("serve.alarm",
                      util::format("\"tenant\": \"%s\"",
-                                  session.name().c_str()),
+                                  util::json_escape(session.name()).c_str()),
                      "serve");
       deliver(item.handle, session, std::move(*report));
     } else {

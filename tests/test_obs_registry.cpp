@@ -33,6 +33,12 @@ TEST(ObsRegistry, RepeatedLookupReturnsStableReference) {
   EXPECT_EQ(&registry.gauge("depth"), &first);
 }
 
+TEST(ObsRegistry, DuplicateLabelKeysAreRejected) {
+  Registry registry;
+  EXPECT_DEATH(registry.counter("dup_total", {{"k", "a"}, {"k", "b"}}),
+               "duplicate label key");
+}
+
 TEST(ObsRegistry, ConcurrentIncrementsSumExactly) {
   Registry registry;
   constexpr int kThreads = 4;
