@@ -18,6 +18,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -26,12 +27,15 @@
 #include "causaliot/core/pipeline.hpp"
 #include "causaliot/detect/explanation.hpp"
 #include "causaliot/graph/analysis.hpp"
+#include "causaliot/obs/http_server.hpp"
 #include "causaliot/obs/registry.hpp"
 #include "causaliot/obs/trace.hpp"
 #include "causaliot/serve/alarm_json.hpp"
+#include "causaliot/serve/introspection.hpp"
 #include "causaliot/serve/service.hpp"
 #include "causaliot/sim/simulator.hpp"
 #include "causaliot/telemetry/jsonl.hpp"
+#include "causaliot/util/file.hpp"
 #include "causaliot/util/log.hpp"
 #include "causaliot/util/strings.hpp"
 
@@ -79,13 +83,41 @@ std::optional<Args> parse_args(int argc, char** argv) {
   return args;
 }
 
+// Atomic (temp file + rename) so a concurrent scraper of --prom-out /
+// --trace-out never reads a truncated document.
 bool write_text_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary);
-  out << content;
-  if (!out.good()) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  const auto status = util::write_file_atomic(path, content);
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 status.error().to_string().c_str());
     return false;
   }
+  return true;
+}
+
+// Builds the introspection server for --listen (unstarted, no routes);
+// nullptr when the flag is absent.
+std::unique_ptr<obs::HttpServer> make_listener(const Args& args) {
+  if (!args.options.contains("listen")) return nullptr;
+  obs::HttpServerConfig config;
+  config.port = static_cast<std::uint16_t>(args.get_u64("listen", 0));
+  config.registry = &obs::Registry::global();
+  return std::make_unique<obs::HttpServer>(std::move(config));
+}
+
+// Starts `server` and announces the bound address on stderr (stdout is
+// the alarm/metrics JSONL stream; CI greps this line for the ephemeral
+// port picked by --listen 0).
+bool start_listener(obs::HttpServer& server) {
+  const auto port = server.start();
+  if (!port.ok()) {
+    std::fprintf(stderr, "cannot start introspection server: %s\n",
+                 port.error().to_string().c_str());
+    return false;
+  }
+  std::fprintf(stderr, "introspection listening on http://127.0.0.1:%u\n",
+               static_cast<unsigned>(*port));
+  std::fflush(stderr);
   return true;
 }
 
@@ -164,6 +196,33 @@ int cmd_train(const Args& args) {
     obs::Tracer::global().set_enabled(true);
   }
 
+  // --listen: live mining counters + stage totals while a long train
+  // runs, instead of waiting for the post-run --prom-out dump.
+  std::unique_ptr<obs::HttpServer> http = make_listener(args);
+  if (http != nullptr) {
+    http->handle("/metrics", [](const obs::HttpRequest&) {
+      return obs::HttpResponse::text(obs::Registry::global().to_prometheus(),
+                                     obs::kContentTypePrometheus);
+    });
+    http->handle("/healthz", [](const obs::HttpRequest&) {
+      return obs::HttpResponse::text("ok\n");
+    });
+    // A train run is "ready" the moment it scrapes: there is no warm-up
+    // state to gate on, unlike serve.
+    http->handle("/readyz", [](const obs::HttpRequest&) {
+      return obs::HttpResponse::text("ready\n");
+    });
+    http->handle("/statusz", [](const obs::HttpRequest&) {
+      return obs::HttpResponse::json(
+          "{\"build\": \"causaliot\", \"command\": \"train\"}");
+    });
+    http->handle("/tracez", [](const obs::HttpRequest&) {
+      return obs::HttpResponse::json(
+          obs::Tracer::global().stage_totals_json());
+    });
+    if (!start_listener(*http)) return 1;
+  }
+
   core::PipelineConfig config;
   config.max_lag = static_cast<std::size_t>(args.get_u64("tau", 0));
   config.alpha = args.get_double("alpha", 0.001);
@@ -205,6 +264,7 @@ int cmd_train(const Args& args) {
     return 1;
   }
   if (verbose) print_stage_table(obs::Tracer::global());
+  if (http != nullptr) http->stop();
   return 0;
 }
 
@@ -334,15 +394,31 @@ int cmd_serve(const Args& args) {
       });
 
   // --metrics-interval N streams one registry snapshot line every N
-  // seconds onto the same JSONL stream as the alarms.
+  // seconds; --metrics-out routes those lines to a dedicated file so the
+  // alarm JSONL on stdout stays machine-parseable without filtering.
   const auto metrics_interval = args.get_u64("metrics-interval", 0);
+  const std::string metrics_out = args.get("metrics-out", "");
+  std::ofstream metrics_file;
+  if (!metrics_out.empty()) {
+    metrics_file.open(metrics_out, std::ios::binary);
+    if (!metrics_file.good()) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+  }
   std::atomic<bool> metrics_stop{false};
   std::thread metrics_thread;
   const auto emit_metrics = [&] {
     const std::string snapshot = service.registry_json();
     // registry_json() yields {"metrics": [...]}; tag the stream record.
     std::lock_guard<std::mutex> lock(out_mutex);
-    std::printf("{\"type\": \"metrics\", %s\n", snapshot.c_str() + 1);
+    if (metrics_file.is_open()) {
+      metrics_file << "{\"type\": \"metrics\", " << (snapshot.c_str() + 1)
+                   << "\n";
+      metrics_file.flush();
+    } else {
+      std::printf("{\"type\": \"metrics\", %s\n", snapshot.c_str() + 1);
+    }
   };
   if (metrics_interval > 0) {
     metrics_thread = std::thread([&] {
@@ -366,6 +442,16 @@ int cmd_serve(const Args& args) {
         "home-" + std::to_string(i), snapshot,
         std::vector<std::uint8_t>(catalog.size(), 0)));
   }
+
+  // --listen: the live scrape plane. Started after tenant registration
+  // (the handlers walk the immutable tenant tables) and before
+  // service.start(), so /readyz observably flips 503 -> 200.
+  std::unique_ptr<obs::HttpServer> http = make_listener(args);
+  if (http != nullptr) {
+    serve::attach_introspection(*http, service);
+    if (!start_listener(*http)) return 1;
+  }
+
   service.start();
 
   if (from_stdin) {
@@ -436,6 +522,7 @@ int cmd_serve(const Args& args) {
                        obs::Tracer::global().export_chrome_json())) {
     return 1;
   }
+  if (http != nullptr) http->stop();
   return 0;
 }
 
@@ -495,15 +582,19 @@ void usage() {
       " [--seed N] [--format csv|jsonl]\n"
       "  train    --trace trace.csv --out model.dig [--profile P] [--tau N]"
       " [--alpha A] [--q Q] [--laplace L] [--threads N (0 = all cores)]"
-      " [--trace-out trace.json] [--prom-out metrics.prom] [--verbose 1]\n"
+      " [--trace-out trace.json] [--prom-out metrics.prom] [--verbose 1]"
+      " [--listen PORT (0 = ephemeral; serves /metrics /healthz /readyz"
+      " /statusz /tracez on loopback)]\n"
       "  monitor  --model model.dig --trace live.csv [--profile P]"
       " [--kmax K] [--threshold C]\n"
       "  serve    --model model.dig (--trace live.csv | --stdin 1)"
       " [--profile P] [--tenants N] [--shards N] [--queue N]"
       " [--policy block|drop|reject] [--speedup X (0 = max)] [--kmax K]"
       " [--threshold C] [--dedup 0|1] [--metrics-interval SECS]"
-      " [--prom-out metrics.prom] [--trace-out trace.json]"
-      " [--trace-sample N (span every Nth event)]\n"
+      " [--metrics-out snapshots.jsonl] [--prom-out metrics.prom]"
+      " [--trace-out trace.json] [--trace-sample N (span every Nth event)]"
+      " [--listen PORT (0 = ephemeral; serves /metrics /healthz /readyz"
+      " /statusz /tracez on loopback)]\n"
       "  inspect  --model model.dig [--profile P] [--dot out.dot]\n");
 }
 

@@ -108,6 +108,11 @@ class EventMonitor {
   /// Events processed so far.
   std::size_t events_processed() const { return events_processed_; }
 
+  /// Anomaly score of the most recent score_event()/process() call — the
+  /// signal model-health telemetry tracks without re-scoring. 0 before
+  /// the first event.
+  double last_score() const { return last_score_; }
+
  private:
   AnomalyEntry make_entry(const preprocess::BinaryEvent& event, double score,
                           std::vector<std::uint8_t> cause_values) const;
@@ -117,6 +122,7 @@ class EventMonitor {
   PhantomStateMachine machine_;
   std::vector<AnomalyEntry> window_;  // W in Algorithm 2
   std::size_t events_processed_ = 0;
+  double last_score_ = 0.0;
 };
 
 }  // namespace causaliot::detect

@@ -100,7 +100,8 @@ double EventMonitor::score_event(const preprocess::BinaryEvent& event) {
       machine_.cause_values(cpt.causes());
   const double likelihood = cpt.probability(cpt.pack(cause_values),
                                             event.state, config_.laplace_alpha);
-  return 1.0 - likelihood;
+  last_score_ = 1.0 - likelihood;
+  return last_score_;
 }
 
 AnomalyEntry EventMonitor::make_entry(
@@ -124,6 +125,7 @@ std::optional<AnomalyReport> EventMonitor::process(
   const double likelihood = cpt.probability(cpt.pack(cause_values),
                                             event.state, config_.laplace_alpha);
   const double score = 1.0 - likelihood;
+  last_score_ = score;
   const double c = config_.score_threshold;
 
   // Line 6: append when W is empty and the event is anomalous (contextual

@@ -1,0 +1,316 @@
+#include "causaliot/obs/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "causaliot/obs/registry.hpp"
+#include "causaliot/util/check.hpp"
+#include "causaliot/util/strings.hpp"
+
+namespace causaliot::obs {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+// Serialized response: status line + the three headers every reply
+// carries + body. `head_only` suppresses the body but keeps the
+// Content-Length of the representation (RFC 9110 §9.3.2).
+std::string render(const HttpResponse& response, bool head_only) {
+  std::string out = util::format("HTTP/1.1 %d %s\r\n", response.status,
+                                 status_text(response.status));
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += util::format("Content-Length: %zu\r\n", response.body.size());
+  out += "Connection: close\r\n\r\n";
+  if (!head_only) out += response.body;
+  return out;
+}
+
+// Writes the whole buffer; false on error/timeout (connection is dropped,
+// nothing to recover — the client gave up or stalled).
+bool write_all(int fd, std::string_view data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + written, data.size() - written, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void set_io_timeout(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+struct ReadOutcome {
+  /// 0 = got a full head; otherwise the error status to answer with.
+  int status = 0;
+  std::string head;  // request line + headers, CRLFCRLF excluded
+};
+
+// Reads until the blank line ending the header block, the size cap, the
+// socket timeout, or EOF. Any request body is ignored (GET/HEAD have
+// none; anything else is rejected before a body would matter).
+ReadOutcome read_head(int fd, std::size_t max_bytes) {
+  std::string buffer;
+  char chunk[1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return {408, {}};
+      return {400, {}};
+    }
+    if (n == 0) return {400, {}};  // EOF before the head completed
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    const std::size_t end = buffer.find("\r\n\r\n");
+    if (end != std::string::npos) {
+      // The cap applies to the head itself, not to how it was chunked:
+      // a terminator past the limit is still an oversized head.
+      if (end > max_bytes) return {431, {}};
+      buffer.resize(end);
+      return {0, std::move(buffer)};
+    }
+    if (buffer.size() > max_bytes) return {431, {}};
+  }
+}
+
+// Parses "METHOD SP target SP HTTP/1.x" into the request; false on any
+// deviation. Header lines after the request line are tolerated but not
+// interpreted (no route needs them).
+bool parse_request_line(std::string_view head, HttpRequest& request) {
+  const std::size_t line_end = head.find("\r\n");
+  std::string_view line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const std::size_t method_end = line.find(' ');
+  if (method_end == std::string_view::npos) return false;
+  const std::size_t target_end = line.find(' ', method_end + 1);
+  if (target_end == std::string_view::npos) return false;
+  const std::string_view version = line.substr(target_end + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") return false;
+  request.method = std::string(line.substr(0, method_end));
+  std::string_view target =
+      line.substr(method_end + 1, target_end - method_end - 1);
+  if (target.empty() || target.front() != '/') return false;
+  const std::size_t query = target.find('?');
+  if (query == std::string_view::npos) {
+    request.path = std::string(target);
+  } else {
+    request.path = std::string(target.substr(0, query));
+    request.query = std::string(target.substr(query + 1));
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpServerConfig config)
+    : config_(std::move(config)),
+      pending_(config_.max_pending_connections == 0
+                   ? 1
+                   : config_.max_pending_connections,
+               util::OverflowPolicy::kReject) {
+  CAUSALIOT_CHECK_MSG(config_.worker_count >= 1,
+                      "http server needs at least one worker");
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(std::string path, HttpHandler handler) {
+  CAUSALIOT_CHECK_MSG(!running(), "routes must be registered before start()");
+  CAUSALIOT_CHECK_MSG(!path.empty() && path.front() == '/',
+                      "route paths start with '/'");
+  routes_[std::move(path)] = std::move(handler);
+}
+
+util::Result<std::uint16_t> HttpServer::start() {
+  CAUSALIOT_CHECK_MSG(!running(), "http server already started");
+  CAUSALIOT_CHECK_MSG(!stopping_.load(), "http server already stopped");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Error::io_error(
+        util::format("socket(): %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &address.sin_addr) !=
+      1) {
+    ::close(fd);
+    return util::Error::invalid_argument("bad bind address '" +
+                                         config_.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(fd, SOMAXCONN) != 0) {
+    const std::string message = util::format(
+        "cannot listen on %s:%u: %s", config_.bind_address.c_str(),
+        static_cast<unsigned>(config_.port), std::strerror(errno));
+    ::close(fd);
+    return util::Error::io_error(message);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    ::close(fd);
+    return util::Error::io_error("getsockname() failed");
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  running_.store(true, std::memory_order_release);
+
+  acceptor_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(config_.worker_count);
+  for (std::size_t i = 0; i < config_.worker_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  return port_;
+}
+
+void HttpServer::accept_loop() {
+  // poll with a short timeout instead of a bare blocking accept: closing
+  // a listening socket from another thread does not reliably wake a
+  // blocked accept(2), but it does flip the stopping flag we poll here.
+  pollfd watched{};
+  watched.fd = listen_fd_;
+  watched.events = POLLIN;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int ready = ::poll(&watched, 1, /*timeout_ms=*/50);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0 || (watched.revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      break;  // listener closed or broken
+    }
+    if (pending_.push(client) != util::PushResult::kAccepted) {
+      // Worker pool saturated (or shutting down): answer 503 here rather
+      // than queueing without bound or silently dropping the connection.
+      set_io_timeout(client, config_.io_timeout_ms);
+      HttpResponse overloaded;
+      overloaded.status = 503;
+      overloaded.body = "overloaded\n";
+      write_all(client, render(overloaded, /*head_only=*/false));
+      count_request(503);
+      ::close(client);
+    }
+  }
+}
+
+void HttpServer::worker_loop() {
+  while (std::optional<int> fd = pending_.pop()) {
+    serve_connection(*fd);
+  }
+}
+
+void HttpServer::count_request(int status) {
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.registry != nullptr) {
+    config_.registry
+        ->counter("obs_http_requests_total",
+                  {{"code", std::to_string(status)}},
+                  "Introspection HTTP requests answered, by status code")
+        .increment();
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  set_io_timeout(fd, config_.io_timeout_ms);
+  const int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+
+  HttpResponse response;
+  bool head_only = false;
+  const ReadOutcome head = read_head(fd, config_.max_request_bytes);
+  if (head.status != 0) {
+    response.status = head.status;
+    response.body = util::format("%s\n", status_text(head.status));
+  } else {
+    HttpRequest request;
+    if (!parse_request_line(head.head, request)) {
+      response.status = 400;
+      response.body = "malformed request line\n";
+    } else if (request.method != "GET" && request.method != "HEAD") {
+      response.status = 405;
+      response.body = "only GET and HEAD are supported\n";
+    } else {
+      head_only = request.method == "HEAD";
+      const auto route = routes_.find(request.path);
+      if (route == routes_.end()) {
+        response.status = 404;
+        response.body = "no such route: " + request.path + "\n";
+      } else {
+        response = route->second(request);
+      }
+    }
+  }
+  write_all(fd, render(response, head_only));
+  count_request(response.status);
+  ::close(fd);
+}
+
+void HttpServer::stop() {
+  if (stopping_.exchange(true)) {
+    // A second caller must still not return before the joins below have
+    // finished; the cheap way is to let only the first caller join and
+    // make the others wait on running_.
+    while (running_.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    if (acceptor_.joinable()) acceptor_.join();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  pending_.close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  // Connections that were queued when the queue closed can no longer be
+  // served; refuse them cleanly instead of leaking the fds.
+  while (std::optional<int> fd = pending_.try_pop()) {
+    HttpResponse refused;
+    refused.status = 503;
+    refused.body = "shutting down\n";
+    set_io_timeout(*fd, config_.io_timeout_ms);
+    write_all(*fd, render(refused, /*head_only=*/false));
+    count_request(503);
+    ::close(*fd);
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+}  // namespace causaliot::obs

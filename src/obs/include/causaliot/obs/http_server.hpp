@@ -1,0 +1,147 @@
+// Minimal HTTP/1.1 introspection server over POSIX sockets.
+//
+// The scrape plane for a long-running process: a blocking accept loop on
+// its own thread feeds accepted connections into a bounded queue drained
+// by a small worker pool, so a slow or stuck client can never stall
+// accept and a connection burst degrades to 503s instead of unbounded
+// memory. Request parsing is deliberately narrow — GET/HEAD only, one
+// request per connection (`Connection: close`), request line + headers
+// capped in size and read under a socket timeout — because the only
+// clients are curl, Prometheus, and tests. Handlers are looked up in an
+// exact-match route table registered before start(); responses always
+// carry correct Content-Type and Content-Length.
+//
+//   obs::HttpServer server({.port = 0});            // 0 = ephemeral
+//   server.handle("/metrics", [&](const obs::HttpRequest&) {
+//     return obs::HttpResponse::text(registry.to_prometheus(),
+//                                    obs::kContentTypePrometheus);
+//   });
+//   auto port = server.start();                     // bound port
+//   ...
+//   server.stop();                                  // drain + join
+//
+// stop() is graceful: the listener closes first, queued connections are
+// still answered, then the workers join. The destructor calls stop().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "causaliot/util/bounded_queue.hpp"
+#include "causaliot/util/result.hpp"
+
+namespace causaliot::obs {
+
+class Registry;
+
+/// Content-Type values the introspection plane serves.
+inline constexpr std::string_view kContentTypeText =
+    "text/plain; charset=utf-8";
+inline constexpr std::string_view kContentTypeJson = "application/json";
+/// Prometheus text exposition format 0.0.4.
+inline constexpr std::string_view kContentTypePrometheus =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+struct HttpRequest {
+  std::string method;  // "GET" or "HEAD" by the time a handler runs
+  std::string path;    // target with any ?query stripped
+  std::string query;   // raw query string (no leading '?'), "" when absent
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type{kContentTypeText};
+  std::string body;
+
+  static HttpResponse text(std::string body,
+                           std::string_view content_type = kContentTypeText) {
+    HttpResponse out;
+    out.content_type = std::string(content_type);
+    out.body = std::move(body);
+    return out;
+  }
+  static HttpResponse json(std::string body) {
+    return text(std::move(body), kContentTypeJson);
+  }
+};
+
+/// Runs on a server worker thread; must be thread-safe (two workers may
+/// execute the same handler concurrently).
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerConfig {
+  /// Loopback by default: the introspection plane is an operator surface,
+  /// not an ingestion one. Set "0.0.0.0" explicitly to expose it.
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port; start() reports the one the kernel chose.
+  std::uint16_t port = 0;
+  /// Worker threads answering requests.
+  std::size_t worker_count = 2;
+  /// Accepted-but-unserved connections beyond this are answered 503
+  /// directly from the accept loop (bounded memory under a burst).
+  std::size_t max_pending_connections = 64;
+  /// Request line + headers cap; longer requests get 431.
+  std::size_t max_request_bytes = 8192;
+  /// Socket read/write timeout; a client that stalls past it gets 408
+  /// (or its connection dropped mid-write).
+  int io_timeout_ms = 5000;
+  /// When set, the server counts requests into
+  /// obs_http_requests_total{code=...} on this registry.
+  Registry* registry = nullptr;
+};
+
+class HttpServer {
+ public:
+  explicit HttpServer(HttpServerConfig config = {});
+  /// Calls stop().
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers an exact-match route. Must be called before start().
+  void handle(std::string path, HttpHandler handler);
+
+  /// Binds, listens, and spawns the accept loop + workers. Returns the
+  /// bound port (useful with config.port = 0) or an Error when the
+  /// address is unavailable.
+  util::Result<std::uint16_t> start();
+
+  /// Bound port once start() succeeded; 0 before.
+  std::uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Graceful shutdown: closes the listener, answers everything already
+  /// accepted, joins all threads. Idempotent; safe if start() never ran.
+  void stop();
+
+  /// Requests fully answered (any status) — test/diagnostic visibility.
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+  void count_request(int status);
+
+  HttpServerConfig config_;
+  std::map<std::string, HttpHandler, std::less<>> routes_;
+  util::BoundedQueue<int> pending_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace causaliot::obs

@@ -65,6 +65,14 @@ class Registry {
   /// Families registered so far (diagnostics / tests).
   std::size_t family_count() const;
 
+  /// Drops every registered family. FOR TEST SETUP ONLY: all references
+  /// previously returned by counter()/gauge()/histogram() dangle after
+  /// this, so it must never run while any other thread (or cached
+  /// handle) can still touch the registry. It exists so suites that
+  /// assert exact values against the process-global registry are
+  /// isolated from whatever earlier tests in the same binary recorded.
+  void reset_for_test();
+
   static Registry& global();
 
  private:

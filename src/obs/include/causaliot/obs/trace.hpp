@@ -72,6 +72,11 @@ class Tracer {
   /// source for the CLI's per-stage timing table and bench counters.
   std::map<std::string, StageTotal> stage_totals() const;
 
+  /// stage_totals() as one compact JSON object — the `/tracez`
+  /// introspection payload:
+  ///   {"stages": [{"name": ..., "count": N, "total_ns": N}, ...]}
+  std::string stage_totals_json() const;
+
   std::size_t event_count() const;
 
   /// Drops every recorded event (buffers and thread ids survive, so

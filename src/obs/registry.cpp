@@ -204,6 +204,11 @@ std::size_t Registry::family_count() const {
   return families_.size();
 }
 
+void Registry::reset_for_test() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  families_.clear();
+}
+
 std::string Registry::to_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"metrics\": [";

@@ -140,6 +140,21 @@ std::map<std::string, Tracer::StageTotal> Tracer::stage_totals() const {
   return totals;
 }
 
+std::string Tracer::stage_totals_json() const {
+  std::string out = "{\"stages\": [";
+  bool first = true;
+  for (const auto& [name, total] : stage_totals()) {
+    if (!first) out += ", ";
+    first = false;
+    out += util::format(
+        "{\"name\": \"%s\", \"count\": %" PRIu64 ", \"total_ns\": %" PRIu64
+        "}",
+        util::json_escape(name).c_str(), total.count, total.total_ns);
+  }
+  out += "]}";
+  return out;
+}
+
 std::size_t Tracer::event_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t count = 0;

@@ -1,0 +1,141 @@
+// Per-tenant model-health telemetry.
+//
+// The detector is itself a model that degrades under drift: a home whose
+// behaviour moves away from the training distribution shows up first as
+// a rising anomaly-score level and alarm rate, and a snapshot that has
+// not been refreshed for a long time is a maintenance signal even before
+// the scores move. ModelHealth maintains, per tenant:
+//
+//   * an EWMA of the per-event anomaly score (seeded by the first event),
+//   * a rolling window of recent events — alarm rates (all alarms and
+//     collective chains) and a decile histogram of scores over roughly
+//     the last `window_events` events,
+//   * snapshot provenance: active/published model versions, events since
+//     the active snapshot was adopted, and its age.
+//
+// Everything is published as labeled gauges on the service registry
+// (refresh()), so the same signals appear in /metrics scrapes, and as
+// JSON (tenants_json()) for /statusz.
+//
+// Concurrency: the per-event path (on_event / on_alarm / on_adopted) is
+// called only by the owning shard worker — one writer per tenant — while
+// scrape threads read concurrently; all shared fields are therefore
+// relaxed atomics, and a scrape racing a window-bucket rotation sees a
+// value off by at most one bucket, which is fine for telemetry.
+// on_published may come from any thread and touches only its own fields.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "causaliot/obs/registry.hpp"
+
+namespace causaliot::serve {
+
+struct HealthConfig {
+  /// EWMA smoothing for the per-event anomaly score.
+  double ewma_alpha = 0.02;
+  /// Rolling-window length in events for alarm rates and the score
+  /// histogram. Implemented as kWindowBuckets ring buckets, so coverage
+  /// is between (1 - 1/kWindowBuckets) * window_events and window_events.
+  std::size_t window_events = 4096;
+};
+
+class ModelHealth {
+ public:
+  /// Score-histogram resolution: deciles of the [0, 1] anomaly score.
+  static constexpr std::size_t kScoreBins = 10;
+  static constexpr std::size_t kWindowBuckets = 8;
+
+  ModelHealth(obs::Registry& registry, HealthConfig config);
+
+  /// Registers tenant `index` (indices are assigned densely in call
+  /// order and must match the service's TenantHandle). Pre-start only.
+  void add_tenant(std::size_t index, const std::string& name,
+                  std::uint64_t model_version);
+
+  std::size_t tenant_count() const { return tenants_.size(); }
+
+  // --- shard-worker-only, one writer per tenant ---
+  void on_event(std::size_t index, double score);
+  void on_alarm(std::size_t index, bool collective);
+  /// The session adopted a published snapshot at an event boundary.
+  void on_adopted(std::size_t index, std::uint64_t version);
+
+  // --- any thread ---
+  /// A new snapshot was published (possibly not yet adopted).
+  void on_published(std::size_t index, std::uint64_t version);
+
+  /// Point-in-time health view of one tenant (scrape side).
+  struct TenantView {
+    std::string name;
+    std::uint64_t events_total = 0;
+    double score_ewma = 0.0;
+    // Rolling window.
+    std::uint64_t window_events = 0;
+    std::uint64_t window_alarms = 0;
+    std::uint64_t window_collective = 0;
+    double alarm_rate = 0.0;       // window_alarms / window_events
+    double collective_rate = 0.0;  // window_collective / window_events
+    std::array<std::uint64_t, kScoreBins> score_deciles{};
+    // Snapshot provenance.
+    std::uint64_t model_version = 0;
+    std::uint64_t published_version = 0;
+    std::uint64_t events_since_snapshot = 0;
+    double snapshot_age_seconds = 0.0;
+  };
+  TenantView view(std::size_t index) const;
+
+  /// Pushes every tenant's current view into the registry gauges —
+  /// called on the scrape path so /metrics and JSONL snapshots carry
+  /// fresh values without per-event gauge stores.
+  void refresh() const;
+
+  /// JSON array of per-tenant health objects (the /statusz payload's
+  /// "tenants" field). Refreshes nothing; pair with refresh() if the
+  /// registry must agree.
+  std::string tenants_json() const;
+
+ private:
+  struct WindowBucket {
+    std::atomic<std::uint64_t> events{0};
+    std::atomic<std::uint64_t> alarms{0};
+    std::atomic<std::uint64_t> collective{0};
+    std::array<std::atomic<std::uint64_t>, kScoreBins> score_bins{};
+  };
+
+  struct Tenant {
+    std::string name;
+    // Writer-side running state (relaxed atomics; single writer).
+    std::atomic<std::uint64_t> events_total{0};
+    std::atomic<double> ewma{0.0};
+    std::array<WindowBucket, kWindowBuckets> buckets;
+    std::atomic<std::size_t> active_bucket{0};
+    // Snapshot provenance.
+    std::atomic<std::uint64_t> adopted_version{0};
+    std::atomic<std::uint64_t> adopted_at_ns{0};
+    std::atomic<std::uint64_t> events_at_adoption{0};
+    std::atomic<std::uint64_t> published_version{0};
+    // Registry handles (resolved once at registration).
+    obs::Gauge* score_ewma_ppm = nullptr;
+    obs::Gauge* alarm_rate_ppm = nullptr;
+    obs::Gauge* collective_rate_ppm = nullptr;
+    obs::Gauge* events_since_snapshot = nullptr;
+    obs::Gauge* snapshot_age_seconds = nullptr;
+    obs::Gauge* model_version = nullptr;
+  };
+
+  obs::Registry& registry_;
+  HealthConfig config_;
+  std::size_t bucket_capacity_;
+  /// Index == TenantHandle; immutable after the last add_tenant, so the
+  /// hot path reads it without locking (same argument as the service's
+  /// tenant vector).
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+};
+
+}  // namespace causaliot::serve

@@ -34,6 +34,7 @@
 #include "causaliot/obs/registry.hpp"
 #include "causaliot/preprocess/series.hpp"
 #include "causaliot/serve/metrics.hpp"
+#include "causaliot/serve/model_health.hpp"
 #include "causaliot/serve/session.hpp"
 #include "causaliot/util/bounded_queue.hpp"
 
@@ -56,6 +57,9 @@ struct ServiceConfig {
   /// Nth submitted event; 0 disables sampling — the hot path then pays
   /// one predictable branch per event.
   std::size_t trace_sample_every = 0;
+  /// Per-tenant model-health telemetry (score EWMA smoothing, rolling
+  /// alarm-rate window).
+  HealthConfig health;
 };
 
 /// Opaque tenant identifier returned by add_tenant.
@@ -128,6 +132,25 @@ class DetectionService {
   std::size_t tenant_count() const { return tenants_.size(); }
   const TenantSession& session(TenantHandle tenant) const;
 
+  /// Readiness for the introspection plane: true from the moment start()
+  /// has spawned every shard worker (each tenant holds a loaded model
+  /// snapshot by construction) until shutdown() begins draining.
+  bool ready() const { return ready_.load(std::memory_order_acquire); }
+
+  /// Per-tenant model-health telemetry (score EWMA, rolling alarm rates,
+  /// snapshot age) backing /statusz and the serve_tenant_* gauges.
+  const ModelHealth& health() const { return health_; }
+
+  /// One JSON object for /statusz: service summary (readiness, uptime,
+  /// shard/tenant counts, throughput counters) + per-tenant model health.
+  /// Refreshes the queue-depth and health gauges as a side effect, like
+  /// every other scrape entry point.
+  std::string status_json() const;
+
+  /// Prometheus text of the service registry with queue-depth and
+  /// model-health gauges refreshed first — the /metrics payload.
+  std::string prometheus() const;
+
   /// Point-in-time counters + latency quantiles (see metrics.hpp).
   ServiceStats stats() const;
   std::string stats_json() const { return stats().to_json(); }
@@ -177,7 +200,10 @@ class DetectionService {
   /// handle -> per-tenant alarm counter (same immutability argument).
   std::vector<obs::Counter*> tenant_alarms_;
   Metrics metrics_;
+  ModelHealth health_;
   std::atomic<std::uint64_t> trace_counter_{0};
+  std::atomic<bool> ready_{false};
+  std::uint64_t started_at_ns_ = 0;
   bool started_ = false;
   bool stopped_ = false;
 };

@@ -64,6 +64,9 @@ class TenantSession {
   std::size_t events_processed() const {
     return monitor_->events_processed();
   }
+  /// Anomaly score of the most recently processed event (model-health
+  /// telemetry input). Shard-worker-only, like process().
+  double last_score() const { return monitor_->last_score(); }
   std::uint64_t swaps_adopted() const { return swaps_adopted_; }
 
  private:

@@ -1,0 +1,40 @@
+#include "causaliot/serve/introspection.hpp"
+
+#include "causaliot/obs/trace.hpp"
+#include "causaliot/util/strings.hpp"
+
+namespace causaliot::serve {
+
+void attach_introspection(obs::HttpServer& server, DetectionService& service,
+                          IntrospectionOptions options) {
+  server.handle("/metrics", [&service](const obs::HttpRequest&) {
+    return obs::HttpResponse::text(service.prometheus(),
+                                   obs::kContentTypePrometheus);
+  });
+  server.handle("/healthz", [](const obs::HttpRequest&) {
+    return obs::HttpResponse::text("ok\n");
+  });
+  server.handle("/readyz", [&service](const obs::HttpRequest&) {
+    if (service.ready()) return obs::HttpResponse::text("ready\n");
+    obs::HttpResponse out;
+    out.status = 503;
+    out.body = "not ready: detection service is not running\n";
+    return out;
+  });
+  server.handle(
+      "/statusz", [&service, options](const obs::HttpRequest&) {
+        std::string body = service.status_json();
+        // Splice the build label into the top-level object: the service
+        // knows nothing about its deployment, the CLI does.
+        body.insert(1, util::format(
+                           "\"build\": \"%s\", ",
+                           util::json_escape(options.build_label).c_str()));
+        return obs::HttpResponse::json(std::move(body));
+      });
+  server.handle("/tracez", [](const obs::HttpRequest&) {
+    return obs::HttpResponse::json(
+        obs::Tracer::global().stage_totals_json());
+  });
+}
+
+}  // namespace causaliot::serve

@@ -1,0 +1,203 @@
+#include "causaliot/serve/model_health.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "causaliot/obs/trace.hpp"
+#include "causaliot/util/check.hpp"
+#include "causaliot/util/strings.hpp"
+
+namespace causaliot::serve {
+
+namespace {
+
+std::uint64_t now_ns() { return obs::Tracer::now_ns(); }
+
+std::int64_t to_ppm(double ratio) {
+  return static_cast<std::int64_t>(ratio * 1e6);
+}
+
+}  // namespace
+
+ModelHealth::ModelHealth(obs::Registry& registry, HealthConfig config)
+    : registry_(registry), config_(config) {
+  CAUSALIOT_CHECK_MSG(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0,
+                      "ewma_alpha must be in (0, 1]");
+  CAUSALIOT_CHECK_MSG(config_.window_events >= kWindowBuckets,
+                      "window_events must cover at least one event per bucket");
+  bucket_capacity_ = config_.window_events / kWindowBuckets;
+}
+
+void ModelHealth::add_tenant(std::size_t index, const std::string& name,
+                             std::uint64_t model_version) {
+  CAUSALIOT_CHECK_MSG(index == tenants_.size(),
+                      "health tenants must register densely in handle order");
+  auto tenant = std::make_unique<Tenant>();
+  tenant->name = name;
+  tenant->adopted_version.store(model_version, std::memory_order_relaxed);
+  tenant->published_version.store(model_version, std::memory_order_relaxed);
+  tenant->adopted_at_ns.store(now_ns(), std::memory_order_relaxed);
+  const obs::Labels labels = {{"tenant", name}};
+  tenant->score_ewma_ppm = &registry_.gauge(
+      "serve_tenant_score_ewma_ppm", labels,
+      "EWMA of the per-event anomaly score, in parts per million");
+  tenant->alarm_rate_ppm = &registry_.gauge(
+      "serve_tenant_alarm_rate_ppm", labels,
+      "Delivered alarms per million events over the rolling window");
+  tenant->collective_rate_ppm = &registry_.gauge(
+      "serve_tenant_collective_alarm_rate_ppm", labels,
+      "Collective-chain alarms per million events over the rolling window");
+  tenant->events_since_snapshot = &registry_.gauge(
+      "serve_tenant_events_since_snapshot", labels,
+      "Events processed since the active model snapshot was adopted");
+  tenant->snapshot_age_seconds = &registry_.gauge(
+      "serve_tenant_snapshot_age_seconds", labels,
+      "Age of the active model snapshot");
+  tenant->model_version = &registry_.gauge(
+      "serve_tenant_model_version", labels,
+      "Version of the active model snapshot");
+  tenants_.push_back(std::move(tenant));
+}
+
+void ModelHealth::on_event(std::size_t index, double score) {
+  Tenant& tenant = *tenants_[index];
+  const std::uint64_t events =
+      tenant.events_total.load(std::memory_order_relaxed);
+  tenant.events_total.store(events + 1, std::memory_order_relaxed);
+  // Single writer: plain load/modify/store is race-free; the atomic only
+  // makes the concurrent scrape-side read well-defined.
+  const double previous = tenant.ewma.load(std::memory_order_relaxed);
+  const double next =
+      events == 0 ? score
+                  : previous + config_.ewma_alpha * (score - previous);
+  tenant.ewma.store(next, std::memory_order_relaxed);
+
+  std::size_t active = tenant.active_bucket.load(std::memory_order_relaxed);
+  WindowBucket* bucket = &tenant.buckets[active];
+  if (bucket->events.load(std::memory_order_relaxed) >= bucket_capacity_) {
+    // Rotate: recycle the oldest bucket. Zero its fields before moving
+    // the active index so a racing reader never sums a bucket that is
+    // simultaneously new and stale.
+    active = (active + 1) % kWindowBuckets;
+    bucket = &tenant.buckets[active];
+    bucket->events.store(0, std::memory_order_relaxed);
+    bucket->alarms.store(0, std::memory_order_relaxed);
+    bucket->collective.store(0, std::memory_order_relaxed);
+    for (auto& bin : bucket->score_bins) {
+      bin.store(0, std::memory_order_relaxed);
+    }
+    tenant.active_bucket.store(active, std::memory_order_relaxed);
+  }
+  bucket->events.fetch_add(1, std::memory_order_relaxed);
+  const double clamped = std::clamp(score, 0.0, 1.0);
+  const auto bin = std::min<std::size_t>(
+      kScoreBins - 1,
+      static_cast<std::size_t>(clamped * static_cast<double>(kScoreBins)));
+  bucket->score_bins[bin].fetch_add(1, std::memory_order_relaxed);
+}
+
+void ModelHealth::on_alarm(std::size_t index, bool collective) {
+  Tenant& tenant = *tenants_[index];
+  WindowBucket& bucket =
+      tenant.buckets[tenant.active_bucket.load(std::memory_order_relaxed)];
+  bucket.alarms.fetch_add(1, std::memory_order_relaxed);
+  if (collective) bucket.collective.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ModelHealth::on_adopted(std::size_t index, std::uint64_t version) {
+  Tenant& tenant = *tenants_[index];
+  tenant.adopted_version.store(version, std::memory_order_relaxed);
+  tenant.adopted_at_ns.store(now_ns(), std::memory_order_relaxed);
+  tenant.events_at_adoption.store(
+      tenant.events_total.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+}
+
+void ModelHealth::on_published(std::size_t index, std::uint64_t version) {
+  tenants_[index]->published_version.store(version, std::memory_order_relaxed);
+}
+
+ModelHealth::TenantView ModelHealth::view(std::size_t index) const {
+  const Tenant& tenant = *tenants_[index];
+  TenantView out;
+  out.name = tenant.name;
+  out.events_total = tenant.events_total.load(std::memory_order_relaxed);
+  out.score_ewma = tenant.ewma.load(std::memory_order_relaxed);
+  for (const WindowBucket& bucket : tenant.buckets) {
+    out.window_events += bucket.events.load(std::memory_order_relaxed);
+    out.window_alarms += bucket.alarms.load(std::memory_order_relaxed);
+    out.window_collective +=
+        bucket.collective.load(std::memory_order_relaxed);
+    for (std::size_t bin = 0; bin < kScoreBins; ++bin) {
+      out.score_deciles[bin] +=
+          bucket.score_bins[bin].load(std::memory_order_relaxed);
+    }
+  }
+  if (out.window_events > 0) {
+    out.alarm_rate = static_cast<double>(out.window_alarms) /
+                     static_cast<double>(out.window_events);
+    out.collective_rate = static_cast<double>(out.window_collective) /
+                          static_cast<double>(out.window_events);
+  }
+  out.model_version = tenant.adopted_version.load(std::memory_order_relaxed);
+  out.published_version =
+      tenant.published_version.load(std::memory_order_relaxed);
+  const std::uint64_t at_adoption =
+      tenant.events_at_adoption.load(std::memory_order_relaxed);
+  out.events_since_snapshot =
+      out.events_total > at_adoption ? out.events_total - at_adoption : 0;
+  const std::uint64_t adopted_at =
+      tenant.adopted_at_ns.load(std::memory_order_relaxed);
+  const std::uint64_t now = now_ns();
+  out.snapshot_age_seconds =
+      now > adopted_at ? static_cast<double>(now - adopted_at) / 1e9 : 0.0;
+  return out;
+}
+
+void ModelHealth::refresh() const {
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    const TenantView current = view(i);
+    const Tenant& tenant = *tenants_[i];
+    tenant.score_ewma_ppm->set(to_ppm(current.score_ewma));
+    tenant.alarm_rate_ppm->set(to_ppm(current.alarm_rate));
+    tenant.collective_rate_ppm->set(to_ppm(current.collective_rate));
+    tenant.events_since_snapshot->set(
+        static_cast<std::int64_t>(current.events_since_snapshot));
+    tenant.snapshot_age_seconds->set(
+        static_cast<std::int64_t>(current.snapshot_age_seconds));
+    tenant.model_version->set(
+        static_cast<std::int64_t>(current.model_version));
+  }
+}
+
+std::string ModelHealth::tenants_json() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    const TenantView t = view(i);
+    if (i > 0) out += ", ";
+    out += util::format(
+        "{\"name\": \"%s\", \"model_version\": %" PRIu64
+        ", \"published_version\": %" PRIu64 ", \"events\": %" PRIu64
+        ", \"events_since_snapshot\": %" PRIu64
+        ", \"snapshot_age_seconds\": %.3f, \"score_ewma\": %.6f",
+        util::json_escape(t.name).c_str(), t.model_version,
+        t.published_version, t.events_total, t.events_since_snapshot,
+        t.snapshot_age_seconds, t.score_ewma);
+    out += util::format(
+        ", \"window\": {\"events\": %" PRIu64 ", \"alarms\": %" PRIu64
+        ", \"collective\": %" PRIu64
+        ", \"alarm_rate\": %.6f, \"collective_rate\": %.6f, "
+        "\"score_deciles\": [",
+        t.window_events, t.window_alarms, t.window_collective, t.alarm_rate,
+        t.collective_rate);
+    for (std::size_t bin = 0; bin < kScoreBins; ++bin) {
+      if (bin > 0) out += ", ";
+      out += util::format("%" PRIu64, t.score_deciles[bin]);
+    }
+    out += "]}}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace causaliot::serve

@@ -22,7 +22,8 @@ DetectionService::DetectionService(ServiceConfig config, AlarmCallback on_alarm)
                         : nullptr),
       registry_(config.registry != nullptr ? config.registry
                                            : own_registry_.get()),
-      metrics_(*registry_) {
+      metrics_(*registry_),
+      health_(*registry_, config.health) {
   CAUSALIOT_CHECK_MSG(config_.shard_count >= 1, "shard_count must be >= 1");
   shards_.reserve(config_.shard_count);
   for (std::size_t i = 0; i < config_.shard_count; ++i) {
@@ -50,6 +51,7 @@ TenantHandle DetectionService::add_tenant(
   tenant_alarms_.push_back(&registry_->counter(
       "serve_tenant_alarms_total", {{"tenant", name}},
       "Alarms delivered, by tenant"));
+  health_.add_tenant(handle, name, model != nullptr ? model->version : 0);
   Shard& shard = *shards_[handle % shards_.size()];
   shard.sessions.push_back(std::make_unique<TenantSession>(
       std::move(name), std::move(model), config_.session,
@@ -71,11 +73,13 @@ void DetectionService::start() {
   CAUSALIOT_CHECK_MSG(!started_, "service already started");
   CAUSALIOT_CHECK_MSG(!stopped_, "service already shut down");
   started_ = true;
+  started_at_ns_ = now_ns();
   for (auto& shard : shards_) {
     shard->worker = std::thread([this, raw = shard.get()] {
       worker_loop(*raw);
     });
   }
+  ready_.store(true, std::memory_order_release);
 }
 
 DetectionService::SubmitResult DetectionService::submit(
@@ -111,6 +115,7 @@ DetectionService::SubmitResult DetectionService::submit(
 void DetectionService::swap_model(TenantHandle tenant,
                                   std::shared_ptr<const ModelSnapshot> model) {
   CAUSALIOT_CHECK_MSG(tenant < tenants_.size(), "unknown tenant handle");
+  health_.on_published(tenant, model != nullptr ? model->version : 0);
   tenants_[tenant]->publish_model(std::move(model));
   metrics_.model_swaps_published->increment();
 }
@@ -124,6 +129,7 @@ void DetectionService::deliver(TenantHandle handle, TenantSession& session,
     return;
   }
   tenant_alarms_[handle]->increment();
+  health_.on_alarm(handle, collective);
   if (collective) metrics_.alarms_collective->increment();
   switch (sunk->severity) {
     case detect::AlarmSeverity::kNotice:
@@ -173,7 +179,9 @@ void DetectionService::process_item(Shard& shard, ShardItem& item) {
 
   if (session.swaps_adopted() != before_swaps) {
     metrics_.model_swaps_adopted->add(session.swaps_adopted() - before_swaps);
+    health_.on_adopted(item.handle, session.active_model().version);
   }
+  health_.on_event(item.handle, session.last_score());
   shard.processed->increment();
   metrics_.latency->record(now_ns() - item.enqueue_ns);
   if (report.has_value()) {
@@ -198,6 +206,7 @@ void DetectionService::worker_loop(Shard& shard) {
 void DetectionService::shutdown() {
   if (stopped_) return;
   stopped_ = true;
+  ready_.store(false, std::memory_order_release);
   for (auto& shard : shards_) shard->queue.close();
   if (started_) {
     for (auto& shard : shards_) {
@@ -261,7 +270,39 @@ ServiceStats DetectionService::stats() const {
 
 std::string DetectionService::registry_json() const {
   refresh_queue_gauges();
+  health_.refresh();
   return registry_->to_json();
+}
+
+std::string DetectionService::prometheus() const {
+  refresh_queue_gauges();
+  health_.refresh();
+  return registry_->to_prometheus();
+}
+
+std::string DetectionService::status_json() const {
+  refresh_queue_gauges();
+  health_.refresh();
+  const ServiceStats snapshot = stats();
+  const double uptime =
+      started_at_ns_ != 0
+          ? static_cast<double>(now_ns() - started_at_ns_) / 1e9
+          : 0.0;
+  std::string out = util::format(
+      "{\"service\": {\"ready\": %s, \"uptime_seconds\": %.3f, "
+      "\"shards\": %zu, \"tenant_count\": %zu, "
+      "\"events_submitted\": %llu, \"events_processed\": %llu, "
+      "\"alarms_total\": %llu, \"model_swaps_published\": %llu, "
+      "\"model_swaps_adopted\": %llu}",
+      ready() ? "true" : "false", uptime, snapshot.shard_count,
+      snapshot.tenant_count,
+      static_cast<unsigned long long>(snapshot.events_submitted),
+      static_cast<unsigned long long>(snapshot.events_processed),
+      static_cast<unsigned long long>(snapshot.alarms_total),
+      static_cast<unsigned long long>(snapshot.model_swaps_published),
+      static_cast<unsigned long long>(snapshot.model_swaps_adopted));
+  out += ", \"tenants\": " + health_.tenants_json() + "}";
+  return out;
 }
 
 ReplayStats replay_trace(DetectionService& service,

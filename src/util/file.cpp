@@ -1,0 +1,56 @@
+#include "causaliot/util/file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace causaliot::util {
+
+Status write_file_atomic(const std::string& path, std::string_view content) {
+  if (path.empty()) {
+    return Error::invalid_argument("empty path");
+  }
+  // Unique per process; two processes targeting the same path still end
+  // with one of the two complete documents winning the final rename.
+  const std::string temp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Error::io_error("cannot open " + temp + ": " +
+                           std::strerror(errno));
+  }
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string message =
+          "write to " + temp + " failed: " + std::strerror(errno);
+      ::close(fd);
+      ::unlink(temp.c_str());
+      return Error::io_error(message);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: otherwise a crash can leave the rename durable
+  // but the data not, which is exactly the torn state this exists to
+  // prevent.
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(temp.c_str());
+    return Error::io_error("cannot sync " + temp);
+  }
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    const std::string message =
+        "rename " + temp + " -> " + path + " failed: " + std::strerror(errno);
+    ::unlink(temp.c_str());
+    return Error::io_error(message);
+  }
+  return Status::ok_status();
+}
+
+}  // namespace causaliot::util

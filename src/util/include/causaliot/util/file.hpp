@@ -1,0 +1,19 @@
+// Atomic whole-file writes.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "causaliot/util/result.hpp"
+
+namespace causaliot::util {
+
+/// Writes `content` to `path` atomically: the bytes go to a temporary
+/// file in the same directory (same filesystem, so rename(2) is atomic),
+/// are fsync'd, and the temp file is renamed over `path`. A concurrent
+/// reader — a Prometheus file-sd watcher, a tail on a trace dump —
+/// therefore sees either the previous complete document or the new one,
+/// never a truncated mix. The temp file is unlinked on any failure.
+Status write_file_atomic(const std::string& path, std::string_view content);
+
+}  // namespace causaliot::util

@@ -1,0 +1,348 @@
+// obs::HttpServer: protocol conformance over real loopback sockets
+// (status codes, Content-Type/Content-Length, HEAD, limits, graceful
+// shutdown) and the concurrent scrape-while-write guarantee — /metrics
+// responses must stay well-formed and counter values monotone while
+// writer threads hammer the registry. The concurrency tests run under
+// the TSan CI job.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "causaliot/obs/http_server.hpp"
+#include "causaliot/obs/registry.hpp"
+#include "causaliot/util/strings.hpp"
+
+namespace causaliot::obs {
+namespace {
+
+struct ClientResponse {
+  bool connected = false;
+  int status = 0;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+// Sends `raw` to 127.0.0.1:port and reads until the server closes, then
+// parses the response. Tolerates send failures after a partial write so
+// limit tests (server responds and closes mid-upload) stay robust.
+ClientResponse fetch_raw(std::uint16_t port, const std::string& raw) {
+  ClientResponse out;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return out;
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    ::close(fd);
+    return out;
+  }
+  out.connected = true;
+  std::size_t sent = 0;
+  while (sent < raw.size()) {
+    const ssize_t n =
+        ::send(fd, raw.data() + sent, raw.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string wire;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    wire.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t head_end = wire.find("\r\n\r\n");
+  if (head_end == std::string::npos) return out;
+  out.body = wire.substr(head_end + 4);
+  const std::vector<std::string> lines =
+      util::split(wire.substr(0, head_end), '\n');
+  if (!lines.empty()) {
+    // "HTTP/1.1 200 OK\r"
+    const std::vector<std::string> parts = util::split(lines[0], ' ');
+    if (parts.size() >= 2) {
+      out.status = static_cast<int>(
+          util::parse_int(util::trim(parts[1])).value_or(0));
+    }
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      const std::size_t colon = lines[i].find(':');
+      if (colon == std::string::npos) continue;
+      out.headers[std::string(util::trim(lines[i].substr(0, colon)))] =
+          std::string(util::trim(lines[i].substr(colon + 1)));
+    }
+  }
+  return out;
+}
+
+ClientResponse get(std::uint16_t port, const std::string& target,
+                   const char* method = "GET") {
+  return fetch_raw(port, std::string(method) + " " + target +
+                             " HTTP/1.1\r\nHost: localhost\r\n\r\n");
+}
+
+TEST(HttpServer, ServesRegisteredRouteWithCorrectHeaders) {
+  HttpServer server;
+  server.handle("/hello", [](const HttpRequest& request) {
+    EXPECT_EQ(request.method, "GET");
+    EXPECT_EQ(request.path, "/hello");
+    return HttpResponse::text("hi there\n");
+  });
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok()) << port.error().to_string();
+  EXPECT_NE(*port, 0);  // ephemeral bind reports the kernel's choice
+
+  const ClientResponse response = get(*port, "/hello");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "hi there\n");
+  EXPECT_EQ(response.headers.at("Content-Type"), "text/plain; charset=utf-8");
+  EXPECT_EQ(response.headers.at("Content-Length"),
+            std::to_string(response.body.size()));
+  EXPECT_EQ(response.headers.at("Connection"), "close");
+  server.stop();
+}
+
+TEST(HttpServer, QueryStringIsSplitFromPath) {
+  HttpServer server;
+  std::string seen_query;
+  server.handle("/metrics", [&](const HttpRequest& request) {
+    seen_query = request.query;
+    return HttpResponse::text("ok");
+  });
+  ASSERT_TRUE(server.start().ok());
+  EXPECT_EQ(get(server.port(), "/metrics?format=prometheus").status, 200);
+  EXPECT_EQ(seen_query, "format=prometheus");
+  server.stop();
+}
+
+TEST(HttpServer, HeadSuppressesBodyButKeepsContentLength) {
+  HttpServer server;
+  server.handle("/doc", [](const HttpRequest&) {
+    return HttpResponse::text("0123456789");
+  });
+  ASSERT_TRUE(server.start().ok());
+  const ClientResponse response = get(server.port(), "/doc", "HEAD");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "");
+  EXPECT_EQ(response.headers.at("Content-Length"), "10");
+  server.stop();
+}
+
+TEST(HttpServer, UnknownRouteIs404) {
+  HttpServer server;
+  server.handle("/known", [](const HttpRequest&) {
+    return HttpResponse::text("ok");
+  });
+  ASSERT_TRUE(server.start().ok());
+  EXPECT_EQ(get(server.port(), "/unknown").status, 404);
+  server.stop();
+}
+
+TEST(HttpServer, NonGetMethodIs405) {
+  HttpServer server;
+  server.handle("/metrics", [](const HttpRequest&) {
+    return HttpResponse::text("ok");
+  });
+  ASSERT_TRUE(server.start().ok());
+  EXPECT_EQ(fetch_raw(server.port(),
+                      "POST /metrics HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+                .status,
+            405);
+  server.stop();
+}
+
+TEST(HttpServer, MalformedRequestLineIs400) {
+  HttpServer server;
+  ASSERT_TRUE(server.start().ok());
+  EXPECT_EQ(fetch_raw(server.port(), "NONSENSE\r\n\r\n").status, 400);
+  EXPECT_EQ(fetch_raw(server.port(), "GET /x SMTP/1.0\r\n\r\n").status, 400);
+  EXPECT_EQ(fetch_raw(server.port(), "GET no-slash HTTP/1.1\r\n\r\n").status,
+            400);
+  server.stop();
+}
+
+TEST(HttpServer, OversizedHeaderBlockIs431) {
+  HttpServerConfig config;
+  config.max_request_bytes = 256;
+  HttpServer server(config);
+  ASSERT_TRUE(server.start().ok());
+  const std::string request = "GET / HTTP/1.1\r\nX-Padding: " +
+                              std::string(512, 'x') + "\r\n\r\n";
+  EXPECT_EQ(fetch_raw(server.port(), request).status, 431);
+  server.stop();
+}
+
+TEST(HttpServer, StalledClientGets408) {
+  HttpServerConfig config;
+  config.io_timeout_ms = 100;
+  HttpServer server(config);
+  ASSERT_TRUE(server.start().ok());
+  // No CRLFCRLF terminator and the client just waits: the read times out.
+  EXPECT_EQ(fetch_raw(server.port(), "GET / HTT").status, 408);
+  server.stop();
+}
+
+TEST(HttpServer, StopIsGracefulAndIdempotent) {
+  HttpServer server;
+  server.handle("/x", [](const HttpRequest&) {
+    return HttpResponse::text("ok");
+  });
+  ASSERT_TRUE(server.start().ok());
+  const std::uint16_t port = server.port();
+  EXPECT_EQ(get(port, "/x").status, 200);
+  server.stop();
+  server.stop();  // idempotent
+  EXPECT_FALSE(server.running());
+  EXPECT_FALSE(get(port, "/x").connected);  // listener is gone
+  EXPECT_GE(server.requests_served(), 1u);
+}
+
+TEST(HttpServer, CountsRequestsOnRegistry) {
+  Registry registry;
+  HttpServerConfig config;
+  config.registry = &registry;
+  HttpServer server(config);
+  server.handle("/ok", [](const HttpRequest&) {
+    return HttpResponse::text("ok");
+  });
+  ASSERT_TRUE(server.start().ok());
+  get(server.port(), "/ok");
+  get(server.port(), "/missing");
+  server.stop();
+  EXPECT_EQ(registry.counter("obs_http_requests_total", {{"code", "200"}})
+                .value(),
+            1u);
+  EXPECT_EQ(registry.counter("obs_http_requests_total", {{"code", "404"}})
+                .value(),
+            1u);
+}
+
+// Extracts the value of the `name value` sample line in a Prometheus
+// document; -1 when absent.
+long long sample_value(const std::string& text, const std::string& name) {
+  for (const std::string& line : util::split(text, '\n')) {
+    if (util::starts_with(line, name + " ")) {
+      return util::parse_int(util::trim(line.substr(name.size() + 1)))
+          .value_or(-1);
+    }
+  }
+  return -1;
+}
+
+// The satellite guarantee: hammer /metrics from several client threads
+// while writers increment counters. Every response must be a well-formed
+// exposition document and the counter monotone across successive scrapes
+// observed by the same client.
+TEST(HttpServer, ConcurrentScrapeWhileWrite) {
+  Registry registry;
+  Counter& hammer = registry.counter("hammer_total", {},
+                                     "scrape-while-write test counter");
+  HttpServerConfig config;
+  config.worker_count = 4;
+  HttpServer server(config);
+  server.handle("/metrics", [&registry](const HttpRequest&) {
+    return HttpResponse::text(registry.to_prometheus(),
+                              kContentTypePrometheus);
+  });
+  ASSERT_TRUE(server.start().ok());
+  const std::uint16_t port = server.port();
+
+  std::atomic<bool> stop_writers{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&] {
+      while (!stop_writers.load(std::memory_order_relaxed)) {
+        hammer.increment();
+      }
+    });
+  }
+
+  constexpr int kClients = 4;
+  constexpr int kScrapesPerClient = 20;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      long long previous = -1;
+      for (int i = 0; i < kScrapesPerClient; ++i) {
+        const ClientResponse response = get(port, "/metrics");
+        if (response.status != 200 ||
+            response.body.size() !=
+                static_cast<std::size_t>(util::parse_int(
+                    response.headers.at("Content-Length")).value_or(-1))) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // Well-formed: every line is a comment or `name[{labels}] value`.
+        for (const std::string& line : util::split(response.body, '\n')) {
+          if (line.empty() || line[0] == '#') continue;
+          const std::size_t space = line.rfind(' ');
+          if (space == std::string::npos ||
+              !util::parse_int(line.substr(space + 1)).ok()) {
+            failures.fetch_add(1);
+          }
+        }
+        const long long value = sample_value(response.body, "hammer_total");
+        if (value < previous) failures.fetch_add(1);
+        previous = value;
+      }
+      (void)c;
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  stop_writers.store(true, std::memory_order_relaxed);
+  for (std::thread& writer : writers) writer.join();
+  server.stop();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server.requests_served(),
+            static_cast<std::uint64_t>(kClients * kScrapesPerClient));
+
+  // One quiescent scrape-equivalent: the document agrees with the final
+  // counter value once writers stopped.
+  EXPECT_EQ(sample_value(registry.to_prometheus(), "hammer_total"),
+            static_cast<long long>(hammer.value()));
+}
+
+// Connections that arrive while the worker pool is saturated are
+// answered 503 from the accept loop instead of queueing without bound.
+TEST(HttpServer, OverloadedQueueAnswers503) {
+  HttpServerConfig config;
+  config.worker_count = 1;
+  config.max_pending_connections = 1;
+  HttpServer server(config);
+  std::atomic<bool> release{false};
+  server.handle("/slow", [&](const HttpRequest&) {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return HttpResponse::text("done");
+  });
+  ASSERT_TRUE(server.start().ok());
+
+  // Occupy the only worker, then fill the 1-slot queue, then overflow.
+  std::thread slow([&] { get(server.port(), "/slow"); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::thread queued([&] { get(server.port(), "/slow"); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const ClientResponse overflow = get(server.port(), "/slow");
+  EXPECT_EQ(overflow.status, 503);
+  release.store(true, std::memory_order_release);
+  slow.join();
+  queued.join();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace causaliot::obs

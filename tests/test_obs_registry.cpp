@@ -133,5 +133,18 @@ TEST(ObsRegistry, GlobalRegistryIsAProcessSingleton) {
   EXPECT_EQ(&Registry::global(), &Registry::global());
 }
 
+TEST(ObsRegistry, ResetForTestDropsEveryFamily) {
+  Registry registry;
+  registry.counter("a_total").add(3);
+  registry.gauge("b_level", {{"shard", "0"}}).set(1);
+  ASSERT_EQ(registry.family_count(), 2u);
+
+  registry.reset_for_test();
+  EXPECT_EQ(registry.family_count(), 0u);
+  // Re-registering after a reset starts from zero, so suites sharing a
+  // registry (in particular Registry::global()) can assert exact values.
+  EXPECT_EQ(registry.counter("a_total").value(), 0u);
+}
+
 }  // namespace
 }  // namespace causaliot::obs
