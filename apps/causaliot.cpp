@@ -231,6 +231,7 @@ int cmd_train(const Args& args) {
   config.min_samples_per_dof = args.get_double("guard", 10.0);
   config.mining_threads =
       static_cast<std::size_t>(args.get_u64("threads", 1));
+  config.ci_batching = args.get_u64("ci-batch", 1) != 0;
   core::Pipeline pipeline(config);
   const core::TrainedModel model = pipeline.train(*log);
 
@@ -582,6 +583,7 @@ void usage() {
       " [--seed N] [--format csv|jsonl]\n"
       "  train    --trace trace.csv --out model.dig [--profile P] [--tau N]"
       " [--alpha A] [--q Q] [--laplace L] [--threads N (0 = all cores)]"
+      " [--ci-batch 0|1 (default 1: batched multi-subset CI counting)]"
       " [--trace-out trace.json] [--prom-out metrics.prom] [--verbose 1]"
       " [--listen PORT (0 = ephemeral; serves /metrics /healthz /readyz"
       " /statusz /tracez on loopback)]\n"

@@ -5,7 +5,10 @@
 //   * the G-square test primitive itself.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "causaliot/core/pipeline.hpp"
+#include "causaliot/stats/batch_ci.hpp"
 #include "causaliot/detect/monitor.hpp"
 #include "causaliot/mining/temporal_pc.hpp"
 #include "causaliot/obs/trace.hpp"
@@ -191,6 +194,105 @@ BENCHMARK(BM_GSquareTestPacked)
     ->Args({10000, 2})
     ->Args({10000, 4})
     ->Args({100000, 2});
+
+// The miner's level-l workload in isolation: one child column y, a pool
+// of candidate parents, and every (x, Z) test the level would run —
+// Z drawn as all |l|-subsets of the first kCiPoolSize candidates.
+// BM_BatchedCI pays the full batched cost each iteration (fresh context,
+// marginal sweep, cold memo) so the comparison against BM_PerSubsetCI is
+// honest about setup overhead, not just warm-cache lookups.
+constexpr std::size_t kCiPoolSize = 16;
+
+template <typename TestFn>
+std::size_t run_ci_level_sweep(std::size_t level, TestFn&& run_test) {
+  std::size_t tests = 0;
+  for (std::size_t x = 0; x < kCiPoolSize; ++x) {
+    std::vector<std::size_t> others;
+    for (std::size_t c = 0; c < kCiPoolSize; ++c) {
+      if (c != x) others.push_back(c);
+    }
+    std::vector<bool> take(others.size(), false);
+    std::fill(take.begin(), take.begin() + static_cast<long>(level), true);
+    do {
+      std::vector<std::size_t> z;
+      for (std::size_t i = 0; i < others.size(); ++i) {
+        if (take[i]) z.push_back(others[i]);
+      }
+      run_test(x, z);
+      ++tests;
+    } while (std::prev_permutation(take.begin(), take.end()));
+  }
+  return tests;
+}
+
+// Candidate columns shaped like the miner's: lagged views of a synthetic
+// home, packed once (the miner's ColumnCache does the same).
+struct CiBenchFixture {
+  preprocess::StateSeries series;
+  std::vector<stats::PackedColumn> packed;  // [0] = y, [1..] = candidates
+
+  explicit CiBenchFixture(std::size_t candidate_count)
+      : series(synthetic_series(candidate_count / 2 + 1, 4000, 42)) {
+    packed.emplace_back(series.lagged_column(0, 0, 2));
+    for (std::size_t i = 0; i < candidate_count; ++i) {
+      packed.emplace_back(series.lagged_column(
+          static_cast<telemetry::DeviceId>(i % series.device_count()),
+          1 + i / series.device_count(), 2));
+    }
+  }
+};
+
+void BM_BatchedCI(benchmark::State& bench_state) {
+  const auto level = static_cast<std::size_t>(bench_state.range(0));
+  const CiBenchFixture fixture(kCiPoolSize);
+  std::size_t tests = 0;
+  for (auto _ : bench_state) {
+    stats::BatchCiContext batch(
+        {fixture.packed.data(), fixture.packed.size()}, 0);
+    std::vector<stats::ColumnId> all;
+    for (std::size_t c = 1; c <= kCiPoolSize; ++c) {
+      all.push_back(static_cast<stats::ColumnId>(c));
+    }
+    batch.prepare_marginals(all);
+    tests = run_ci_level_sweep(
+        level, [&](std::size_t x, const std::vector<std::size_t>& z) {
+          std::vector<stats::ColumnId> z_ids;
+          for (const std::size_t c : z) {
+            z_ids.push_back(static_cast<stats::ColumnId>(c + 1));
+          }
+          benchmark::DoNotOptimize(stats::g_square_test(
+              batch, static_cast<stats::ColumnId>(x + 1), z_ids, {}));
+        });
+  }
+  bench_state.counters["ci_tests"] = static_cast<double>(tests);
+  bench_state.SetItemsProcessed(
+      static_cast<std::int64_t>(bench_state.iterations()) *
+      static_cast<std::int64_t>(tests));
+}
+BENCHMARK(BM_BatchedCI)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_PerSubsetCI(benchmark::State& bench_state) {
+  const auto level = static_cast<std::size_t>(bench_state.range(0));
+  const CiBenchFixture fixture(kCiPoolSize);
+  stats::CiTestContext context;
+  std::size_t tests = 0;
+  for (auto _ : bench_state) {
+    tests = run_ci_level_sweep(
+        level, [&](std::size_t x, const std::vector<std::size_t>& z) {
+          std::vector<const stats::PackedColumn*> z_ptrs;
+          for (const std::size_t c : z) {
+            z_ptrs.push_back(&fixture.packed[c + 1]);
+          }
+          benchmark::DoNotOptimize(stats::g_square_test(
+              fixture.packed[x + 1], fixture.packed[0], z_ptrs, {}, context));
+        });
+  }
+  bench_state.counters["ci_tests"] = static_cast<double>(tests);
+  bench_state.SetItemsProcessed(
+      static_cast<std::int64_t>(bench_state.iterations()) *
+      static_cast<std::int64_t>(tests));
+}
+BENCHMARK(BM_PerSubsetCI)->Arg(0)->Arg(1)->Arg(2);
 
 // Full training pass with span tracing on: the per-stage counters are the
 // tracer's aggregated span totals divided by iteration count, so

@@ -38,6 +38,9 @@ struct PipelineConfig {
   bool pc_stable = false;
   /// Use the CMH conditional-independence test instead of G-square.
   bool use_cmh_test = false;
+  /// Batched multi-subset CI counting during mining (bit-identical
+  /// results; --ci-batch=0 escape hatch to the per-subset kernels).
+  bool ci_batching = true;
   /// Worker threads for mining (1 = serial, 0 = hardware concurrency).
   /// Results are identical to the serial run regardless of the value.
   std::size_t mining_threads = 1;

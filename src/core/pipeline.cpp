@@ -49,6 +49,7 @@ TrainedModel Pipeline::train_on_series(const preprocess::StateSeries& series,
   miner_config.stable = config_.pc_stable;
   miner_config.ci_test = config_.use_cmh_test ? mining::CiTest::kCmh
                                               : mining::CiTest::kGSquare;
+  miner_config.ci_batching = config_.ci_batching;
   miner_config.threads = config_.mining_threads;
   miner_config.metrics_registry = config_.metrics_registry;
   const mining::InteractionMiner miner(miner_config);

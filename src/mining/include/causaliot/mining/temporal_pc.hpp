@@ -45,6 +45,15 @@ struct MinerConfig {
   bool stable = false;
   /// Conditional-independence test statistic.
   CiTest ci_test = CiTest::kGSquare;
+  /// Batched multi-subset CI counting (stats::BatchCiContext): memoizes
+  /// column-intersection counts across the conditioning subsets of a
+  /// level and assembles stratum tables by exact-integer lattice
+  /// marginalization, so statistics, p-values, and the final DIG are
+  /// bit-identical to the per-subset kernels. Applies at levels the
+  /// packed kernel covers (l <= stats::kPackedConditioningLimit); deeper
+  /// levels fall back to the per-row kernel either way. Off = always use
+  /// the per-subset kernels (--ci-batch=0 escape hatch).
+  bool ci_batching = true;
   /// Worker threads for mine(): children are discovered in parallel (each
   /// child's Algorithm 1 run is independent, so the result is identical to
   /// the serial run). 1 = serial; 0 = hardware concurrency.

@@ -5,6 +5,7 @@
 
 #include "causaliot/mining/cause_set.hpp"
 #include "causaliot/obs/trace.hpp"
+#include "causaliot/stats/batch_ci.hpp"
 #include "causaliot/stats/cmh.hpp"
 #include "causaliot/util/check.hpp"
 #include "causaliot/util/strings.hpp"
@@ -18,6 +19,9 @@ obs::Registry& metrics_for(const MinerConfig& config) {
                                             : obs::Registry::global();
 }
 
+// Which counting kernel served a level's CI tests.
+enum class Kernel : std::uint8_t { kPacked, kByte, kBatched };
+
 // Per-child CI-test tallies, flushed to the registry in one batch after
 // the child's Algorithm 1 run so workers never contend on the registry
 // mutex mid-level.
@@ -25,17 +29,23 @@ struct ChildTally {
   std::vector<std::uint64_t> tests_per_level;
   std::uint64_t packed_tests = 0;
   std::uint64_t byte_tests = 0;
+  std::uint64_t batched_tests = 0;
+  std::uint64_t batch_passes = 0;
 
-  void note_level(std::size_t level, std::uint64_t tests, bool packed) {
+  void note_level(std::size_t level, std::uint64_t tests, Kernel kernel) {
     if (tests == 0) return;
     if (tests_per_level.size() <= level) tests_per_level.resize(level + 1);
     tests_per_level[level] += tests;
-    (packed ? packed_tests : byte_tests) += tests;
+    switch (kernel) {
+      case Kernel::kPacked: packed_tests += tests; break;
+      case Kernel::kByte: byte_tests += tests; break;
+      case Kernel::kBatched: batched_tests += tests; break;
+    }
   }
 
   void flush(obs::Registry& registry) const {
     static constexpr const char* kKernelHelp =
-        "CI tests dispatched to the bit-packed vs per-row kernel";
+        "CI tests dispatched to the bit-packed, per-row, or batched kernel";
     for (std::size_t l = 0; l < tests_per_level.size(); ++l) {
       if (tests_per_level[l] == 0) continue;
       registry
@@ -52,6 +62,17 @@ struct ChildTally {
       registry.counter("mining_ci_kernel_hits_total", {{"kernel", "byte"}},
                        kKernelHelp)
           .add(byte_tests);
+    }
+    if (batched_tests > 0) {
+      registry.counter("mining_ci_kernel_hits_total", {{"kernel", "batched"}},
+                       kKernelHelp)
+          .add(batched_tests);
+    }
+    if (batch_passes > 0) {
+      registry
+          .counter("mining_ci_batch_passes_total", {},
+                   "Word passes executed by the batched CI counting kernel")
+          .add(batch_passes);
     }
   }
 };
@@ -139,7 +160,18 @@ std::vector<graph::LaggedNode> discover_causes_cached(
   std::vector<graph::LaggedNode> pool;
   std::vector<std::span<const std::uint8_t>> z_columns;
   std::vector<const stats::PackedColumn*> z_packed;
+  std::vector<stats::ColumnId> z_ids;
   ChildTally tally;
+
+  // Batched CI counting: one lattice context per Algorithm 1 run, bound
+  // to the child's present-time column, so intersection counts memoize
+  // across every subset of a level and across levels (a level-l test
+  // reuses the quads its sub-subsets counted at levels < l).
+  std::optional<stats::BatchCiContext> batch;
+  if (config.ci_batching) {
+    batch.emplace(std::span<const stats::PackedColumn>(cache.packed),
+                  static_cast<stats::ColumnId>(cache.index_of(child, 0)));
+  }
 
   // Lines 6-21: level-wise conditional-independence pruning.
   std::size_t l = 0;
@@ -148,8 +180,10 @@ std::vector<graph::LaggedNode> discover_causes_cached(
     if (causes.size() < l + 1) break;
     if (l > config.max_condition_size) break;
     // The packed kernel's per-word cost is O(2^l); beyond the crossover it
-    // loses to the per-row kernel, so fall back to raw spans.
+    // loses to the per-row kernel, so fall back to raw spans. The batched
+    // kernel shares the packed kernel's depth cutoff.
     const bool use_packed = l <= stats::kPackedConditioningLimit;
+    const bool use_batched = batch.has_value() && use_packed;
 
     // One span per (child, level): the unit the trace groups mining time
     // by. Constructed only when tracing is on so the serial hot loop never
@@ -170,6 +204,26 @@ std::vector<graph::LaggedNode> discover_causes_cached(
     // are order-independent.
     const std::vector<graph::LaggedNode> parents_at_level = causes.to_vector();
     std::vector<graph::LaggedNode> deferred_removals;
+
+    // Level 0 tests every candidate's marginal table, so warm them all in
+    // multi-key passes (several parents counted per sweep over the words)
+    // before the per-parent loop consumes them.
+    if (use_batched && l == 0) {
+      z_ids.clear();
+      for (const graph::LaggedNode& parent : parents_at_level) {
+        z_ids.push_back(static_cast<stats::ColumnId>(
+            cache.index_of(parent.device, parent.lag)));
+      }
+      std::optional<obs::Span> batch_span;
+      if (obs::Tracer::global().enabled()) {
+        batch_span.emplace(
+            "tpc.ci_batch",
+            util::format("\"child\": %u, \"parents\": %zu",
+                         static_cast<unsigned>(child), z_ids.size()),
+            "mine");
+      }
+      batch->prepare_marginals(z_ids);
+    }
     for (const graph::LaggedNode& parent : parents_at_level) {
       // The parent may have been removed while testing an earlier one.
       if (!causes.contains(parent)) continue;
@@ -192,7 +246,24 @@ std::vector<graph::LaggedNode> discover_causes_cached(
       for_each_combination(pool.size(), l, [&](const std::vector<std::size_t>&
                                                    subset) {
         stats::GSquareResult test;
-        if (use_packed) {
+        if (use_batched) {
+          z_ids.clear();
+          for (std::size_t index : subset) {
+            z_ids.push_back(static_cast<stats::ColumnId>(
+                cache.index_of(pool[index].device, pool[index].lag)));
+          }
+          const auto x_id = static_cast<stats::ColumnId>(
+              cache.index_of(parent.device, parent.lag));
+          if (config.ci_test == CiTest::kCmh) {
+            const stats::CmhResult cmh = stats::cmh_test(*batch, x_id, z_ids);
+            test.statistic = cmh.statistic;
+            test.p_value = cmh.p_value;
+            test.sample_count = cmh.sample_count;
+            test.dof = 1.0;
+          } else {
+            test = stats::g_square_test(*batch, x_id, z_ids, test_options);
+          }
+        } else if (use_packed) {
           z_packed.clear();
           z_packed.reserve(l);
           for (std::size_t index : subset) {
@@ -260,9 +331,12 @@ std::vector<graph::LaggedNode> discover_causes_cached(
     for (const graph::LaggedNode& parent : deferred_removals) {
       causes.remove(parent);
     }
-    tally.note_level(l, level_tests, use_packed);
+    tally.note_level(l, level_tests,
+                     use_batched ? Kernel::kBatched
+                                 : use_packed ? Kernel::kPacked : Kernel::kByte);
     ++l;
   }
+  if (batch.has_value()) tally.batch_passes = batch->pass_count();
   tally.flush(metrics_for(config));
 
   // CauseSet iterates lag-major, which is already LaggedNode's canonical
@@ -385,6 +459,48 @@ void InteractionMiner::estimate_cpts(const preprocess::StateSeries& series,
     }
     const auto child = static_cast<telemetry::DeviceId>(c);
     graph::Cpt& cpt = graph.cpt(child);
+    const std::size_t cause_count = cpt.cause_count();
+
+    // Fast path for a fresh table with a small key space: accumulate
+    // integer counts in a dense local array and install each assignment
+    // once. Counts are exact integers either way, so the resulting
+    // doubles match the per-row observe() path bit for bit — but only
+    // from zero; a pre-scaled table (update_cpts) accumulates doubles
+    // row by row, whose rounding the batch sum would not reproduce.
+    constexpr std::size_t kDenseCptCauseLimit = 10;
+    if (cpt.assignment_count() == 0 && cause_count <= kDenseCptCauseLimit) {
+      const std::size_t rows = series.length() - tau;
+      std::vector<std::span<const std::uint8_t>> columns;
+      columns.reserve(cause_count);
+      for (const graph::LaggedNode& cause : cpt.causes()) {
+        columns.push_back(series.lagged_column(cause.device, cause.lag, tau));
+      }
+      const auto child_column = series.lagged_column(child, 0, tau);
+      // Validate once per column so the gather loop can index unchecked.
+      std::uint8_t bad = 0;
+      for (std::size_t r = 0; r < rows; ++r) bad |= child_column[r] >> 1;
+      for (const auto& column : columns) {
+        for (std::size_t r = 0; r < rows; ++r) bad |= column[r] >> 1;
+      }
+      CAUSALIOT_CHECK_MSG(bad == 0, "non-binary state value");
+      std::vector<std::uint64_t> local((std::size_t{2} << cause_count), 0);
+      for (std::size_t r = 0; r < rows; ++r) {
+        std::uint64_t key = 0;
+        for (std::size_t i = 0; i < cause_count; ++i) {
+          key |= static_cast<std::uint64_t>(columns[i][r]) << i;
+        }
+        ++local[key * 2 + child_column[r]];
+      }
+      for (std::uint64_t key = 0; key * 2 < local.size(); ++key) {
+        const std::uint64_t count0 = local[key * 2];
+        const std::uint64_t count1 = local[key * 2 + 1];
+        if (count0 == 0 && count1 == 0) continue;
+        cpt.set_counts(key, static_cast<double>(count0),
+                       static_cast<double>(count1));
+      }
+      return;
+    }
+
     std::vector<std::uint8_t> cause_values;
     for (std::size_t j = tau; j < series.length(); ++j) {
       cause_values.clear();

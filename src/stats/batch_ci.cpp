@@ -1,0 +1,251 @@
+#include "causaliot/stats/batch_ci.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "causaliot/util/check.hpp"
+#include "ci_from_counts.hpp"
+
+namespace causaliot::stats {
+
+namespace {
+
+// Parents counted per word-pass in prepare_marginals: enough accumulator
+// pairs to hide the popcount latency chain, few enough to stay in
+// registers.
+constexpr std::size_t kMarginalBatch = 4;
+
+}  // namespace
+
+BatchCiContext::BatchCiContext(std::span<const PackedColumn> universe,
+                               ColumnId y)
+    : universe_(universe), y_(y) {
+  CAUSALIOT_CHECK_MSG(!universe.empty(), "empty column universe");
+  CAUSALIOT_CHECK_MSG(y < universe.size(), "y column out of range");
+  n_ = universe[y].size();
+  word_count_ = (n_ + 63) / 64;
+  for (const PackedColumn& column : universe_) {
+    CAUSALIOT_CHECK_MSG(column.size() == n_, "column length mismatch");
+  }
+  singles_.resize(universe_.size());
+  pairs_.resize(universe_.size());
+  const std::uint64_t* y_words = universe_[y_].words().data();
+  for (std::size_t w = 0; w < word_count_; ++w) {
+    p_y_ += static_cast<std::uint64_t>(std::popcount(y_words[w]));
+  }
+  passes_ = 1;
+}
+
+void BatchCiContext::reset_cache() {
+  std::fill(singles_.begin(), singles_.end(), Entry{});
+  std::fill(pairs_.begin(), pairs_.end(), nullptr);
+  higher_.clear();
+}
+
+BatchCiContext::Entry& BatchCiContext::locate(std::span<const ColumnId> ids) {
+  if (ids.size() == 1) return singles_[ids[0]];
+  if (ids.size() == 2) {
+    auto& row = pairs_[ids[0]];
+    if (!row) row = std::make_unique<std::vector<Entry>>(universe_.size());
+    return (*row)[ids[1]];
+  }
+  key_.assign(ids.begin(), ids.end());
+  return higher_[key_];
+}
+
+void BatchCiContext::fill_single(ColumnId id, Entry& entry) {
+  const std::uint64_t* words = universe_[id].words().data();
+  const std::uint64_t* y_words = universe_[y_].words().data();
+  std::uint64_t p = 0;
+  std::uint64_t p_y = 0;
+  for (std::size_t w = 0; w < word_count_; ++w) {
+    const std::uint64_t m = words[w];
+    p += static_cast<std::uint64_t>(std::popcount(m));
+    p_y += static_cast<std::uint64_t>(std::popcount(m & y_words[w]));
+  }
+  entry.p = p;
+  entry.p_y = p_y;
+  entry.state = 1;
+  ++passes_;
+}
+
+void BatchCiContext::fill_from_mask(std::span<const std::uint64_t> prefix_mask,
+                                    const std::uint64_t* last_words,
+                                    Entry& entry, bool store_mask) {
+  const std::uint64_t* y_words = universe_[y_].words().data();
+  if (store_mask) entry.mask.resize(word_count_);
+  std::uint64_t p = 0;
+  std::uint64_t p_y = 0;
+  for (std::size_t w = 0; w < word_count_; ++w) {
+    const std::uint64_t m = prefix_mask[w] & last_words[w];
+    if (store_mask) entry.mask[w] = m;
+    p += static_cast<std::uint64_t>(std::popcount(m));
+    p_y += static_cast<std::uint64_t>(std::popcount(m & y_words[w]));
+  }
+  entry.p = p;
+  entry.p_y = p_y;
+  entry.state = store_mask ? 2 : 1;
+  ++passes_;
+}
+
+const BatchCiContext::Entry& BatchCiContext::ensure_counts(
+    std::span<const ColumnId> ids) {
+  if (ids.size() == 1) {
+    Entry& entry = singles_[ids[0]];
+    if (entry.state == 0) fill_single(ids[0], entry);
+    return entry;
+  }
+  // Build the prefix mask before locating the target: ensure_mask may
+  // insert into the containers locate reads from.
+  std::span<const std::uint64_t> prefix_mask;
+  {
+    Entry& entry = locate(ids);
+    if (entry.state != 0) return entry;
+  }
+  prefix_mask = ensure_mask(ids.first(ids.size() - 1));
+  Entry& entry = locate(ids);
+  fill_from_mask(prefix_mask, universe_[ids.back()].words().data(), entry,
+                 /*store_mask=*/false);
+  return entry;
+}
+
+std::span<const std::uint64_t> BatchCiContext::ensure_mask(
+    std::span<const ColumnId> ids) {
+  if (ids.size() == 1) return universe_[ids[0]].words();
+  {
+    Entry& entry = locate(ids);
+    if (entry.state == 2) return entry.mask;
+  }
+  const std::span<const std::uint64_t> prefix_mask =
+      ensure_mask(ids.first(ids.size() - 1));
+  Entry& entry = locate(ids);
+  fill_from_mask(prefix_mask, universe_[ids.back()].words().data(), entry,
+                 /*store_mask=*/true);
+  return entry.mask;
+}
+
+void BatchCiContext::prepare_marginals(std::span<const ColumnId> xs) {
+  pending_.clear();
+  for (const ColumnId x : xs) {
+    CAUSALIOT_CHECK_MSG(x < universe_.size(), "column id out of range");
+    if (singles_[x].state == 0) pending_.push_back(x);
+  }
+  const std::uint64_t* y_words = universe_[y_].words().data();
+  for (std::size_t base = 0; base < pending_.size(); base += kMarginalBatch) {
+    const std::size_t k = std::min(kMarginalBatch, pending_.size() - base);
+    const std::uint64_t* cols[kMarginalBatch] = {};
+    std::uint64_t p[kMarginalBatch] = {};
+    std::uint64_t p_y[kMarginalBatch] = {};
+    for (std::size_t i = 0; i < k; ++i) {
+      cols[i] = universe_[pending_[base + i]].words().data();
+    }
+    for (std::size_t w = 0; w < word_count_; ++w) {
+      const std::uint64_t yw = y_words[w];
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::uint64_t m = cols[i][w];
+        p[i] += static_cast<std::uint64_t>(std::popcount(m));
+        p_y[i] += static_cast<std::uint64_t>(std::popcount(m & yw));
+      }
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      Entry& entry = singles_[pending_[base + i]];
+      entry.p = p[i];
+      entry.p_y = p_y[i];
+      entry.state = 1;
+    }
+    ++passes_;
+  }
+}
+
+std::span<const std::uint64_t> BatchCiContext::count_strata(
+    ColumnId x, std::span<const ColumnId> z) {
+  const std::size_t l = z.size();
+  CAUSALIOT_CHECK_MSG(l <= kPackedConditioningLimit,
+                      "conditioning set too large for the batched kernel");
+  CAUSALIOT_CHECK_MSG(x < universe_.size(), "column id out of range");
+  for (const ColumnId id : z) {
+    CAUSALIOT_CHECK_MSG(id < universe_.size(), "column id out of range");
+    CAUSALIOT_CHECK_MSG(id != x, "conditioning set contains x");
+  }
+
+  const std::size_t stratum_count = std::size_t{1} << l;
+  table_.resize(stratum_count * 4);
+
+  // Superset pass: table_[t] gets the quad of lattice term T =
+  // {z[j] : bit j of t}, expressed as 2x2 cells of (x, y) within the rows
+  // where all of T is 1. Unsigned wrap-around in the subtractions is
+  // fine — every final cell is an exact non-negative count.
+  for (std::size_t t = 0; t < stratum_count; ++t) {
+    std::uint64_t p_t;
+    std::uint64_t p_ty;
+    std::uint64_t p_tx;
+    std::uint64_t p_txy;
+    if (t == 0) {
+      const ColumnId x_ids[1] = {x};
+      const Entry& ex = ensure_counts(x_ids);
+      p_t = n_;
+      p_ty = p_y_;
+      p_tx = ex.p;
+      p_txy = ex.p_y;
+    } else {
+      t_ids_.clear();
+      for (std::size_t j = 0; j < l; ++j) {
+        if ((t >> j & 1U) != 0) t_ids_.push_back(z[j]);
+      }
+      std::sort(t_ids_.begin(), t_ids_.end());
+      CAUSALIOT_CHECK_MSG(
+          std::adjacent_find(t_ids_.begin(), t_ids_.end()) == t_ids_.end(),
+          "duplicate conditioning column");
+      u_ids_.assign(t_ids_.begin(), t_ids_.end());
+      u_ids_.insert(std::upper_bound(u_ids_.begin(), u_ids_.end(), x), x);
+      const Entry& et = ensure_counts(t_ids_);
+      const Entry& eu = ensure_counts(u_ids_);
+      p_t = et.p;
+      p_ty = et.p_y;
+      p_tx = eu.p;
+      p_txy = eu.p_y;
+    }
+    const std::uint64_t c01 = p_ty - p_txy;
+    table_[t * 4 + 0] = (p_t - p_tx) - c01;
+    table_[t * 4 + 1] = c01;
+    table_[t * 4 + 2] = p_tx - p_txy;
+    table_[t * 4 + 3] = p_txy;
+  }
+
+  // Möbius inversion over the lattice turns superset quads into exact
+  // per-stratum counts in place: after processing bit j, table_[t] counts
+  // rows matching T on every processed coordinate instead of dominating
+  // it.
+  for (std::size_t j = 0; j < l; ++j) {
+    const std::size_t bit = std::size_t{1} << j;
+    for (std::size_t t = 0; t < stratum_count; ++t) {
+      if ((t & bit) != 0) continue;
+      for (std::size_t c = 0; c < 4; ++c) {
+        table_[t * 4 + c] -= table_[(t | bit) * 4 + c];
+      }
+    }
+  }
+  return table_;
+}
+
+GSquareResult g_square_test(BatchCiContext& batch, ColumnId x,
+                            std::span<const ColumnId> z,
+                            const GSquareOptions& options) {
+  GSquareResult result;
+  if (internal::g_square_preamble(batch.sample_count(), z.size(), options,
+                                  result)) {
+    return result;
+  }
+  const std::span<const std::uint64_t> counts = batch.count_strata(x, z);
+  return internal::g_square_from_counts({counts, {}, true},
+                                        batch.sample_count());
+}
+
+CmhResult cmh_test(BatchCiContext& batch, ColumnId x,
+                   std::span<const ColumnId> z) {
+  if (batch.sample_count() == 0) return {};
+  const std::span<const std::uint64_t> counts = batch.count_strata(x, z);
+  return internal::cmh_from_counts({counts, {}, true}, batch.sample_count());
+}
+
+}  // namespace causaliot::stats

@@ -1,26 +1,74 @@
 #include "causaliot/stats/ci_context.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <cstring>
 
 #include "causaliot/util/check.hpp"
 
 namespace causaliot::stats {
 
+namespace {
+
+// Gathers the low bit of each of 8 consecutive 0/1 bytes into the low 8
+// bits of the result: bit i of ((v * kGather) >> 56) is byte i of v. The
+// shifted partial products never collide (8i - 7j has a unique solution
+// per target bit), so no carries corrupt the gathered byte.
+constexpr std::uint64_t kGather = 0x0102040810204080ULL;
+constexpr std::uint64_t kLowBits = 0x0101010101010101ULL;
+
+}  // namespace
+
 PackedColumn::PackedColumn(std::span<const std::uint8_t> column)
     : size_(column.size()), words_((column.size() + 63) / 64, 0) {
-  for (std::size_t row = 0; row < size_; ++row) {
+  // 8 rows per step: load a uint64 of bytes, validate them in one mask
+  // test, and gather their low bits with a multiply instead of a per-row
+  // shift-or loop. The byte-order of the load matters: byte i must land
+  // at bits 8i, which holds only on little-endian hosts.
+  const std::size_t full =
+      std::endian::native == std::endian::little ? size_ / 8 : 0;
+  for (std::size_t chunk = 0; chunk < full; ++chunk) {
+    std::uint64_t v;
+    std::memcpy(&v, column.data() + chunk * 8, 8);
+    CAUSALIOT_CHECK_MSG((v & ~kLowBits) == 0, "non-binary column value");
+    words_[chunk / 8] |= ((v * kGather) >> 56) << (chunk % 8 * 8);
+  }
+  for (std::size_t row = full * 8; row < size_; ++row) {
     CAUSALIOT_CHECK_MSG(column[row] <= 1, "non-binary column value");
     words_[row / 64] |=
         static_cast<std::uint64_t>(column[row]) << (row % 64);
   }
 }
 
-std::span<const std::uint64_t> CiTestContext::count_strata(
+StratumCounts CiTestContext::count_strata(
     std::span<const std::uint8_t> x, std::span<const std::uint8_t> y,
     std::span<const std::span<const std::uint8_t>> z) {
   const std::size_t n = x.size();
   const std::size_t stratum_count = std::size_t{1} << z.size();
-  counts_.assign(stratum_count * 4, 0);
+
+  if (stratum_count <= kDenseStrataLimit) {
+    // Dense: the full clear is a small bounded memset.
+    counts_.assign(stratum_count * 4, 0);
+    for (std::size_t row = 0; row < n; ++row) {
+      std::size_t key = 0;
+      for (std::size_t j = 0; j < z.size(); ++j) {
+        CAUSALIOT_CHECK_MSG(z[j][row] <= 1, "non-binary conditioning value");
+        key |= static_cast<std::size_t>(z[j][row]) << j;
+      }
+      CAUSALIOT_CHECK_MSG(x[row] <= 1 && y[row] <= 1, "non-binary test value");
+      ++counts_[key * 4 + static_cast<std::size_t>(x[row]) * 2 + y[row]];
+    }
+    return {{counts_.data(), stratum_count * 4}, {}, true};
+  }
+
+  // Sparse: never clear the table. A key's cells are zeroed the first
+  // time the key is seen this call (stamps_ carries the call epoch), so
+  // setup cost is O(touched keys), not O(2^|Z|). Stale entries for other
+  // keys remain in counts_ — the StratumCounts contract hides them.
+  if (counts_.size() < stratum_count * 4) counts_.resize(stratum_count * 4);
+  if (stamps_.size() < stratum_count) stamps_.resize(stratum_count, 0);
+  ++epoch_;
+  touched_.clear();
   for (std::size_t row = 0; row < n; ++row) {
     std::size_t key = 0;
     for (std::size_t j = 0; j < z.size(); ++j) {
@@ -28,12 +76,21 @@ std::span<const std::uint64_t> CiTestContext::count_strata(
       key |= static_cast<std::size_t>(z[j][row]) << j;
     }
     CAUSALIOT_CHECK_MSG(x[row] <= 1 && y[row] <= 1, "non-binary test value");
+    if (stamps_[key] != epoch_) {
+      stamps_[key] = epoch_;
+      counts_[key * 4 + 0] = counts_[key * 4 + 1] = 0;
+      counts_[key * 4 + 2] = counts_[key * 4 + 3] = 0;
+      touched_.push_back(static_cast<std::uint32_t>(key));
+    }
     ++counts_[key * 4 + static_cast<std::size_t>(x[row]) * 2 + y[row]];
   }
-  return {counts_.data(), stratum_count * 4};
+  // Rows arrive in stream order; the result contract is ascending keys
+  // (the order the dense iteration would visit them).
+  std::sort(touched_.begin(), touched_.end());
+  return {{counts_.data(), counts_.size()}, touched_, false};
 }
 
-std::span<const std::uint64_t> CiTestContext::count_strata(
+StratumCounts CiTestContext::count_strata(
     const PackedColumn& x, const PackedColumn& y,
     std::span<const PackedColumn* const> z) {
   const std::size_t n = x.size();
@@ -75,7 +132,7 @@ std::span<const std::uint64_t> CiTestContext::count_strata(
           static_cast<std::uint64_t>(std::popcount(stratum_mask & xw & yw));
     }
   }
-  return {counts_.data(), stratum_count * 4};
+  return {{counts_.data(), stratum_count * 4}, {}, true};
 }
 
 }  // namespace causaliot::stats

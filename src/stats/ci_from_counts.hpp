@@ -1,0 +1,49 @@
+// Library-private bridge between the counting kernels and the test
+// statistics: both the per-subset tests (gsquare.cpp / cmh.cpp) and the
+// batched multi-subset kernel (batch_ci.cpp) feed stratum-major count
+// tables into the same statistic evaluators, which is what makes the
+// batched path bit-identical by construction. Not installed — the public
+// API stays the test functions in the headers under include/.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "causaliot/stats/ci_context.hpp"
+#include "causaliot/stats/cmh.hpp"
+#include "causaliot/stats/gsquare.hpp"
+
+namespace causaliot::stats::internal {
+
+/// Visits each populated stratum's 4-cell group in ascending key order —
+/// the exact sequence the historical dense loop accumulated in, so
+/// floating-point statistics are reproduced bit for bit for both dense
+/// and sparse count views (empty strata contribute nothing either way).
+template <typename Fn>
+void for_each_stratum(const StratumCounts& strata, Fn&& fn) {
+  if (strata.dense) {
+    for (std::size_t key = 0; key * 4 < strata.counts.size(); ++key) {
+      fn(&strata.counts[key * 4]);
+    }
+  } else {
+    for (const std::uint32_t key : strata.keys) {
+      fn(&strata.counts[static_cast<std::size_t>(key) * 4]);
+    }
+  }
+}
+
+/// Computes the G-square statistic from stratum counts (see
+/// StratumCounts for the cell layout).
+GSquareResult g_square_from_counts(const StratumCounts& strata,
+                                   std::size_t sample_count);
+
+/// Shared G-square preamble: empty-sample and small-sample-guard early
+/// outs. Returns true when `result` is already final.
+bool g_square_preamble(std::size_t n, std::size_t conditioning_count,
+                       const GSquareOptions& options, GSquareResult& result);
+
+/// Computes the CMH statistic from stratum counts.
+CmhResult cmh_from_counts(const StratumCounts& strata,
+                          std::size_t sample_count);
+
+}  // namespace causaliot::stats::internal

@@ -5,36 +5,37 @@
 
 #include "causaliot/stats/special_functions.hpp"
 #include "causaliot/util/check.hpp"
+#include "ci_from_counts.hpp"
 
 namespace causaliot::stats {
 
-namespace {
+namespace internal {
 
 // Computes the statistic from stratum-major 2x2 counts
 // (counts[key * 4 + x * 2 + y], see CiTestContext::count_strata).
-CmhResult cmh_from_counts(std::span<const std::uint64_t> counts,
+CmhResult cmh_from_counts(const StratumCounts& strata,
                           std::size_t sample_count) {
   CmhResult result;
   result.sample_count = sample_count;
 
   double deviation_sum = 0.0;
   double variance_sum = 0.0;
-  for (std::size_t key = 0; key * 4 < counts.size(); ++key) {
-    const double a = static_cast<double>(counts[key * 4 + 3]);  // x=1, y=1
-    const double b = static_cast<double>(counts[key * 4 + 2]);  // x=1, y=0
-    const double c = static_cast<double>(counts[key * 4 + 1]);  // x=0, y=1
-    const double d = static_cast<double>(counts[key * 4 + 0]);  // x=0, y=0
+  for_each_stratum(strata, [&](const std::uint64_t* cells) {
+    const double a = static_cast<double>(cells[3]);  // x=1, y=1
+    const double b = static_cast<double>(cells[2]);  // x=1, y=0
+    const double c = static_cast<double>(cells[1]);  // x=0, y=1
+    const double d = static_cast<double>(cells[0]);  // x=0, y=0
     const double total = a + b + c + d;
-    if (total < 2.0) continue;
+    if (total < 2.0) return;
     const double row1 = a + b;
     const double col1 = a + c;
     const double row0 = c + d;
     const double col0 = b + d;
-    if (row1 == 0.0 || row0 == 0.0 || col1 == 0.0 || col0 == 0.0) continue;
+    if (row1 == 0.0 || row0 == 0.0 || col1 == 0.0 || col0 == 0.0) return;
     deviation_sum += a - row1 * col1 / total;
     variance_sum += row1 * row0 * col1 * col0 / (total * total * (total - 1));
     ++result.informative_strata;
-  }
+  });
   if (variance_sum <= 0.0) return result;  // nothing informative
 
   // Continuity-corrected CMH statistic.
@@ -44,7 +45,7 @@ CmhResult cmh_from_counts(std::span<const std::uint64_t> counts,
   return result;
 }
 
-}  // namespace
+}  // namespace internal
 
 CmhResult cmh_test(std::span<const std::uint8_t> x,
                    std::span<const std::uint8_t> y,
@@ -60,7 +61,7 @@ CmhResult cmh_test(std::span<const std::uint8_t> x,
     CmhResult result;
     return result;
   }
-  return cmh_from_counts(context.count_strata(x, y, z), n);
+  return internal::cmh_from_counts(context.count_strata(x, y, z), n);
 }
 
 CmhResult cmh_test(const PackedColumn& x, const PackedColumn& y,
@@ -75,7 +76,7 @@ CmhResult cmh_test(const PackedColumn& x, const PackedColumn& y,
     CmhResult result;
     return result;
   }
-  return cmh_from_counts(context.count_strata(x, y, z), n);
+  return internal::cmh_from_counts(context.count_strata(x, y, z), n);
 }
 
 CmhResult cmh_test(std::span<const std::uint8_t> x,

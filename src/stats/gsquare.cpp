@@ -4,29 +4,30 @@
 
 #include "causaliot/stats/special_functions.hpp"
 #include "causaliot/util/check.hpp"
+#include "ci_from_counts.hpp"
 
 namespace causaliot::stats {
 
-namespace {
+namespace internal {
 
 // Computes the statistic from stratum-major 2x2 counts
 // (counts[key * 4 + x * 2 + y], see CiTestContext::count_strata). Counts
 // are exact integers, so this matches the historical per-row double
 // accumulation bit for bit.
-GSquareResult g_square_from_counts(std::span<const std::uint64_t> counts,
+GSquareResult g_square_from_counts(const StratumCounts& strata,
                                    std::size_t sample_count) {
   GSquareResult result;
   result.sample_count = sample_count;
 
   double statistic = 0.0;
   double dof = 0.0;
-  for (std::size_t key = 0; key * 4 < counts.size(); ++key) {
+  for_each_stratum(strata, [&](const std::uint64_t* cells) {
     double cell[2][2];
     for (int xv = 0; xv < 2; ++xv) {
       for (int yv = 0; yv < 2; ++yv) {
         cell[xv][yv] = static_cast<double>(
-            counts[key * 4 + static_cast<std::size_t>(xv) * 2 +
-                   static_cast<std::size_t>(yv)]);
+            cells[static_cast<std::size_t>(xv) * 2 +
+                  static_cast<std::size_t>(yv)]);
       }
     }
     const double row_total[2] = {cell[0][0] + cell[0][1],
@@ -34,7 +35,7 @@ GSquareResult g_square_from_counts(std::span<const std::uint64_t> counts,
     const double col_total[2] = {cell[0][0] + cell[1][0],
                                  cell[0][1] + cell[1][1]};
     const double total = row_total[0] + row_total[1];
-    if (total <= 0.0) continue;
+    if (total <= 0.0) return;
     // Adjusted dof: only rows/columns with non-zero marginals contribute.
     const int live_rows =
         (row_total[0] > 0.0 ? 1 : 0) + (row_total[1] > 0.0 ? 1 : 0);
@@ -49,7 +50,7 @@ GSquareResult g_square_from_counts(std::span<const std::uint64_t> counts,
         statistic += 2.0 * observed * std::log(observed / expected);
       }
     }
-  }
+  });
   // Rounding can leave a tiny negative statistic for perfectly independent
   // tables; clamp.
   if (statistic < 0.0) statistic = 0.0;
@@ -76,7 +77,7 @@ bool g_square_preamble(std::size_t n, std::size_t conditioning_count,
   return false;
 }
 
-}  // namespace
+}  // namespace internal
 
 GSquareResult g_square_test(std::span<const std::uint8_t> x,
                             std::span<const std::uint8_t> y,
@@ -91,8 +92,8 @@ GSquareResult g_square_test(std::span<const std::uint8_t> x,
   }
 
   GSquareResult result;
-  if (g_square_preamble(n, z.size(), options, result)) return result;
-  return g_square_from_counts(context.count_strata(x, y, z), n);
+  if (internal::g_square_preamble(n, z.size(), options, result)) return result;
+  return internal::g_square_from_counts(context.count_strata(x, y, z), n);
 }
 
 GSquareResult g_square_test(const PackedColumn& x, const PackedColumn& y,
@@ -106,8 +107,8 @@ GSquareResult g_square_test(const PackedColumn& x, const PackedColumn& y,
   }
 
   GSquareResult result;
-  if (g_square_preamble(n, z.size(), options, result)) return result;
-  return g_square_from_counts(context.count_strata(x, y, z), n);
+  if (internal::g_square_preamble(n, z.size(), options, result)) return result;
+  return internal::g_square_from_counts(context.count_strata(x, y, z), n);
 }
 
 GSquareResult g_square_test(std::span<const std::uint8_t> x,

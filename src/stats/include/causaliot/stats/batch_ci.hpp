@@ -1,0 +1,139 @@
+// Batched multi-subset conditional-independence counting.
+//
+// TemporalPC's level-l loop tests the same (parent x, child y) pair
+// against many conditioning subsets Z drawn from one candidate pool, and
+// the per-subset kernel (stats/ci_context.hpp) re-scans every packed
+// column for each subset. This context removes the rescans by working in
+// the subset lattice instead: every cell of every stratum table is an
+// integer combination of plain intersection counts
+//
+//   P(S) = #rows where all columns in S are 1,
+//
+// and the 2^|Z| stratum tables follow from the quads
+// (P(T), P(T∪{y}), P(T∪{x}), P(T∪{x,y})) for T ⊆ Z by Möbius inversion
+// over the lattice — exact integer arithmetic, so the assembled tables
+// (and every statistic computed from them) are bit-identical to direct
+// counting. The context memoizes P(·) by column set, which is where the
+// batching pays off:
+//
+//   * Lattice marginalization: a level-l test only ever has to count its
+//     two top sets Z and Z∪{x} — every strict subset quad was already
+//     counted by an earlier level or an earlier subset of the batch, and
+//     marginalizing down is table arithmetic, not a column scan.
+//   * Multi-key accumulation: prepare_marginals() counts the level-0
+//     tables of many parents per pass over the words, keeping one
+//     accumulator pair per parent live while the y column loads are
+//     shared.
+//
+// One context per (child, worker): it binds y once and is not
+// thread-safe. Memoization spans levels, so a context must live for a
+// whole Algorithm 1 run to realize the cross-level sharing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "causaliot/stats/ci_context.hpp"
+#include "causaliot/stats/cmh.hpp"
+#include "causaliot/stats/gsquare.hpp"
+
+namespace causaliot::stats {
+
+/// Index of a packed column in the universe a BatchCiContext is bound to.
+using ColumnId = std::uint32_t;
+
+class BatchCiContext {
+ public:
+  /// Binds to a shared universe of equally-sized packed columns and the
+  /// outcome column y (the miner's present-time child). The universe must
+  /// outlive the context.
+  BatchCiContext(std::span<const PackedColumn> universe, ColumnId y);
+
+  std::size_t sample_count() const { return n_; }
+  ColumnId y() const { return y_; }
+
+  /// Word-passes executed so far (one full sweep over the packed words of
+  /// one intersection, or one multi-key chunk). Monotone; feeds the
+  /// mining_ci_batch_passes_total counter.
+  std::size_t pass_count() const { return passes_; }
+
+  /// Multi-key marginal sweep: counts the level-0 (empty conditioning
+  /// set) tables for every listed parent that is not cached yet,
+  /// kMarginalBatch parents per pass over the words. Purely a batching
+  /// accelerator — count_strata computes the same values on demand.
+  void prepare_marginals(std::span<const ColumnId> xs);
+
+  /// Stratum-major contingency counts for x ⟂ y | {universe[z]...}:
+  /// counts[key * 4 + xv * 2 + yv] with key bit j = value of column z[j],
+  /// exactly as CiTestContext::count_strata produces. The view is valid
+  /// until the next call. |z| <= kPackedConditioningLimit; ids must be
+  /// distinct and exclude x.
+  std::span<const std::uint64_t> count_strata(ColumnId x,
+                                              std::span<const ColumnId> z);
+
+  /// Drops every memoized intersection count (bench/test hook for
+  /// measuring cold batches).
+  void reset_cache();
+
+ private:
+  // Memoized intersection of one column set S: p = P(S),
+  // p_y = P(S ∪ {y}); mask holds the AND of S's columns once the set has
+  // been extended (state 2) so supersets build from it in one pass.
+  struct Entry {
+    std::uint8_t state = 0;  // 0 absent, 1 counts ready, 2 counts + mask
+    std::uint64_t p = 0;
+    std::uint64_t p_y = 0;
+    std::vector<std::uint64_t> mask;
+  };
+  struct KeyHash {
+    std::size_t operator()(const std::vector<ColumnId>& key) const noexcept {
+      std::size_t h = 1469598103934665603ULL;
+      for (const ColumnId id : key) {
+        h = (h ^ id) * 1099511628211ULL;
+      }
+      return h;
+    }
+  };
+
+  Entry& locate(std::span<const ColumnId> ids);
+  const Entry& ensure_counts(std::span<const ColumnId> ids);
+  std::span<const std::uint64_t> ensure_mask(std::span<const ColumnId> ids);
+  void fill_single(ColumnId id, Entry& entry);
+  void fill_from_mask(std::span<const std::uint64_t> prefix_mask,
+                      const std::uint64_t* last_words, Entry& entry,
+                      bool store_mask);
+
+  std::span<const PackedColumn> universe_;
+  ColumnId y_ = 0;
+  std::size_t n_ = 0;
+  std::size_t word_count_ = 0;
+  std::uint64_t p_y_ = 0;
+  std::size_t passes_ = 0;
+
+  std::vector<Entry> singles_;  // by column id
+  // |S| == 2, indexed [min][max]; rows allocated on first use.
+  std::vector<std::unique_ptr<std::vector<Entry>>> pairs_;
+  std::unordered_map<std::vector<ColumnId>, Entry, KeyHash> higher_;
+
+  std::vector<std::uint64_t> table_;      // assembled stratum-major counts
+  std::vector<ColumnId> t_ids_;           // scratch: ids of the lattice term
+  std::vector<ColumnId> u_ids_;           // scratch: term ids ∪ {x}
+  std::vector<ColumnId> key_;             // scratch: map lookup key
+  std::vector<ColumnId> pending_;         // scratch: prepare_marginals
+};
+
+/// Batched equivalent of the packed-kernel g_square_test: bit-identical
+/// statistic, dof, p-value, and skip behaviour. y is the context's bound
+/// column.
+GSquareResult g_square_test(BatchCiContext& batch, ColumnId x,
+                            std::span<const ColumnId> z,
+                            const GSquareOptions& options = {});
+
+/// Batched equivalent of the packed-kernel cmh_test.
+CmhResult cmh_test(BatchCiContext& batch, ColumnId x,
+                   std::span<const ColumnId> z);
+
+}  // namespace causaliot::stats

@@ -4,7 +4,7 @@
 // Both G-square and CMH reduce to the same first stage — bucket every
 // sample row into one of 2^|Z| strata of the conditioning set and count
 // the four (x, y) cells per stratum. TemporalPC runs millions of such
-// tests per mine, so this stage dominates; two optimizations live here:
+// tests per mine, so this stage dominates; the optimizations here:
 //
 //   * CiTestContext owns the count buffer and reuses it across calls, so
 //     a mining run performs O(1) allocations per test instead of
@@ -13,9 +13,14 @@
 //     word r/64 = row r, the util/bitkey.hpp convention). For small |Z|
 //     the counting kernel then processes 64 rows per step with bitwise
 //     AND + popcount instead of a per-row inner loop over Z.
+//   * Above kDenseStrataLimit strata the per-row kernel counts sparsely:
+//     instead of zero-filling the whole 4·2^|Z| table per call, touched
+//     stratum keys are epoch-stamped and zeroed on first touch, so a
+//     high-|Z| test pays O(touched) rather than O(2^|Z|) setup.
 //
 // Counts are exact integers, so both paths produce bit-identical test
-// statistics to the original per-row double accumulation.
+// statistics to the original per-row double accumulation. Multi-subset
+// batched counting on top of this layer lives in stats/batch_ci.hpp.
 #pragma once
 
 #include <cstdint>
@@ -30,8 +35,13 @@ namespace causaliot::stats {
 /// back to the span-based tests above this size.
 inline constexpr std::size_t kPackedConditioningLimit = 6;
 
-/// A binary column bit-packed into uint64_t words; rows beyond size() are
-/// zero-padded.
+/// Stratum count at and below which the per-row kernel keeps the dense
+/// representation (full table cleared per call — a <= 8 KiB memset).
+/// Above it the sparse epoch-stamped path avoids the O(2^|Z|) clear.
+inline constexpr std::size_t kDenseStrataLimit = 256;
+
+/// A binary column bit-packed into uint64_t words (bit r of word r/64 =
+/// row r); rows beyond size() are zero-padded.
 class PackedColumn {
  public:
   PackedColumn() = default;
@@ -46,25 +56,45 @@ class PackedColumn {
   std::vector<std::uint64_t> words_;
 };
 
+/// View over one call's contingency counts, valid until the next call on
+/// the producing context. `counts` is the stratum-major table
+/// counts[key * 4 + x * 2 + y]. When `dense`, every key in
+/// [0, counts.size() / 4) is valid. When sparse (!dense), only the keys
+/// listed in `keys` (ascending, each with at least one non-zero cell)
+/// hold meaningful values — the rest of the table is stale scratch and
+/// must not be read. Iterating `keys` in order visits exactly the strata
+/// a dense iteration would have found non-empty, in the same order, so
+/// statistics accumulated either way are bit-identical.
+struct StratumCounts {
+  std::span<const std::uint64_t> counts;
+  std::span<const std::uint32_t> keys;
+  bool dense = true;
+};
+
 /// Reusable scratch for CI tests. Not thread-safe: use one context per
 /// thread (the miner keeps one per worker).
 class CiTestContext {
  public:
   /// Buckets rows into 2^|z| strata and counts the 2x2 table per stratum.
-  /// Returned span (valid until the next call) is stratum-major:
-  /// counts[key * 4 + x * 2 + y]. Column lengths must match; |z| <= 20
-  /// (CHECKed by callers before the 2^|z| buffer is sized).
-  std::span<const std::uint64_t> count_strata(
+  /// The returned view is valid until the next call. Column lengths must
+  /// match; |z| <= 20 (CHECKed by callers before the buffer is sized).
+  StratumCounts count_strata(
       std::span<const std::uint8_t> x, std::span<const std::uint8_t> y,
       std::span<const std::span<const std::uint8_t>> z);
 
-  /// Packed-kernel equivalent: identical counts, word-at-a-time.
-  std::span<const std::uint64_t> count_strata(
+  /// Packed-kernel equivalent: identical counts, word-at-a-time. Always
+  /// dense (|z| <= kPackedConditioningLimit implies few strata).
+  StratumCounts count_strata(
       const PackedColumn& x, const PackedColumn& y,
       std::span<const PackedColumn* const> z);
 
  private:
   std::vector<std::uint64_t> counts_;
+  // Sparse path: stamps_[key] == epoch_ marks keys already zeroed this
+  // call; touched_ lists them for the sorted result view.
+  std::vector<std::uint64_t> stamps_;
+  std::vector<std::uint32_t> touched_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace causaliot::stats

@@ -243,7 +243,8 @@ TEST(TemporalPC, MetricsLandInInjectedRegistry) {
   ASSERT_GT(diagnostics.tests_run, 0u);
 
   // CI tests per level sum to the diagnostics total, and every test at
-  // these small conditioning sizes dispatched to the packed kernel.
+  // these small conditioning sizes dispatched to the batched kernel (the
+  // default since ci_batching landed).
   std::uint64_t per_level = 0;
   for (std::size_t l = 0; l < series.device_count() * config.max_lag; ++l) {
     per_level += registry
@@ -253,16 +254,44 @@ TEST(TemporalPC, MetricsLandInInjectedRegistry) {
   }
   EXPECT_EQ(per_level, diagnostics.tests_run);
   EXPECT_EQ(registry.counter("mining_ci_kernel_hits_total",
-                             {{"kernel", "packed"}})
+                             {{"kernel", "batched"}})
                 .value(),
             diagnostics.tests_run);
+  EXPECT_EQ(registry.counter("mining_ci_kernel_hits_total",
+                             {{"kernel", "packed"}})
+                .value(),
+            0u);
   EXPECT_EQ(registry.counter("mining_ci_kernel_hits_total",
                              {{"kernel", "byte"}})
                 .value(),
             0u);
+  // The batched kernel reports its sweep activity.
+  EXPECT_GT(registry.counter("mining_ci_batch_passes_total").value(), 0u);
   // One CPT observation per device per snapshot.
   EXPECT_EQ(registry.counter("mining_cpt_updates_total").value(),
             graph.device_count() * (series.length() - config.max_lag));
+}
+
+TEST(TemporalPC, CiBatchingOffDispatchesToPackedKernel) {
+  const StateSeries series = chain_series(500, 0.05, 9);
+  obs::Registry registry;
+  MinerConfig config;
+  config.max_lag = 1;
+  config.ci_batching = false;
+  config.metrics_registry = &registry;
+  const InteractionMiner miner(config);
+  MiningDiagnostics diagnostics;
+  miner.mine(series, &diagnostics);
+  ASSERT_GT(diagnostics.tests_run, 0u);
+  EXPECT_EQ(registry.counter("mining_ci_kernel_hits_total",
+                             {{"kernel", "packed"}})
+                .value(),
+            diagnostics.tests_run);
+  EXPECT_EQ(registry.counter("mining_ci_kernel_hits_total",
+                             {{"kernel", "batched"}})
+                .value(),
+            0u);
+  EXPECT_EQ(registry.counter("mining_ci_batch_passes_total").value(), 0u);
 }
 
 TEST(CauseSet, StartsFullInCanonicalOrder) {

@@ -245,5 +245,89 @@ TEST(PackedKernel, MatchesByteKernelAcrossConditioningSizes) {
   }
 }
 
+// Batched multi-subset CI counting (MinerConfig::ci_batching) is a pure
+// performance switch: turning it off must reproduce the DIG, the CPT
+// counts, the diagnostics sequence, and the per-level test totals bit for
+// bit — the same contract the parallel/serial pair satisfies.
+class CiBatchingEquivalence
+    : public ::testing::TestWithParam<std::tuple<bool, CiTest>> {};
+
+TEST_P(CiBatchingEquivalence, BatchedMiningMatchesPerSubset) {
+  const auto [stable, ci_test] = GetParam();
+  const StateSeries series = busy_series(12, 3000, 2024);
+
+  MinerConfig config;
+  config.max_lag = 2;
+  config.alpha = 0.001;
+  config.stable = stable;
+  config.ci_test = ci_test;
+
+  obs::Registry batched_registry;
+  config.ci_batching = true;
+  config.metrics_registry = &batched_registry;
+  MiningDiagnostics batched_diag;
+  const graph::InteractionGraph batched =
+      InteractionMiner(config).mine(series, &batched_diag);
+
+  obs::Registry direct_registry;
+  config.ci_batching = false;
+  config.metrics_registry = &direct_registry;
+  MiningDiagnostics direct_diag;
+  const graph::InteractionGraph direct =
+      InteractionMiner(config).mine(series, &direct_diag);
+
+  expect_identical_models(batched, direct, batched_diag, direct_diag);
+
+  // Early-exit semantics carry over: the batched run consumed exactly the
+  // same number of tests at every conditioning level.
+  for (std::size_t l = 0; l <= config.max_lag * series.device_count(); ++l) {
+    EXPECT_EQ(batched_registry
+                  .counter("mining_ci_tests_total",
+                           {{"level", std::to_string(l)}})
+                  .value(),
+              direct_registry
+                  .counter("mining_ci_tests_total",
+                           {{"level", std::to_string(l)}})
+                  .value())
+        << "level " << l;
+  }
+}
+
+TEST_P(CiBatchingEquivalence, GuardSkippedTestsMatchPerSubset) {
+  // A tight small-sample guard makes deeper tests skip; the skip must
+  // happen before counting in both paths and count toward the same
+  // tests_run total.
+  const auto [stable, ci_test] = GetParam();
+  const StateSeries series = busy_series(10, 600, 5);
+
+  MinerConfig config;
+  config.max_lag = 2;
+  config.alpha = 0.001;
+  config.stable = stable;
+  config.ci_test = ci_test;
+  config.min_samples_per_dof = 100.0;
+
+  config.ci_batching = true;
+  MiningDiagnostics batched_diag;
+  const graph::InteractionGraph batched =
+      InteractionMiner(config).mine(series, &batched_diag);
+
+  config.ci_batching = false;
+  MiningDiagnostics direct_diag;
+  const graph::InteractionGraph direct =
+      InteractionMiner(config).mine(series, &direct_diag);
+
+  expect_identical_models(batched, direct, batched_diag, direct_diag);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, CiBatchingEquivalence,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(CiTest::kGSquare, CiTest::kCmh)),
+    [](const ::testing::TestParamInfo<std::tuple<bool, CiTest>>& info) {
+      return std::string(std::get<0>(info.param) ? "Stable" : "Plain") +
+             (std::get<1>(info.param) == CiTest::kCmh ? "Cmh" : "GSquare");
+    });
+
 }  // namespace
 }  // namespace causaliot::mining

@@ -1,0 +1,273 @@
+// Property tests for the batched multi-subset CI kernel: the batched
+// path must be *bit-identical* to the per-subset kernels (packed and
+// byte), because the miner's pruning decisions compare p-values against
+// alpha and the determinism suite diffs whole DIGs.
+#include "causaliot/stats/batch_ci.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "causaliot/stats/cmh.hpp"
+#include "causaliot/stats/gsquare.hpp"
+#include "causaliot/util/rng.hpp"
+
+namespace causaliot::stats {
+namespace {
+
+using Column = std::vector<std::uint8_t>;
+
+std::vector<Column> random_columns(std::size_t count, std::size_t n,
+                                   util::Rng& rng, double ones_fraction) {
+  std::vector<Column> columns(count, Column(n));
+  for (auto& column : columns) {
+    for (auto& value : column) {
+      value = static_cast<std::uint8_t>(rng.bernoulli(ones_fraction));
+    }
+  }
+  return columns;
+}
+
+std::vector<PackedColumn> pack_all(const std::vector<Column>& columns) {
+  std::vector<PackedColumn> packed;
+  packed.reserve(columns.size());
+  for (const Column& column : columns) packed.emplace_back(column);
+  return packed;
+}
+
+// Exhaustive bit-for-bit comparison of batched vs per-subset results for
+// every (x, Z) drawn from a pool, |Z| = 0..max_level, one statistic.
+void expect_batched_matches_per_subset(std::size_t n, std::uint64_t seed,
+                                       bool use_cmh) {
+  util::Rng rng(seed);
+  constexpr std::size_t kColumns = 8;  // pool: y + 7 candidates
+  const std::vector<Column> columns = random_columns(kColumns, n, rng, 0.35);
+  const std::vector<PackedColumn> packed = pack_all(columns);
+  const ColumnId y = 0;
+  const GSquareOptions options{0.0};
+
+  BatchCiContext batch({packed.data(), packed.size()}, y);
+  CiTestContext context;
+
+  for (std::size_t level = 0; level + 2 <= kColumns; ++level) {
+    for (ColumnId x = 1; x < kColumns; ++x) {
+      // All |level|-subsets of the remaining columns, encoded as a bitmask
+      // over {1..7} \ {x}.
+      std::vector<ColumnId> others;
+      for (ColumnId c = 1; c < kColumns; ++c) {
+        if (c != x) others.push_back(c);
+      }
+      std::vector<bool> take(others.size(), false);
+      std::fill(take.begin(), take.begin() + static_cast<long>(level), true);
+      // Iterate combinations via prev_permutation over the selector.
+      do {
+        std::vector<ColumnId> z_ids;
+        std::vector<const PackedColumn*> z_packed;
+        std::vector<std::span<const std::uint8_t>> z_raw;
+        for (std::size_t i = 0; i < others.size(); ++i) {
+          if (!take[i]) continue;
+          z_ids.push_back(others[i]);
+          z_packed.push_back(&packed[others[i]]);
+          z_raw.push_back(columns[others[i]]);
+        }
+        if (use_cmh) {
+          const CmhResult batched = cmh_test(batch, x, z_ids);
+          const CmhResult direct =
+              cmh_test(packed[x], packed[y], z_packed, context);
+          const CmhResult byte_direct =
+              cmh_test(columns[x], columns[y], z_raw, context);
+          for (const CmhResult& other : {direct, byte_direct}) {
+            EXPECT_EQ(batched.statistic, other.statistic);
+            EXPECT_EQ(batched.p_value, other.p_value);
+            EXPECT_EQ(batched.sample_count, other.sample_count);
+            EXPECT_EQ(batched.informative_strata, other.informative_strata);
+          }
+        } else {
+          const GSquareResult batched =
+              g_square_test(batch, x, z_ids, options);
+          const GSquareResult direct = g_square_test(
+              packed[x], packed[y], z_packed, options, context);
+          const GSquareResult byte_direct =
+              g_square_test(columns[x], columns[y], z_raw, options, context);
+          for (const GSquareResult& other : {direct, byte_direct}) {
+            EXPECT_EQ(batched.statistic, other.statistic);
+            EXPECT_EQ(batched.dof, other.dof);
+            EXPECT_EQ(batched.p_value, other.p_value);
+            EXPECT_EQ(batched.sample_count, other.sample_count);
+            EXPECT_EQ(batched.skipped_insufficient_data,
+                      other.skipped_insufficient_data);
+          }
+        }
+      } while (std::prev_permutation(take.begin(), take.end()));
+    }
+  }
+}
+
+TEST(BatchCi, GSquareMatchesPerSubsetBitForBit) {
+  // Odd length exercises the partial tail word of the packed columns.
+  expect_batched_matches_per_subset(997, 11, /*use_cmh=*/false);
+  expect_batched_matches_per_subset(2048, 12, /*use_cmh=*/false);
+}
+
+TEST(BatchCi, CmhMatchesPerSubsetBitForBit) {
+  expect_batched_matches_per_subset(997, 21, /*use_cmh=*/true);
+  expect_batched_matches_per_subset(1500, 22, /*use_cmh=*/true);
+}
+
+TEST(BatchCi, SmallSampleGuardSkipsWithoutCounting) {
+  util::Rng rng(31);
+  const std::vector<Column> columns = random_columns(4, 100, rng, 0.5);
+  const std::vector<PackedColumn> packed = pack_all(columns);
+  BatchCiContext batch({packed.data(), packed.size()}, 0);
+  const std::size_t passes_before = batch.pass_count();
+  const GSquareOptions guard{100.0};  // 100 samples per dof: |Z|=2 needs 400
+  const ColumnId z_ids[2] = {2, 3};
+  const GSquareResult result = g_square_test(batch, 1, z_ids, guard);
+  EXPECT_TRUE(result.skipped_insufficient_data);
+  // The preamble must fire before any counting happens.
+  EXPECT_EQ(batch.pass_count(), passes_before);
+}
+
+TEST(BatchCi, MemoizationSharesPassesAcrossSubsets) {
+  util::Rng rng(41);
+  const std::vector<Column> columns = random_columns(6, 512, rng, 0.4);
+  const std::vector<PackedColumn> packed = pack_all(columns);
+  BatchCiContext batch({packed.data(), packed.size()}, 0);
+
+  std::vector<ColumnId> xs = {1, 2, 3, 4, 5};
+  batch.prepare_marginals(xs);
+  const std::size_t after_prepare = batch.pass_count();
+  // All five marginal tables in two multi-key passes (batch width 4)
+  // plus the constructor's y pass.
+  EXPECT_EQ(after_prepare, 3u);
+
+  // Level-0 tests consume the warm singles: no further passes.
+  for (const ColumnId x : xs) {
+    (void)batch.count_strata(x, {});
+  }
+  EXPECT_EQ(batch.pass_count(), after_prepare);
+
+  // A level-1 test needs exactly one fused pass for the new pair {z, x}.
+  const ColumnId z_one[1] = {2};
+  (void)batch.count_strata(1, z_one);
+  EXPECT_EQ(batch.pass_count(), after_prepare + 1);
+  // Repeating it is free, and so is the symmetric orientation {x, z}
+  // (P-sets are unordered).
+  (void)batch.count_strata(1, z_one);
+  const ColumnId z_sym[1] = {1};
+  (void)batch.count_strata(2, z_sym);
+  EXPECT_EQ(batch.pass_count(), after_prepare + 1);
+
+  // reset_cache drops the memo: the same test pays its passes again.
+  batch.reset_cache();
+  (void)batch.count_strata(1, z_one);
+  EXPECT_GT(batch.pass_count(), after_prepare + 1);
+}
+
+TEST(BatchCi, ConditioningOrderPermutesStrataNotCounts) {
+  // The stratum key follows the *given* z order (bit j = z[j]), exactly
+  // like the per-subset kernels: permuting z permutes keys.
+  util::Rng rng(51);
+  const std::vector<Column> columns = random_columns(4, 700, rng, 0.45);
+  const std::vector<PackedColumn> packed = pack_all(columns);
+  BatchCiContext batch({packed.data(), packed.size()}, 0);
+  CiTestContext context;
+
+  const ColumnId forward[2] = {2, 3};
+  const ColumnId backward[2] = {3, 2};
+  const std::vector<std::uint64_t> counts_fwd(
+      batch.count_strata(1, forward).begin(),
+      batch.count_strata(1, forward).end());
+  const std::vector<std::uint64_t> counts_bwd(
+      batch.count_strata(1, backward).begin(),
+      batch.count_strata(1, backward).end());
+  const PackedColumn* z_fwd[2] = {&packed[2], &packed[3]};
+  const StratumCounts direct =
+      context.count_strata(packed[1], packed[0], z_fwd);
+  ASSERT_TRUE(direct.dense);
+  ASSERT_EQ(counts_fwd.size(), direct.counts.size());
+  for (std::size_t i = 0; i < counts_fwd.size(); ++i) {
+    EXPECT_EQ(counts_fwd[i], direct.counts[i]);
+  }
+  // Swapping z swaps key bits 0 and 1: key 1 <-> key 2.
+  const std::size_t remap[4] = {0, 2, 1, 3};
+  for (std::size_t key = 0; key < 4; ++key) {
+    for (std::size_t cell = 0; cell < 4; ++cell) {
+      EXPECT_EQ(counts_bwd[key * 4 + cell],
+                counts_fwd[remap[key] * 4 + cell]);
+    }
+  }
+}
+
+// Satellite regression test: CiTestContext byte-kernel reuse across
+// differently-sized conditioning sets. The sparse path (|Z| above the
+// dense limit) stamps touched keys lazily instead of zero-filling all
+// 4 * 2^|Z| cells; stale cells from a previous larger call must never
+// leak into a later call's view.
+TEST(CiTestContext, ByteKernelReuseAcrossSizesIsIdentical) {
+  util::Rng rng(61);
+  const std::size_t n = 3000;
+  constexpr std::size_t kBig = 9;    // 512 strata: sparse path
+  constexpr std::size_t kSmall = 2;  // 4 strata: dense path
+  const std::vector<Column> columns = random_columns(kBig + 2, n, rng, 0.5);
+
+  auto z_view = [&](std::size_t count) {
+    std::vector<std::span<const std::uint8_t>> z;
+    for (std::size_t i = 0; i < count; ++i) z.push_back(columns[2 + i]);
+    return z;
+  };
+
+  // Reference: fresh context per call.
+  auto snapshot = [](const StratumCounts& strata) {
+    std::vector<std::uint64_t> flat;
+    if (strata.dense) {
+      flat.assign(strata.counts.begin(), strata.counts.end());
+    } else {
+      for (const std::uint32_t key : strata.keys) {
+        flat.push_back(key);
+        for (std::size_t c = 0; c < 4; ++c) {
+          flat.push_back(strata.counts[static_cast<std::size_t>(key) * 4 + c]);
+        }
+      }
+    }
+    return flat;
+  };
+
+  CiTestContext reused;
+  for (const std::size_t size : {kBig, kSmall, kBig, kSmall, kBig}) {
+    CiTestContext fresh;
+    const auto z = z_view(size);
+    const auto expected = snapshot(fresh.count_strata(columns[0], columns[1],
+                                                      z));
+    const auto actual = snapshot(reused.count_strata(columns[0], columns[1],
+                                                     z));
+    EXPECT_EQ(expected, actual) << "size " << size;
+  }
+
+  // And the statistics built on top agree with a fresh context.
+  CiTestContext fresh;
+  const auto z = z_view(kBig);
+  const GSquareResult a = g_square_test(columns[0], columns[1], z, {}, reused);
+  const GSquareResult b = g_square_test(columns[0], columns[1], z, {}, fresh);
+  EXPECT_EQ(a.statistic, b.statistic);
+  EXPECT_EQ(a.dof, b.dof);
+  EXPECT_EQ(a.p_value, b.p_value);
+}
+
+TEST(BatchCi, EmptyUniverseRejectedAndZeroSamplesShortCircuit) {
+  Column empty_column;
+  std::vector<PackedColumn> packed;
+  packed.emplace_back(empty_column);
+  packed.emplace_back(empty_column);
+  BatchCiContext batch({packed.data(), packed.size()}, 0);
+  EXPECT_EQ(batch.sample_count(), 0u);
+  const GSquareResult g = g_square_test(batch, 1, {});
+  EXPECT_EQ(g.sample_count, 0u);
+  EXPECT_EQ(g.p_value, 1.0);
+  const CmhResult m = cmh_test(batch, 1, {});
+  EXPECT_EQ(m.sample_count, 0u);
+}
+
+}  // namespace
+}  // namespace causaliot::stats

@@ -1,15 +1,20 @@
 #!/usr/bin/env sh
 # Runs the performance benchmarks and records the numbers that the perf
-# trajectory tracks (see DESIGN.md "Parallel mining & G² fast path" and
-# "§3c Serving architecture").
+# trajectory tracks (see DESIGN.md "Parallel mining & G² fast path",
+# "§3c Serving architecture", and "§3f Batched CI testing").
 #
 #   tools/run_bench.sh [build-dir] [mining-json] [serving-json]
 #
 # Defaults: build-dir = build, mining-json = BENCH_mining.json,
 # serving-json = BENCH_serving.json (repo root). Each JSON is
 # google-benchmark's --benchmark_format=json output: the TemporalPC
-# mining benchmarks (device sweep, thread sweep, G² kernel micro-
-# benchmarks) and the DetectionService throughput sweep respectively.
+# mining benchmarks (device sweep, thread sweep, G² kernel and batched-CI
+# micro-benchmarks) and the DetectionService throughput sweep.
+#
+# When the mining JSON already exists (the committed baseline), the new
+# file gains a top-level "baseline_delta" section mapping each benchmark
+# name to new_real_time / baseline_real_time, and the ratios are printed —
+# < 1.0 is a speedup over the committed numbers.
 set -eu
 
 build_dir="${1:-build}"
@@ -25,14 +30,59 @@ for bench_bin in "$mining_bin" "$serving_bin"; do
   fi
 done
 
+baseline_json=""
+if [ -f "$mining_json" ]; then
+  baseline_json="$(mktemp)"
+  cp "$mining_json" "$baseline_json"
+fi
+
 # BM_TrainStages carries the per-stage span totals (mine_ns / cpt_ns /
 # threshold_ns / tpc_level_ns counters) from the obs tracer.
 "$mining_bin" \
-  --benchmark_filter='BM_TemporalPCMining|BM_GSquareTest|BM_TrainStages' \
+  --benchmark_filter='BM_TemporalPCMining|BM_GSquareTest|BM_TrainStages|BM_BatchedCI|BM_PerSubsetCI' \
   --benchmark_out="$mining_json" \
   --benchmark_out_format=json
 
 echo "wrote $mining_json"
+
+if [ -n "$baseline_json" ]; then
+  python3 - "$baseline_json" "$mining_json" <<'PY'
+import json
+import sys
+
+baseline_path, new_path = sys.argv[1], sys.argv[2]
+with open(baseline_path) as f:
+    baseline = json.load(f)
+with open(new_path) as f:
+    fresh = json.load(f)
+
+old_times = {
+    b["name"]: b["real_time"]
+    for b in baseline.get("benchmarks", [])
+    if b.get("run_type", "iteration") == "iteration"
+}
+delta = {}
+for bench in fresh.get("benchmarks", []):
+    if bench.get("run_type", "iteration") != "iteration":
+        continue
+    name = bench["name"]
+    if name in old_times and old_times[name] > 0:
+        delta[name] = bench["real_time"] / old_times[name]
+
+fresh["baseline_delta"] = delta
+with open(new_path, "w") as f:
+    json.dump(fresh, f, indent=1)
+    f.write("\n")
+
+if delta:
+    print("baseline_delta (new/old real_time; < 1.0 is faster):")
+    for name in sorted(delta):
+        print("  %-40s %.3f" % (name, delta[name]))
+else:
+    print("baseline_delta: no overlapping benchmarks with the baseline")
+PY
+  rm -f "$baseline_json"
+fi
 
 "$serving_bin" \
   --benchmark_out="$serving_json" \
