@@ -34,6 +34,7 @@
 #include "causaliot/serve/introspection.hpp"
 #include "causaliot/serve/service.hpp"
 #include "causaliot/sim/simulator.hpp"
+#include "causaliot/stats/simd_backend.hpp"
 #include "causaliot/telemetry/jsonl.hpp"
 #include "causaliot/util/file.hpp"
 #include "causaliot/util/log.hpp"
@@ -132,6 +133,27 @@ void print_stage_table(const obs::Tracer& tracer) {
   }
 }
 
+// --simd NAME: pin the CI counting kernels to one backend instead of the
+// capability probe's pick (equivalent to CAUSALIOT_SIMD=NAME, but a bad
+// name is a usage error here rather than a warn-and-continue). Applied
+// before command dispatch so train, monitor, and serve all honour it.
+bool apply_simd_flag(const Args& args) {
+  if (!args.options.contains("simd")) return true;
+  const std::string& name = args.options.at("simd");
+  const auto backend = stats::simd::parse_backend(name);
+  if (backend && stats::simd::force_backend(*backend)) return true;
+  std::string available;
+  for (const stats::simd::Backend b : stats::simd::available_backends()) {
+    available += ' ';
+    available += stats::simd::backend_name(b);
+  }
+  std::fprintf(stderr,
+               "--simd '%s' is %s on this host; available:%s\n",
+               name.c_str(), backend ? "not supported" : "not a backend",
+               available.c_str());
+  return false;
+}
+
 std::optional<sim::HomeProfile> profile_by_name(const std::string& name) {
   if (name == "contextact") return sim::contextact_profile();
   if (name == "casas") return sim::casas_profile();
@@ -213,8 +235,11 @@ int cmd_train(const Args& args) {
       return obs::HttpResponse::text("ready\n");
     });
     http->handle("/statusz", [](const obs::HttpRequest&) {
-      return obs::HttpResponse::json(
-          "{\"build\": \"causaliot\", \"command\": \"train\"}");
+      return obs::HttpResponse::json(util::format(
+          "{\"build\": \"causaliot\", \"command\": \"train\", "
+          "\"simd_backend\": \"%s\"}",
+          std::string(stats::simd::backend_name(stats::simd::chosen()))
+              .c_str()));
     });
     http->handle("/tracez", [](const obs::HttpRequest&) {
       return obs::HttpResponse::json(
@@ -232,6 +257,7 @@ int cmd_train(const Args& args) {
   config.mining_threads =
       static_cast<std::size_t>(args.get_u64("threads", 1));
   config.ci_batching = args.get_u64("ci-batch", 1) != 0;
+  config.simd_backend = args.get("simd", "");
   core::Pipeline pipeline(config);
   const core::TrainedModel model = pipeline.train(*log);
 
@@ -242,9 +268,12 @@ int cmd_train(const Args& args) {
     return 1;
   }
   std::printf("trained on %zu events: tau=%zu, %zu interactions, "
-              "threshold=%.4f\nmodel written to %s\n",
+              "threshold=%.4f (simd=%s)\nmodel written to %s\n",
               log->size(), model.lag, model.graph.edge_count(),
-              model.score_threshold, out.c_str());
+              model.score_threshold,
+              std::string(stats::simd::backend_name(stats::simd::chosen()))
+                  .c_str(),
+              out.c_str());
   std::printf("(pass --threshold %.4f to `causaliot monitor`)\n",
               model.score_threshold);
 
@@ -579,6 +608,9 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: causaliot <command> [--option value ...]\n"
+      "  (any command) [--simd scalar|avx2|avx512|neon — pin the CI "
+      "counting kernel backend; default: runtime capability probe, or "
+      "CAUSALIOT_SIMD env. All backends are bit-identical.]\n"
       "  simulate --out trace.csv [--profile contextact|casas] [--days N]"
       " [--seed N] [--format csv|jsonl]\n"
       "  train    --trace trace.csv --out model.dig [--profile P] [--tau N]"
@@ -609,6 +641,7 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  if (!apply_simd_flag(*args)) return 2;
   if (args->command == "simulate") return cmd_simulate(*args);
   if (args->command == "train") return cmd_train(*args);
   if (args->command == "monitor") return cmd_monitor(*args);

@@ -6,6 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
+#include <string_view>
 
 #include "causaliot/core/pipeline.hpp"
 #include "causaliot/stats/batch_ci.hpp"
@@ -14,6 +17,7 @@
 #include "causaliot/obs/trace.hpp"
 #include "causaliot/preprocess/series.hpp"
 #include "causaliot/stats/gsquare.hpp"
+#include "causaliot/stats/simd_backend.hpp"
 #include "causaliot/util/rng.hpp"
 #include "causaliot/util/thread_pool.hpp"
 
@@ -231,8 +235,9 @@ struct CiBenchFixture {
   preprocess::StateSeries series;
   std::vector<stats::PackedColumn> packed;  // [0] = y, [1..] = candidates
 
-  explicit CiBenchFixture(std::size_t candidate_count)
-      : series(synthetic_series(candidate_count / 2 + 1, 4000, 42)) {
+  explicit CiBenchFixture(std::size_t candidate_count,
+                          std::size_t event_count = 4000)
+      : series(synthetic_series(candidate_count / 2 + 1, event_count, 42)) {
     packed.emplace_back(series.lagged_column(0, 0, 2));
     for (std::size_t i = 0; i < candidate_count; ++i) {
       packed.emplace_back(series.lagged_column(
@@ -242,9 +247,8 @@ struct CiBenchFixture {
   }
 };
 
-void BM_BatchedCI(benchmark::State& bench_state) {
-  const auto level = static_cast<std::size_t>(bench_state.range(0));
-  const CiBenchFixture fixture(kCiPoolSize);
+void run_batched_ci(benchmark::State& bench_state,
+                    const CiBenchFixture& fixture, std::size_t level) {
   std::size_t tests = 0;
   for (auto _ : bench_state) {
     stats::BatchCiContext batch(
@@ -269,11 +273,9 @@ void BM_BatchedCI(benchmark::State& bench_state) {
       static_cast<std::int64_t>(bench_state.iterations()) *
       static_cast<std::int64_t>(tests));
 }
-BENCHMARK(BM_BatchedCI)->Arg(0)->Arg(1)->Arg(2);
 
-void BM_PerSubsetCI(benchmark::State& bench_state) {
-  const auto level = static_cast<std::size_t>(bench_state.range(0));
-  const CiBenchFixture fixture(kCiPoolSize);
+void run_per_subset_ci(benchmark::State& bench_state,
+                       const CiBenchFixture& fixture, std::size_t level) {
   stats::CiTestContext context;
   std::size_t tests = 0;
   for (auto _ : bench_state) {
@@ -292,7 +294,76 @@ void BM_PerSubsetCI(benchmark::State& bench_state) {
       static_cast<std::int64_t>(bench_state.iterations()) *
       static_cast<std::int64_t>(tests));
 }
+
+void BM_BatchedCI(benchmark::State& bench_state) {
+  const CiBenchFixture fixture(kCiPoolSize);
+  run_batched_ci(bench_state, fixture,
+                 static_cast<std::size_t>(bench_state.range(0)));
+}
+BENCHMARK(BM_BatchedCI)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_PerSubsetCI(benchmark::State& bench_state) {
+  const CiBenchFixture fixture(kCiPoolSize);
+  run_per_subset_ci(bench_state, fixture,
+                    static_cast<std::size_t>(bench_state.range(0)));
+}
 BENCHMARK(BM_PerSubsetCI)->Arg(0)->Arg(1)->Arg(2);
+
+// SIMD backend comparison: the same CI workloads, pinned to one kernel
+// backend and scaled up (64K samples = 1024 packed words per column) so
+// the word-loop passes dominate over the per-test statistic arithmetic —
+// the regime PR 6 targets (long traces, continual re-mining). Registered
+// dynamically in main() once per backend the probe admits on this host;
+// cross-name ratios (e.g. BM_BatchedCI_simd_avx512 vs _scalar) are the
+// acceptance measurement for the ≥1.5× wide-vs-scalar criterion.
+constexpr std::size_t kSimdBenchEvents = 65536;
+
+// Pins a backend for one benchmark run and restores the startup choice
+// after. Safe mid-process: every backend is bit-identical, so switching
+// changes throughput only, never counts.
+class ForcedBackend {
+ public:
+  explicit ForcedBackend(stats::simd::Backend backend)
+      : previous_(stats::simd::chosen()) {
+    stats::simd::force_backend(backend);
+  }
+  ~ForcedBackend() { stats::simd::force_backend(previous_); }
+  ForcedBackend(const ForcedBackend&) = delete;
+  ForcedBackend& operator=(const ForcedBackend&) = delete;
+
+ private:
+  stats::simd::Backend previous_;
+};
+
+void BM_BatchedCISimd(benchmark::State& bench_state,
+                      stats::simd::Backend backend) {
+  const ForcedBackend forced(backend);
+  const CiBenchFixture fixture(kCiPoolSize, kSimdBenchEvents);
+  run_batched_ci(bench_state, fixture,
+                 static_cast<std::size_t>(bench_state.range(0)));
+}
+
+// Per-subset only rides the SIMD kernels at level 0 (deeper levels walk
+// the key-extraction stratum loop), so the SIMD variant pins level 0.
+void BM_PerSubsetCISimd(benchmark::State& bench_state,
+                        stats::simd::Backend backend) {
+  const ForcedBackend forced(backend);
+  const CiBenchFixture fixture(kCiPoolSize, kSimdBenchEvents);
+  run_per_subset_ci(bench_state, fixture, 0);
+}
+
+void register_simd_benchmarks() {
+  for (const stats::simd::Backend backend :
+       stats::simd::available_backends()) {
+    const std::string name(stats::simd::backend_name(backend));
+    benchmark::RegisterBenchmark(("BM_BatchedCI_simd_" + name).c_str(),
+                                 BM_BatchedCISimd, backend)
+        ->Arg(0)
+        ->Arg(2);
+    benchmark::RegisterBenchmark(("BM_PerSubsetCI_simd_" + name).c_str(),
+                                 BM_PerSubsetCISimd, backend);
+  }
+}
 
 // Full training pass with span tracing on: the per-stage counters are the
 // tracer's aggregated span totals divided by iteration count, so
@@ -334,4 +405,33 @@ BENCHMARK(BM_TrainStages)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN():
+//   * --causaliot-simd-list prints one backend name per line and exits
+//     (run_bench.sh / CI use it to enumerate forcible backends),
+//   * the chosen SIMD backend is stamped into the benchmark context so
+//     BENCH_mining.json carries kernel provenance,
+//   * the per-backend CI benchmarks are registered for whatever the
+//     capability probe admits on this host.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--causaliot-simd-list") {
+      for (const auto backend : causaliot::stats::simd::available_backends()) {
+        std::printf("%s\n",
+                    std::string(
+                        causaliot::stats::simd::backend_name(backend))
+                        .c_str());
+      }
+      return 0;
+    }
+  }
+  benchmark::AddCustomContext(
+      "simd_backend",
+      std::string(causaliot::stats::simd::backend_name(
+          causaliot::stats::simd::chosen())));
+  register_simd_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "causaliot/detect/monitor.hpp"
@@ -47,6 +48,12 @@ struct PipelineConfig {
   /// Registry receiving mining metrics (forwarded to MinerConfig);
   /// nullptr uses obs::Registry::global().
   obs::Registry* metrics_registry = nullptr;
+  /// SIMD kernel backend override for the CI counting hot path: empty
+  /// keeps the startup choice (capability probe, or CAUSALIOT_SIMD);
+  /// otherwise "scalar" | "avx2" | "avx512" | "neon". Every backend is
+  /// bit-identical, so this only moves throughput, never results.
+  /// Unknown or uncompiled/unsupported names fail train() with a check.
+  std::string simd_backend;
 };
 
 /// Everything learned at training time. Owns the DIG; monitors created by

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "causaliot/obs/trace.hpp"
+#include "causaliot/stats/simd_backend.hpp"
 #include "causaliot/util/check.hpp"
 #include "causaliot/util/thread_pool.hpp"
 
@@ -41,6 +42,15 @@ TrainedModel Pipeline::train_on_series(const preprocess::StateSeries& series,
   CAUSALIOT_CHECK_MSG(lag >= 1, "lag must be >= 1");
   CAUSALIOT_CHECK_MSG(series.length() > lag,
                       "training series shorter than the lag");
+
+  if (!config_.simd_backend.empty()) {
+    const auto backend = stats::simd::parse_backend(config_.simd_backend);
+    CAUSALIOT_CHECK_MSG(backend.has_value(),
+                        "unknown PipelineConfig::simd_backend name");
+    CAUSALIOT_CHECK_MSG(stats::simd::force_backend(*backend),
+                        "PipelineConfig::simd_backend not supported on "
+                        "this host/build");
+  }
 
   mining::MinerConfig miner_config;
   miner_config.max_lag = lag;

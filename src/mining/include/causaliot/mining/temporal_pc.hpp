@@ -59,8 +59,8 @@ struct MinerConfig {
   /// the serial run). 1 = serial; 0 = hardware concurrency.
   std::size_t threads = 1;
   /// Registry receiving mining metrics: CI tests per conditioning level
-  /// (mining_ci_tests_total{level}), packed- vs byte-kernel dispatch
-  /// (mining_ci_kernel_hits_total{kernel}), and CPT observation counts
+  /// (mining_ci_tests_total{level}), kernel dispatch with the active SIMD
+  /// backend (mining_ci_kernel_hits_total{kernel,backend}), and CPT counts
   /// (mining_cpt_updates_total). nullptr uses obs::Registry::global().
   /// Counters are accumulated locally and flushed once per child, so the
   /// registry mutex never sits on the per-test path.

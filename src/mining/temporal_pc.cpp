@@ -45,7 +45,14 @@ struct ChildTally {
 
   void flush(obs::Registry& registry) const {
     static constexpr const char* kKernelHelp =
-        "CI tests dispatched to the bit-packed, per-row, or batched kernel";
+        "CI tests dispatched to the bit-packed, per-row, or batched kernel, "
+        "by active SIMD backend";
+    // The backend label carries the SIMD dispatch choice (scalar/avx2/
+    // avx512/neon) so fleet dashboards can tell which kernel ISA actually
+    // served the tests — a regression to scalar on a wide host is visible
+    // as a label flip, not a silent slowdown.
+    const std::string backend(
+        stats::simd::backend_name(stats::simd::chosen()));
     for (std::size_t l = 0; l < tests_per_level.size(); ++l) {
       if (tests_per_level[l] == 0) continue;
       registry
@@ -54,18 +61,21 @@ struct ChildTally {
           .add(tests_per_level[l]);
     }
     if (packed_tests > 0) {
-      registry.counter("mining_ci_kernel_hits_total", {{"kernel", "packed"}},
-                       kKernelHelp)
+      registry
+          .counter("mining_ci_kernel_hits_total",
+                   {{"kernel", "packed"}, {"backend", backend}}, kKernelHelp)
           .add(packed_tests);
     }
     if (byte_tests > 0) {
-      registry.counter("mining_ci_kernel_hits_total", {{"kernel", "byte"}},
-                       kKernelHelp)
+      registry
+          .counter("mining_ci_kernel_hits_total",
+                   {{"kernel", "byte"}, {"backend", backend}}, kKernelHelp)
           .add(byte_tests);
     }
     if (batched_tests > 0) {
-      registry.counter("mining_ci_kernel_hits_total", {{"kernel", "batched"}},
-                       kKernelHelp)
+      registry
+          .counter("mining_ci_kernel_hits_total",
+                   {{"kernel", "batched"}, {"backend", backend}}, kKernelHelp)
           .add(batched_tests);
     }
     if (batch_passes > 0) {

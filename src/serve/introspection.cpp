@@ -1,6 +1,7 @@
 #include "causaliot/serve/introspection.hpp"
 
 #include "causaliot/obs/trace.hpp"
+#include "causaliot/stats/simd_backend.hpp"
 #include "causaliot/util/strings.hpp"
 
 namespace causaliot::serve {
@@ -24,11 +25,15 @@ void attach_introspection(obs::HttpServer& server, DetectionService& service,
   server.handle(
       "/statusz", [&service, options](const obs::HttpRequest&) {
         std::string body = service.status_json();
-        // Splice the build label into the top-level object: the service
-        // knows nothing about its deployment, the CLI does.
-        body.insert(1, util::format(
-                           "\"build\": \"%s\", ",
-                           util::json_escape(options.build_label).c_str()));
+        // Splice the deployment facts into the top-level object: the
+        // service knows nothing about its build label or which SIMD
+        // kernel backend the capability probe selected, the process does.
+        body.insert(
+            1, util::format(
+                   "\"build\": \"%s\", \"simd_backend\": \"%s\", ",
+                   util::json_escape(options.build_label).c_str(),
+                   std::string(stats::simd::backend_name(stats::simd::chosen()))
+                       .c_str()));
         return obs::HttpResponse::json(std::move(body));
       });
   server.handle("/tracez", [](const obs::HttpRequest&) {

@@ -1,21 +1,17 @@
 #include "causaliot/stats/batch_ci.hpp"
 
 #include <algorithm>
-#include <bit>
 
 #include "causaliot/util/check.hpp"
 #include "ci_from_counts.hpp"
 
 namespace causaliot::stats {
 
-namespace {
-
-// Parents counted per word-pass in prepare_marginals: enough accumulator
+// All word passes below go through the capability-dispatched SIMD facade
+// (stats/simd_backend.hpp). Parents per prepare_marginals pass therefore
+// match the kernel contract's kMarginalPassMaxColumns: enough accumulator
 // pairs to hide the popcount latency chain, few enough to stay in
-// registers.
-constexpr std::size_t kMarginalBatch = 4;
-
-}  // namespace
+// registers on every backend.
 
 BatchCiContext::BatchCiContext(std::span<const PackedColumn> universe,
                                ColumnId y)
@@ -23,16 +19,14 @@ BatchCiContext::BatchCiContext(std::span<const PackedColumn> universe,
   CAUSALIOT_CHECK_MSG(!universe.empty(), "empty column universe");
   CAUSALIOT_CHECK_MSG(y < universe.size(), "y column out of range");
   n_ = universe[y].size();
-  word_count_ = (n_ + 63) / 64;
+  padded_words_ = universe_[y].padded_words().size();
   for (const PackedColumn& column : universe_) {
     CAUSALIOT_CHECK_MSG(column.size() == n_, "column length mismatch");
   }
   singles_.resize(universe_.size());
   pairs_.resize(universe_.size());
-  const std::uint64_t* y_words = universe_[y_].words().data();
-  for (std::size_t w = 0; w < word_count_; ++w) {
-    p_y_ += static_cast<std::uint64_t>(std::popcount(y_words[w]));
-  }
+  const std::uint64_t* y_words = universe_[y_].padded_words().data();
+  p_y_ = simd::kernels().and_popcount(y_words, y_words, padded_words_);
   passes_ = 1;
 }
 
@@ -54,17 +48,11 @@ BatchCiContext::Entry& BatchCiContext::locate(std::span<const ColumnId> ids) {
 }
 
 void BatchCiContext::fill_single(ColumnId id, Entry& entry) {
-  const std::uint64_t* words = universe_[id].words().data();
-  const std::uint64_t* y_words = universe_[y_].words().data();
-  std::uint64_t p = 0;
-  std::uint64_t p_y = 0;
-  for (std::size_t w = 0; w < word_count_; ++w) {
-    const std::uint64_t m = words[w];
-    p += static_cast<std::uint64_t>(std::popcount(m));
-    p_y += static_cast<std::uint64_t>(std::popcount(m & y_words[w]));
-  }
-  entry.p = p;
-  entry.p_y = p_y;
+  const std::uint64_t* words = universe_[id].padded_words().data();
+  const std::uint64_t* y_words = universe_[y_].padded_words().data();
+  const std::uint64_t* cols[1] = {words};
+  simd::kernels().marginal_pass(cols, 1, y_words, padded_words_, &entry.p,
+                                &entry.p_y);
   entry.state = 1;
   ++passes_;
 }
@@ -72,18 +60,13 @@ void BatchCiContext::fill_single(ColumnId id, Entry& entry) {
 void BatchCiContext::fill_from_mask(std::span<const std::uint64_t> prefix_mask,
                                     const std::uint64_t* last_words,
                                     Entry& entry, bool store_mask) {
-  const std::uint64_t* y_words = universe_[y_].words().data();
-  if (store_mask) entry.mask.resize(word_count_);
-  std::uint64_t p = 0;
-  std::uint64_t p_y = 0;
-  for (std::size_t w = 0; w < word_count_; ++w) {
-    const std::uint64_t m = prefix_mask[w] & last_words[w];
-    if (store_mask) entry.mask[w] = m;
-    p += static_cast<std::uint64_t>(std::popcount(m));
-    p_y += static_cast<std::uint64_t>(std::popcount(m & y_words[w]));
+  const std::uint64_t* y_words = universe_[y_].padded_words().data();
+  if (store_mask && entry.mask.size() != padded_words_) {
+    entry.mask = AlignedWords(padded_words_);
   }
-  entry.p = p;
-  entry.p_y = p_y;
+  simd::kernels().masked_pass(prefix_mask.data(), last_words, y_words,
+                              store_mask ? entry.mask.data() : nullptr,
+                              padded_words_, &entry.p, &entry.p_y);
   entry.state = store_mask ? 2 : 1;
   ++passes_;
 }
@@ -104,24 +87,26 @@ const BatchCiContext::Entry& BatchCiContext::ensure_counts(
   }
   prefix_mask = ensure_mask(ids.first(ids.size() - 1));
   Entry& entry = locate(ids);
-  fill_from_mask(prefix_mask, universe_[ids.back()].words().data(), entry,
+  fill_from_mask(prefix_mask, universe_[ids.back()].padded_words().data(),
+                 entry,
                  /*store_mask=*/false);
   return entry;
 }
 
 std::span<const std::uint64_t> BatchCiContext::ensure_mask(
     std::span<const ColumnId> ids) {
-  if (ids.size() == 1) return universe_[ids[0]].words();
+  if (ids.size() == 1) return universe_[ids[0]].padded_words();
   {
     Entry& entry = locate(ids);
-    if (entry.state == 2) return entry.mask;
+    if (entry.state == 2) return {entry.mask.data(), entry.mask.size()};
   }
   const std::span<const std::uint64_t> prefix_mask =
       ensure_mask(ids.first(ids.size() - 1));
   Entry& entry = locate(ids);
-  fill_from_mask(prefix_mask, universe_[ids.back()].words().data(), entry,
+  fill_from_mask(prefix_mask, universe_[ids.back()].padded_words().data(),
+                 entry,
                  /*store_mask=*/true);
-  return entry.mask;
+  return {entry.mask.data(), entry.mask.size()};
 }
 
 void BatchCiContext::prepare_marginals(std::span<const ColumnId> xs) {
@@ -130,23 +115,17 @@ void BatchCiContext::prepare_marginals(std::span<const ColumnId> xs) {
     CAUSALIOT_CHECK_MSG(x < universe_.size(), "column id out of range");
     if (singles_[x].state == 0) pending_.push_back(x);
   }
-  const std::uint64_t* y_words = universe_[y_].words().data();
-  for (std::size_t base = 0; base < pending_.size(); base += kMarginalBatch) {
-    const std::size_t k = std::min(kMarginalBatch, pending_.size() - base);
-    const std::uint64_t* cols[kMarginalBatch] = {};
-    std::uint64_t p[kMarginalBatch] = {};
-    std::uint64_t p_y[kMarginalBatch] = {};
+  const std::uint64_t* y_words = universe_[y_].padded_words().data();
+  constexpr std::size_t kBatch = simd::kMarginalPassMaxColumns;
+  for (std::size_t base = 0; base < pending_.size(); base += kBatch) {
+    const std::size_t k = std::min(kBatch, pending_.size() - base);
+    const std::uint64_t* cols[kBatch] = {};
+    std::uint64_t p[kBatch] = {};
+    std::uint64_t p_y[kBatch] = {};
     for (std::size_t i = 0; i < k; ++i) {
-      cols[i] = universe_[pending_[base + i]].words().data();
+      cols[i] = universe_[pending_[base + i]].padded_words().data();
     }
-    for (std::size_t w = 0; w < word_count_; ++w) {
-      const std::uint64_t yw = y_words[w];
-      for (std::size_t i = 0; i < k; ++i) {
-        const std::uint64_t m = cols[i][w];
-        p[i] += static_cast<std::uint64_t>(std::popcount(m));
-        p_y[i] += static_cast<std::uint64_t>(std::popcount(m & yw));
-      }
-    }
+    simd::kernels().marginal_pass(cols, k, y_words, padded_words_, p, p_y);
     for (std::size_t i = 0; i < k; ++i) {
       Entry& entry = singles_[pending_[base + i]];
       entry.p = p[i];

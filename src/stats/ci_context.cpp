@@ -20,7 +20,7 @@ constexpr std::uint64_t kLowBits = 0x0101010101010101ULL;
 }  // namespace
 
 PackedColumn::PackedColumn(std::span<const std::uint8_t> column)
-    : size_(column.size()), words_((column.size() + 63) / 64, 0) {
+    : size_(column.size()), words_((column.size() + 63) / 64) {
   // 8 rows per step: load a uint64 of bytes, validate them in one mask
   // test, and gather their low bits with a multiply instead of a per-row
   // shift-or loop. The byte-order of the load matters: byte i must land
@@ -98,25 +98,43 @@ StratumCounts CiTestContext::count_strata(
   const std::size_t stratum_count = std::size_t{1} << l;
   counts_.assign(stratum_count * 4, 0);
 
-  const std::uint64_t* x_words = x.words().data();
-  const std::uint64_t* y_words = y.words().data();
+  const std::uint64_t* x_words = x.padded_words().data();
+  const std::uint64_t* y_words = y.padded_words().data();
   const std::uint64_t* z_words[kPackedConditioningLimit] = {};
   CAUSALIOT_CHECK_MSG(l <= kPackedConditioningLimit,
                       "conditioning set too large for the packed kernel");
-  for (std::size_t j = 0; j < l; ++j) z_words[j] = z[j]->words().data();
+  for (std::size_t j = 0; j < l; ++j) z_words[j] = z[j]->padded_words().data();
 
-  const std::size_t word_count = (n + 63) / 64;
-  for (std::size_t w = 0; w < word_count; ++w) {
-    // Rows past n sit as zero padding in every column; mask them out so
-    // they don't count toward stratum 0 / cell (0, 0).
-    const std::uint64_t valid =
-        (w + 1 == word_count && n % 64 != 0)
-            ? (std::uint64_t{1} << (n % 64)) - 1
-            : ~std::uint64_t{0};
+  // Column storage is zero-padded to the SIMD stride, so every pass
+  // sweeps whole padded words with no ragged-tail branch. The padding
+  // rows read as all-zero — stratum key 0, cell (0, 0) — and are
+  // subtracted back out after counting.
+  const std::size_t padded = x.padded_words().size();
+  const std::uint64_t pad_rows = padded * 64 - n;
+
+  if (l == 0) {
+    // Marginal table via the SIMD facade: one fused sweep yields
+    // P(x) and P(x & y), one more yields P(y); the four cells follow by
+    // exact integer arithmetic, so the result is bit-identical to
+    // counting each cell directly.
+    const simd::Kernels& kernels = simd::kernels();
+    const std::uint64_t* cols[1] = {x_words};
+    std::uint64_t p_x = 0;
+    std::uint64_t p_xy = 0;
+    kernels.marginal_pass(cols, 1, y_words, padded, &p_x, &p_xy);
+    const std::uint64_t p_y = kernels.and_popcount(y_words, y_words, padded);
+    counts_[0] = n - p_x - p_y + p_xy;
+    counts_[1] = p_y - p_xy;
+    counts_[2] = p_x - p_xy;
+    counts_[3] = p_xy;
+    return {{counts_.data(), 4}, {}, true};
+  }
+
+  for (std::size_t w = 0; w < padded; ++w) {
     const std::uint64_t xw = x_words[w];
     const std::uint64_t yw = y_words[w];
     for (std::size_t key = 0; key < stratum_count; ++key) {
-      std::uint64_t stratum_mask = valid;
+      std::uint64_t stratum_mask = ~std::uint64_t{0};
       for (std::size_t j = 0; j < l; ++j) {
         const std::uint64_t zw = z_words[j][w];
         stratum_mask &= (key >> j & 1U) != 0 ? zw : ~zw;
@@ -132,6 +150,7 @@ StratumCounts CiTestContext::count_strata(
           static_cast<std::uint64_t>(std::popcount(stratum_mask & xw & yw));
     }
   }
+  counts_[0] -= pad_rows;
   return {{counts_.data(), stratum_count * 4}, {}, true};
 }
 

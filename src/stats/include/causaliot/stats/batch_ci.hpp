@@ -81,12 +81,16 @@ class BatchCiContext {
  private:
   // Memoized intersection of one column set S: p = P(S),
   // p_y = P(S ∪ {y}); mask holds the AND of S's columns once the set has
-  // been extended (state 2) so supersets build from it in one pass.
+  // been extended (state 2) so supersets build from it in one pass. The
+  // mask is stored in SIMD-contract storage (aligned + stride-padded, see
+  // stats/simd_backend.hpp) because it feeds later kernel passes as an
+  // input; its padding stays zero since it is the AND of zero-padded
+  // columns.
   struct Entry {
     std::uint8_t state = 0;  // 0 absent, 1 counts ready, 2 counts + mask
     std::uint64_t p = 0;
     std::uint64_t p_y = 0;
-    std::vector<std::uint64_t> mask;
+    AlignedWords mask;
   };
   struct KeyHash {
     std::size_t operator()(const std::vector<ColumnId>& key) const noexcept {
@@ -109,7 +113,7 @@ class BatchCiContext {
   std::span<const PackedColumn> universe_;
   ColumnId y_ = 0;
   std::size_t n_ = 0;
-  std::size_t word_count_ = 0;
+  std::size_t padded_words_ = 0;  // SIMD-contract sweep length
   std::uint64_t p_y_ = 0;
   std::size_t passes_ = 0;
 

@@ -27,6 +27,8 @@
 #include <span>
 #include <vector>
 
+#include "causaliot/stats/simd_backend.hpp"
+
 namespace causaliot::stats {
 
 /// Largest conditioning-set size for which the packed kernel wins: its
@@ -41,7 +43,10 @@ inline constexpr std::size_t kPackedConditioningLimit = 6;
 inline constexpr std::size_t kDenseStrataLimit = 256;
 
 /// A binary column bit-packed into uint64_t words (bit r of word r/64 =
-/// row r); rows beyond size() are zero-padded.
+/// row r); rows beyond size() are zero-padded. Storage follows the SIMD
+/// facade contract (stats/simd_backend.hpp): 64-byte aligned and padded
+/// to a multiple of kSimdWordStride words, so the wide kernels never need
+/// a scalar tail and the scalar kernels never need a ragged-tail branch.
 class PackedColumn {
  public:
   PackedColumn() = default;
@@ -49,11 +54,19 @@ class PackedColumn {
   explicit PackedColumn(std::span<const std::uint8_t> column);
 
   std::size_t size() const { return size_; }
-  std::span<const std::uint64_t> words() const { return words_; }
+  /// The logical words, (size() + 63) / 64 of them.
+  std::span<const std::uint64_t> words() const {
+    return {words_.data(), (size_ + 63) / 64};
+  }
+  /// The full aligned storage including the zero padding — the span the
+  /// SIMD kernels sweep. Its length is a multiple of kSimdWordStride.
+  std::span<const std::uint64_t> padded_words() const {
+    return {words_.data(), words_.size()};
+  }
 
  private:
   std::size_t size_ = 0;
-  std::vector<std::uint64_t> words_;
+  AlignedWords words_;
 };
 
 /// View over one call's contingency counts, valid until the next call on

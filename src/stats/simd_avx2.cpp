@@ -1,0 +1,118 @@
+// AVX2 backend: 256-bit AND + VPSHUFB nibble-LUT popcount (Muła's
+// algorithm). Each 32-byte vector is split into low/high nibbles, both
+// looked up in an in-register 16-entry popcount table, and the byte sums
+// are folded into per-lane 64-bit accumulators with VPSADBW — no scalar
+// POPCNT on the critical path and no cross-lane work until the final
+// horizontal reduction. Buffers follow the facade contract (64-byte
+// aligned, word count a multiple of kSimdWordStride = 8 words = two
+// vectors), so every loop body runs exactly two aligned loads per column
+// with no tail.
+//
+// This translation unit is compiled with -mavx2 and must contain nothing
+// that executes before the runtime CPU probe admits the backend.
+#include <immintrin.h>
+
+#include "simd_kernels_internal.hpp"
+
+namespace causaliot::stats::simd::detail {
+
+namespace {
+
+// Per-byte popcounts of a 256-bit vector.
+inline __m256i popcnt_bytes(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+// Byte popcounts widened to four 64-bit lane sums (each <= 64, so the
+// epi64 accumulators never overflow for any realistic column length).
+inline __m256i popcnt_lanes(__m256i v) {
+  return _mm256_sad_epu8(popcnt_bytes(v), _mm256_setzero_si256());
+}
+
+inline std::uint64_t reduce_lanes(__m256i acc) {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint64_t>(_mm_cvtsi128_si64(sum)) +
+         static_cast<std::uint64_t>(
+             _mm_cvtsi128_si64(_mm_unpackhi_epi64(sum, sum)));
+}
+
+std::uint64_t avx2_and_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  for (std::size_t w = 0; w < words; w += 4) {
+    const __m256i va =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(b + w));
+    acc = _mm256_add_epi64(acc, popcnt_lanes(_mm256_and_si256(va, vb)));
+  }
+  return reduce_lanes(acc);
+}
+
+void avx2_marginal_pass(const std::uint64_t* const* cols, std::size_t k,
+                        const std::uint64_t* y, std::size_t words,
+                        std::uint64_t* p, std::uint64_t* p_y) {
+  __m256i acc_p[kMarginalPassMaxColumns];
+  __m256i acc_py[kMarginalPassMaxColumns];
+  for (std::size_t i = 0; i < k; ++i) {
+    acc_p[i] = _mm256_setzero_si256();
+    acc_py[i] = _mm256_setzero_si256();
+  }
+  for (std::size_t w = 0; w < words; w += 4) {
+    const __m256i vy =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(y + w));
+    for (std::size_t i = 0; i < k; ++i) {
+      const __m256i vc =
+          _mm256_load_si256(reinterpret_cast<const __m256i*>(cols[i] + w));
+      acc_p[i] = _mm256_add_epi64(acc_p[i], popcnt_lanes(vc));
+      acc_py[i] =
+          _mm256_add_epi64(acc_py[i], popcnt_lanes(_mm256_and_si256(vc, vy)));
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    p[i] = reduce_lanes(acc_p[i]);
+    p_y[i] = reduce_lanes(acc_py[i]);
+  }
+}
+
+void avx2_masked_pass(const std::uint64_t* prefix, const std::uint64_t* last,
+                      const std::uint64_t* y, std::uint64_t* mask_out,
+                      std::size_t words, std::uint64_t* p, std::uint64_t* p_y) {
+  __m256i acc_p = _mm256_setzero_si256();
+  __m256i acc_py = _mm256_setzero_si256();
+  for (std::size_t w = 0; w < words; w += 4) {
+    const __m256i vp =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(prefix + w));
+    const __m256i vl =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(last + w));
+    const __m256i vy =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(y + w));
+    const __m256i m = _mm256_and_si256(vp, vl);
+    if (mask_out != nullptr) {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(mask_out + w), m);
+    }
+    acc_p = _mm256_add_epi64(acc_p, popcnt_lanes(m));
+    acc_py = _mm256_add_epi64(acc_py, popcnt_lanes(_mm256_and_si256(m, vy)));
+  }
+  *p = reduce_lanes(acc_p);
+  *p_y = reduce_lanes(acc_py);
+}
+
+}  // namespace
+
+const Kernels& avx2_kernels() {
+  static constexpr Kernels kTable{avx2_and_popcount, avx2_marginal_pass,
+                                  avx2_masked_pass};
+  return kTable;
+}
+
+}  // namespace causaliot::stats::simd::detail

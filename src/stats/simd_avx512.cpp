@@ -1,0 +1,92 @@
+// AVX-512 backend: 512-bit AND + the native VPOPCNTDQ per-qword popcount
+// (_mm512_popcnt_epi64). One kSimdWordStride stripe (8 words) is exactly
+// one vector, so every pass is a straight-line sequence of aligned loads,
+// one AND, one popcount, one add per stripe — no nibble LUT, no SAD, no
+// tail. Requires AVX512F + AVX512VPOPCNTDQ plus OS ZMM state, all checked
+// by the runtime probe before this table is ever installed.
+//
+// This translation unit is compiled with its own -mavx512* flags and must
+// contain nothing that executes before the probe admits the backend.
+#include <immintrin.h>
+
+#include "simd_kernels_internal.hpp"
+
+namespace causaliot::stats::simd::detail {
+
+namespace {
+
+// Horizontal sum without _mm512_reduce_add_epi64: GCC's implementation
+// of that intrinsic trips -Wuninitialized (via _mm256_undefined_si256)
+// under -Werror, and the reduction is off the hot loop anyway.
+inline std::uint64_t reduce_lanes(__m512i acc) {
+  alignas(64) std::uint64_t lanes[8];
+  _mm512_store_si512(lanes, acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] + lanes[4] + lanes[5] +
+         lanes[6] + lanes[7];
+}
+
+std::uint64_t avx512_and_popcount(const std::uint64_t* a,
+                                  const std::uint64_t* b, std::size_t words) {
+  __m512i acc = _mm512_setzero_si512();
+  for (std::size_t w = 0; w < words; w += 8) {
+    const __m512i va = _mm512_load_si512(a + w);
+    const __m512i vb = _mm512_load_si512(b + w);
+    acc = _mm512_add_epi64(acc,
+                           _mm512_popcnt_epi64(_mm512_and_si512(va, vb)));
+  }
+  return reduce_lanes(acc);
+}
+
+void avx512_marginal_pass(const std::uint64_t* const* cols, std::size_t k,
+                          const std::uint64_t* y, std::size_t words,
+                          std::uint64_t* p, std::uint64_t* p_y) {
+  __m512i acc_p[kMarginalPassMaxColumns];
+  __m512i acc_py[kMarginalPassMaxColumns];
+  for (std::size_t i = 0; i < k; ++i) {
+    acc_p[i] = _mm512_setzero_si512();
+    acc_py[i] = _mm512_setzero_si512();
+  }
+  for (std::size_t w = 0; w < words; w += 8) {
+    const __m512i vy = _mm512_load_si512(y + w);
+    for (std::size_t i = 0; i < k; ++i) {
+      const __m512i vc = _mm512_load_si512(cols[i] + w);
+      acc_p[i] = _mm512_add_epi64(acc_p[i], _mm512_popcnt_epi64(vc));
+      acc_py[i] = _mm512_add_epi64(
+          acc_py[i], _mm512_popcnt_epi64(_mm512_and_si512(vc, vy)));
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    p[i] = reduce_lanes(acc_p[i]);
+    p_y[i] = reduce_lanes(acc_py[i]);
+  }
+}
+
+void avx512_masked_pass(const std::uint64_t* prefix, const std::uint64_t* last,
+                        const std::uint64_t* y, std::uint64_t* mask_out,
+                        std::size_t words, std::uint64_t* p,
+                        std::uint64_t* p_y) {
+  __m512i acc_p = _mm512_setzero_si512();
+  __m512i acc_py = _mm512_setzero_si512();
+  for (std::size_t w = 0; w < words; w += 8) {
+    const __m512i vp = _mm512_load_si512(prefix + w);
+    const __m512i vl = _mm512_load_si512(last + w);
+    const __m512i vy = _mm512_load_si512(y + w);
+    const __m512i m = _mm512_and_si512(vp, vl);
+    if (mask_out != nullptr) _mm512_store_si512(mask_out + w, m);
+    acc_p = _mm512_add_epi64(acc_p, _mm512_popcnt_epi64(m));
+    acc_py = _mm512_add_epi64(acc_py,
+                              _mm512_popcnt_epi64(_mm512_and_si512(m, vy)));
+  }
+  *p = reduce_lanes(acc_p);
+  *p_y = reduce_lanes(acc_py);
+}
+
+}  // namespace
+
+const Kernels& avx512_kernels() {
+  static constexpr Kernels kTable{avx512_and_popcount, avx512_marginal_pass,
+                                  avx512_masked_pass};
+  return kTable;
+}
+
+}  // namespace causaliot::stats::simd::detail

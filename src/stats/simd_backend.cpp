@@ -1,0 +1,269 @@
+// Runtime capability probe + dispatch for the SIMD kernel facade, and
+// the AlignedWords storage the kernel contract is built on.
+//
+// Probe strategy:
+//   * x86-64 — CPUID leaf 7 feature bits, gated on OSXSAVE + XGETBV so a
+//     kernel is only admitted when the OS actually saves its register
+//     state (YMM for AVX2; opmask/ZMM for AVX-512).
+//   * AArch64 — ASIMD is architecturally baseline; on Linux the HWCAP bit
+//     is checked anyway as a belt-and-braces guard.
+//
+// The chosen table is published once at program start (an eager
+// initializer in this translation unit) into a relaxed atomic pointer,
+// so kernels() is a single load + indirect call. CAUSALIOT_SIMD pins a
+// backend at startup; force_backend() repoints the table at any time
+// (bit-identical backends make the swap race-free in terms of results).
+#include "causaliot/stats/simd_backend.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "simd_kernels_internal.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#endif
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#endif
+
+namespace causaliot::stats {
+
+AlignedWords::AlignedWords(std::size_t words)
+    : size_(padded_word_count(words)) {
+  if (size_ == 0) return;
+  data_ = static_cast<std::uint64_t*>(::operator new(
+      size_ * sizeof(std::uint64_t), std::align_val_t{kSimdWordAlign}));
+  std::memset(data_, 0, size_ * sizeof(std::uint64_t));
+}
+
+AlignedWords::AlignedWords(const AlignedWords& other)
+    : AlignedWords(other.size_) {
+  if (size_ != 0) std::memcpy(data_, other.data_, size_ * sizeof(std::uint64_t));
+}
+
+AlignedWords::AlignedWords(AlignedWords&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+AlignedWords& AlignedWords::operator=(const AlignedWords& other) {
+  if (this != &other) *this = AlignedWords(other);
+  return *this;
+}
+
+AlignedWords& AlignedWords::operator=(AlignedWords&& other) noexcept {
+  if (this != &other) {
+    this->~AlignedWords();
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+AlignedWords::~AlignedWords() {
+  if (data_ != nullptr) {
+    ::operator delete(data_, std::align_val_t{kSimdWordAlign});
+  }
+  data_ = nullptr;
+  size_ = 0;
+}
+
+namespace simd {
+
+namespace {
+
+#if defined(__x86_64__) || defined(_M_X64)
+// XGETBV(0) without -mxsave: only ever executed after the OSXSAVE CPUID
+// bit confirmed the instruction exists.
+std::uint64_t read_xcr0() {
+  std::uint32_t eax = 0;
+  std::uint32_t edx = 0;
+  __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0U));
+  return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+
+struct X86Features {
+  bool avx2 = false;
+  bool avx512_popcnt = false;  // AVX512F + VPOPCNTDQ + OS ZMM state
+};
+
+X86Features probe_x86() {
+  X86Features features;
+  unsigned eax = 0;
+  unsigned ebx = 0;
+  unsigned ecx = 0;
+  unsigned edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return features;
+  // Without OSXSAVE the OS does not context-switch extended state, so no
+  // wide backend is safe regardless of what CPUID advertises.
+  const bool osxsave = (ecx & (1U << 27)) != 0;
+  if (!osxsave) return features;
+  const std::uint64_t xcr0 = read_xcr0();
+  const bool ymm_state = (xcr0 & 0x6) == 0x6;          // XMM + YMM
+  const bool zmm_state = (xcr0 & 0xe6) == 0xe6;        // + opmask, ZMM
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return features;
+  features.avx2 = ymm_state && (ebx & (1U << 5)) != 0;
+  features.avx512_popcnt = zmm_state && (ebx & (1U << 16)) != 0 &&  // AVX512F
+                           (ecx & (1U << 14)) != 0;  // VPOPCNTDQ
+  return features;
+}
+#endif
+
+bool cpu_supports(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+    case Backend::kAvx512: {
+#if defined(__x86_64__) || defined(_M_X64)
+      static const X86Features features = probe_x86();
+      return backend == Backend::kAvx2 ? features.avx2
+                                       : features.avx512_popcnt;
+#else
+      return false;
+#endif
+    }
+    case Backend::kNeon:
+#if defined(__aarch64__)
+#if defined(__linux__)
+      return (getauxval(AT_HWCAP) & HWCAP_ASIMD) != 0;
+#else
+      return true;
+#endif
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const Kernels* table_for(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return &detail::scalar_kernels();
+    case Backend::kAvx2:
+#if defined(CAUSALIOT_SIMD_HAVE_AVX2)
+      return &detail::avx2_kernels();
+#else
+      return nullptr;
+#endif
+    case Backend::kAvx512:
+#if defined(CAUSALIOT_SIMD_HAVE_AVX512)
+      return &detail::avx512_kernels();
+#else
+      return nullptr;
+#endif
+    case Backend::kNeon:
+#if defined(CAUSALIOT_SIMD_HAVE_NEON)
+      return &detail::neon_kernels();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+// Published dispatch state. Constant-initialized to the scalar fallback
+// so a kernel call from any static initializer that happens to run before
+// resolve_startup_backend() is still valid.
+std::atomic<const Kernels*> g_kernels{&detail::scalar_kernels()};
+std::atomic<Backend> g_backend{Backend::kScalar};
+
+void resolve_startup_backend() {
+  Backend pick = auto_backend();
+  if (const char* env = std::getenv("CAUSALIOT_SIMD");
+      env != nullptr && env[0] != '\0') {
+    const std::optional<Backend> requested = parse_backend(env);
+    if (!requested.has_value()) {
+      std::fprintf(stderr,
+                   "warning: CAUSALIOT_SIMD=%s is not a backend name "
+                   "(scalar|avx2|avx512|neon); using %s\n",
+                   env, std::string(backend_name(pick)).c_str());
+    } else if (!backend_supported(*requested)) {
+      std::fprintf(stderr,
+                   "warning: CAUSALIOT_SIMD=%s is not supported on this "
+                   "host (compiled out or missing CPU/OS capability); "
+                   "using %s\n",
+                   env, std::string(backend_name(pick)).c_str());
+    } else {
+      pick = *requested;
+    }
+  }
+  g_kernels.store(table_for(pick), std::memory_order_release);
+  g_backend.store(pick, std::memory_order_release);
+}
+
+// Eager resolution at program start: after this runs, every kernels()
+// call is one relaxed pointer load with no initialization branch.
+const struct StartupResolver {
+  StartupResolver() { resolve_startup_backend(); }
+} g_startup_resolver;
+
+}  // namespace
+
+const Kernels& kernels() {
+  return *g_kernels.load(std::memory_order_relaxed);
+}
+
+Backend chosen() { return g_backend.load(std::memory_order_relaxed); }
+
+std::string_view backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kAvx2: return "avx2";
+    case Backend::kAvx512: return "avx512";
+    case Backend::kNeon: return "neon";
+  }
+  return "unknown";
+}
+
+std::optional<Backend> parse_backend(std::string_view name) {
+  if (name == "scalar") return Backend::kScalar;
+  if (name == "avx2") return Backend::kAvx2;
+  if (name == "avx512") return Backend::kAvx512;
+  if (name == "neon") return Backend::kNeon;
+  return std::nullopt;
+}
+
+bool backend_compiled(Backend backend) {
+  return table_for(backend) != nullptr;
+}
+
+bool backend_supported(Backend backend) {
+  return backend_compiled(backend) && cpu_supports(backend);
+}
+
+std::vector<Backend> available_backends() {
+  std::vector<Backend> available;
+  for (const Backend backend : {Backend::kAvx512, Backend::kAvx2,
+                                Backend::kNeon, Backend::kScalar}) {
+    if (backend_supported(backend)) available.push_back(backend);
+  }
+  return available;
+}
+
+bool force_backend(Backend backend) {
+  if (!backend_supported(backend)) return false;
+  g_kernels.store(table_for(backend), std::memory_order_release);
+  g_backend.store(backend, std::memory_order_release);
+  return true;
+}
+
+Backend auto_backend() {
+  for (const Backend backend :
+       {Backend::kAvx512, Backend::kAvx2, Backend::kNeon}) {
+    if (backend_supported(backend)) return backend;
+  }
+  return Backend::kScalar;
+}
+
+}  // namespace simd
+
+}  // namespace causaliot::stats

@@ -1,0 +1,25 @@
+// Internal wiring between the SIMD dispatcher (simd_backend.cpp) and the
+// per-ISA translation units. Each ISA file is compiled with its own -m
+// flags (see src/stats/CMakeLists.txt), so nothing outside its kernel
+// bodies may be emitted there: the files include only this header and the
+// intrinsics header, and expose exactly one table getter. A backend whose
+// CAUSALIOT_SIMD_HAVE_* macro is absent was compiled out; its getter is
+// never referenced.
+#pragma once
+
+#include "causaliot/stats/simd_backend.hpp"
+
+namespace causaliot::stats::simd::detail {
+
+const Kernels& scalar_kernels();
+#if defined(CAUSALIOT_SIMD_HAVE_AVX2)
+const Kernels& avx2_kernels();
+#endif
+#if defined(CAUSALIOT_SIMD_HAVE_AVX512)
+const Kernels& avx512_kernels();
+#endif
+#if defined(CAUSALIOT_SIMD_HAVE_NEON)
+const Kernels& neon_kernels();
+#endif
+
+}  // namespace causaliot::stats::simd::detail

@@ -1,0 +1,83 @@
+// NEON (AArch64 ASIMD) backend: 128-bit AND + CNT per-byte popcount
+// widened with pairwise adds (VADDLP) into 64-bit lane accumulators. Each
+// kSimdWordStride stripe (8 words) is four 16-byte vectors; buffers
+// follow the facade contract so the loads are aligned and tail-free.
+// ASIMD is architecturally baseline on AArch64, so the probe only has to
+// confirm the HWCAP bit on Linux.
+#include <arm_neon.h>
+
+#include "simd_kernels_internal.hpp"
+
+namespace causaliot::stats::simd::detail {
+
+namespace {
+
+// popcount of one 128-bit vector as a two-lane 64-bit partial sum.
+inline uint64x2_t popcnt_lanes(uint8x16_t v) {
+  return vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(vcntq_u8(v))));
+}
+
+inline uint8x16_t load_u8(const std::uint64_t* p) {
+  return vreinterpretq_u8_u64(vld1q_u64(p));
+}
+
+std::uint64_t neon_and_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t words) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  for (std::size_t w = 0; w < words; w += 2) {
+    const uint8x16_t m = vandq_u8(load_u8(a + w), load_u8(b + w));
+    acc = vaddq_u64(acc, popcnt_lanes(m));
+  }
+  return vaddvq_u64(acc);
+}
+
+void neon_marginal_pass(const std::uint64_t* const* cols, std::size_t k,
+                        const std::uint64_t* y, std::size_t words,
+                        std::uint64_t* p, std::uint64_t* p_y) {
+  uint64x2_t acc_p[kMarginalPassMaxColumns];
+  uint64x2_t acc_py[kMarginalPassMaxColumns];
+  for (std::size_t i = 0; i < k; ++i) {
+    acc_p[i] = vdupq_n_u64(0);
+    acc_py[i] = vdupq_n_u64(0);
+  }
+  for (std::size_t w = 0; w < words; w += 2) {
+    const uint8x16_t vy = load_u8(y + w);
+    for (std::size_t i = 0; i < k; ++i) {
+      const uint8x16_t vc = load_u8(cols[i] + w);
+      acc_p[i] = vaddq_u64(acc_p[i], popcnt_lanes(vc));
+      acc_py[i] = vaddq_u64(acc_py[i], popcnt_lanes(vandq_u8(vc, vy)));
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    p[i] = vaddvq_u64(acc_p[i]);
+    p_y[i] = vaddvq_u64(acc_py[i]);
+  }
+}
+
+void neon_masked_pass(const std::uint64_t* prefix, const std::uint64_t* last,
+                      const std::uint64_t* y, std::uint64_t* mask_out,
+                      std::size_t words, std::uint64_t* p, std::uint64_t* p_y) {
+  uint64x2_t acc_p = vdupq_n_u64(0);
+  uint64x2_t acc_py = vdupq_n_u64(0);
+  for (std::size_t w = 0; w < words; w += 2) {
+    const uint8x16_t m = vandq_u8(load_u8(prefix + w), load_u8(last + w));
+    if (mask_out != nullptr) {
+      vst1q_u64(mask_out + w, vreinterpretq_u64_u8(m));
+    }
+    acc_p = vaddq_u64(acc_p, popcnt_lanes(m));
+    acc_py =
+        vaddq_u64(acc_py, popcnt_lanes(vandq_u8(m, load_u8(y + w))));
+  }
+  *p = vaddvq_u64(acc_p);
+  *p_y = vaddvq_u64(acc_py);
+}
+
+}  // namespace
+
+const Kernels& neon_kernels() {
+  static constexpr Kernels kTable{neon_and_popcount, neon_marginal_pass,
+                                  neon_masked_pass};
+  return kTable;
+}
+
+}  // namespace causaliot::stats::simd::detail

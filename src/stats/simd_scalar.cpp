@@ -1,0 +1,63 @@
+// Scalar reference implementation of the SIMD kernel facade: plain
+// uint64 AND + std::popcount, one word per step. Always compiled, always
+// supported — the fallback every other backend must match bit for bit,
+// and the backend CAUSALIOT_SIMD=scalar pins for debugging.
+#include <bit>
+
+#include "simd_kernels_internal.hpp"
+
+namespace causaliot::stats::simd::detail {
+
+namespace {
+
+std::uint64_t scalar_and_popcount(const std::uint64_t* a,
+                                  const std::uint64_t* b, std::size_t words) {
+  std::uint64_t total = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    total += static_cast<std::uint64_t>(std::popcount(a[w] & b[w]));
+  }
+  return total;
+}
+
+void scalar_marginal_pass(const std::uint64_t* const* cols, std::size_t k,
+                          const std::uint64_t* y, std::size_t words,
+                          std::uint64_t* p, std::uint64_t* p_y) {
+  for (std::size_t i = 0; i < k; ++i) {
+    p[i] = 0;
+    p_y[i] = 0;
+  }
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t yw = y[w];
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::uint64_t m = cols[i][w];
+      p[i] += static_cast<std::uint64_t>(std::popcount(m));
+      p_y[i] += static_cast<std::uint64_t>(std::popcount(m & yw));
+    }
+  }
+}
+
+void scalar_masked_pass(const std::uint64_t* prefix, const std::uint64_t* last,
+                        const std::uint64_t* y, std::uint64_t* mask_out,
+                        std::size_t words, std::uint64_t* p,
+                        std::uint64_t* p_y) {
+  std::uint64_t total = 0;
+  std::uint64_t total_y = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t m = prefix[w] & last[w];
+    if (mask_out != nullptr) mask_out[w] = m;
+    total += static_cast<std::uint64_t>(std::popcount(m));
+    total_y += static_cast<std::uint64_t>(std::popcount(m & y[w]));
+  }
+  *p = total;
+  *p_y = total_y;
+}
+
+}  // namespace
+
+const Kernels& scalar_kernels() {
+  static constexpr Kernels kTable{scalar_and_popcount, scalar_marginal_pass,
+                                  scalar_masked_pass};
+  return kTable;
+}
+
+}  // namespace causaliot::stats::simd::detail

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "causaliot/mining/cause_set.hpp"
+#include "causaliot/stats/simd_backend.hpp"
 #include "causaliot/util/rng.hpp"
 
 namespace causaliot::mining {
@@ -253,16 +254,19 @@ TEST(TemporalPC, MetricsLandInInjectedRegistry) {
                      .value();
   }
   EXPECT_EQ(per_level, diagnostics.tests_run);
+  // Kernel-hit counters carry the active SIMD backend as a second label.
+  const std::string backend(
+      stats::simd::backend_name(stats::simd::chosen()));
   EXPECT_EQ(registry.counter("mining_ci_kernel_hits_total",
-                             {{"kernel", "batched"}})
+                             {{"kernel", "batched"}, {"backend", backend}})
                 .value(),
             diagnostics.tests_run);
   EXPECT_EQ(registry.counter("mining_ci_kernel_hits_total",
-                             {{"kernel", "packed"}})
+                             {{"kernel", "packed"}, {"backend", backend}})
                 .value(),
             0u);
   EXPECT_EQ(registry.counter("mining_ci_kernel_hits_total",
-                             {{"kernel", "byte"}})
+                             {{"kernel", "byte"}, {"backend", backend}})
                 .value(),
             0u);
   // The batched kernel reports its sweep activity.
@@ -283,12 +287,14 @@ TEST(TemporalPC, CiBatchingOffDispatchesToPackedKernel) {
   MiningDiagnostics diagnostics;
   miner.mine(series, &diagnostics);
   ASSERT_GT(diagnostics.tests_run, 0u);
+  const std::string backend(
+      stats::simd::backend_name(stats::simd::chosen()));
   EXPECT_EQ(registry.counter("mining_ci_kernel_hits_total",
-                             {{"kernel", "packed"}})
+                             {{"kernel", "packed"}, {"backend", backend}})
                 .value(),
             diagnostics.tests_run);
   EXPECT_EQ(registry.counter("mining_ci_kernel_hits_total",
-                             {{"kernel", "batched"}})
+                             {{"kernel", "batched"}, {"backend", backend}})
                 .value(),
             0u);
   EXPECT_EQ(registry.counter("mining_ci_batch_passes_total").value(), 0u);

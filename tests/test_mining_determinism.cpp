@@ -10,6 +10,7 @@
 #include "causaliot/detect/monitor.hpp"
 #include "causaliot/mining/temporal_pc.hpp"
 #include "causaliot/stats/cmh.hpp"
+#include "causaliot/stats/simd_backend.hpp"
 #include "causaliot/util/rng.hpp"
 
 namespace causaliot::mining {
@@ -322,6 +323,89 @@ TEST_P(CiBatchingEquivalence, GuardSkippedTestsMatchPerSubset) {
 
 INSTANTIATE_TEST_SUITE_P(
     Variants, CiBatchingEquivalence,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(CiTest::kGSquare, CiTest::kCmh)),
+    [](const ::testing::TestParamInfo<std::tuple<bool, CiTest>>& info) {
+      return std::string(std::get<0>(info.param) ? "Stable" : "Plain") +
+             (std::get<1>(info.param) == CiTest::kCmh ? "Cmh" : "GSquare");
+    });
+
+// Satellite (PR 6): the SIMD kernel backend is a pure throughput switch.
+// A full mine under every backend the host can execute must reproduce
+// the scalar run's DIG, CPT counts, diagnostics sequence, per-level test
+// totals, and per-kernel dispatch counts bit for bit — the contract that
+// makes the capability probe's choice (and CAUSALIOT_SIMD overrides)
+// invisible to detection behaviour.
+class SimdBackendEquivalence
+    : public ::testing::TestWithParam<std::tuple<bool, CiTest>> {};
+
+TEST_P(SimdBackendEquivalence, EveryBackendMatchesScalarMining) {
+  const auto [stable, ci_test] = GetParam();
+  const StateSeries series = busy_series(12, 3000, 2024);
+
+  MinerConfig config;
+  config.max_lag = 2;
+  config.alpha = 0.001;
+  config.stable = stable;
+  config.ci_test = ci_test;
+
+  const stats::simd::Backend before = stats::simd::chosen();
+  ASSERT_TRUE(stats::simd::force_backend(stats::simd::Backend::kScalar));
+  obs::Registry scalar_registry;
+  config.metrics_registry = &scalar_registry;
+  MiningDiagnostics scalar_diag;
+  const graph::InteractionGraph scalar =
+      InteractionMiner(config).mine(series, &scalar_diag);
+
+  const auto kernel_hits = [](obs::Registry& registry,
+                              stats::simd::Backend backend,
+                              const char* kernel) {
+    return registry
+        .counter("mining_ci_kernel_hits_total",
+                 {{"kernel", kernel},
+                  {"backend",
+                   std::string(stats::simd::backend_name(backend))}})
+        .value();
+  };
+
+  for (const stats::simd::Backend backend :
+       stats::simd::available_backends()) {
+    SCOPED_TRACE(std::string("backend ") +
+                 std::string(stats::simd::backend_name(backend)));
+    ASSERT_TRUE(stats::simd::force_backend(backend));
+    obs::Registry registry;
+    config.metrics_registry = &registry;
+    MiningDiagnostics diag;
+    const graph::InteractionGraph mined =
+        InteractionMiner(config).mine(series, &diag);
+
+    expect_identical_models(scalar, mined, scalar_diag, diag);
+    for (std::size_t l = 0; l <= config.max_lag * series.device_count();
+         ++l) {
+      EXPECT_EQ(registry
+                    .counter("mining_ci_tests_total",
+                             {{"level", std::to_string(l)}})
+                    .value(),
+                scalar_registry
+                    .counter("mining_ci_tests_total",
+                             {{"level", std::to_string(l)}})
+                    .value())
+          << "level " << l;
+    }
+    // Same dispatch counts per kernel, each labelled with its own run's
+    // backend.
+    for (const char* kernel : {"batched", "packed", "byte"}) {
+      EXPECT_EQ(kernel_hits(registry, backend, kernel),
+                kernel_hits(scalar_registry, stats::simd::Backend::kScalar,
+                            kernel))
+          << "kernel " << kernel;
+    }
+  }
+  ASSERT_TRUE(stats::simd::force_backend(before));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, SimdBackendEquivalence,
     ::testing::Combine(::testing::Bool(),
                        ::testing::Values(CiTest::kGSquare, CiTest::kCmh)),
     [](const ::testing::TestParamInfo<std::tuple<bool, CiTest>>& info) {

@@ -11,6 +11,7 @@
 
 #include "causaliot/stats/cmh.hpp"
 #include "causaliot/stats/gsquare.hpp"
+#include "causaliot/stats/simd_backend.hpp"
 #include "causaliot/util/rng.hpp"
 
 namespace causaliot::stats {
@@ -113,6 +114,77 @@ TEST(BatchCi, GSquareMatchesPerSubsetBitForBit) {
 TEST(BatchCi, CmhMatchesPerSubsetBitForBit) {
   expect_batched_matches_per_subset(997, 21, /*use_cmh=*/true);
   expect_batched_matches_per_subset(1500, 22, /*use_cmh=*/true);
+}
+
+// Satellite (PR 6): the exhaustive batched-vs-per-subset equivalence must
+// hold under every compiled-in SIMD backend the host can execute, for
+// both statistics — the wide kernels sit under both code paths.
+TEST(BatchCi, EquivalenceHoldsUnderEverySimdBackend) {
+  const simd::Backend before = simd::chosen();
+  for (const simd::Backend backend : simd::available_backends()) {
+    SCOPED_TRACE(std::string("backend ") +
+                 std::string(simd::backend_name(backend)));
+    ASSERT_TRUE(simd::force_backend(backend));
+    expect_batched_matches_per_subset(997, 11, /*use_cmh=*/false);
+    expect_batched_matches_per_subset(997, 21, /*use_cmh=*/true);
+  }
+  ASSERT_TRUE(simd::force_backend(before));
+}
+
+// Every (x, Z) sweep statistic, serialized for cross-backend comparison.
+std::vector<double> sweep_statistics(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  constexpr std::size_t kColumns = 8;
+  const std::vector<Column> columns = random_columns(kColumns, n, rng, 0.35);
+  const std::vector<PackedColumn> packed = pack_all(columns);
+  BatchCiContext batch({packed.data(), packed.size()}, 0);
+  CiTestContext context;
+  std::vector<double> out;
+  for (std::size_t level = 0; level <= 3; ++level) {
+    for (ColumnId x = 1; x < kColumns; ++x) {
+      std::vector<ColumnId> others;
+      for (ColumnId c = 1; c < kColumns; ++c) {
+        if (c != x) others.push_back(c);
+      }
+      std::vector<bool> take(others.size(), false);
+      std::fill(take.begin(), take.begin() + static_cast<long>(level), true);
+      do {
+        std::vector<ColumnId> z_ids;
+        std::vector<const PackedColumn*> z_packed;
+        for (std::size_t i = 0; i < others.size(); ++i) {
+          if (!take[i]) continue;
+          z_ids.push_back(others[i]);
+          z_packed.push_back(&packed[others[i]]);
+        }
+        const GSquareResult batched = g_square_test(batch, x, z_ids, {});
+        const GSquareResult direct =
+            g_square_test(packed[x], packed[0], z_packed, {}, context);
+        out.push_back(batched.statistic);
+        out.push_back(batched.p_value);
+        out.push_back(static_cast<double>(batched.sample_count));
+        out.push_back(direct.statistic);
+        out.push_back(direct.p_value);
+      } while (std::prev_permutation(take.begin(), take.end()));
+    }
+  }
+  return out;
+}
+
+// Cross-backend bit-identity: the full statistic stream computed under a
+// wide backend must equal the scalar stream exactly (EXPECT_EQ on
+// doubles — not approximate), because miner pruning compares p-values
+// against alpha and any drift would change skeletons.
+TEST(BatchCi, SimdBackendsProduceBitIdenticalStatistics) {
+  const simd::Backend before = simd::chosen();
+  ASSERT_TRUE(simd::force_backend(simd::Backend::kScalar));
+  const std::vector<double> reference = sweep_statistics(1023, 81);
+  for (const simd::Backend backend : simd::available_backends()) {
+    SCOPED_TRACE(std::string("backend ") +
+                 std::string(simd::backend_name(backend)));
+    ASSERT_TRUE(simd::force_backend(backend));
+    EXPECT_EQ(sweep_statistics(1023, 81), reference);
+  }
+  ASSERT_TRUE(simd::force_backend(before));
 }
 
 TEST(BatchCi, SmallSampleGuardSkipsWithoutCounting) {

@@ -37,7 +37,8 @@ if [ -f "$mining_json" ]; then
 fi
 
 # BM_TrainStages carries the per-stage span totals (mine_ns / cpt_ns /
-# threshold_ns / tpc_level_ns counters) from the obs tracer.
+# threshold_ns / tpc_level_ns counters) from the obs tracer. The
+# BM_*CI_simd_<backend> variants record the per-backend kernel ratios.
 "$mining_bin" \
   --benchmark_filter='BM_TemporalPCMining|BM_GSquareTest|BM_TrainStages|BM_BatchedCI|BM_PerSubsetCI' \
   --benchmark_out="$mining_json" \
@@ -45,44 +46,71 @@ fi
 
 echo "wrote $mining_json"
 
-if [ -n "$baseline_json" ]; then
-  python3 - "$baseline_json" "$mining_json" <<'PY'
+# Stamp SIMD provenance (chosen backend + the host's vector CPU flags)
+# into the JSON, then — when a committed baseline exists AND it ran on
+# the same backend — append the baseline_delta section. A baseline from
+# a different backend (or one predating provenance) is skipped: a
+# scalar-vs-avx512 ratio measures the hardware, not the change.
+python3 - "$mining_json" ${baseline_json:+"$baseline_json"} <<'PY'
 import json
+import re
 import sys
 
-baseline_path, new_path = sys.argv[1], sys.argv[2]
-with open(baseline_path) as f:
-    baseline = json.load(f)
+new_path = sys.argv[1]
+baseline_path = sys.argv[2] if len(sys.argv) > 2 else None
 with open(new_path) as f:
     fresh = json.load(f)
 
-old_times = {
-    b["name"]: b["real_time"]
-    for b in baseline.get("benchmarks", [])
-    if b.get("run_type", "iteration") == "iteration"
-}
-delta = {}
-for bench in fresh.get("benchmarks", []):
-    if bench.get("run_type", "iteration") != "iteration":
-        continue
-    name = bench["name"]
-    if name in old_times and old_times[name] > 0:
-        delta[name] = bench["real_time"] / old_times[name]
+backend = fresh.get("context", {}).get("simd_backend", "unknown")
+cpu_flags = []
+try:
+    with open("/proc/cpuinfo") as f:
+        for line in f:
+            if line.startswith(("flags", "Features")):
+                cpu_flags = sorted(
+                    t for t in line.split(":", 1)[1].split()
+                    if re.match(r"^(avx|popcnt|asimd|neon)", t))
+                break
+except OSError:
+    pass
+fresh["simd"] = {"backend": backend, "host_cpu_flags": cpu_flags}
+print("simd backend: %s (host flags: %s)" % (backend, " ".join(cpu_flags)))
 
-fresh["baseline_delta"] = delta
+if baseline_path:
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    old_backend = baseline.get("simd", {}).get("backend") or \
+        baseline.get("context", {}).get("simd_backend")
+    if old_backend is not None and old_backend != backend:
+        print("baseline_delta: skipped — baseline ran on backend '%s', "
+              "this run on '%s'" % (old_backend, backend))
+    else:
+        old_times = {
+            b["name"]: b["real_time"]
+            for b in baseline.get("benchmarks", [])
+            if b.get("run_type", "iteration") == "iteration"
+        }
+        delta = {}
+        for bench in fresh.get("benchmarks", []):
+            if bench.get("run_type", "iteration") != "iteration":
+                continue
+            name = bench["name"]
+            if name in old_times and old_times[name] > 0:
+                delta[name] = bench["real_time"] / old_times[name]
+        fresh["baseline_delta"] = delta
+        if delta:
+            print("baseline_delta (new/old real_time; < 1.0 is faster):")
+            for name in sorted(delta):
+                print("  %-40s %.3f" % (name, delta[name]))
+        else:
+            print("baseline_delta: no overlapping benchmarks with the "
+                  "baseline")
+
 with open(new_path, "w") as f:
     json.dump(fresh, f, indent=1)
     f.write("\n")
-
-if delta:
-    print("baseline_delta (new/old real_time; < 1.0 is faster):")
-    for name in sorted(delta):
-        print("  %-40s %.3f" % (name, delta[name]))
-else:
-    print("baseline_delta: no overlapping benchmarks with the baseline")
 PY
-  rm -f "$baseline_json"
-fi
+rm -f "${baseline_json:-}" 2>/dev/null || true
 
 "$serving_bin" \
   --benchmark_out="$serving_json" \
