@@ -6,13 +6,14 @@
 //                      [--kmax 3] [--threshold 0.99]
 //   causaliot serve    --model model.dig --trace live.csv [--tenants 4]
 //                      [--shards 2] [--speedup 0] [--policy block]
-//                      [--stdin 1]
+//                      [--stdin 1] [--ingest-port 0] [--ingest-http 0]
 //   causaliot inspect  --model model.dig --profile contextact [--dot graph.dot]
 //
 // The profile argument supplies the device catalog (column order of the
 // CSV); custom deployments would register their own catalog the same way.
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -27,10 +28,12 @@
 #include "causaliot/core/pipeline.hpp"
 #include "causaliot/detect/explanation.hpp"
 #include "causaliot/graph/analysis.hpp"
+#include "causaliot/net/line_server.hpp"
 #include "causaliot/obs/http_server.hpp"
 #include "causaliot/obs/registry.hpp"
 #include "causaliot/obs/trace.hpp"
 #include "causaliot/serve/alarm_json.hpp"
+#include "causaliot/serve/ingest.hpp"
 #include "causaliot/serve/introspection.hpp"
 #include "causaliot/serve/service.hpp"
 #include "causaliot/sim/simulator.hpp"
@@ -348,23 +351,24 @@ int cmd_monitor(const Args& args) {
   return 0;
 }
 
-// Extracts the string value of a top-level "tenant" field from a JSONL
-// line (the event fields go through telemetry::parse_jsonl_event, which
-// ignores the extra field).
-std::optional<std::string> extract_tenant(const std::string& line) {
-  const std::size_t key = line.find("\"tenant\"");
-  if (key == std::string::npos) return std::nullopt;
-  std::size_t open = line.find('"', line.find(':', key) + 1);
-  if (open == std::string::npos) return std::nullopt;
-  const std::size_t close = line.find('"', open + 1);
-  if (close == std::string::npos) return std::nullopt;
-  return line.substr(open + 1, close - open - 1);
-}
+// SIGINT/SIGTERM flag for the network-only serve mode (no stdin, no
+// trace replay: the process idles until a signal asks it to drain).
+volatile std::sig_atomic_t g_serve_interrupted = 0;
+
+void on_serve_signal(int) { g_serve_interrupted = 1; }
 
 int cmd_serve(const Args& args) {
   if (!args.require("model")) return 2;
   const bool from_stdin = args.get_u64("stdin", 0) != 0;
-  if (!from_stdin && !args.require("trace")) return 2;
+  const bool ingest_tcp = args.options.contains("ingest-port");
+  const bool ingest_http = args.options.contains("ingest-http");
+  const bool from_trace = args.options.contains("trace");
+  if (!from_stdin && !from_trace && !ingest_tcp && !ingest_http) {
+    std::fprintf(stderr,
+                 "serve needs an event source: --trace, --stdin 1, "
+                 "--ingest-port PORT, or --ingest-http PORT\n");
+    return 2;
+  }
   auto profile = profile_by_name(args.get("profile", "contextact"));
   if (!profile) return 2;
   telemetry::DeviceCatalog catalog;
@@ -484,39 +488,82 @@ int cmd_serve(const Args& args) {
 
   service.start();
 
+  // The ingestion plane: stdin, raw-TCP JSONL (--ingest-port), and HTTP
+  // POST /ingest (--ingest-http) all reduce to one shared IngestRouter,
+  // so parsing, rejection accounting, and the tenant control verbs
+  // behave identically no matter how an event arrives.
+  serve::IngestConfig ingest_config;
+  ingest_config.model = snapshot;
+  ingest_config.initial_state = std::vector<std::uint8_t>(catalog.size(), 0);
+  if (!tenants.empty()) ingest_config.default_tenant = "home-0";
+  serve::IngestRouter router(service, catalog, std::move(ingest_config));
+
+  std::unique_ptr<net::LineProtocolServer> line_server;
+  if (ingest_tcp) {
+    net::LineServerConfig line_config;
+    line_config.socket.port =
+        static_cast<std::uint16_t>(args.get_u64("ingest-port", 0));
+    line_server = std::make_unique<net::LineProtocolServer>(
+        line_config, [&router](std::string_view line) {
+          return serve::IngestRouter::response_line(
+              router.handle_line(line));
+        });
+    const auto port = line_server->start();
+    if (!port.ok()) {
+      std::fprintf(stderr, "cannot start ingest listener: %s\n",
+                   port.error().to_string().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "ingest listening on tcp://127.0.0.1:%u\n",
+                 port.value());
+  }
+  std::unique_ptr<obs::HttpServer> ingest_http_server;
+  if (ingest_http) {
+    obs::HttpServerConfig http_config;
+    http_config.port =
+        static_cast<std::uint16_t>(args.get_u64("ingest-http", 0));
+    http_config.registry = &service.registry();
+    ingest_http_server = std::make_unique<obs::HttpServer>(http_config);
+    serve::attach_ingest(*ingest_http_server, router);
+    serve::attach_introspection(*ingest_http_server, service);
+    const auto port = ingest_http_server->start();
+    if (!port.ok()) {
+      std::fprintf(stderr, "cannot start ingest-http listener: %s\n",
+                   port.error().to_string().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "ingest-http listening on http://127.0.0.1:%u\n",
+                 port.value());
+  }
+
   if (from_stdin) {
     // One JSON object per line:
     //   {"tenant": "home-0", "device": "pe_kitchen", "value": 1,
     //    "timestamp": 12.5}
     // Values are taken as already-binary (a deployment would persist the
-    // training-time DiscretizationModel and discretize here).
+    // training-time DiscretizationModel and discretize here). Lines
+    // without a tenant route to the default tenant; rejections land in
+    // serve_ingest_rejected_total{reason} like every other transport.
     std::string line;
     std::size_t line_number = 0, skipped = 0;
     while (std::getline(std::cin, line)) {
       ++line_number;
-      if (util::trim(line).empty()) continue;
-      const auto event = telemetry::parse_jsonl_event(line, catalog);
-      const auto tenant_name = extract_tenant(line);
-      const auto tenant = tenant_name
-                              ? service.find_tenant(*tenant_name)
-                              : tenants.front();
-      if (!event.ok() || tenant == serve::DetectionService::kInvalidTenant) {
-        std::fprintf(stderr, "line %zu skipped: %s\n", line_number,
-                     event.ok() ? "unknown tenant"
-                                : event.error().to_string().c_str());
-        ++skipped;
-        continue;
+      const auto result = router.handle_line(line);
+      switch (result.outcome) {
+        case serve::IngestRouter::Outcome::kBlank:
+        case serve::IngestRouter::Outcome::kAccepted:
+        case serve::IngestRouter::Outcome::kControlOk:
+          break;
+        default:
+          std::fprintf(stderr, "line %zu skipped: %s\n", line_number,
+                       result.reason);
+          ++skipped;
       }
-      service.submit(tenant,
-                     {event.value().device,
-                      static_cast<std::uint8_t>(
-                          event.value().value != 0.0 ? 1 : 0),
-                      event.value().timestamp});
     }
     if (skipped > 0) {
-      std::fprintf(stderr, "-- %zu malformed lines skipped\n", skipped);
+      std::fprintf(stderr, "-- %zu rejected lines skipped\n", skipped);
     }
-  } else {
+  } else if (from_trace) {
     const auto log = load_trace(args);
     if (!log) return 1;
     preprocess::Preprocessor preprocessor;
@@ -532,8 +579,21 @@ int cmd_serve(const Args& args) {
       std::fprintf(stderr, "-- %zu submissions rejected by backpressure\n",
                    replayed.rejected);
     }
+  } else {
+    // Network-only: the sockets are the sole event source. Idle until
+    // SIGINT/SIGTERM, then fall through to the graceful drain.
+    std::signal(SIGINT, on_serve_signal);
+    std::signal(SIGTERM, on_serve_signal);
+    while (g_serve_interrupted == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::fprintf(stderr, "-- signal received, draining\n");
   }
 
+  // Stop the ingestion listeners before draining the service: every
+  // line already received is routed, then the queues flush.
+  if (line_server != nullptr) line_server->stop();
+  if (ingest_http_server != nullptr) ingest_http_server->stop();
   service.shutdown();
   if (metrics_thread.joinable()) {
     metrics_stop.store(true, std::memory_order_relaxed);
@@ -621,7 +681,13 @@ void usage() {
       " /statusz /tracez on loopback)]\n"
       "  monitor  --model model.dig --trace live.csv [--profile P]"
       " [--kmax K] [--threshold C]\n"
-      "  serve    --model model.dig (--trace live.csv | --stdin 1)"
+      "  serve    --model model.dig (--trace live.csv | --stdin 1 |"
+      " --ingest-port PORT | --ingest-http PORT; network-only runs until"
+      " SIGINT/SIGTERM)\n"
+      "           [--ingest-port PORT (raw-TCP JSONL lines + control verbs;"
+      " 0 = ephemeral, announced on stderr)]\n"
+      "           [--ingest-http PORT (POST /ingest JSONL batches,"
+      " POST/DELETE /tenants, plus the introspection routes)]\n"
       " [--profile P] [--tenants N] [--shards N] [--queue N]"
       " [--policy block|drop|reject] [--speedup X (0 = max)] [--kmax K]"
       " [--threshold C] [--dedup 0|1] [--metrics-interval SECS]"

@@ -1,0 +1,28 @@
+// Small POSIX socket helpers shared by every server in src/net and the
+// planes built on top of it (obs scrape, serve ingest).
+//
+// These are the hardened primitives the introspection HttpServer grew
+// first — full-buffer writes that survive EINTR and signal-free EPIPE,
+// and SO_RCVTIMEO/SO_SNDTIMEO as the one slow-client defense every
+// connection gets — factored out so the ingest plane inherits the same
+// behavior instead of re-deriving it.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace causaliot::net {
+
+/// Writes the whole buffer; false on error/timeout (the connection is
+/// then dropped — the client gave up or stalled past SO_SNDTIMEO).
+bool write_all(int fd, std::string_view data);
+
+/// Applies `timeout_ms` as both SO_RCVTIMEO and SO_SNDTIMEO, so a
+/// stalled read returns EAGAIN and a stalled write fails instead of
+/// wedging a worker forever.
+void set_io_timeout(int fd, int timeout_ms);
+
+/// Disables Nagle: both planes write complete responses in one burst.
+void set_nodelay(int fd);
+
+}  // namespace causaliot::net

@@ -1,0 +1,102 @@
+// Listener / accept-queue / worker-pool skeleton shared by the scrape
+// and ingest planes.
+//
+// This is the socket core factored out of obs::HttpServer: a blocking
+// accept loop on its own thread feeds accepted fds into a bounded
+// kReject queue drained by a small worker pool, so a slow or stuck
+// client can never stall accept and a connection burst degrades to an
+// explicit overflow callback (HTTP answers 503, the line protocol
+// writes an error line) instead of unbounded memory. The core is
+// protocol-agnostic: it owns binding, accepting, queueing, thread
+// lifecycle, and graceful shutdown; what happens *on* a connection is
+// the handler's business, including closing the fd.
+//
+// stop() is graceful and idempotent: the listener closes first, queued
+// connections are handed to the overflow callback (they can no longer
+// be served), then the workers join. The destructor calls stop().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "causaliot/util/bounded_queue.hpp"
+#include "causaliot/util/result.hpp"
+
+namespace causaliot::net {
+
+struct SocketServerConfig {
+  /// Loopback by default; set "0.0.0.0" explicitly to expose a plane.
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port; start() reports the one the kernel chose.
+  std::uint16_t port = 0;
+  /// Worker threads running the connection handler.
+  std::size_t worker_count = 2;
+  /// Accepted-but-unserved connections beyond this are handed to the
+  /// overflow callback straight from the accept loop.
+  std::size_t max_pending_connections = 64;
+};
+
+class SocketServer {
+ public:
+  /// Runs on a worker thread with exclusive ownership of the fd; must
+  /// close it. May block for the connection's whole lifetime.
+  using ConnectionHandler = std::function<void(int fd)>;
+  /// Runs on the accept thread (or during stop()) when the pending
+  /// queue is full or closed; owns the fd and must close it after
+  /// answering. Keep it fast — it runs inline with accept.
+  using OverflowHandler = std::function<void(int fd)>;
+
+  SocketServer(SocketServerConfig config, ConnectionHandler on_connection,
+               OverflowHandler on_overflow);
+  /// Calls stop().
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds, listens, and spawns the accept loop + workers. Returns the
+  /// bound port or an Error when the address is unavailable.
+  util::Result<std::uint16_t> start();
+
+  /// Bound port once start() succeeded; 0 before.
+  std::uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// True once stop() began: long-lived connection handlers poll this
+  /// to wind down persistent connections.
+  bool stopping() const { return stopping_.load(std::memory_order_acquire); }
+
+  /// Graceful shutdown: closes the listener, hands queued-but-unserved
+  /// connections to the overflow callback, joins all threads.
+  /// Idempotent; safe if start() never ran.
+  void stop();
+
+  std::uint64_t connections_accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t connections_overflowed() const {
+    return overflowed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void worker_loop();
+
+  SocketServerConfig config_;
+  ConnectionHandler on_connection_;
+  OverflowHandler on_overflow_;
+  util::BoundedQueue<int> pending_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> overflowed_{0};
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace causaliot::net

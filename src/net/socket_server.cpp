@@ -1,0 +1,147 @@
+#include "causaliot/net/socket_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "causaliot/util/check.hpp"
+#include "causaliot/util/strings.hpp"
+
+namespace causaliot::net {
+
+SocketServer::SocketServer(SocketServerConfig config,
+                           ConnectionHandler on_connection,
+                           OverflowHandler on_overflow)
+    : config_(std::move(config)),
+      on_connection_(std::move(on_connection)),
+      on_overflow_(std::move(on_overflow)),
+      pending_(config_.max_pending_connections == 0
+                   ? 1
+                   : config_.max_pending_connections,
+               util::OverflowPolicy::kReject) {
+  CAUSALIOT_CHECK_MSG(config_.worker_count >= 1,
+                      "socket server needs at least one worker");
+  CAUSALIOT_CHECK_MSG(static_cast<bool>(on_connection_),
+                      "socket server needs a connection handler");
+  CAUSALIOT_CHECK_MSG(static_cast<bool>(on_overflow_),
+                      "socket server needs an overflow handler");
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+util::Result<std::uint16_t> SocketServer::start() {
+  CAUSALIOT_CHECK_MSG(!running(), "socket server already started");
+  CAUSALIOT_CHECK_MSG(!stopping_.load(), "socket server already stopped");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Error::io_error(
+        util::format("socket(): %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &address.sin_addr) !=
+      1) {
+    ::close(fd);
+    return util::Error::invalid_argument("bad bind address '" +
+                                         config_.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(fd, SOMAXCONN) != 0) {
+    const std::string message = util::format(
+        "cannot listen on %s:%u: %s", config_.bind_address.c_str(),
+        static_cast<unsigned>(config_.port), std::strerror(errno));
+    ::close(fd);
+    return util::Error::io_error(message);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    ::close(fd);
+    return util::Error::io_error("getsockname() failed");
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  running_.store(true, std::memory_order_release);
+
+  acceptor_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(config_.worker_count);
+  for (std::size_t i = 0; i < config_.worker_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  return port_;
+}
+
+void SocketServer::accept_loop() {
+  // poll with a short timeout instead of a bare blocking accept: closing
+  // a listening socket from another thread does not reliably wake a
+  // blocked accept(2), but it does flip the stopping flag we poll here.
+  pollfd watched{};
+  watched.fd = listen_fd_;
+  watched.events = POLLIN;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int ready = ::poll(&watched, 1, /*timeout_ms=*/50);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0 || (watched.revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      break;  // listener closed or broken
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (pending_.push(client) != util::PushResult::kAccepted) {
+      // Worker pool saturated (or shutting down): answer here rather
+      // than queueing without bound or silently dropping the connection.
+      overflowed_.fetch_add(1, std::memory_order_relaxed);
+      on_overflow_(client);
+    }
+  }
+}
+
+void SocketServer::worker_loop() {
+  while (std::optional<int> fd = pending_.pop()) {
+    on_connection_(*fd);
+  }
+}
+
+void SocketServer::stop() {
+  if (stopping_.exchange(true)) {
+    // A second caller must still not return before the joins below have
+    // finished; the cheap way is to let only the first caller join and
+    // make the others wait on running_.
+    while (running_.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    if (acceptor_.joinable()) acceptor_.join();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  pending_.close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  // Connections that were queued when the queue closed can no longer be
+  // served; refuse them cleanly instead of leaking the fds.
+  while (std::optional<int> fd = pending_.try_pop()) {
+    overflowed_.fetch_add(1, std::memory_order_relaxed);
+    on_overflow_(*fd);
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+}  // namespace causaliot::net

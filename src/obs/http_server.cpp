@@ -1,15 +1,14 @@
 #include "causaliot/obs/http_server.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 
+#include "causaliot/net/socket_io.hpp"
 #include "causaliot/obs/registry.hpp"
 #include "causaliot/util/check.hpp"
 #include "causaliot/util/strings.hpp"
@@ -25,6 +24,8 @@ const char* status_text(int status) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Content Too Large";
     case 431: return "Request Header Fields Too Large";
     case 503: return "Service Unavailable";
     default: return "Internal Server Error";
@@ -44,39 +45,17 @@ std::string render(const HttpResponse& response, bool head_only) {
   return out;
 }
 
-// Writes the whole buffer; false on error/timeout (connection is dropped,
-// nothing to recover — the client gave up or stalled).
-bool write_all(int fd, std::string_view data) {
-  std::size_t written = 0;
-  while (written < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + written, data.size() - written, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-void set_io_timeout(int fd, int timeout_ms) {
-  timeval tv{};
-  tv.tv_sec = timeout_ms / 1000;
-  tv.tv_usec = (timeout_ms % 1000) * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
 struct ReadOutcome {
   /// 0 = got a full head; otherwise the error status to answer with.
   int status = 0;
-  std::string head;  // request line + headers, CRLFCRLF excluded
+  std::string head;      // request line + headers, CRLFCRLF excluded
+  std::string leftover;  // bytes received past the head (body prefix)
 };
 
 // Reads until the blank line ending the header block, the size cap, the
-// socket timeout, or EOF. Any request body is ignored (GET/HEAD have
-// none; anything else is rejected before a body would matter).
+// socket timeout, or EOF. Bytes past the terminator are retained in
+// `leftover` — the first chunk of a request body must not be lost to
+// the head read.
 ReadOutcome read_head(int fd, std::size_t max_bytes) {
   std::string buffer;
   char chunk[1024];
@@ -84,26 +63,28 @@ ReadOutcome read_head(int fd, std::size_t max_bytes) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return {408, {}};
-      return {400, {}};
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return {408, {}, {}};
+      return {400, {}, {}};
     }
-    if (n == 0) return {400, {}};  // EOF before the head completed
+    if (n == 0) return {400, {}, {}};  // EOF before the head completed
     buffer.append(chunk, static_cast<std::size_t>(n));
     const std::size_t end = buffer.find("\r\n\r\n");
     if (end != std::string::npos) {
       // The cap applies to the head itself, not to how it was chunked:
       // a terminator past the limit is still an oversized head.
-      if (end > max_bytes) return {431, {}};
+      if (end > max_bytes) return {431, {}, {}};
+      ReadOutcome out;
+      out.leftover = buffer.substr(end + 4);
       buffer.resize(end);
-      return {0, std::move(buffer)};
+      out.head = std::move(buffer);
+      return out;
     }
-    if (buffer.size() > max_bytes) return {431, {}};
+    if (buffer.size() > max_bytes) return {431, {}, {}};
   }
 }
 
 // Parses "METHOD SP target SP HTTP/1.x" into the request; false on any
-// deviation. Header lines after the request line are tolerated but not
-// interpreted (no route needs them).
+// deviation.
 bool parse_request_line(std::string_view head, HttpRequest& request) {
   const std::size_t line_end = head.find("\r\n");
   std::string_view line =
@@ -128,110 +109,110 @@ bool parse_request_line(std::string_view head, HttpRequest& request) {
   return true;
 }
 
+// Case-insensitive header lookup in the raw head block; value is
+// whitespace-trimmed. False when the header is absent.
+bool find_header(std::string_view head, std::string_view name,
+                 std::string& value) {
+  std::size_t pos = head.find("\r\n");
+  while (pos != std::string_view::npos) {
+    pos += 2;
+    const std::size_t line_end = head.find("\r\n", pos);
+    std::string_view line = head.substr(
+        pos, line_end == std::string_view::npos ? std::string_view::npos
+                                                : line_end - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos && colon == name.size()) {
+      bool match = true;
+      for (std::size_t i = 0; i < name.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(line[i])) !=
+            std::tolower(static_cast<unsigned char>(name[i]))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        value = std::string(util::trim(line.substr(colon + 1)));
+        return true;
+      }
+    }
+    pos = line_end;
+  }
+  return false;
+}
+
 }  // namespace
 
 HttpServer::HttpServer(HttpServerConfig config)
     : config_(std::move(config)),
-      pending_(config_.max_pending_connections == 0
-                   ? 1
-                   : config_.max_pending_connections,
-               util::OverflowPolicy::kReject) {
-  CAUSALIOT_CHECK_MSG(config_.worker_count >= 1,
-                      "http server needs at least one worker");
-}
+      server_(
+          net::SocketServerConfig{config_.bind_address, config_.port,
+                                  config_.worker_count,
+                                  config_.max_pending_connections},
+          [this](int fd) { serve_connection(fd); },
+          [this](int fd) {
+            refuse_connection(fd, server_.stopping() ? "shutting down\n"
+                                                     : "overloaded\n");
+          }) {}
 
 HttpServer::~HttpServer() { stop(); }
 
 void HttpServer::handle(std::string path, HttpHandler handler) {
+  handle("GET", std::move(path), std::move(handler));
+}
+
+void HttpServer::handle(std::string method, std::string path,
+                        HttpHandler handler) {
   CAUSALIOT_CHECK_MSG(!running(), "routes must be registered before start()");
   CAUSALIOT_CHECK_MSG(!path.empty() && path.front() == '/',
                       "route paths start with '/'");
-  routes_[std::move(path)] = std::move(handler);
+  CAUSALIOT_CHECK_MSG(!method.empty(), "route method must be non-empty");
+  routes_[{std::move(method), std::move(path)}] = std::move(handler);
 }
 
-util::Result<std::uint16_t> HttpServer::start() {
-  CAUSALIOT_CHECK_MSG(!running(), "http server already started");
-  CAUSALIOT_CHECK_MSG(!stopping_.load(), "http server already stopped");
-
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return util::Error::io_error(
-        util::format("socket(): %s", std::strerror(errno)));
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in address{};
-  address.sin_family = AF_INET;
-  address.sin_port = htons(config_.port);
-  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &address.sin_addr) !=
-      1) {
-    ::close(fd);
-    return util::Error::invalid_argument("bad bind address '" +
-                                         config_.bind_address + "'");
-  }
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
-             sizeof(address)) != 0 ||
-      ::listen(fd, SOMAXCONN) != 0) {
-    const std::string message = util::format(
-        "cannot listen on %s:%u: %s", config_.bind_address.c_str(),
-        static_cast<unsigned>(config_.port), std::strerror(errno));
-    ::close(fd);
-    return util::Error::io_error(message);
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
-      0) {
-    ::close(fd);
-    return util::Error::io_error("getsockname() failed");
-  }
-  listen_fd_ = fd;
-  port_ = ntohs(bound.sin_port);
-  running_.store(true, std::memory_order_release);
-
-  acceptor_ = std::thread([this] { accept_loop(); });
-  workers_.reserve(config_.worker_count);
-  for (std::size_t i = 0; i < config_.worker_count; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
-  return port_;
+void HttpServer::handle_prefix(std::string method, std::string prefix,
+                               HttpHandler handler) {
+  CAUSALIOT_CHECK_MSG(!running(), "routes must be registered before start()");
+  CAUSALIOT_CHECK_MSG(!prefix.empty() && prefix.front() == '/',
+                      "route prefixes start with '/'");
+  prefix_routes_.push_back(
+      {{std::move(method), std::move(prefix)}, std::move(handler)});
 }
 
-void HttpServer::accept_loop() {
-  // poll with a short timeout instead of a bare blocking accept: closing
-  // a listening socket from another thread does not reliably wake a
-  // blocked accept(2), but it does flip the stopping flag we poll here.
-  pollfd watched{};
-  watched.fd = listen_fd_;
-  watched.events = POLLIN;
-  while (!stopping_.load(std::memory_order_acquire)) {
-    const int ready = ::poll(&watched, 1, /*timeout_ms=*/50);
-    if (ready < 0 && errno != EINTR) break;
-    if (ready <= 0 || (watched.revents & POLLIN) == 0) continue;
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) {
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-      break;  // listener closed or broken
-    }
-    if (pending_.push(client) != util::PushResult::kAccepted) {
-      // Worker pool saturated (or shutting down): answer 503 here rather
-      // than queueing without bound or silently dropping the connection.
-      set_io_timeout(client, config_.io_timeout_ms);
-      HttpResponse overloaded;
-      overloaded.status = 503;
-      overloaded.body = "overloaded\n";
-      write_all(client, render(overloaded, /*head_only=*/false));
-      count_request(503);
-      ::close(client);
+util::Result<std::uint16_t> HttpServer::start() { return server_.start(); }
+
+void HttpServer::stop() { server_.stop(); }
+
+const HttpHandler* HttpServer::find_route(const std::string& method,
+                                          const std::string& path,
+                                          bool& path_known) const {
+  path_known = false;
+  const auto exact = routes_.find({method, path});
+  if (exact != routes_.end()) return &exact->second;
+  const HttpHandler* best = nullptr;
+  std::size_t best_length = 0;
+  for (const auto& [key, handler] : prefix_routes_) {
+    if (key.first == method && util::starts_with(path, key.second) &&
+        key.second.size() >= best_length) {
+      best = &handler;
+      best_length = key.second.size();
     }
   }
-}
-
-void HttpServer::worker_loop() {
-  while (std::optional<int> fd = pending_.pop()) {
-    serve_connection(*fd);
+  if (best != nullptr) return best;
+  // Distinguish "no such path" (404) from "path exists under another
+  // method" (405).
+  for (const auto& [key, handler] : routes_) {
+    if (key.second == path) {
+      path_known = true;
+      return nullptr;
+    }
   }
+  for (const auto& [key, handler] : prefix_routes_) {
+    if (util::starts_with(path, key.second)) {
+      path_known = true;
+      return nullptr;
+    }
+  }
+  return nullptr;
 }
 
 void HttpServer::count_request(int status) {
@@ -240,19 +221,28 @@ void HttpServer::count_request(int status) {
     config_.registry
         ->counter("obs_http_requests_total",
                   {{"code", std::to_string(status)}},
-                  "Introspection HTTP requests answered, by status code")
+                  "HTTP requests answered, by status code")
         .increment();
   }
 }
 
+void HttpServer::refuse_connection(int fd, std::string_view reason) {
+  net::set_io_timeout(fd, config_.io_timeout_ms);
+  HttpResponse refused;
+  refused.status = 503;
+  refused.body = std::string(reason);
+  net::write_all(fd, render(refused, /*head_only=*/false));
+  count_request(503);
+  ::close(fd);
+}
+
 void HttpServer::serve_connection(int fd) {
-  set_io_timeout(fd, config_.io_timeout_ms);
-  const int nodelay = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  net::set_io_timeout(fd, config_.io_timeout_ms);
+  net::set_nodelay(fd);
 
   HttpResponse response;
   bool head_only = false;
-  const ReadOutcome head = read_head(fd, config_.max_request_bytes);
+  ReadOutcome head = read_head(fd, config_.max_request_bytes);
   if (head.status != 0) {
     response.status = head.status;
     response.body = util::format("%s\n", status_text(head.status));
@@ -261,56 +251,74 @@ void HttpServer::serve_connection(int fd) {
     if (!parse_request_line(head.head, request)) {
       response.status = 400;
       response.body = "malformed request line\n";
-    } else if (request.method != "GET" && request.method != "HEAD") {
-      response.status = 405;
-      response.body = "only GET and HEAD are supported\n";
     } else {
       head_only = request.method == "HEAD";
-      const auto route = routes_.find(request.path);
-      if (route == routes_.end()) {
-        response.status = 404;
-        response.body = "no such route: " + request.path + "\n";
+      // HEAD is answered from the GET route with the body suppressed.
+      const std::string lookup = head_only ? "GET" : request.method;
+      bool path_known = false;
+      const HttpHandler* route = find_route(lookup, request.path, path_known);
+      if (route == nullptr) {
+        if (path_known) {
+          response.status = 405;
+          response.body =
+              lookup + " not supported for " + request.path + "\n";
+        } else {
+          response.status = 404;
+          response.body = "no such route: " + request.path + "\n";
+        }
       } else {
-        response = route->second(request);
+        // Read the declared body (if any) before running the handler.
+        std::string length_value;
+        bool body_ok = true;
+        if (find_header(head.head, "Content-Length", length_value)) {
+          const util::Result<std::int64_t> parsed =
+              util::parse_int(length_value);
+          const std::int64_t declared = parsed.ok() ? parsed.value() : -1;
+          if (declared < 0) {
+            response.status = 400;
+            response.body = "bad Content-Length\n";
+            body_ok = false;
+          } else if (static_cast<std::size_t>(declared) >
+                     config_.max_body_bytes) {
+            response.status = 413;
+            response.body = "request body too large\n";
+            body_ok = false;
+          } else {
+            std::string expect;
+            if (find_header(head.head, "Expect", expect) &&
+                expect == "100-continue") {
+              net::write_all(fd, "HTTP/1.1 100 Continue\r\n\r\n");
+            }
+            request.body = std::move(head.leftover);
+            const auto target = static_cast<std::size_t>(declared);
+            if (request.body.size() > target) request.body.resize(target);
+            char chunk[4096];
+            while (request.body.size() < target) {
+              const ssize_t n = ::recv(
+                  fd, chunk,
+                  std::min(sizeof(chunk), target - request.body.size()), 0);
+              if (n < 0 && errno == EINTR) continue;
+              if (n <= 0) {
+                response.status =
+                    (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                        ? 408
+                        : 400;
+                response.body =
+                    util::format("%s\n", status_text(response.status));
+                body_ok = false;
+                break;
+              }
+              request.body.append(chunk, static_cast<std::size_t>(n));
+            }
+          }
+        }
+        if (body_ok) response = (*route)(request);
       }
     }
   }
-  write_all(fd, render(response, head_only));
+  net::write_all(fd, render(response, head_only));
   count_request(response.status);
   ::close(fd);
-}
-
-void HttpServer::stop() {
-  if (stopping_.exchange(true)) {
-    // A second caller must still not return before the joins below have
-    // finished; the cheap way is to let only the first caller join and
-    // make the others wait on running_.
-    while (running_.load(std::memory_order_acquire)) {
-      std::this_thread::yield();
-    }
-    return;
-  }
-  if (listen_fd_ >= 0) {
-    if (acceptor_.joinable()) acceptor_.join();
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  pending_.close();
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
-  }
-  // Connections that were queued when the queue closed can no longer be
-  // served; refuse them cleanly instead of leaking the fds.
-  while (std::optional<int> fd = pending_.try_pop()) {
-    HttpResponse refused;
-    refused.status = 503;
-    refused.body = "shutting down\n";
-    set_io_timeout(*fd, config_.io_timeout_ms);
-    write_all(*fd, render(refused, /*head_only=*/false));
-    count_request(503);
-    ::close(*fd);
-  }
-  running_.store(false, std::memory_order_release);
 }
 
 }  // namespace causaliot::obs

@@ -1,27 +1,32 @@
-// Minimal HTTP/1.1 introspection server over POSIX sockets.
+// Minimal HTTP/1.1 server over the net::SocketServer skeleton.
 //
-// The scrape plane for a long-running process: a blocking accept loop on
-// its own thread feeds accepted connections into a bounded queue drained
-// by a small worker pool, so a slow or stuck client can never stall
-// accept and a connection burst degrades to 503s instead of unbounded
-// memory. Request parsing is deliberately narrow — GET/HEAD only, one
-// request per connection (`Connection: close`), request line + headers
-// capped in size and read under a socket timeout — because the only
-// clients are curl, Prometheus, and tests. Handlers are looked up in an
-// exact-match route table registered before start(); responses always
-// carry correct Content-Type and Content-Length.
+// Born as the scrape plane (GET/HEAD introspection for curl,
+// Prometheus, and tests) and extended into a thin ingest surface: the
+// listener/accept-queue/worker-pool core now lives in net::SocketServer
+// so the HTTP plane and the raw-TCP line plane share one hardened
+// socket skeleton, and routes can be registered per method (GET by
+// default; POST/DELETE for `POST /ingest` and tenant control) with the
+// request body read under a Content-Length cap. Parsing stays
+// deliberately narrow — one request per connection
+// (`Connection: close`), request line + headers capped in size and
+// read under a socket timeout, bodies only where a route asks for
+// them; responses always carry correct Content-Type and
+// Content-Length.
 //
 //   obs::HttpServer server({.port = 0});            // 0 = ephemeral
 //   server.handle("/metrics", [&](const obs::HttpRequest&) {
 //     return obs::HttpResponse::text(registry.to_prometheus(),
 //                                    obs::kContentTypePrometheus);
 //   });
+//   server.handle("POST", "/ingest", [&](const obs::HttpRequest& r) {
+//     return ingest(r.body);
+//   });
 //   auto port = server.start();                     // bound port
 //   ...
 //   server.stop();                                  // drain + join
 //
 // stop() is graceful: the listener closes first, queued connections are
-// still answered, then the workers join. The destructor calls stop().
+// still answered (503), then the workers join. The destructor stops.
 #pragma once
 
 #include <atomic>
@@ -30,17 +35,17 @@
 #include <map>
 #include <string>
 #include <string_view>
-#include <thread>
+#include <utility>
 #include <vector>
 
-#include "causaliot/util/bounded_queue.hpp"
+#include "causaliot/net/socket_server.hpp"
 #include "causaliot/util/result.hpp"
 
 namespace causaliot::obs {
 
 class Registry;
 
-/// Content-Type values the introspection plane serves.
+/// Content-Type values the plane serves.
 inline constexpr std::string_view kContentTypeText =
     "text/plain; charset=utf-8";
 inline constexpr std::string_view kContentTypeJson = "application/json";
@@ -49,9 +54,10 @@ inline constexpr std::string_view kContentTypePrometheus =
     "text/plain; version=0.0.4; charset=utf-8";
 
 struct HttpRequest {
-  std::string method;  // "GET" or "HEAD" by the time a handler runs
+  std::string method;  // matches a registered route by the time a handler runs
   std::string path;    // target with any ?query stripped
   std::string query;   // raw query string (no leading '?'), "" when absent
+  std::string body;    // request body ("" unless Content-Length was sent)
 };
 
 struct HttpResponse {
@@ -76,8 +82,8 @@ struct HttpResponse {
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
 struct HttpServerConfig {
-  /// Loopback by default: the introspection plane is an operator surface,
-  /// not an ingestion one. Set "0.0.0.0" explicitly to expose it.
+  /// Loopback by default: these planes are operator surfaces. Set
+  /// "0.0.0.0" explicitly to expose one.
   std::string bind_address = "127.0.0.1";
   /// 0 binds an ephemeral port; start() reports the one the kernel chose.
   std::uint16_t port = 0;
@@ -88,6 +94,9 @@ struct HttpServerConfig {
   std::size_t max_pending_connections = 64;
   /// Request line + headers cap; longer requests get 431.
   std::size_t max_request_bytes = 8192;
+  /// Request body cap; a larger Content-Length gets 413 without the
+  /// body being read.
+  std::size_t max_body_bytes = 4 << 20;
   /// Socket read/write timeout; a client that stalls past it gets 408
   /// (or its connection dropped mid-write).
   int io_timeout_ms = 5000;
@@ -105,8 +114,19 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Registers an exact-match route. Must be called before start().
+  /// Registers an exact-match GET route (HEAD is answered from it with
+  /// the body suppressed). Must be called before start().
   void handle(std::string path, HttpHandler handler);
+
+  /// Registers an exact-match route for an explicit method ("GET",
+  /// "POST", "DELETE", ...). Must be called before start().
+  void handle(std::string method, std::string path, HttpHandler handler);
+
+  /// Registers a prefix route for an explicit method: any path starting
+  /// with `prefix` that has no exact match lands here (longest prefix
+  /// wins). For REST-ish targets like DELETE /tenants/{id}.
+  void handle_prefix(std::string method, std::string prefix,
+                     HttpHandler handler);
 
   /// Binds, listens, and spawns the accept loop + workers. Returns the
   /// bound port (useful with config.port = 0) or an Error when the
@@ -114,8 +134,8 @@ class HttpServer {
   util::Result<std::uint16_t> start();
 
   /// Bound port once start() succeeded; 0 before.
-  std::uint16_t port() const { return port_; }
-  bool running() const { return running_.load(std::memory_order_acquire); }
+  std::uint16_t port() const { return server_.port(); }
+  bool running() const { return server_.running(); }
 
   /// Graceful shutdown: closes the listener, answers everything already
   /// accepted, joins all threads. Idempotent; safe if start() never ran.
@@ -127,21 +147,22 @@ class HttpServer {
   }
 
  private:
-  void accept_loop();
-  void worker_loop();
   void serve_connection(int fd);
+  void refuse_connection(int fd, std::string_view reason);
   void count_request(int status);
+  /// Route lookup: exact (method, path), then registered prefixes.
+  /// nullptr when nothing matches; `path_known` reports whether the
+  /// path exists under some *other* method (404 vs 405).
+  const HttpHandler* find_route(const std::string& method,
+                                const std::string& path,
+                                bool& path_known) const;
 
   HttpServerConfig config_;
-  std::map<std::string, HttpHandler, std::less<>> routes_;
-  util::BoundedQueue<int> pending_;
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stopping_{false};
+  std::map<std::pair<std::string, std::string>, HttpHandler> routes_;
+  std::vector<std::pair<std::pair<std::string, std::string>, HttpHandler>>
+      prefix_routes_;
   std::atomic<std::uint64_t> requests_served_{0};
-  std::thread acceptor_;
-  std::vector<std::thread> workers_;
+  net::SocketServer server_;
 };
 
 }  // namespace causaliot::obs

@@ -35,6 +35,12 @@ struct Metrics {
   explicit Metrics(obs::Registry& registry);
 
   obs::Counter* events_submitted;
+  /// submit() calls refused because the handle named no live tenant
+  /// (never registered, or removed before the call).
+  obs::Counter* events_unroutable;
+  /// Tenant lifecycle on a running service (control-message path).
+  obs::Counter* tenants_added;
+  obs::Counter* tenants_removed;
   obs::Counter* alarms_notice;
   obs::Counter* alarms_warning;
   obs::Counter* alarms_critical;
@@ -56,9 +62,17 @@ struct Metrics {
 /// final (or on-demand) metrics report.
 struct ServiceStats {
   std::size_t shard_count = 0;
+  /// Live tenants at snapshot time (added minus removed).
   std::size_t tenant_count = 0;
+  std::uint64_t tenants_added = 0;
+  std::uint64_t tenants_removed = 0;
   std::uint64_t events_submitted = 0;
   std::uint64_t events_processed = 0;
+  /// submit() refusals for unknown/removed tenant handles.
+  std::uint64_t events_unroutable = 0;
+  /// Events dequeued after their tenant was removed (the in-flight tail
+  /// behind a RemoveTenant control message; counted, never processed).
+  std::uint64_t events_orphaned = 0;
   // Backpressure (summed over shard queues).
   std::uint64_t queue_accepted = 0;
   std::uint64_t queue_dropped_oldest = 0;

@@ -29,10 +29,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "causaliot/obs/registry.hpp"
+#include "causaliot/util/slot_array.hpp"
 
 namespace causaliot::serve {
 
@@ -53,12 +55,23 @@ class ModelHealth {
 
   ModelHealth(obs::Registry& registry, HealthConfig config);
 
-  /// Registers tenant `index` (indices are assigned densely in call
-  /// order and must match the service's TenantHandle). Pre-start only.
+  /// Registers tenant `index` (the service's TenantHandle; assigned
+  /// densely, never reused). Callable at any time, including on a live
+  /// service: the slot directory publishes lock-free, and the caller
+  /// (DetectionService) guarantees no per-event call races a tenant's
+  /// own registration.
   void add_tenant(std::size_t index, const std::string& name,
                   std::uint64_t model_version);
 
-  std::size_t tenant_count() const { return tenants_.size(); }
+  /// Marks the tenant removed: refresh() zeroes and then skips its
+  /// gauges and tenants_json() omits it. The slot itself survives (a
+  /// late scrape holding the index stays safe); view() still answers.
+  void on_removed(std::size_t index);
+
+  /// Tenants ever registered, including removed ones.
+  std::size_t tenant_count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
 
   // --- shard-worker-only, one writer per tenant ---
   void on_event(std::size_t index, double score);
@@ -110,6 +123,7 @@ class ModelHealth {
 
   struct Tenant {
     std::string name;
+    std::atomic<bool> removed{false};
     // Writer-side running state (relaxed atomics; single writer).
     std::atomic<std::uint64_t> events_total{0};
     std::atomic<double> ewma{0.0};
@@ -129,13 +143,20 @@ class ModelHealth {
     obs::Gauge* model_version = nullptr;
   };
 
+  Tenant& tenant(std::size_t index) const;
+
   obs::Registry& registry_;
   HealthConfig config_;
   std::size_t bucket_capacity_;
-  /// Index == TenantHandle; immutable after the last add_tenant, so the
-  /// hot path reads it without locking (same argument as the service's
-  /// tenant vector).
-  std::vector<std::unique_ptr<Tenant>> tenants_;
+  /// Index == TenantHandle. Slots are filled under add_mutex_ and
+  /// published lock-free; limit_ (release-stored after a slot is fully
+  /// initialized) bounds scrape-side iteration, so a reader never sees
+  /// a half-built tenant. Per-event calls are ordered after the
+  /// tenant's registration by the service's shard-queue handoff.
+  util::SlotArray<Tenant> tenants_;
+  std::mutex add_mutex_;
+  std::atomic<std::size_t> limit_{0};
+  std::atomic<std::size_t> count_{0};
 };
 
 }  // namespace causaliot::serve

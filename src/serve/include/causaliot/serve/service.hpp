@@ -12,6 +12,8 @@
 //   service.start();
 //   service.submit(home, event);            // any thread
 //   service.swap_model(home, new_snapshot); // any thread, no pause
+//   auto late = service.add_tenant(...);    // any thread, live service
+//   service.remove_tenant(home);            // any thread, live service
 //   service.shutdown();                     // drain queues, flush windows
 //
 // Backpressure is explicit (util::BoundedQueue policy per shard) and
@@ -19,16 +21,29 @@
 // the session's next event boundary; shutdown() closes the queues,
 // drains every queued event, then flushes each session's pending
 // Algorithm 2 window — nothing accepted is ever silently discarded.
+//
+// Tenant churn on a running service preserves the single-writer worker
+// invariant by riding the shard queues: add_tenant/remove_tenant/
+// swap_model enqueue control messages (an unbounded side lane of the
+// same FIFO, so kReject cannot lose one and kBlock cannot stall one),
+// and only the owning shard worker ever touches a session. The
+// submit-path directory is a lock-free util::SlotArray: routing an
+// event is two acquire loads, no reference counting, no global pause.
+// Removal tombstones the directory entry first, so events already
+// queued behind the RemoveTenant control are counted as orphaned
+// rather than touching a destroyed session.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "causaliot/obs/registry.hpp"
@@ -37,6 +52,7 @@
 #include "causaliot/serve/model_health.hpp"
 #include "causaliot/serve/session.hpp"
 #include "causaliot/util/bounded_queue.hpp"
+#include "causaliot/util/slot_array.hpp"
 
 namespace causaliot::serve {
 
@@ -93,11 +109,25 @@ class DetectionService {
   DetectionService(const DetectionService&) = delete;
   DetectionService& operator=(const DetectionService&) = delete;
 
-  /// Registers a home before start(). `initial_state` seeds the phantom
-  /// state machine (size must match the model's device count).
+  /// Registers a home — before start() or on a running service, from
+  /// any thread. `initial_state` seeds the phantom state machine (size
+  /// must match the model's device count). Returns kInvalidTenant when
+  /// the name is already live or the service has shut down. On a
+  /// running service the session reaches its shard as a control
+  /// message; events submitted after add_tenant returns are guaranteed
+  /// to land behind it in the shard FIFO.
   TenantHandle add_tenant(std::string name,
                           std::shared_ptr<const ModelSnapshot> model,
                           std::vector<std::uint8_t> initial_state);
+
+  /// Unregisters a live tenant from any thread, with no pause: the
+  /// directory entry is tombstoned (submit() answers kUnknownTenant
+  /// from that instant), the name becomes reusable, and the owning
+  /// shard worker flushes the session's pending anomaly window through
+  /// the alarm callback before destroying it. Events still queued
+  /// behind the removal are counted as orphaned. False when the handle
+  /// never existed, was already removed, or the service has shut down.
+  bool remove_tenant(TenantHandle tenant);
 
   /// Handle lookup by registration name; kInvalidTenant when unknown.
   static constexpr TenantHandle kInvalidTenant = ~TenantHandle{0};
@@ -108,9 +138,10 @@ class DetectionService {
   void start();
 
   enum class SubmitResult : std::uint8_t {
-    kAccepted,  // queued (under kDropOldest possibly at a victim's cost)
-    kRejected,  // full queue under kReject; event not queued
-    kClosed,    // service shutting down; event not queued
+    kAccepted,       // queued (under kDropOldest possibly at a victim's cost)
+    kRejected,       // full queue under kReject; event not queued
+    kClosed,         // service shutting down; event not queued
+    kUnknownTenant,  // handle names no live tenant; event not queued
   };
 
   /// Routes `event` to the tenant's shard. Callable from any thread.
@@ -129,7 +160,13 @@ class DetectionService {
   void shutdown();
 
   std::size_t shard_count() const { return shards_.size(); }
-  std::size_t tenant_count() const { return tenants_.size(); }
+  /// Live tenants (added minus removed).
+  std::size_t tenant_count() const {
+    return tenants_active_.load(std::memory_order_relaxed);
+  }
+  /// The live tenant's session. Only race-free while no shard worker is
+  /// processing that tenant (pre-start, post-shutdown, or externally
+  /// quiesced) — the test/diagnostic surface it has always been.
   const TenantSession& session(TenantHandle tenant) const;
 
   /// Readiness for the introspection plane: true from the moment start()
@@ -163,28 +200,67 @@ class DetectionService {
   std::string registry_json() const;
 
  private:
+  /// One queue entry: an event for a tenant, or an in-band control
+  /// message. Controls enter through push_unbounded (never rejected,
+  /// never blocking) and are shielded from kDropOldest eviction by the
+  /// queue's evict filter, so lifecycle operations survive any
+  /// backpressure policy.
   struct ShardItem {
-    TenantSession* session = nullptr;
+    enum class Kind : std::uint8_t {
+      kEvent,
+      kAddTenant,     // session carries the new tenant's session
+      kRemoveTenant,  // flush + destroy the session for `handle`
+      kSwapModel,     // model carries the snapshot to publish
+    };
+    Kind kind = Kind::kEvent;
     TenantHandle handle = 0;
     preprocess::BinaryEvent event;
     std::uint64_t enqueue_ns = 0;
     /// Sampled for span tracing (see ServiceConfig::trace_sample_every).
     bool traced = false;
+    std::unique_ptr<TenantSession> session;
+    std::shared_ptr<const ModelSnapshot> model;
   };
 
   struct Shard {
     Shard(std::size_t capacity, util::OverflowPolicy policy)
-        : queue(capacity, policy) {}
+        : queue(capacity, policy, [](const ShardItem& item) {
+            return item.kind == ShardItem::Kind::kEvent;
+          }) {}
     util::BoundedQueue<ShardItem> queue;
-    std::vector<std::unique_ptr<TenantSession>> sessions;
+    /// handle -> session. Owned and touched exclusively by the shard
+    /// worker once start() ran (the single-writer invariant); mutated
+    /// directly only pre-start/post-join under directory_mutex_.
+    std::unordered_map<TenantHandle, std::unique_ptr<TenantSession>> sessions;
     std::thread worker;
     /// Per-shard labeled registry handles.
     obs::Counter* processed = nullptr;
+    obs::Counter* orphaned = nullptr;
     obs::Gauge* queue_depth = nullptr;
+  };
+
+  /// Submit-path directory entry. Published to the SlotArray only after
+  /// the session's AddTenant control is in the shard FIFO, so no event
+  /// can ever be queued ahead of its session's creation. Removal flips
+  /// `alive` before the RemoveTenant control is queued — the mirror
+  /// guarantee: no event is queued behind the session's destruction.
+  struct TenantMeta {
+    TenantMeta(std::string name_in, std::size_t shard_in,
+               obs::Counter* alarms_in, TenantSession* session_in)
+        : name(std::move(name_in)), shard(shard_in), alarms(alarms_in),
+          session(session_in) {}
+    const std::string name;
+    const std::size_t shard;
+    obs::Counter* const alarms;
+    /// Stable pointer into the owning shard's session map; dangles once
+    /// `alive` is false (see session()).
+    TenantSession* const session;
+    std::atomic<bool> alive{true};
   };
 
   void worker_loop(Shard& shard);
   void process_item(Shard& shard, ShardItem& item);
+  void process_event(Shard& shard, ShardItem& item);
   void deliver(TenantHandle handle, TenantSession& session,
                detect::AnomalyReport report);
   void refresh_queue_gauges() const;
@@ -194,16 +270,22 @@ class DetectionService {
   std::unique_ptr<obs::Registry> own_registry_;
   obs::Registry* registry_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
-  /// handle -> session (sessions are owned by their shard; the vector is
-  /// immutable after start(), so workers read it without locking).
-  std::vector<TenantSession*> tenants_;
-  /// handle -> per-tenant alarm counter (same immutability argument).
-  std::vector<obs::Counter*> tenant_alarms_;
+  /// handle -> meta. Lock-free on the submit path; slots are tombstoned
+  /// on removal, never freed, so a stale handle reads as dead instead
+  /// of dangling. Handles are assigned densely and never reused.
+  util::SlotArray<TenantMeta> metas_;
+  /// Serializes lifecycle (add/remove/start/shutdown) and guards
+  /// by_name_; never taken on the event path.
+  mutable std::mutex directory_mutex_;
+  std::unordered_map<std::string, TenantHandle> by_name_;
+  std::atomic<TenantHandle> tenant_limit_{0};
+  std::atomic<std::size_t> tenants_active_{0};
   Metrics metrics_;
   ModelHealth health_;
   std::atomic<std::uint64_t> trace_counter_{0};
   std::atomic<bool> ready_{false};
   std::uint64_t started_at_ns_ = 0;
+  /// Guarded by directory_mutex_.
   bool started_ = false;
   bool stopped_ = false;
 };

@@ -1,0 +1,370 @@
+#include "causaliot/serve/ingest.hpp"
+
+#include <charconv>
+
+#include "causaliot/obs/http_server.hpp"
+#include "causaliot/util/strings.hpp"
+
+namespace causaliot::serve {
+
+namespace {
+
+void skip_ws(std::string_view line, std::size_t& i) {
+  while (i < line.size() &&
+         (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) {
+    ++i;
+  }
+}
+
+/// Reads a quoted string starting at line[i] == '"'; the slice excludes
+/// the quotes. Backslash escapes poison the parse (see header).
+bool scan_string(std::string_view line, std::size_t& i,
+                 std::string_view& out) {
+  const std::size_t begin = ++i;
+  while (i < line.size() && line[i] != '"') {
+    if (line[i] == '\\') return false;
+    ++i;
+  }
+  if (i >= line.size()) return false;
+  out = line.substr(begin, i - begin);
+  ++i;  // closing quote
+  return true;
+}
+
+bool scan_number(std::string_view line, std::size_t& i, double& out) {
+  const char* begin = line.data() + i;
+  const char* end = line.data() + line.size();
+  const auto parsed = std::from_chars(begin, end, out);
+  if (parsed.ec != std::errc{}) return false;
+  i += static_cast<std::size_t>(parsed.ptr - begin);
+  return true;
+}
+
+/// Skips a value of any supported type (for unknown keys).
+bool skip_value(std::string_view line, std::size_t& i) {
+  if (i >= line.size()) return false;
+  if (line[i] == '"') {
+    std::string_view ignored;
+    return scan_string(line, i, ignored);
+  }
+  for (std::string_view literal : {"true", "false", "null"}) {
+    if (line.substr(i, literal.size()) == literal) {
+      i += literal.size();
+      return true;
+    }
+  }
+  double ignored = 0.0;
+  return scan_number(line, i, ignored);
+}
+
+}  // namespace
+
+bool scan_ingest_line(std::string_view line, IngestFields& out) {
+  std::size_t i = 0;
+  skip_ws(line, i);
+  if (i >= line.size() || line[i] != '{') return false;
+  ++i;
+  skip_ws(line, i);
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      skip_ws(line, i);
+      if (i >= line.size() || line[i] != '"') return false;
+      std::string_view key;
+      if (!scan_string(line, i, key)) return false;
+      skip_ws(line, i);
+      if (i >= line.size() || line[i] != ':') return false;
+      ++i;
+      skip_ws(line, i);
+      if (key == "op") {
+        if (i >= line.size() || line[i] != '"' ||
+            !scan_string(line, i, out.op)) {
+          return false;
+        }
+        out.has_op = true;
+      } else if (key == "tenant") {
+        if (i >= line.size() || line[i] != '"' ||
+            !scan_string(line, i, out.tenant)) {
+          return false;
+        }
+        out.has_tenant = true;
+      } else if (key == "device") {
+        if (i >= line.size() || line[i] != '"' ||
+            !scan_string(line, i, out.device)) {
+          return false;
+        }
+        out.has_device = true;
+      } else if (key == "value") {
+        if (!scan_number(line, i, out.value)) return false;
+        out.has_value = true;
+      } else if (key == "timestamp") {
+        if (!scan_number(line, i, out.timestamp)) return false;
+        out.has_timestamp = true;
+      } else {
+        if (!skip_value(line, i)) return false;
+      }
+      skip_ws(line, i);
+      if (i >= line.size()) return false;
+      if (line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (line[i] == '}') {
+        ++i;
+        break;
+      }
+      return false;
+    }
+  }
+  skip_ws(line, i);
+  return i == line.size() || line[i] == '\n';
+}
+
+IngestRouter::IngestRouter(DetectionService& service,
+                           const telemetry::DeviceCatalog& catalog,
+                           IngestConfig config)
+    : service_(service), catalog_(catalog), config_(std::move(config)) {
+  const auto& devices = catalog_.devices();
+  device_index_.reserve(devices.size());
+  for (std::size_t id = 0; id < devices.size(); ++id) {
+    device_index_.emplace(devices[id].name,
+                          static_cast<telemetry::DeviceId>(id));
+  }
+  obs::Registry& registry = service_.registry();
+  lines_ = &registry.counter("serve_ingest_lines_total", {},
+                             "Non-blank JSONL lines received, any transport");
+  accepted_ = &registry.counter("serve_ingest_accepted_total", {},
+                                "Ingest event lines queued to a shard");
+  const char* rejected_help =
+      "Ingest lines refused, by reason (parse | unknown-tenant | "
+      "unknown-device | overflow | closed)";
+  rejected_parse_ = &registry.counter("serve_ingest_rejected_total",
+                                      {{"reason", "parse"}}, rejected_help);
+  rejected_unknown_tenant_ = &registry.counter(
+      "serve_ingest_rejected_total", {{"reason", "unknown-tenant"}});
+  rejected_unknown_device_ = &registry.counter(
+      "serve_ingest_rejected_total", {{"reason", "unknown-device"}});
+  rejected_overflow_ = &registry.counter("serve_ingest_rejected_total",
+                                         {{"reason", "overflow"}});
+  rejected_closed_ = &registry.counter("serve_ingest_rejected_total",
+                                       {{"reason", "closed"}});
+  const char* control_help =
+      "Control verbs (TCP op lines and HTTP tenant routes), by result";
+  control_add_ok_ = &registry.counter(
+      "serve_ingest_controls_total",
+      {{"op", "add_tenant"}, {"result", "ok"}}, control_help);
+  control_add_err_ = &registry.counter(
+      "serve_ingest_controls_total",
+      {{"op", "add_tenant"}, {"result", "error"}});
+  control_remove_ok_ = &registry.counter(
+      "serve_ingest_controls_total",
+      {{"op", "remove_tenant"}, {"result", "ok"}});
+  control_remove_err_ = &registry.counter(
+      "serve_ingest_controls_total",
+      {{"op", "remove_tenant"}, {"result", "error"}});
+}
+
+bool IngestRouter::add_tenant(std::string_view name) {
+  const TenantHandle handle = service_.add_tenant(
+      std::string(name), config_.model, config_.initial_state);
+  const bool ok = handle != DetectionService::kInvalidTenant;
+  (ok ? control_add_ok_ : control_add_err_)->increment();
+  return ok;
+}
+
+bool IngestRouter::remove_tenant(std::string_view name) {
+  const TenantHandle handle = service_.find_tenant(name);
+  const bool ok = handle != DetectionService::kInvalidTenant &&
+                  service_.remove_tenant(handle);
+  (ok ? control_remove_ok_ : control_remove_err_)->increment();
+  return ok;
+}
+
+IngestRouter::LineResult IngestRouter::handle_line(std::string_view line) {
+  if (util::trim(line).empty()) return {Outcome::kBlank, nullptr};
+  lines_->increment();
+
+  IngestFields fields;
+  if (!scan_ingest_line(line, fields)) {
+    rejected_parse_->increment();
+    return {Outcome::kParseError, "parse"};
+  }
+
+  if (fields.has_op) {
+    if (!fields.has_tenant || fields.tenant.empty()) {
+      (fields.op == "remove_tenant" ? control_remove_err_
+                                    : control_add_err_)
+          ->increment();
+      return {Outcome::kControlFailed, "missing-tenant"};
+    }
+    if (fields.op == "add_tenant") {
+      return add_tenant(fields.tenant)
+                 ? LineResult{Outcome::kControlOk, "add_tenant"}
+                 : LineResult{Outcome::kControlFailed, "tenant-exists"};
+    }
+    if (fields.op == "remove_tenant") {
+      return remove_tenant(fields.tenant)
+                 ? LineResult{Outcome::kControlOk, "remove_tenant"}
+                 : LineResult{Outcome::kControlFailed, "unknown-tenant"};
+    }
+    control_add_err_->increment();
+    return {Outcome::kControlFailed, "unknown-op"};
+  }
+
+  if (!fields.has_device || !fields.has_value || !fields.has_timestamp) {
+    rejected_parse_->increment();
+    return {Outcome::kParseError, "missing-field"};
+  }
+
+  const std::string_view tenant_name =
+      fields.has_tenant ? fields.tenant
+                        : std::string_view(config_.default_tenant);
+  const TenantHandle tenant = service_.find_tenant(tenant_name);
+  if (tenant == DetectionService::kInvalidTenant) {
+    rejected_unknown_tenant_->increment();
+    return {Outcome::kUnknownTenant, "unknown-tenant"};
+  }
+
+  const auto device = device_index_.find(fields.device);
+  if (device == device_index_.end()) {
+    rejected_unknown_device_->increment();
+    return {Outcome::kUnknownDevice, "unknown-device"};
+  }
+
+  const preprocess::BinaryEvent event{
+      device->second,
+      static_cast<std::uint8_t>(fields.value != 0.0 ? 1 : 0),
+      fields.timestamp};
+  switch (service_.submit(tenant, event)) {
+    case DetectionService::SubmitResult::kAccepted:
+      accepted_->increment();
+      return {Outcome::kAccepted, nullptr};
+    case DetectionService::SubmitResult::kRejected:
+      rejected_overflow_->increment();
+      return {Outcome::kOverflow, "overflow"};
+    case DetectionService::SubmitResult::kClosed:
+      rejected_closed_->increment();
+      return {Outcome::kClosed, "closed"};
+    case DetectionService::SubmitResult::kUnknownTenant:
+      // The tenant was removed between find_tenant and submit.
+      rejected_unknown_tenant_->increment();
+      return {Outcome::kUnknownTenant, "unknown-tenant"};
+  }
+  return {Outcome::kParseError, "parse"};  // unreachable
+}
+
+std::optional<std::string> IngestRouter::response_line(
+    const LineResult& result) {
+  switch (result.outcome) {
+    case Outcome::kBlank:
+    case Outcome::kAccepted:
+      return std::nullopt;
+    case Outcome::kControlOk:
+      return "OK " + std::string(result.reason);
+    default:
+      return "ERR " + std::string(result.reason);
+  }
+}
+
+std::uint64_t IngestRouter::lines_total() const { return lines_->value(); }
+std::uint64_t IngestRouter::accepted_total() const {
+  return accepted_->value();
+}
+std::uint64_t IngestRouter::rejected_total() const {
+  return rejected_parse_->value() + rejected_unknown_tenant_->value() +
+         rejected_unknown_device_->value() + rejected_overflow_->value() +
+         rejected_closed_->value();
+}
+
+void attach_ingest(obs::HttpServer& http, IngestRouter& router) {
+  http.handle("POST", "/ingest", [&router](const obs::HttpRequest& request) {
+    std::size_t lines = 0, accepted = 0, rejected = 0, controls = 0;
+    bool backpressured = false;
+    std::string errors;  // first few rejections, as JSON objects
+    std::size_t error_count = 0;
+    std::string_view body = request.body;
+    std::size_t line_number = 0;
+    while (!body.empty()) {
+      const std::size_t newline = body.find('\n');
+      const std::string_view line = body.substr(0, newline);
+      body = newline == std::string_view::npos
+                 ? std::string_view{}
+                 : body.substr(newline + 1);
+      ++line_number;
+      const IngestRouter::LineResult result = router.handle_line(line);
+      switch (result.outcome) {
+        case IngestRouter::Outcome::kBlank:
+          continue;
+        case IngestRouter::Outcome::kAccepted:
+          ++lines, ++accepted;
+          continue;
+        case IngestRouter::Outcome::kControlOk:
+          ++lines, ++controls;
+          continue;
+        case IngestRouter::Outcome::kOverflow:
+        case IngestRouter::Outcome::kClosed:
+          backpressured = true;
+          [[fallthrough]];
+        default:
+          ++lines, ++rejected;
+          if (++error_count <= 16) {
+            if (!errors.empty()) errors += ", ";
+            errors += util::format("{\"line\": %zu, \"reason\": \"%s\"}",
+                                   line_number, result.reason);
+          }
+      }
+    }
+    obs::HttpResponse response = obs::HttpResponse::json(util::format(
+        "{\"lines\": %zu, \"accepted\": %zu, \"controls\": %zu, "
+        "\"rejected\": %zu, \"errors\": [%s]}",
+        lines, accepted, controls, rejected, errors.c_str()));
+    if (backpressured) response.status = 503;
+    return response;
+  });
+
+  http.handle("POST", "/tenants", [&router](const obs::HttpRequest& request) {
+    IngestFields fields;
+    if (!scan_ingest_line(request.body, fields) || !fields.has_tenant ||
+        fields.tenant.empty()) {
+      obs::HttpResponse response =
+          obs::HttpResponse::json("{\"error\": \"expected {\\\"tenant\\\": "
+                                  "\\\"name\\\"}\"}");
+      response.status = 400;
+      return response;
+    }
+    const std::string name(fields.tenant);
+    if (!router.add_tenant(name)) {
+      obs::HttpResponse response = obs::HttpResponse::json(
+          util::format("{\"error\": \"tenant-exists\", \"tenant\": \"%s\"}",
+                       util::json_escape(name).c_str()));
+      response.status = 409;
+      return response;
+    }
+    return obs::HttpResponse::json(util::format(
+        "{\"added\": \"%s\"}", util::json_escape(name).c_str()));
+  });
+
+  http.handle_prefix(
+      "DELETE", "/tenants/", [&router](const obs::HttpRequest& request) {
+        const std::string name =
+            request.path.substr(std::string_view("/tenants/").size());
+        if (name.empty()) {
+          obs::HttpResponse response =
+              obs::HttpResponse::json("{\"error\": \"missing tenant name\"}");
+          response.status = 400;
+          return response;
+        }
+        if (!router.remove_tenant(name)) {
+          obs::HttpResponse response = obs::HttpResponse::json(util::format(
+              "{\"error\": \"unknown-tenant\", \"tenant\": \"%s\"}",
+              util::json_escape(name).c_str()));
+          response.status = 404;
+          return response;
+        }
+        return obs::HttpResponse::json(util::format(
+            "{\"removed\": \"%s\"}", util::json_escape(name).c_str()));
+      });
+}
+
+}  // namespace causaliot::serve

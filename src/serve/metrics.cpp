@@ -9,6 +9,15 @@ Metrics::Metrics(obs::Registry& registry)
     : events_submitted(&registry.counter(
           "serve_events_submitted_total", {},
           "Events accepted by DetectionService::submit")),
+      events_unroutable(&registry.counter(
+          "serve_events_unroutable_total", {},
+          "submit() calls refused: handle named no live tenant")),
+      tenants_added(&registry.counter(
+          "serve_tenants_added_total", {},
+          "Tenants registered (including on a running service)")),
+      tenants_removed(&registry.counter(
+          "serve_tenants_removed_total", {},
+          "Tenants removed from a running service")),
       alarms_notice(&registry.counter("serve_alarms_total",
                                       {{"severity", "notice"}},
                                       "Alarms delivered, by severity")),
@@ -33,11 +42,13 @@ Metrics::Metrics(obs::Registry& registry)
           "Enqueue-to-processed latency per event, nanoseconds")) {}
 
 std::string ServiceStats::to_json() const {
-  char buffer[1024];
+  char buffer[2048];
   const int written = std::snprintf(
       buffer, sizeof(buffer),
       "{\"shards\": %zu, \"tenants\": %zu, "
+      "\"tenants_added\": %" PRIu64 ", \"tenants_removed\": %" PRIu64 ", "
       "\"events\": {\"submitted\": %" PRIu64 ", \"processed\": %" PRIu64
+      ", \"unroutable\": %" PRIu64 ", \"orphaned\": %" PRIu64
       ", \"queued_accepted\": %" PRIu64 ", \"dropped_oldest\": %" PRIu64
       ", \"rejected\": %" PRIu64 ", \"rejected_after_close\": %" PRIu64
       ", \"block_waits\": %" PRIu64 "}, "
@@ -48,7 +59,8 @@ std::string ServiceStats::to_json() const {
       "}, "
       "\"latency_ns\": {\"count\": %" PRIu64 ", \"p50\": %" PRIu64
       ", \"p95\": %" PRIu64 ", \"p99\": %" PRIu64 ", \"max\": %" PRIu64 "}}",
-      shard_count, tenant_count, events_submitted, events_processed,
+      shard_count, tenant_count, tenants_added, tenants_removed,
+      events_submitted, events_processed, events_unroutable, events_orphaned,
       queue_accepted, queue_dropped_oldest, queue_rejected,
       queue_closed_rejects, queue_block_waits, alarms_total, alarms_notice,
       alarms_warning, alarms_critical, alarms_collective, alarms_suppressed,

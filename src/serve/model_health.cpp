@@ -30,37 +30,63 @@ ModelHealth::ModelHealth(obs::Registry& registry, HealthConfig config)
 
 void ModelHealth::add_tenant(std::size_t index, const std::string& name,
                              std::uint64_t model_version) {
-  CAUSALIOT_CHECK_MSG(index == tenants_.size(),
-                      "health tenants must register densely in handle order");
-  auto tenant = std::make_unique<Tenant>();
-  tenant->name = name;
-  tenant->adopted_version.store(model_version, std::memory_order_relaxed);
-  tenant->published_version.store(model_version, std::memory_order_relaxed);
-  tenant->adopted_at_ns.store(now_ns(), std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(add_mutex_);
+  Tenant& tenant = tenants_.emplace(index);
+  tenant.name = name;
+  tenant.adopted_version.store(model_version, std::memory_order_relaxed);
+  tenant.published_version.store(model_version, std::memory_order_relaxed);
+  tenant.adopted_at_ns.store(now_ns(), std::memory_order_relaxed);
   const obs::Labels labels = {{"tenant", name}};
-  tenant->score_ewma_ppm = &registry_.gauge(
+  tenant.score_ewma_ppm = &registry_.gauge(
       "serve_tenant_score_ewma_ppm", labels,
       "EWMA of the per-event anomaly score, in parts per million");
-  tenant->alarm_rate_ppm = &registry_.gauge(
+  tenant.alarm_rate_ppm = &registry_.gauge(
       "serve_tenant_alarm_rate_ppm", labels,
       "Delivered alarms per million events over the rolling window");
-  tenant->collective_rate_ppm = &registry_.gauge(
+  tenant.collective_rate_ppm = &registry_.gauge(
       "serve_tenant_collective_alarm_rate_ppm", labels,
       "Collective-chain alarms per million events over the rolling window");
-  tenant->events_since_snapshot = &registry_.gauge(
+  tenant.events_since_snapshot = &registry_.gauge(
       "serve_tenant_events_since_snapshot", labels,
       "Events processed since the active model snapshot was adopted");
-  tenant->snapshot_age_seconds = &registry_.gauge(
+  tenant.snapshot_age_seconds = &registry_.gauge(
       "serve_tenant_snapshot_age_seconds", labels,
       "Age of the active model snapshot");
-  tenant->model_version = &registry_.gauge(
+  tenant.model_version = &registry_.gauge(
       "serve_tenant_model_version", labels,
       "Version of the active model snapshot");
-  tenants_.push_back(std::move(tenant));
+  // Release-publish the iteration bound only after the slot is whole:
+  // a scraper iterating [0, limit_) can never see a half-built tenant.
+  std::size_t limit = limit_.load(std::memory_order_relaxed);
+  if (index + 1 > limit) {
+    limit_.store(index + 1, std::memory_order_release);
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ModelHealth::on_removed(std::size_t index) {
+  Tenant& entry = tenant(index);
+  entry.removed.store(true, std::memory_order_release);
+  // Zero the exported gauges once so /metrics does not keep advertising
+  // a live-looking health row for a tenant that is gone. (A tenant
+  // re-added under the same name shares these handles and will simply
+  // overwrite them on the next refresh().)
+  entry.score_ewma_ppm->set(0);
+  entry.alarm_rate_ppm->set(0);
+  entry.collective_rate_ppm->set(0);
+  entry.events_since_snapshot->set(0);
+  entry.snapshot_age_seconds->set(0);
+  entry.model_version->set(0);
+}
+
+ModelHealth::Tenant& ModelHealth::tenant(std::size_t index) const {
+  Tenant* entry = tenants_.get(index);
+  CAUSALIOT_CHECK_MSG(entry != nullptr, "unknown health tenant index");
+  return *entry;
 }
 
 void ModelHealth::on_event(std::size_t index, double score) {
-  Tenant& tenant = *tenants_[index];
+  Tenant& tenant = this->tenant(index);
   const std::uint64_t events =
       tenant.events_total.load(std::memory_order_relaxed);
   tenant.events_total.store(events + 1, std::memory_order_relaxed);
@@ -97,7 +123,7 @@ void ModelHealth::on_event(std::size_t index, double score) {
 }
 
 void ModelHealth::on_alarm(std::size_t index, bool collective) {
-  Tenant& tenant = *tenants_[index];
+  Tenant& tenant = this->tenant(index);
   WindowBucket& bucket =
       tenant.buckets[tenant.active_bucket.load(std::memory_order_relaxed)];
   bucket.alarms.fetch_add(1, std::memory_order_relaxed);
@@ -105,7 +131,7 @@ void ModelHealth::on_alarm(std::size_t index, bool collective) {
 }
 
 void ModelHealth::on_adopted(std::size_t index, std::uint64_t version) {
-  Tenant& tenant = *tenants_[index];
+  Tenant& tenant = this->tenant(index);
   tenant.adopted_version.store(version, std::memory_order_relaxed);
   tenant.adopted_at_ns.store(now_ns(), std::memory_order_relaxed);
   tenant.events_at_adoption.store(
@@ -114,11 +140,11 @@ void ModelHealth::on_adopted(std::size_t index, std::uint64_t version) {
 }
 
 void ModelHealth::on_published(std::size_t index, std::uint64_t version) {
-  tenants_[index]->published_version.store(version, std::memory_order_relaxed);
+  tenant(index).published_version.store(version, std::memory_order_relaxed);
 }
 
 ModelHealth::TenantView ModelHealth::view(std::size_t index) const {
-  const Tenant& tenant = *tenants_[index];
+  const Tenant& tenant = this->tenant(index);
   TenantView out;
   out.name = tenant.name;
   out.events_total = tenant.events_total.load(std::memory_order_relaxed);
@@ -155,9 +181,14 @@ ModelHealth::TenantView ModelHealth::view(std::size_t index) const {
 }
 
 void ModelHealth::refresh() const {
-  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+  const std::size_t limit = limit_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < limit; ++i) {
+    const Tenant* entry = tenants_.get(i);
+    if (entry == nullptr || entry->removed.load(std::memory_order_acquire)) {
+      continue;
+    }
     const TenantView current = view(i);
-    const Tenant& tenant = *tenants_[i];
+    const Tenant& tenant = *entry;
     tenant.score_ewma_ppm->set(to_ppm(current.score_ewma));
     tenant.alarm_rate_ppm->set(to_ppm(current.alarm_rate));
     tenant.collective_rate_ppm->set(to_ppm(current.collective_rate));
@@ -172,9 +203,16 @@ void ModelHealth::refresh() const {
 
 std::string ModelHealth::tenants_json() const {
   std::string out = "[";
-  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+  const std::size_t limit = limit_.load(std::memory_order_acquire);
+  bool first = true;
+  for (std::size_t i = 0; i < limit; ++i) {
+    const Tenant* entry = tenants_.get(i);
+    if (entry == nullptr || entry->removed.load(std::memory_order_acquire)) {
+      continue;
+    }
     const TenantView t = view(i);
-    if (i > 0) out += ", ";
+    if (!first) out += ", ";
+    first = false;
     out += util::format(
         "{\"name\": \"%s\", \"model_version\": %" PRIu64
         ", \"published_version\": %" PRIu64 ", \"events\": %" PRIu64

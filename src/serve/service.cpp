@@ -33,6 +33,9 @@ DetectionService::DetectionService(ServiceConfig config, AlarmCallback on_alarm)
     shards_.back()->processed = &registry_->counter(
         "serve_events_processed_total", {{"shard", shard_label}},
         "Events fully processed, by shard");
+    shards_.back()->orphaned = &registry_->counter(
+        "serve_events_orphaned_total", {{"shard", shard_label}},
+        "Events dequeued after their tenant was removed, by shard");
     shards_.back()->queue_depth = &registry_->gauge(
         "serve_queue_depth", {{"shard", shard_label}},
         "Shard queue occupancy at snapshot time");
@@ -44,32 +47,69 @@ DetectionService::~DetectionService() { shutdown(); }
 TenantHandle DetectionService::add_tenant(
     std::string name, std::shared_ptr<const ModelSnapshot> model,
     std::vector<std::uint8_t> initial_state) {
-  CAUSALIOT_CHECK_MSG(!started_, "add_tenant must run before start()");
-  CAUSALIOT_CHECK_MSG(find_tenant(name) == kInvalidTenant,
-                      "duplicate tenant name");
-  const auto handle = static_cast<TenantHandle>(tenants_.size());
-  tenant_alarms_.push_back(&registry_->counter(
+  std::lock_guard<std::mutex> lock(directory_mutex_);
+  if (stopped_ || by_name_.count(name) != 0) return kInvalidTenant;
+  const TenantHandle handle = tenant_limit_.load(std::memory_order_relaxed);
+  const std::size_t shard_index = handle % shards_.size();
+  const std::uint64_t version = model != nullptr ? model->version : 0;
+  auto session = std::make_unique<TenantSession>(
+      name, std::move(model), config_.session, std::move(initial_state));
+  TenantSession* raw_session = session.get();
+  obs::Counter* alarms = &registry_->counter(
       "serve_tenant_alarms_total", {{"tenant", name}},
-      "Alarms delivered, by tenant"));
-  health_.add_tenant(handle, name, model != nullptr ? model->version : 0);
-  Shard& shard = *shards_[handle % shards_.size()];
-  shard.sessions.push_back(std::make_unique<TenantSession>(
-      std::move(name), std::move(model), config_.session,
-      std::move(initial_state)));
-  tenants_.push_back(shard.sessions.back().get());
+      "Alarms delivered, by tenant");
+  health_.add_tenant(handle, name, version);
+  Shard& shard = *shards_[shard_index];
+  if (!started_) {
+    shard.sessions.emplace(handle, std::move(session));
+  } else {
+    // The session travels to its shard as a control message; publishing
+    // the directory entry only afterwards guarantees every event for
+    // this handle lands behind the AddTenant in the shard FIFO.
+    ShardItem item;
+    item.kind = ShardItem::Kind::kAddTenant;
+    item.handle = handle;
+    item.session = std::move(session);
+    shard.queue.push_unbounded(std::move(item));
+  }
+  metas_.emplace(handle, name, shard_index, alarms, raw_session);
+  by_name_.emplace(std::move(name), handle);
+  tenant_limit_.store(handle + 1, std::memory_order_relaxed);
+  tenants_active_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.tenants_added->increment();
   return handle;
 }
 
-TenantHandle DetectionService::find_tenant(std::string_view name) const {
-  for (std::size_t i = 0; i < tenants_.size(); ++i) {
-    if (tenants_[i]->name() == name) {
-      return static_cast<TenantHandle>(i);
-    }
+bool DetectionService::remove_tenant(TenantHandle tenant) {
+  std::lock_guard<std::mutex> lock(directory_mutex_);
+  if (stopped_) return false;
+  TenantMeta* meta = metas_.get(tenant);
+  if (meta == nullptr || !meta->alive.load(std::memory_order_relaxed)) {
+    return false;
   }
-  return kInvalidTenant;
+  // Tombstone before queueing the control: from here no new event can
+  // enter the FIFO behind the RemoveTenant, so the worker destroys the
+  // session knowing only orphan-countable stragglers remain.
+  meta->alive.store(false, std::memory_order_release);
+  by_name_.erase(meta->name);
+  tenants_active_.fetch_sub(1, std::memory_order_relaxed);
+  health_.on_removed(tenant);
+  metrics_.tenants_removed->increment();
+  ShardItem item;
+  item.kind = ShardItem::Kind::kRemoveTenant;
+  item.handle = tenant;
+  shards_[meta->shard]->queue.push_unbounded(std::move(item));
+  return true;
+}
+
+TenantHandle DetectionService::find_tenant(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(directory_mutex_);
+  const auto it = by_name_.find(std::string(name));
+  return it != by_name_.end() ? it->second : kInvalidTenant;
 }
 
 void DetectionService::start() {
+  std::lock_guard<std::mutex> lock(directory_mutex_);
   CAUSALIOT_CHECK_MSG(!started_, "service already started");
   CAUSALIOT_CHECK_MSG(!stopped_, "service already shut down");
   started_ = true;
@@ -84,11 +124,14 @@ void DetectionService::start() {
 
 DetectionService::SubmitResult DetectionService::submit(
     TenantHandle tenant, const preprocess::BinaryEvent& event) {
-  CAUSALIOT_CHECK_MSG(tenant < tenants_.size(), "unknown tenant handle");
+  const TenantMeta* meta = metas_.get(tenant);
+  if (meta == nullptr || !meta->alive.load(std::memory_order_acquire)) {
+    metrics_.events_unroutable->increment();
+    return SubmitResult::kUnknownTenant;
+  }
   metrics_.events_submitted->increment();
-  Shard& shard = *shards_[tenant % shards_.size()];
+  Shard& shard = *shards_[meta->shard];
   ShardItem item;
-  item.session = tenants_[tenant];
   item.handle = tenant;
   item.event = event;
   item.enqueue_ns = now_ns();
@@ -114,10 +157,19 @@ DetectionService::SubmitResult DetectionService::submit(
 
 void DetectionService::swap_model(TenantHandle tenant,
                                   std::shared_ptr<const ModelSnapshot> model) {
-  CAUSALIOT_CHECK_MSG(tenant < tenants_.size(), "unknown tenant handle");
+  TenantMeta* meta = metas_.get(tenant);
+  CAUSALIOT_CHECK_MSG(meta != nullptr, "unknown tenant handle");
+  if (!meta->alive.load(std::memory_order_acquire)) return;
   health_.on_published(tenant, model != nullptr ? model->version : 0);
-  tenants_[tenant]->publish_model(std::move(model));
   metrics_.model_swaps_published->increment();
+  // The publication rides the shard FIFO like any other control, so it
+  // can never touch a session the worker has already destroyed; the
+  // session still adopts at its next event boundary after the publish.
+  ShardItem item;
+  item.kind = ShardItem::Kind::kSwapModel;
+  item.handle = tenant;
+  item.model = std::move(model);
+  shards_[meta->shard]->queue.push_unbounded(std::move(item));
 }
 
 void DetectionService::deliver(TenantHandle handle, TenantSession& session,
@@ -128,7 +180,7 @@ void DetectionService::deliver(TenantHandle handle, TenantSession& session,
     metrics_.alarms_suppressed->increment();
     return;
   }
-  tenant_alarms_[handle]->increment();
+  metas_.get(handle)->alarms->increment();
   health_.on_alarm(handle, collective);
   if (collective) metrics_.alarms_collective->increment();
   switch (sunk->severity) {
@@ -155,7 +207,42 @@ void DetectionService::deliver(TenantHandle handle, TenantSession& session,
 }
 
 void DetectionService::process_item(Shard& shard, ShardItem& item) {
-  TenantSession& session = *item.session;
+  switch (item.kind) {
+    case ShardItem::Kind::kAddTenant:
+      shard.sessions.emplace(item.handle, std::move(item.session));
+      return;
+    case ShardItem::Kind::kRemoveTenant: {
+      const auto it = shard.sessions.find(item.handle);
+      if (it == shard.sessions.end()) return;
+      // Clean removal: the pending Algorithm 2 window still fires.
+      if (std::optional<detect::AnomalyReport> tail = it->second->finish()) {
+        deliver(item.handle, *it->second, std::move(*tail));
+      }
+      shard.sessions.erase(it);
+      return;
+    }
+    case ShardItem::Kind::kSwapModel: {
+      const auto it = shard.sessions.find(item.handle);
+      if (it != shard.sessions.end()) {
+        it->second->publish_model(std::move(item.model));
+      }
+      return;
+    }
+    case ShardItem::Kind::kEvent:
+      break;
+  }
+  process_event(shard, item);
+}
+
+void DetectionService::process_event(Shard& shard, ShardItem& item) {
+  const auto found = shard.sessions.find(item.handle);
+  if (found == shard.sessions.end()) {
+    // Queued behind its tenant's RemoveTenant control: counted, never
+    // processed (the conservation identity charges these to orphaned).
+    shard.orphaned->increment();
+    return;
+  }
+  TenantSession& session = *found->second;
   const std::uint64_t before_swaps = session.swaps_adopted();
 
   std::optional<detect::AnomalyReport> report;
@@ -204,11 +291,16 @@ void DetectionService::worker_loop(Shard& shard) {
 }
 
 void DetectionService::shutdown() {
-  if (stopped_) return;
-  stopped_ = true;
+  bool was_started = false;
+  {
+    std::lock_guard<std::mutex> lock(directory_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    was_started = started_;
+  }
   ready_.store(false, std::memory_order_release);
   for (auto& shard : shards_) shard->queue.close();
-  if (started_) {
+  if (was_started) {
     for (auto& shard : shards_) {
       if (shard->worker.joinable()) shard->worker.join();
     }
@@ -222,17 +314,27 @@ void DetectionService::shutdown() {
       }
     }
   }
-  // Queues are drained and workers are gone: flush pending windows.
-  for (std::size_t i = 0; i < tenants_.size(); ++i) {
-    if (std::optional<detect::AnomalyReport> tail = tenants_[i]->finish()) {
-      deliver(static_cast<TenantHandle>(i), *tenants_[i], std::move(*tail));
+  // Queues are drained and workers are gone: flush pending windows of
+  // every surviving session, in handle order for determinism.
+  const TenantHandle limit = tenant_limit_.load(std::memory_order_relaxed);
+  for (TenantHandle handle = 0; handle < limit; ++handle) {
+    const TenantMeta* meta = metas_.get(handle);
+    if (meta == nullptr) continue;
+    auto& sessions = shards_[meta->shard]->sessions;
+    const auto it = sessions.find(handle);
+    if (it == sessions.end()) continue;
+    if (std::optional<detect::AnomalyReport> tail = it->second->finish()) {
+      deliver(handle, *it->second, std::move(*tail));
     }
   }
 }
 
 const TenantSession& DetectionService::session(TenantHandle tenant) const {
-  CAUSALIOT_CHECK_MSG(tenant < tenants_.size(), "unknown tenant handle");
-  return *tenants_[tenant];
+  const TenantMeta* meta = metas_.get(tenant);
+  CAUSALIOT_CHECK_MSG(meta != nullptr &&
+                          meta->alive.load(std::memory_order_acquire),
+                      "unknown tenant handle");
+  return *meta->session;
 }
 
 void DetectionService::refresh_queue_gauges() const {
@@ -245,10 +347,14 @@ ServiceStats DetectionService::stats() const {
   refresh_queue_gauges();
   ServiceStats out;
   out.shard_count = shards_.size();
-  out.tenant_count = tenants_.size();
+  out.tenant_count = tenant_count();
+  out.tenants_added = metrics_.tenants_added->value();
+  out.tenants_removed = metrics_.tenants_removed->value();
   out.events_submitted = metrics_.events_submitted->value();
+  out.events_unroutable = metrics_.events_unroutable->value();
   for (const auto& shard : shards_) {
     out.events_processed += shard->processed->value();
+    out.events_orphaned += shard->orphaned->value();
     const auto counters = shard->queue.counters();
     out.queue_accepted += counters.accepted;
     out.queue_dropped_oldest += counters.dropped_oldest;
@@ -291,13 +397,19 @@ std::string DetectionService::status_json() const {
   std::string out = util::format(
       "{\"service\": {\"ready\": %s, \"uptime_seconds\": %.3f, "
       "\"shards\": %zu, \"tenant_count\": %zu, "
+      "\"tenants_added\": %llu, \"tenants_removed\": %llu, "
       "\"events_submitted\": %llu, \"events_processed\": %llu, "
+      "\"events_unroutable\": %llu, \"events_orphaned\": %llu, "
       "\"alarms_total\": %llu, \"model_swaps_published\": %llu, "
       "\"model_swaps_adopted\": %llu}",
       ready() ? "true" : "false", uptime, snapshot.shard_count,
       snapshot.tenant_count,
+      static_cast<unsigned long long>(snapshot.tenants_added),
+      static_cast<unsigned long long>(snapshot.tenants_removed),
       static_cast<unsigned long long>(snapshot.events_submitted),
       static_cast<unsigned long long>(snapshot.events_processed),
+      static_cast<unsigned long long>(snapshot.events_unroutable),
+      static_cast<unsigned long long>(snapshot.events_orphaned),
       static_cast<unsigned long long>(snapshot.alarms_total),
       static_cast<unsigned long long>(snapshot.model_swaps_published),
       static_cast<unsigned long long>(snapshot.model_swaps_adopted));

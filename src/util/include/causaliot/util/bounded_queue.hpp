@@ -21,10 +21,12 @@
 // the graceful shutdown path.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <utility>
@@ -57,8 +59,17 @@ class BoundedQueue {
     std::uint64_t block_waits = 0;     // pushes that had to sleep (kBlock)
   };
 
-  BoundedQueue(std::size_t capacity, OverflowPolicy policy)
-      : capacity_(capacity), policy_(policy) {
+  /// Decides whether kDropOldest may evict a given queued item. Items
+  /// the filter refuses (e.g. in-band control messages) are skipped when
+  /// hunting for a victim; if nothing is evictable the new item is
+  /// admitted anyway (transient overshoot bounded by the number of
+  /// non-evictable items in flight).
+  using EvictFilter = std::function<bool(const T&)>;
+
+  BoundedQueue(std::size_t capacity, OverflowPolicy policy,
+               EvictFilter evictable = {})
+      : capacity_(capacity), policy_(policy),
+        evictable_(std::move(evictable)) {
     CAUSALIOT_CHECK_MSG(capacity_ >= 1, "queue capacity must be >= 1");
   }
 
@@ -87,7 +98,22 @@ class BoundedQueue {
           break;
         }
         case OverflowPolicy::kDropOldest: {
-          items_.pop_front();
+          auto victim = items_.begin();
+          if (evictable_) {
+            victim = std::find_if(items_.begin(), items_.end(),
+                                  [this](const T& queued) {
+                                    return evictable_(queued);
+                                  });
+          }
+          if (victim == items_.end()) {
+            // Only non-evictable items queued: admit over capacity
+            // rather than lose a control message.
+            items_.push_back(std::move(item));
+            ++counters_.accepted;
+            item_available_.notify_one();
+            return PushResult::kAccepted;
+          }
+          items_.erase(victim);
           ++counters_.dropped_oldest;
           items_.push_back(std::move(item));
           ++counters_.accepted;
@@ -99,6 +125,24 @@ class BoundedQueue {
           return PushResult::kRejected;
         }
       }
+    }
+    items_.push_back(std::move(item));
+    ++counters_.accepted;
+    item_available_.notify_one();
+    return PushResult::kAccepted;
+  }
+
+  /// Enqueues `item` ignoring capacity and overflow policy: it never
+  /// blocks, never evicts, and is refused only after close(). This is
+  /// the lane for in-band control messages (tenant add/remove, model
+  /// swap) that must not be lost to kReject or stalled by kBlock; data
+  /// items must keep using push(). Overshoot past capacity is bounded
+  /// by the number of outstanding control messages.
+  PushResult push_unbounded(T item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      ++counters_.closed_rejects;
+      return PushResult::kClosed;
     }
     items_.push_back(std::move(item));
     ++counters_.accepted;
@@ -155,6 +199,7 @@ class BoundedQueue {
  private:
   const std::size_t capacity_;
   const OverflowPolicy policy_;
+  const EvictFilter evictable_;
 
   mutable std::mutex mutex_;
   std::condition_variable item_available_;

@@ -1,0 +1,99 @@
+// Append-mostly slot directory with lock-free reads.
+//
+// The serving layer needs a tenant directory that arbitrary submit
+// threads read on every event while tenants are added and removed on a
+// *running* service. A plain vector reallocates under growth (readers
+// chase freed memory); a shared_ptr per lookup costs an atomic refcount
+// pair on the hottest path in the system. SlotArray instead keeps a
+// fixed top-level table of lazily allocated chunks: get() is two
+// acquire loads and never takes a lock, emplace() serializes writers on
+// an internal mutex and publishes the fully constructed slot with a
+// release store.
+//
+// Slots are never freed before destruction — removal is expressed by
+// the element itself (e.g. an `alive` flag the owner flips), so a
+// reader holding a T* can never observe a dangling pointer. That makes
+// the directory append-only memory-wise: fine for tenant churn, where
+// a tombstoned slot costs bytes, not correctness.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "causaliot/util/check.hpp"
+
+namespace causaliot::util {
+
+/// kChunkBits selects the chunk size (2^kChunkBits slots per chunk);
+/// capacity is kMaxChunks * 2^kChunkBits slots. The defaults give
+/// 1M slots at 8 KiB of fixed overhead plus 8 KiB per touched chunk.
+template <typename T, std::size_t kChunkBits = 10,
+          std::size_t kMaxChunks = 1024>
+class SlotArray {
+ public:
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+  static constexpr std::size_t kCapacity = kChunkSize * kMaxChunks;
+
+  SlotArray() = default;
+  SlotArray(const SlotArray&) = delete;
+  SlotArray& operator=(const SlotArray&) = delete;
+
+  ~SlotArray() {
+    for (auto& chunk_ptr : chunks_) {
+      Chunk* chunk = chunk_ptr.load(std::memory_order_acquire);
+      if (chunk == nullptr) continue;
+      for (auto& slot : *chunk) {
+        delete slot.load(std::memory_order_acquire);
+      }
+      delete chunk;
+    }
+  }
+
+  /// Lock-free: the slot's element, or nullptr when index is out of
+  /// range or the slot was never filled. The returned pointer stays
+  /// valid for the SlotArray's lifetime.
+  T* get(std::size_t index) const {
+    if (index >= kCapacity) return nullptr;
+    const Chunk* chunk =
+        chunks_[index >> kChunkBits].load(std::memory_order_acquire);
+    if (chunk == nullptr) return nullptr;
+    return (*chunk)[index & (kChunkSize - 1)].load(
+        std::memory_order_acquire);
+  }
+
+  /// Constructs the element at `index` (which must be empty) and
+  /// publishes it. Writers serialize on an internal mutex; concurrent
+  /// get() calls see either nullptr or the fully constructed element.
+  template <typename... Args>
+  T& emplace(std::size_t index, Args&&... args) {
+    CAUSALIOT_CHECK_MSG(index < kCapacity, "SlotArray index out of range");
+    std::lock_guard<std::mutex> lock(grow_mutex_);
+    auto& chunk_ptr = chunks_[index >> kChunkBits];
+    Chunk* chunk = chunk_ptr.load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new Chunk();
+      for (auto& slot : *chunk) {
+        slot.store(nullptr, std::memory_order_relaxed);
+      }
+      chunk_ptr.store(chunk, std::memory_order_release);
+    }
+    auto& slot = (*chunk)[index & (kChunkSize - 1)];
+    CAUSALIOT_CHECK_MSG(slot.load(std::memory_order_relaxed) == nullptr,
+                        "SlotArray slot already occupied");
+    T* element = new T(std::forward<Args>(args)...);
+    slot.store(element, std::memory_order_release);
+    return *element;
+  }
+
+ private:
+  using Chunk = std::array<std::atomic<T*>, kChunkSize>;
+
+  std::array<std::atomic<Chunk*>, kMaxChunks> chunks_{};
+  std::mutex grow_mutex_;
+};
+
+}  // namespace causaliot::util

@@ -1,0 +1,316 @@
+// net::SocketServer / net::LineProtocolServer: the socket skeleton under
+// both the HTTP plane and the JSONL ingestion plane. Framing (split and
+// coalesced writes, CRLF, oversized lines, the EOF tail), the
+// quiet-on-success response model, accept-queue overflow, and graceful
+// stop with connections parked in recv.
+#include "causaliot/net/line_server.hpp"
+#include "causaliot/net/socket_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace causaliot::net {
+namespace {
+
+/// Minimal blocking loopback client with a receive timeout.
+class Client {
+ public:
+  explicit Client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                        sizeof(address)),
+              0);
+    timeval timeout{/*tv_sec=*/5, /*tv_usec=*/0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  }
+  ~Client() { close(); }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+  void shutdown_write() { ::shutdown(fd_, SHUT_WR); }
+
+  void send(std::string_view data) {
+    ASSERT_EQ(::send(fd_, data.data(), data.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(data.size()));
+  }
+
+  /// Reads until `lines` newline-terminated lines arrived (or timeout).
+  std::string recv_lines(std::size_t lines) {
+    std::string out;
+    char buffer[4096];
+    while (static_cast<std::size_t>(
+               std::count(out.begin(), out.end(), '\n')) < lines) {
+      const ssize_t got = ::recv(fd_, buffer, sizeof(buffer), 0);
+      if (got <= 0) break;
+      out.append(buffer, static_cast<std::size_t>(got));
+    }
+    return out;
+  }
+
+  /// Reads until the peer closes (or timeout).
+  std::string recv_all() {
+    std::string out;
+    char buffer[4096];
+    while (true) {
+      const ssize_t got = ::recv(fd_, buffer, sizeof(buffer), 0);
+      if (got <= 0) break;
+      out.append(buffer, static_cast<std::size_t>(got));
+    }
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(SocketServer, DispatchesConnectionsToWorkers) {
+  SocketServerConfig config;
+  config.worker_count = 2;
+  std::atomic<int> served{0};
+  SocketServer server(
+      config,
+      [&](int fd) {
+        const char byte = 'x';
+        (void)::send(fd, &byte, 1, MSG_NOSIGNAL);
+        ++served;
+        ::close(fd);
+      },
+      [](int fd) { ::close(fd); });
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+  ASSERT_GT(port.value(), 0);
+
+  for (int i = 0; i < 5; ++i) {
+    Client client(port.value());
+    EXPECT_EQ(client.recv_all(), "x");
+  }
+  server.stop();
+  EXPECT_EQ(served.load(), 5);
+  EXPECT_EQ(server.connections_accepted(), 5u);
+  EXPECT_EQ(server.connections_overflowed(), 0u);
+  EXPECT_FALSE(server.running());
+}
+
+TEST(SocketServer, StopIsIdempotentAndStartAnswersPort) {
+  SocketServer server(
+      {}, [](int fd) { ::close(fd); }, [](int fd) { ::close(fd); });
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+  EXPECT_EQ(server.port(), port.value());
+  server.stop();
+  server.stop();  // second stop is a no-op, not a crash
+  EXPECT_FALSE(server.running());
+}
+
+TEST(SocketServer, OverflowHandlerSeesQueueSpill) {
+  // One worker wedged on a slow connection + a 1-slot accept queue:
+  // further connections must route to the overflow handler, not pile up.
+  SocketServerConfig config;
+  config.worker_count = 1;
+  config.max_pending_connections = 1;
+  std::atomic<bool> release{false};
+  std::atomic<int> overflowed{0};
+  SocketServer server(
+      config,
+      [&](int fd) {
+        while (!release.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        ::close(fd);
+      },
+      [&](int fd) {
+        ++overflowed;
+        ::close(fd);
+      });
+    const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  Client wedge(port.value());   // occupies the worker
+  Client queued(port.value());  // fills the 1-slot queue
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::vector<std::unique_ptr<Client>> spill;
+  for (int i = 0; i < 3; ++i) {
+    spill.push_back(std::make_unique<Client>(port.value()));
+  }
+  // The spilled connections see EOF once the overflow handler closes.
+  for (auto& client : spill) EXPECT_EQ(client->recv_all(), "");
+  EXPECT_GE(overflowed.load(), 3);
+  release.store(true);
+  server.stop();
+  EXPECT_EQ(server.connections_overflowed(),
+            static_cast<std::uint64_t>(overflowed.load()));
+}
+
+std::unique_ptr<LineProtocolServer> echo_server(
+    std::atomic<std::size_t>* handled = nullptr) {
+  LineServerConfig config;
+  return std::make_unique<LineProtocolServer>(
+      config, [handled](std::string_view line) -> std::optional<std::string> {
+        if (handled != nullptr) ++*handled;
+        if (line.empty()) return std::nullopt;
+        if (line == "quiet") return std::nullopt;  // success path: silence
+        return "echo " + std::string(line);
+      });
+}
+
+TEST(LineProtocolServer, EchoesLinesOnPersistentConnection) {
+  auto server = echo_server();
+  const auto port = server->start();
+  ASSERT_TRUE(port.ok());
+
+  Client client(port.value());
+  client.send("alpha\nbeta\n");
+  EXPECT_EQ(client.recv_lines(2), "echo alpha\necho beta\n");
+  // Same connection, later lines: the stream stays open.
+  client.send("gamma\n");
+  EXPECT_EQ(client.recv_lines(1), "echo gamma\n");
+  client.close();
+  server->stop();
+  const auto stats = server->stats();
+  EXPECT_EQ(stats.lines_total, 3u);
+  EXPECT_EQ(stats.responses_total, 3u);
+  EXPECT_EQ(stats.connections_accepted, 1u);
+}
+
+TEST(LineProtocolServer, ReassemblesSplitLinesAndStripsCrlf) {
+  auto server = echo_server();
+  const auto port = server->start();
+  ASSERT_TRUE(port.ok());
+
+  Client client(port.value());
+  client.send("hel");
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  client.send("lo\r\nwor");
+  EXPECT_EQ(client.recv_lines(1), "echo hello\n");
+  client.send("ld\r\n");
+  EXPECT_EQ(client.recv_lines(1), "echo world\n");
+  client.close();
+  server->stop();
+}
+
+TEST(LineProtocolServer, QuietSuccessWritesNothing) {
+  std::atomic<std::size_t> handled{0};
+  auto server = echo_server(&handled);
+  const auto port = server->start();
+  ASSERT_TRUE(port.ok());
+
+  Client client(port.value());
+  client.send("quiet\nquiet\nloud\n");
+  // Only the third line answers; the two quiet ones must not block it.
+  EXPECT_EQ(client.recv_lines(1), "echo loud\n");
+  EXPECT_EQ(handled.load(), 3u);
+  client.close();
+  server->stop();
+  EXPECT_EQ(server->stats().responses_total, 1u);
+}
+
+TEST(LineProtocolServer, EofTailCountsAsFinalLine) {
+  std::atomic<std::size_t> handled{0};
+  auto server = echo_server(&handled);
+  const auto port = server->start();
+  ASSERT_TRUE(port.ok());
+
+  Client client(port.value());
+  client.send("unterminated");
+  client.shutdown_write();
+  EXPECT_EQ(client.recv_lines(1), "echo unterminated\n");
+  EXPECT_EQ(handled.load(), 1u);
+  client.close();
+  server->stop();
+}
+
+TEST(LineProtocolServer, OversizedLinePoisonsConnection) {
+  LineServerConfig config;
+  config.max_line_bytes = 16;
+  LineProtocolServer server(
+      config, [](std::string_view) -> std::optional<std::string> {
+        return "ok";
+      });
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  Client client(port.value());
+  client.send(std::string(64, 'x') + "\n");
+  // The server answers the oversized marker, then drops the connection.
+  EXPECT_EQ(client.recv_all(), "ERR oversized-line\n");
+  client.close();
+  server.stop();
+  EXPECT_EQ(server.stats().oversized_drops, 1u);
+}
+
+TEST(LineProtocolServer, StopWakesConnectionsParkedInRecv) {
+  auto server = echo_server();
+  const auto port = server->start();
+  ASSERT_TRUE(port.ok());
+
+  Client idle(port.value());  // never sends; worker parked in recv
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto begin = std::chrono::steady_clock::now();
+  server->stop();  // must not wait out the io timeout
+  const auto elapsed = std::chrono::steady_clock::now() - begin;
+  EXPECT_LT(elapsed, std::chrono::seconds(4));
+  EXPECT_EQ(idle.recv_all(), "");  // clean EOF, not a reset mid-line
+  EXPECT_FALSE(server->running());
+}
+
+TEST(LineProtocolServer, ConcurrentClientsKeepPerConnectionOrder) {
+  LineServerConfig config;
+  config.socket.worker_count = 3;
+  std::mutex seen_mutex;
+  std::vector<std::string> seen;
+  LineProtocolServer server(
+      config,
+      [&](std::string_view line) -> std::optional<std::string> {
+        {
+          std::lock_guard<std::mutex> lock(seen_mutex);
+          seen.emplace_back(line);
+        }
+        return std::string(line);
+      });
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  constexpr std::size_t kClients = 3;
+  constexpr std::size_t kLines = 50;
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client(port.value());
+      std::string expected;
+      for (std::size_t i = 0; i < kLines; ++i) {
+        const std::string line =
+            "c" + std::to_string(c) + "-" + std::to_string(i);
+        client.send(line + "\n");
+        expected += line + "\n";
+      }
+      // Echoes come back in send order: one worker owns the connection.
+      EXPECT_EQ(client.recv_lines(kLines), expected);
+    });
+  }
+  for (auto& client : clients) client.join();
+  server.stop();
+  EXPECT_EQ(server.stats().lines_total, kClients * kLines);
+}
+
+}  // namespace
+}  // namespace causaliot::net

@@ -246,6 +246,7 @@ TEST_F(ServeTest, RejectPolicyCountsExactly) {
       case DetectionService::SubmitResult::kAccepted: ++accepted; break;
       case DetectionService::SubmitResult::kRejected: ++rejected; break;
       case DetectionService::SubmitResult::kClosed: FAIL(); break;
+      case DetectionService::SubmitResult::kUnknownTenant: FAIL(); break;
     }
   }
   EXPECT_EQ(accepted, 4u);

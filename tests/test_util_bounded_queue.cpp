@@ -122,5 +122,76 @@ TEST(BoundedQueue, MultiProducerConservation) {
   EXPECT_EQ(queue.counters().accepted, kProducers * kPerProducer);
 }
 
+
+TEST(BoundedQueue, CloseWhileProducersBlockedWakesAll) {
+  // Several producers parked in the kBlock wait at close() time: every
+  // one must wake with kClosed, nothing already queued may be lost, and
+  // no blocked item may sneak in after the close.
+  constexpr std::size_t kProducers = 4;
+  BoundedQueue<int> queue(2, OverflowPolicy::kBlock);
+  ASSERT_EQ(queue.push(1), PushResult::kAccepted);
+  ASSERT_EQ(queue.push(2), PushResult::kAccepted);
+
+  std::atomic<std::size_t> closed_results{0};
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, &closed_results] {
+      if (queue.push(99) == PushResult::kClosed) ++closed_results;
+    });
+  }
+  // Let every producer reach the wait (block_waits counts entries).
+  while (queue.counters().block_waits < kProducers) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  queue.close();
+  for (auto& producer : producers) producer.join();
+
+  EXPECT_EQ(closed_results, kProducers);
+  EXPECT_EQ(queue.counters().accepted, 2u);
+  EXPECT_EQ(queue.counters().closed_rejects, kProducers);
+  EXPECT_EQ(queue.counters().block_waits, kProducers);
+  // The pre-close items drain intact; then end-of-stream.
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, PushUnboundedBypassesCapacityAndPolicy) {
+  BoundedQueue<int> queue(1, OverflowPolicy::kReject);
+  ASSERT_EQ(queue.push(1), PushResult::kAccepted);
+  EXPECT_EQ(queue.push(2), PushResult::kRejected);
+  // The side lane is never rejected and never blocks...
+  EXPECT_EQ(queue.push_unbounded(3), PushResult::kAccepted);
+  EXPECT_EQ(queue.size(), 2u);
+  // ...but still respects close().
+  queue.close();
+  EXPECT_EQ(queue.push_unbounded(4), PushResult::kClosed);
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 3);
+}
+
+TEST(BoundedQueue, EvictFilterShieldsControlItems) {
+  // Negative items model control messages: kDropOldest must evict the
+  // oldest *evictable* item and, when none is evictable, admit over
+  // capacity rather than lose anything.
+  BoundedQueue<int> queue(2, OverflowPolicy::kDropOldest,
+                          [](const int& item) { return item >= 0; });
+  ASSERT_EQ(queue.push_unbounded(-1), PushResult::kAccepted);
+  ASSERT_EQ(queue.push(10), PushResult::kAccepted);
+  // Full. The control (-1) is older but shielded: 10 is the victim.
+  EXPECT_EQ(queue.push(11), PushResult::kDroppedOldest);
+  EXPECT_EQ(queue.counters().dropped_oldest, 1u);
+
+  // All-control queue: nothing evictable, the push is admitted anyway.
+  BoundedQueue<int> controls(1, OverflowPolicy::kDropOldest,
+                             [](const int& item) { return item >= 0; });
+  ASSERT_EQ(controls.push_unbounded(-1), PushResult::kAccepted);
+  EXPECT_EQ(controls.push(5), PushResult::kAccepted);
+  EXPECT_EQ(controls.counters().dropped_oldest, 0u);
+  EXPECT_EQ(controls.size(), 2u);
+  EXPECT_EQ(controls.pop(), -1);
+  EXPECT_EQ(controls.pop(), 5);
+}
+
 }  // namespace
 }  // namespace causaliot::util

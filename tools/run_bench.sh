@@ -22,8 +22,9 @@ mining_json="${2:-BENCH_mining.json}"
 serving_json="${3:-BENCH_serving.json}"
 mining_bin="$build_dir/bench/bench_complexity"
 serving_bin="$build_dir/bench/bench_serving_throughput"
+ingestion_bin="$build_dir/bench/bench_ingestion"
 
-for bench_bin in "$mining_bin" "$serving_bin"; do
+for bench_bin in "$mining_bin" "$serving_bin" "$ingestion_bin"; do
   if [ ! -x "$bench_bin" ]; then
     echo "error: $bench_bin not built (cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
     exit 1
@@ -116,4 +117,42 @@ rm -f "${baseline_json:-}" 2>/dev/null || true
   --benchmark_out="$serving_json" \
   --benchmark_out_format=json
 
-echo "wrote $serving_json"
+# The network ingestion plane (loopback TCP JSONL soak + parse floor +
+# churn soak) rides in the serving JSON as a top-level "ingestion"
+# section, so one file tracks the whole serving-path perf trajectory.
+ingestion_json="$(mktemp)"
+"$ingestion_bin" \
+  --benchmark_out="$ingestion_json" \
+  --benchmark_out_format=json
+
+python3 - "$serving_json" "$ingestion_json" <<'PY'
+import json
+import sys
+
+serving_path, ingestion_path = sys.argv[1], sys.argv[2]
+with open(serving_path) as f:
+    serving = json.load(f)
+with open(ingestion_path) as f:
+    ingestion = json.load(f)
+
+serving["ingestion"] = {
+    "context": ingestion.get("context", {}),
+    "benchmarks": ingestion.get("benchmarks", []),
+}
+events_per_second = {
+    b["name"]: b.get("items_per_second")
+    for b in ingestion.get("benchmarks", [])
+    if b.get("run_type", "iteration") == "iteration"
+}
+for name in sorted(events_per_second):
+    rate = events_per_second[name]
+    if rate:
+        print("  %-40s %.0f events/s" % (name, rate))
+
+with open(serving_path, "w") as f:
+    json.dump(serving, f, indent=1)
+    f.write("\n")
+PY
+rm -f "$ingestion_json"
+
+echo "wrote $serving_json (with ingestion section)"
