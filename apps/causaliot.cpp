@@ -7,6 +7,7 @@
 //   causaliot serve    --model model.dig --trace live.csv [--tenants 4]
 //                      [--shards 2] [--speedup 0] [--policy block]
 //                      [--stdin 1] [--ingest-port 0] [--ingest-http 0]
+//                      [--alert-rules rules.jsonl] [--history-interval 1000]
 //   causaliot inspect  --model model.dig --profile contextact [--dot graph.dot]
 //
 // The profile argument supplies the device catalog (column order of the
@@ -18,6 +19,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -29,13 +31,16 @@
 #include "causaliot/detect/explanation.hpp"
 #include "causaliot/graph/analysis.hpp"
 #include "causaliot/net/line_server.hpp"
+#include "causaliot/obs/alert.hpp"
 #include "causaliot/obs/http_server.hpp"
 #include "causaliot/obs/registry.hpp"
+#include "causaliot/obs/time_series.hpp"
 #include "causaliot/obs/trace.hpp"
 #include "causaliot/serve/alarm_json.hpp"
 #include "causaliot/serve/ingest.hpp"
 #include "causaliot/serve/introspection.hpp"
 #include "causaliot/serve/service.hpp"
+#include "causaliot/serve/watchdog.hpp"
 #include "causaliot/sim/simulator.hpp"
 #include "causaliot/stats/simd_backend.hpp"
 #include "causaliot/telemetry/jsonl.hpp"
@@ -404,6 +409,10 @@ int cmd_serve(const Args& args) {
   }
   config.session.k_max = static_cast<std::size_t>(args.get_u64("kmax", 1));
   config.session.deduplicate_alarms = args.get_u64("dedup", 0) != 0;
+  // Ops-drill knob: slow every event down so a tiny queue saturates
+  // deterministically and the watchdog/alert plane can be exercised.
+  config.debug_event_delay_us =
+      static_cast<std::uint32_t>(args.get_u64("debug-event-delay-us", 0));
 
   // Observability: the serve registry is the process-global one so mining
   // metrics from a colocated retrain land in the same snapshot stream.
@@ -444,14 +453,24 @@ int cmd_serve(const Args& args) {
   std::thread metrics_thread;
   const auto emit_metrics = [&] {
     const std::string snapshot = service.registry_json();
+    // Both clocks, so offline trend analysis can align snapshots with
+    // alarm timestamps (wall) and with span traces (monotonic).
+    const auto ts_unix_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    const std::string header = util::format(
+        "{\"type\": \"metrics\", \"ts_unix_ms\": %lld, "
+        "\"ts_mono_ns\": %llu, ",
+        static_cast<long long>(ts_unix_ms),
+        static_cast<unsigned long long>(obs::Tracer::now_ns()));
     // registry_json() yields {"metrics": [...]}; tag the stream record.
     std::lock_guard<std::mutex> lock(out_mutex);
     if (metrics_file.is_open()) {
-      metrics_file << "{\"type\": \"metrics\", " << (snapshot.c_str() + 1)
-                   << "\n";
+      metrics_file << header << (snapshot.c_str() + 1) << "\n";
       metrics_file.flush();
     } else {
-      std::printf("{\"type\": \"metrics\", %s\n", snapshot.c_str() + 1);
+      std::printf("%s%s\n", header.c_str(), snapshot.c_str() + 1);
     }
   };
   if (metrics_interval > 0) {
@@ -477,16 +496,69 @@ int cmd_serve(const Args& args) {
         std::vector<std::uint8_t>(catalog.size(), 0)));
   }
 
+  // The retention + alerting plane: a background sampler snapshots the
+  // registry every --history-interval MS into ring buffers (served as
+  // /metrics/history), the watchdog turns shard progress into
+  // serve_watchdog_* gauges, and the alert engine evaluates its rules
+  // on every tick (served as /alertz). --history-interval 0 keeps the
+  // endpoints but never samples. Declared before the HTTP listeners so
+  // the servers (whose handlers read these) are destroyed first.
+  const std::uint64_t history_interval_ms =
+      args.get_u64("history-interval", 1000);
+  const auto history_capacity =
+      static_cast<std::size_t>(args.get_u64("history-capacity", 512));
+  if (history_capacity < 2) {
+    std::fprintf(stderr, "--history-capacity must be >= 2\n");
+    return 2;
+  }
+  serve::Watchdog watchdog(service);
+  obs::TimeSeriesConfig history_config;
+  history_config.interval_ms = history_interval_ms;
+  history_config.raw_capacity = history_capacity;
+  history_config.agg_capacity = history_capacity;
+  obs::TimeSeriesStore history(service.registry(), history_config);
+  std::vector<obs::AlertRule> alert_rules = watchdog.default_rules();
+  const std::string rules_path = args.get("alert-rules", "");
+  if (!rules_path.empty()) {
+    std::ifstream rules_file(rules_path, std::ios::binary);
+    if (!rules_file.good()) {
+      std::fprintf(stderr, "cannot read %s\n", rules_path.c_str());
+      return 1;
+    }
+    std::string rules_text{std::istreambuf_iterator<char>(rules_file),
+                           std::istreambuf_iterator<char>()};
+    auto parsed = obs::parse_alert_rules(rules_text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.error().to_string().c_str());
+      return 2;
+    }
+    alert_rules = std::move(parsed).value();
+  }
+  obs::AlertEngine alerts(history, service.registry(),
+                          std::move(alert_rules));
+  history.set_pre_sample([&service, &watchdog](std::uint64_t now_ns) {
+    service.refresh_gauges();
+    watchdog.refresh(now_ns);
+  });
+  history.set_post_sample(
+      [&alerts](std::uint64_t now_ns) { alerts.evaluate(now_ns); });
+
+  serve::IntrospectionOptions introspection;
+  introspection.history = &history;
+  introspection.alerts = &alerts;
+  introspection.watchdog = &watchdog;
+
   // --listen: the live scrape plane. Started after tenant registration
   // (the handlers walk the immutable tenant tables) and before
   // service.start(), so /readyz observably flips 503 -> 200.
   std::unique_ptr<obs::HttpServer> http = make_listener(args);
   if (http != nullptr) {
-    serve::attach_introspection(*http, service);
+    serve::attach_introspection(*http, service, introspection);
     if (!start_listener(*http)) return 1;
   }
 
   service.start();
+  if (history_interval_ms > 0) history.start();
 
   // The ingestion plane: stdin, raw-TCP JSONL (--ingest-port), and HTTP
   // POST /ingest (--ingest-http) all reduce to one shared IngestRouter,
@@ -525,7 +597,7 @@ int cmd_serve(const Args& args) {
     http_config.registry = &service.registry();
     ingest_http_server = std::make_unique<obs::HttpServer>(http_config);
     serve::attach_ingest(*ingest_http_server, router);
-    serve::attach_introspection(*ingest_http_server, service);
+    serve::attach_introspection(*ingest_http_server, service, introspection);
     const auto port = ingest_http_server->start();
     if (!port.ok()) {
       std::fprintf(stderr, "cannot start ingest-http listener: %s\n",
@@ -591,7 +663,10 @@ int cmd_serve(const Args& args) {
   }
 
   // Stop the ingestion listeners before draining the service: every
-  // line already received is routed, then the queues flush.
+  // line already received is routed, then the queues flush. The history
+  // sampler stops first — its hooks read shard progress and queue
+  // gauges, which mean nothing mid-drain.
+  history.stop();
   if (line_server != nullptr) line_server->stop();
   if (ingest_http_server != nullptr) ingest_http_server->stop();
   service.shutdown();
@@ -694,7 +769,14 @@ void usage() {
       " [--metrics-out snapshots.jsonl] [--prom-out metrics.prom]"
       " [--trace-out trace.json] [--trace-sample N (span every Nth event)]"
       " [--listen PORT (0 = ephemeral; serves /metrics /healthz /readyz"
-      " /statusz /tracez on loopback)]\n"
+      " /statusz /tracez /alertz /metrics/history on loopback)]\n"
+      "           [--alert-rules FILE (JSONL alert rules; default: the"
+      " built-in watchdog ruleset)]\n"
+      "           [--history-interval MS (metric retention sampler tick;"
+      " default 1000, 0 = off)] [--history-capacity N (ring points per"
+      " series; default 512)]\n"
+      "           [--debug-event-delay-us N (slow workers for ops drills;"
+      " default 0)]\n"
       "  inspect  --model model.dig [--profile P] [--dot out.dot]\n");
 }
 

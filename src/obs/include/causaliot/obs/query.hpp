@@ -1,0 +1,70 @@
+// Query-string access for HttpRequest::query: "a=1&b=two+three" with
+// the usual application/x-www-form-urlencoded decoding ('+' is a
+// space, %XX is a byte). Header-only — handlers pull the two or three
+// parameters they care about and never build a map.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace causaliot::obs {
+
+namespace query_detail {
+
+inline int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+inline std::string url_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%' && i + 2 < text.size()) {
+      const int hi = hex_digit(text[i + 1]);
+      const int lo = hex_digit(text[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+      } else {
+        out += c;  // malformed escape passes through verbatim
+      }
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace query_detail
+
+/// Decoded value of the first `key=` pair in `query`, or `fallback`
+/// when the key is absent. A bare `key` (no '=') yields "".
+inline std::string query_param(std::string_view query, std::string_view key,
+                               std::string_view fallback = {}) {
+  std::size_t start = 0;
+  while (start <= query.size()) {
+    const std::size_t amp = query.find('&', start);
+    const std::string_view pair = query.substr(
+        start, amp == std::string_view::npos ? query.size() - start
+                                             : amp - start);
+    const std::size_t eq = pair.find('=');
+    const std::string_view pair_key =
+        eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (pair_key == key) {
+      return eq == std::string_view::npos
+                 ? std::string{}
+                 : query_detail::url_decode(pair.substr(eq + 1));
+    }
+    if (amp == std::string_view::npos) break;
+    start = amp + 1;
+  }
+  return std::string(fallback);
+}
+
+}  // namespace causaliot::obs

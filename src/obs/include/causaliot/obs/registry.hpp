@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -56,11 +57,29 @@ class Registry {
   ///   {"metrics": [{"name": ..., "labels": {...}, "kind": "counter",
   ///                 "value": 12}, ...]}
   /// Histogram entries carry count/sum/p50/p95/p99/max instead of value.
+  ///
+  /// Export order is a CONTRACT, not an accident: families appear in
+  /// sorted name order and instances within a family in sorted label
+  /// order (labels themselves are canonicalized at registration), so
+  /// two exports of the same registry state are byte-identical and
+  /// snapshot diffs / CI greps stay stable regardless of registration
+  /// order. to_prometheus() and visit_scalars() honor the same order.
   std::string to_json() const;
 
   /// Prometheus text exposition (version 0.0.4): # HELP / # TYPE per
   /// family, label values escaped (\\, \", \n), histograms as summaries.
+  /// Same deterministic (sorted name, sorted labels) order as to_json().
   std::string to_prometheus() const;
+
+  /// Visits every counter and gauge instance (histograms are skipped —
+  /// they have no single scalar value) in the deterministic exposition
+  /// order, passing the current value as a double. The callback runs
+  /// under the registry mutex and therefore must not call back into
+  /// this registry. This is the sampling hook for TimeSeriesStore.
+  using ScalarVisitor = std::function<void(
+      const std::string& name, const Labels& labels, MetricKind kind,
+      double value)>;
+  void visit_scalars(const ScalarVisitor& visit) const;
 
   /// Families registered so far (diagnostics / tests).
   std::size_t family_count() const;

@@ -209,6 +209,20 @@ void Registry::reset_for_test() {
   families_.clear();
 }
 
+void Registry::visit_scalars(const ScalarVisitor& visit) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, family] : families_) {
+    if (family.kind == MetricKind::kHistogram) continue;
+    for (const auto& [labels, instance] : family.instances) {
+      const double value =
+          family.kind == MetricKind::kCounter
+              ? static_cast<double>(instance.counter->value())
+              : static_cast<double>(instance.gauge->value());
+      visit(name, labels, family.kind, value);
+    }
+  }
+}
+
 std::string Registry::to_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"metrics\": [";

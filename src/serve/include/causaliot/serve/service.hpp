@@ -76,6 +76,12 @@ struct ServiceConfig {
   /// Per-tenant model-health telemetry (score EWMA smoothing, rolling
   /// alarm-rate window).
   HealthConfig health;
+  /// Artificial per-event processing delay in microseconds. 0 (the only
+  /// sane production value) is a single predictable branch; anything
+  /// else slows the workers down deterministically so ops drills and CI
+  /// smokes can saturate a tiny queue and watch the watchdog/alert
+  /// plane fire without racing the real detection speed.
+  std::uint32_t debug_event_delay_us = 0;
 };
 
 /// Opaque tenant identifier returned by add_tenant.
@@ -178,6 +184,28 @@ class DetectionService {
   /// snapshot age) backing /statusz and the serve_tenant_* gauges.
   const ModelHealth& health() const { return health_; }
 
+  /// Liveness evidence one shard worker publishes as it runs: the
+  /// heartbeat advances once per dequeued item (events and controls
+  /// alike), last_item_ns is the completion timestamp of the newest
+  /// processed event. A queue_depth > 0 paired with a frozen heartbeat
+  /// is the watchdog's definition of a stalled worker — an empty queue
+  /// with no heartbeat is merely idle.
+  struct ShardProgress {
+    std::uint64_t heartbeat = 0;
+    std::uint64_t last_item_ns = 0;
+    std::size_t queue_depth = 0;
+  };
+  ShardProgress shard_progress(std::size_t shard) const;
+  std::size_t queue_capacity() const { return config_.queue_capacity; }
+
+  /// Refreshes every scrape-derived gauge (queue depths + model health)
+  /// without serializing anything — the TimeSeriesStore pre-sample hook,
+  /// and what every scrape entry point calls first.
+  void refresh_gauges() const {
+    refresh_queue_gauges();
+    health_.refresh();
+  }
+
   /// One JSON object for /statusz: service summary (readiness, uptime,
   /// shard/tenant counts, throughput counters) + per-tenant model health.
   /// Refreshes the queue-depth and health gauges as a side effect, like
@@ -233,6 +261,11 @@ class DetectionService {
     /// directly only pre-start/post-join under directory_mutex_.
     std::unordered_map<TenantHandle, std::unique_ptr<TenantSession>> sessions;
     std::thread worker;
+    /// Watchdog evidence (see ShardProgress). Written by the worker
+    /// only; relaxed is enough — the watchdog compares successive
+    /// samples, it never orders against other memory.
+    std::atomic<std::uint64_t> heartbeat{0};
+    std::atomic<std::uint64_t> last_item_ns{0};
     /// Per-shard labeled registry handles.
     obs::Counter* processed = nullptr;
     obs::Counter* orphaned = nullptr;

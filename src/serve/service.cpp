@@ -207,6 +207,9 @@ void DetectionService::deliver(TenantHandle handle, TenantSession& session,
 }
 
 void DetectionService::process_item(Shard& shard, ShardItem& item) {
+  // Heartbeat first: a control that deadlocks downstream still proves
+  // the worker dequeued it.
+  shard.heartbeat.fetch_add(1, std::memory_order_relaxed);
   switch (item.kind) {
     case ShardItem::Kind::kAddTenant:
       shard.sessions.emplace(item.handle, std::move(item.session));
@@ -244,6 +247,10 @@ void DetectionService::process_event(Shard& shard, ShardItem& item) {
   }
   TenantSession& session = *found->second;
   const std::uint64_t before_swaps = session.swaps_adopted();
+  if (config_.debug_event_delay_us != 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config_.debug_event_delay_us));
+  }
 
   std::optional<detect::AnomalyReport> report;
   if (item.traced) {
@@ -270,7 +277,9 @@ void DetectionService::process_event(Shard& shard, ShardItem& item) {
   }
   health_.on_event(item.handle, session.last_score());
   shard.processed->increment();
-  metrics_.latency->record(now_ns() - item.enqueue_ns);
+  const std::uint64_t done_ns = now_ns();
+  shard.last_item_ns.store(done_ns, std::memory_order_relaxed);
+  metrics_.latency->record(done_ns - item.enqueue_ns);
   if (report.has_value()) {
     if (item.traced) {
       obs::Span emit("serve.alarm",
@@ -337,6 +346,17 @@ const TenantSession& DetectionService::session(TenantHandle tenant) const {
   return *meta->session;
 }
 
+DetectionService::ShardProgress DetectionService::shard_progress(
+    std::size_t shard) const {
+  CAUSALIOT_CHECK_MSG(shard < shards_.size(), "shard index out of range");
+  const Shard& s = *shards_[shard];
+  ShardProgress out;
+  out.heartbeat = s.heartbeat.load(std::memory_order_relaxed);
+  out.last_item_ns = s.last_item_ns.load(std::memory_order_relaxed);
+  out.queue_depth = s.queue.size();
+  return out;
+}
+
 void DetectionService::refresh_queue_gauges() const {
   for (const auto& shard : shards_) {
     shard->queue_depth->set(static_cast<std::int64_t>(shard->queue.size()));
@@ -375,20 +395,17 @@ ServiceStats DetectionService::stats() const {
 }
 
 std::string DetectionService::registry_json() const {
-  refresh_queue_gauges();
-  health_.refresh();
+  refresh_gauges();
   return registry_->to_json();
 }
 
 std::string DetectionService::prometheus() const {
-  refresh_queue_gauges();
-  health_.refresh();
+  refresh_gauges();
   return registry_->to_prometheus();
 }
 
 std::string DetectionService::status_json() const {
-  refresh_queue_gauges();
-  health_.refresh();
+  refresh_gauges();
   const ServiceStats snapshot = stats();
   const double uptime =
       started_at_ns_ != 0

@@ -1,0 +1,154 @@
+#include "causaliot/serve/watchdog.hpp"
+
+#include <cinttypes>
+
+#include "causaliot/util/strings.hpp"
+
+namespace causaliot::serve {
+
+Watchdog::Watchdog(DetectionService& service, WatchdogConfig config)
+    : service_(service), config_(config) {
+  obs::Registry& registry = service_.registry();
+  const std::size_t shards = service_.shard_count();
+  tracks_.resize(shards);
+  heartbeat_gauges_.reserve(shards);
+  stalled_gauges_.reserve(shards);
+  saturation_gauges_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    const std::string label = std::to_string(i);
+    heartbeat_gauges_.push_back(&registry.gauge(
+        "serve_watchdog_shard_heartbeat", {{"shard", label}},
+        "Items the shard worker has dequeued (events + controls)"));
+    stalled_gauges_.push_back(&registry.gauge(
+        "serve_watchdog_shard_stalled", {{"shard", label}},
+        "1 while the shard has queued work but a frozen heartbeat"));
+    saturation_gauges_.push_back(&registry.gauge(
+        "serve_watchdog_queue_saturation_ppm", {{"shard", label}},
+        "Shard queue occupancy in parts-per-million of capacity"));
+  }
+  stalled_total_ = &registry.gauge("serve_watchdog_stalled_shards", {},
+                                   "Shards currently considered stalled");
+}
+
+void Watchdog::refresh(std::uint64_t now_ns) {
+  const double capacity = static_cast<double>(service_.queue_capacity());
+  const std::uint64_t stall_ns =
+      static_cast<std::uint64_t>(config_.stall_seconds * 1e9);
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::int64_t stalled_total = 0;
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    const DetectionService::ShardProgress progress =
+        service_.shard_progress(i);
+    ShardTrack& track = tracks_[i];
+    if (track.changed_ns == 0 || progress.heartbeat != track.heartbeat) {
+      track.heartbeat = progress.heartbeat;
+      track.changed_ns = now_ns;
+      track.stalled = false;
+    } else if (progress.queue_depth > 0 &&
+               now_ns - track.changed_ns >= stall_ns) {
+      track.stalled = true;
+    } else if (progress.queue_depth == 0) {
+      // Idle, not stuck: nothing to dequeue proves nothing about the
+      // worker, so never hold a stall verdict against an empty queue.
+      track.stalled = false;
+    }
+    track.queue_depth = progress.queue_depth;
+    track.last_item_ns = progress.last_item_ns;
+    if (track.stalled) ++stalled_total;
+
+    heartbeat_gauges_[i]->set(
+        static_cast<std::int64_t>(progress.heartbeat));
+    stalled_gauges_[i]->set(track.stalled ? 1 : 0);
+    const double saturation =
+        capacity > 0.0
+            ? static_cast<double>(progress.queue_depth) / capacity
+            : 0.0;
+    saturation_gauges_[i]->set(static_cast<std::int64_t>(saturation * 1e6));
+  }
+  stalled_total_->set(stalled_total);
+}
+
+std::size_t Watchdog::stalled_shards() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t out = 0;
+  for (const ShardTrack& track : tracks_) {
+    if (track.stalled) ++out;
+  }
+  return out;
+}
+
+std::string Watchdog::json(std::uint64_t now_ns) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t stalled_total = 0;
+  for (const ShardTrack& track : tracks_) {
+    if (track.stalled) ++stalled_total;
+  }
+  std::string out =
+      util::format("{\"stalled_shards\": %zu, \"stall_seconds\": %.1f, "
+                   "\"shards\": [",
+                   stalled_total, config_.stall_seconds);
+  const std::size_t capacity = service_.queue_capacity();
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    const ShardTrack& track = tracks_[i];
+    if (i != 0) out += ", ";
+    const double last_item_age_seconds =
+        track.last_item_ns != 0 && now_ns > track.last_item_ns
+            ? static_cast<double>(now_ns - track.last_item_ns) / 1e9
+            : 0.0;
+    out += util::format(
+        "{\"shard\": %zu, \"heartbeat\": %" PRIu64
+        ", \"queue_depth\": %" PRIu64 ", \"queue_capacity\": %zu, "
+        "\"stalled\": %s, \"last_item_age_seconds\": %.3f}",
+        i, track.heartbeat, track.queue_depth, capacity,
+        track.stalled ? "true" : "false", last_item_age_seconds);
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<obs::AlertRule> Watchdog::default_rules() const {
+  std::vector<obs::AlertRule> rules;
+
+  obs::AlertRule stalled;
+  stalled.name = "shard_stalled";
+  stalled.metric = "serve_watchdog_shard_stalled";
+  stalled.kind = obs::AlertKind::kThreshold;
+  stalled.op = obs::AlertOp::kGt;
+  stalled.value = 0.5;
+  // The hysteresis already lives in the stall detector (stall_seconds),
+  // so the rule fires on the first tick that reports a stalled shard.
+  stalled.for_seconds = 0.0;
+  rules.push_back(std::move(stalled));
+
+  obs::AlertRule watermark;
+  watermark.name = "queue_high_watermark";
+  watermark.metric = "serve_watchdog_queue_saturation_ppm";
+  watermark.kind = obs::AlertKind::kThreshold;
+  watermark.op = obs::AlertOp::kGe;
+  watermark.value = config_.queue_saturation * 1e6;
+  watermark.for_seconds = config_.saturation_for_seconds;
+  rules.push_back(std::move(watermark));
+
+  obs::AlertRule rejects;
+  rejects.name = "ingest_reject_spike";
+  rejects.metric = "serve_ingest_rejected_total";
+  rejects.kind = obs::AlertKind::kRate;
+  rejects.op = obs::AlertOp::kGt;
+  rejects.value = config_.reject_rate_per_s;
+  rejects.window_seconds = config_.reject_window_seconds;
+  rejects.for_seconds = config_.reject_for_seconds;
+  rules.push_back(std::move(rejects));
+
+  obs::AlertRule stale;
+  stale.name = "model_snapshot_stale";
+  stale.metric = "serve_tenant_snapshot_age_seconds";
+  stale.kind = obs::AlertKind::kThreshold;
+  stale.op = obs::AlertOp::kGt;
+  stale.value = config_.snapshot_age_seconds;
+  stale.for_seconds = 0.0;
+  rules.push_back(std::move(stale));
+
+  return rules;
+}
+
+}  // namespace causaliot::serve

@@ -28,9 +28,16 @@ namespace {
 /// Minimal blocking loopback client with a receive timeout.
 class Client {
  public:
-  explicit Client(std::uint16_t port) {
+  /// `rcvbuf_bytes` > 0 shrinks SO_RCVBUF before connecting, so the
+  /// kernel advertises a tiny window and a large server response is
+  /// forced through many short sends.
+  explicit Client(std::uint16_t port, int rcvbuf_bytes = 0) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     EXPECT_GE(fd_, 0);
+    if (rcvbuf_bytes > 0) {
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                   sizeof(rcvbuf_bytes));
+    }
     sockaddr_in address{};
     address.sin_family = AF_INET;
     address.sin_port = htons(port);
@@ -273,6 +280,77 @@ TEST(LineProtocolServer, StopWakesConnectionsParkedInRecv) {
   EXPECT_FALSE(server->running());
 }
 
+TEST(LineProtocolServer, LargeResponseSurvivesShortSends) {
+  // A response far larger than any socket buffer, pushed at a client
+  // whose receive window is pinned small: write_all must loop through
+  // many partial sends and still deliver every byte in order.
+  const std::size_t kPayloadBytes = 6 * 1024 * 1024;
+  std::string payload;
+  payload.reserve(kPayloadBytes);
+  for (std::size_t i = 0; i < kPayloadBytes; ++i) {
+    payload.push_back(static_cast<char>('a' + i % 26));
+  }
+  LineServerConfig config;
+  LineProtocolServer server(
+      config, [&payload](std::string_view) -> std::optional<std::string> {
+        return payload;
+      });
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  Client client(port.value(), /*rcvbuf_bytes=*/4096);
+  client.send("pull\n");
+  const std::string got = client.recv_lines(1);
+  ASSERT_EQ(got.size(), payload.size() + 1);
+  EXPECT_EQ(got.back(), '\n');
+  // Byte-exact, not just the right length: a short send that restarted
+  // at the wrong offset would duplicate or drop a chunk mid-stream.
+  EXPECT_TRUE(got.compare(0, payload.size(), payload) == 0);
+  client.close();
+  server.stop();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.responses_total, 1u);
+  EXPECT_EQ(stats.slow_client_drops, 0u);
+}
+
+TEST(LineProtocolServer, StalledReaderIsDroppedNotWedged) {
+  // The partial-write path's failure half: the client requests a huge
+  // response and then never reads. Once the socket buffers fill, the
+  // server's send times out (SO_SNDTIMEO = io_timeout_ms), write_all
+  // gives up, and the connection is dropped as a slow client instead of
+  // wedging the worker forever.
+  LineServerConfig config;
+  config.io_timeout_ms = 300;
+  const std::string payload(16 * 1024 * 1024, 'z');
+  LineProtocolServer server(
+      config, [&payload](std::string_view) -> std::optional<std::string> {
+        return payload;
+      });
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  Client stalled(port.value(), /*rcvbuf_bytes=*/4096);
+  stalled.send("pull\n");
+  // Never read. The drop should land within roughly io_timeout_ms once
+  // the in-flight buffers fill; poll well past that before declaring
+  // the worker wedged.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.stats().slow_client_drops == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(server.stats().slow_client_drops, 1u);
+
+  // The worker is free again: stop() returns promptly instead of
+  // waiting out a stuck 16 MB write.
+  const auto begin = std::chrono::steady_clock::now();
+  server.stop();
+  const auto elapsed = std::chrono::steady_clock::now() - begin;
+  EXPECT_LT(elapsed, std::chrono::seconds(4));
+  stalled.close();
+}
+
 TEST(LineProtocolServer, ConcurrentClientsKeepPerConnectionOrder) {
   LineServerConfig config;
   config.socket.worker_count = 3;
@@ -298,8 +376,13 @@ TEST(LineProtocolServer, ConcurrentClientsKeepPerConnectionOrder) {
       Client client(port.value());
       std::string expected;
       for (std::size_t i = 0; i < kLines; ++i) {
-        const std::string line =
-            "c" + std::to_string(c) + "-" + std::to_string(i);
+        // Built with += (not operator+(const char*, string&&)): the
+        // rvalue-insert overload trips a GCC 12 -Wrestrict false
+        // positive in char_traits.h once this TU grows large payloads.
+        std::string line = "c";
+        line += std::to_string(c);
+        line += '-';
+        line += std::to_string(i);
         client.send(line + "\n");
         expected += line + "\n";
       }

@@ -129,6 +129,67 @@ TEST(ObsRegistry, JsonSnapshotCarriesEveryKind) {
             std::string::npos);
 }
 
+TEST(ObsRegistry, ExportOrderIsDeterministicAcrossRegistrationOrder) {
+  // The exposition order — families sorted by name, instances sorted by
+  // label vector — is a documented contract (registry.hpp): dashboards
+  // diff /metrics payloads, the JSONL metrics log is compared across
+  // runs, and the TimeSeriesStore walks the same order via
+  // visit_scalars(). Two registries fed the same metrics in opposite
+  // orders must serialize byte-identically.
+  const auto populate = [](Registry& registry, bool reversed) {
+    const std::vector<std::pair<std::string, std::string>> instances = {
+        {"zeta_total", "1"}, {"alpha_total", "0"}, {"mid_total", "2"},
+        {"alpha_total", "2"}, {"mid_total", "0"}, {"zeta_total", "0"},
+    };
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      const auto& [name, shard] =
+          instances[reversed ? instances.size() - 1 - i : i];
+      registry.counter(name, {{"shard", shard}}).add(7);
+    }
+    registry.gauge(reversed ? "b_level" : "a_level").set(1);
+    registry.gauge(reversed ? "a_level" : "b_level").set(1);
+  };
+  Registry forward;
+  Registry backward;
+  populate(forward, false);
+  populate(backward, true);
+  EXPECT_EQ(forward.to_json(), backward.to_json());
+  EXPECT_EQ(forward.to_prometheus(), backward.to_prometheus());
+
+  // And the order really is sorted, not merely consistent.
+  const std::string json = forward.to_json();
+  EXPECT_LT(json.find("a_level"), json.find("alpha_total"));
+  EXPECT_LT(json.find("alpha_total"), json.find("b_level"));
+  EXPECT_LT(json.find("b_level"), json.find("mid_total"));
+  EXPECT_LT(json.find("mid_total"), json.find("zeta_total"));
+  const std::size_t alpha0 = json.find("\"alpha_total\"");
+  const std::size_t alpha2 = json.find("\"alpha_total\"", alpha0 + 1);
+  ASSERT_NE(alpha2, std::string::npos);
+  EXPECT_LT(json.find("\"shard\": \"0\"", alpha0),
+            json.find("\"shard\": \"2\"", alpha0));
+
+  // visit_scalars() walks the identical order — the history sampler's
+  // series discovery is as deterministic as the exports.
+  std::vector<std::string> visited;
+  forward.visit_scalars([&](const std::string& name, const Labels& labels,
+                            MetricKind, double) {
+    std::string key = name;
+    for (const auto& [k, v] : labels) key += "{" + k + "=" + v + "}";
+    visited.push_back(std::move(key));
+  });
+  const std::vector<std::string> expected = {
+      "a_level",
+      "alpha_total{shard=0}",
+      "alpha_total{shard=2}",
+      "b_level",
+      "mid_total{shard=0}",
+      "mid_total{shard=2}",
+      "zeta_total{shard=0}",
+      "zeta_total{shard=1}",
+  };
+  EXPECT_EQ(visited, expected);
+}
+
 TEST(ObsRegistry, GlobalRegistryIsAProcessSingleton) {
   EXPECT_EQ(&Registry::global(), &Registry::global());
 }
