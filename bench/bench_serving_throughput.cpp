@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "causaliot/core/pipeline.hpp"
+#include "causaliot/detect/root_cause.hpp"
 #include "causaliot/serve/service.hpp"
 #include "causaliot/util/rng.hpp"
 
@@ -109,6 +110,42 @@ BENCHMARK(BM_ServeThroughput)
     ->Args({4, 8})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// Root-cause attribution cost, alarm path only: the walk runs once per
+// closed AnomalyReport (never per event), so this is the marginal price
+// an alarm pays on top of Algorithm 2 — the no-alarm hot path above is
+// untouched by the localization plane.
+void BM_RootCauseAttribution(benchmark::State& bench_state) {
+  const ServingFixture& data = fixture();
+  detect::EventMonitor monitor =
+      data.model.make_monitor(/*k_max=*/3, data.initial_state);
+  std::vector<detect::AnomalyReport> reports;
+  for (const preprocess::BinaryEvent& event : data.events) {
+    if (auto report = monitor.process(event)) {
+      reports.push_back(std::move(*report));
+    }
+  }
+  if (auto tail = monitor.finish()) reports.push_back(std::move(*tail));
+  if (reports.empty()) {
+    bench_state.SkipWithError("fixture raised no alarms");
+    return;
+  }
+
+  std::size_t candidates = 0;
+  std::size_t next = 0;
+  for (auto _ : bench_state) {
+    const detect::RootCauseAttribution attribution =
+        detect::attribute_root_cause(reports[next++ % reports.size()],
+                                     &data.model.graph);
+    benchmark::DoNotOptimize(attribution.ranked.data());
+    candidates = attribution.ranked.size();
+  }
+  bench_state.SetItemsProcessed(
+      static_cast<std::int64_t>(bench_state.iterations()));
+  bench_state.counters["reports"] = static_cast<double>(reports.size());
+  bench_state.counters["last_candidates"] = static_cast<double>(candidates);
+}
+BENCHMARK(BM_RootCauseAttribution);
 
 // The raw session step without the queue: upper bound for a shard worker.
 void BM_SessionProcess(benchmark::State& bench_state) {

@@ -175,4 +175,58 @@ CollectiveEvaluation evaluate_collective(const TrainedModel& model,
   return eval;
 }
 
+LocalizationEvaluation evaluate_localization(
+    const TrainedModel& model, const inject::InjectionResult& stream,
+    std::size_t k_max, const detect::RootCauseConfig& config) {
+  CAUSALIOT_CHECK(k_max >= 1);
+  detect::EventMonitor monitor = model.make_monitor(k_max,
+                                                    stream.initial_state);
+
+  std::map<std::int32_t, std::vector<std::size_t>> chains;
+  for (std::size_t i = 0; i < stream.events.size(); ++i) {
+    if (stream.chain_id[i] >= 0) chains[stream.chain_id[i]].push_back(i);
+  }
+
+  std::vector<detect::AnomalyReport> reports;
+  for (const preprocess::BinaryEvent& event : stream.events) {
+    if (auto report = monitor.process(event)) {
+      reports.push_back(std::move(*report));
+    }
+  }
+  if (auto tail = monitor.finish()) reports.push_back(std::move(*tail));
+
+  LocalizationEvaluation eval;
+  for (const detect::AnomalyReport& report : reports) {
+    // Score against the injected chain this alarm overlaps most (first
+    // chain id wins a tie — chains are iterated in id order).
+    std::size_t best_overlap = 0;
+    telemetry::DeviceId true_root = telemetry::kInvalidDevice;
+    for (const auto& [id, indices] : chains) {
+      std::size_t overlap = 0;
+      for (const detect::AnomalyEntry& entry : report.entries) {
+        if (std::binary_search(indices.begin(), indices.end(),
+                               entry.stream_index)) {
+          ++overlap;
+        }
+      }
+      if (overlap > best_overlap) {
+        best_overlap = overlap;
+        true_root = stream.events[indices.front()].device;
+      }
+    }
+    if (best_overlap == 0) continue;  // alarm on benign traffic
+    ++eval.attributed_alarms;
+    const detect::RootCauseAttribution attribution =
+        detect::attribute_root_cause(report, &model.graph, config);
+    for (std::size_t rank = 0;
+         rank < attribution.ranked.size() && rank < 3; ++rank) {
+      if (attribution.ranked[rank].device != true_root) continue;
+      if (rank == 0) ++eval.hit_at_1;
+      ++eval.hit_at_3;
+      break;
+    }
+  }
+  return eval;
+}
+
 }  // namespace causaliot::core

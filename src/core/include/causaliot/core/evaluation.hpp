@@ -8,6 +8,7 @@
 
 #include "causaliot/baselines/detector.hpp"
 #include "causaliot/core/pipeline.hpp"
+#include "causaliot/detect/root_cause.hpp"
 #include "causaliot/graph/dig.hpp"
 #include "causaliot/inject/injector.hpp"
 #include "causaliot/sim/ground_truth.hpp"
@@ -110,5 +111,40 @@ struct CollectiveEvaluation {
 CollectiveEvaluation evaluate_collective(const TrainedModel& model,
                                          const inject::InjectionResult& stream,
                                          std::size_t k_max);
+
+// ---------------------------------------------------------- localization
+
+/// Ranked root-cause attributions scored against the injector's ground
+/// truth. The injector builds every collective chain by propagating from
+/// its first injected event, so that event's device is the chain's true
+/// root; an attribution "hits" when that device appears at rank 1 (or in
+/// the top 3) of the ranked list.
+struct LocalizationEvaluation {
+  /// Alarms whose entries overlap an injected chain — the scoreable set
+  /// (alarms on benign events have no ground-truth root).
+  std::size_t attributed_alarms = 0;
+  std::size_t hit_at_1 = 0;
+  std::size_t hit_at_3 = 0;
+
+  double hit1_fraction() const {
+    return attributed_alarms == 0
+               ? 0.0
+               : static_cast<double>(hit_at_1) /
+                     static_cast<double>(attributed_alarms);
+  }
+  double hit3_fraction() const {
+    return attributed_alarms == 0
+               ? 0.0
+               : static_cast<double>(hit_at_3) /
+                     static_cast<double>(attributed_alarms);
+  }
+};
+
+/// Runs k-sequence detection over the injected stream, attributes every
+/// alarm with attribute_root_cause() under the model's DIG, and scores
+/// each against the injected chain its entries overlap most.
+LocalizationEvaluation evaluate_localization(
+    const TrainedModel& model, const inject::InjectionResult& stream,
+    std::size_t k_max, const detect::RootCauseConfig& config = {});
 
 }  // namespace causaliot::core

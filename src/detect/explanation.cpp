@@ -72,8 +72,29 @@ std::string root_cause_hint(const AnomalyEntry& head,
          " — check for remote control or sensor fault";
 }
 
+std::string attribution_hint(const AnomalyReport& report,
+                             const RootCauseAttribution& attribution,
+                             const telemetry::DeviceCatalog& catalog) {
+  if (report.chain_length() <= 1 || attribution.ranked.empty()) {
+    return root_cause_hint(report.contextual(), catalog);
+  }
+  const RootCauseCandidate& top = attribution.top();
+  std::ostringstream out;
+  out << "suspected root: " << catalog.info(top.device).name
+      << util::format(" (blame %.3f%s)", top.score,
+                      top.flagged ? ", flagged in report" : "");
+  if (!top.path.empty()) {
+    out << " via " << catalog.info(top.path.front().child).name;
+    for (const RootCauseStep& step : top.path) {
+      out << " <-" << step.lag << "- " << catalog.info(step.cause).name;
+    }
+  }
+  return out.str();
+}
+
 std::string describe_report(const AnomalyReport& report,
-                            const telemetry::DeviceCatalog& catalog) {
+                            const telemetry::DeviceCatalog& catalog,
+                            const RootCauseAttribution& attribution) {
   std::ostringstream out;
   out << "ALARM: contextual anomaly — "
       << describe_entry(report.contextual(), catalog);
@@ -84,9 +105,24 @@ std::string describe_report(const AnomalyReport& report,
     for (std::size_t i = 1; i < report.entries.size(); ++i) {
       out << "\n    " << describe_entry(report.entries[i], catalog);
     }
+    if (!attribution.ranked.empty()) {
+      out << "\n  root causes:";
+      for (std::size_t i = 0; i < attribution.ranked.size() && i < 3; ++i) {
+        const RootCauseCandidate& candidate = attribution.ranked[i];
+        out << " " << catalog.info(candidate.device).name
+            << util::format("(%.3f%s)", candidate.score,
+                            candidate.flagged ? "*" : "");
+      }
+    }
   }
-  out << "\n  hint: " << root_cause_hint(report.contextual(), catalog);
+  out << "\n  hint: " << attribution_hint(report, attribution, catalog);
   return out.str();
+}
+
+std::string describe_report(const AnomalyReport& report,
+                            const telemetry::DeviceCatalog& catalog) {
+  return describe_report(report, catalog,
+                         attribute_root_cause(report, nullptr));
 }
 
 }  // namespace causaliot::detect

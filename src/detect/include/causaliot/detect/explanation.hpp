@@ -10,6 +10,7 @@
 #include <string>
 
 #include "causaliot/detect/monitor.hpp"
+#include "causaliot/detect/root_cause.hpp"
 #include "causaliot/telemetry/device.hpp"
 
 namespace causaliot::detect {
@@ -20,9 +21,25 @@ std::string describe_entry(const AnomalyEntry& entry,
                            const telemetry::DeviceCatalog& catalog);
 
 /// Multi-line report: the contextual anomaly first, then the tracked
-/// chain, then a root-cause hint derived from the head's context.
+/// chain, then the ranked root causes and a hint derived from
+/// `attribution` (top candidate + walk). Single-entry reports keep the
+/// classic context-mismatch hint — the rank-1 fallback.
+std::string describe_report(const AnomalyReport& report,
+                            const telemetry::DeviceCatalog& catalog,
+                            const RootCauseAttribution& attribution);
+
+/// Convenience overload: attributes the report from its recorded entry
+/// context alone (no structural DIG walks). Callers holding the scoring
+/// graph should attribute_root_cause() themselves and pass it in.
 std::string describe_report(const AnomalyReport& report,
                             const telemetry::DeviceCatalog& catalog);
+
+/// The attribution-derived hint alone: the top-ranked candidate and the
+/// walk that reached it. Falls back to root_cause_hint for single-entry
+/// reports or an empty attribution.
+std::string attribution_hint(const AnomalyReport& report,
+                             const RootCauseAttribution& attribution,
+                             const telemetry::DeviceCatalog& catalog);
 
 /// The root-cause hint alone: which cause values made the event
 /// surprising ("no presence was detected, yet the plug activated").

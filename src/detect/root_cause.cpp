@@ -1,0 +1,156 @@
+#include "causaliot/detect/root_cause.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace causaliot::detect {
+namespace {
+
+// Walk contributions decay geometrically; below this they cannot change
+// a ranking at double precision, so the walk prunes. Also the backstop
+// that bounds walks on adversarial graphs together with max_depth.
+constexpr double kWeightEpsilon = 1e-9;
+
+struct Accumulator {
+  double score = 0.0;
+  double best_contribution = 0.0;
+  std::vector<RootCauseStep> best_path;
+};
+
+// Depth-first backward walker. All state is per-call and every container
+// iterates in a fixed order (entries in report order, causes in the
+// canonical CPT order, candidates in device-id order), so the same
+// (report, graph, config) always produces the same attribution.
+struct Walker {
+  const graph::InteractionGraph* graph;
+  const RootCauseConfig& config;
+  // Device-id order makes the final tie-broken sort reproducible without
+  // relying on hash-map iteration.
+  std::map<telemetry::DeviceId, Accumulator> blame;
+  // First (closest-to-origin) report entry per device: walking backwards
+  // heads toward the originating contextual anomaly, so a device seen
+  // again deeper in the chain re-enters the walk through its earliest
+  // recorded context.
+  std::unordered_map<telemetry::DeviceId, const AnomalyEntry*> first_entry;
+  std::size_t edges_walked = 0;
+  std::vector<RootCauseStep> path;
+  std::vector<telemetry::DeviceId> on_path;  // cycle guard for this walk
+
+  void credit(telemetry::DeviceId device, double contribution) {
+    Accumulator& acc = blame[device];
+    acc.score += contribution;
+    if (contribution > acc.best_contribution) {
+      acc.best_contribution = contribution;
+      acc.best_path = path;
+    }
+  }
+
+  bool visiting(telemetry::DeviceId device) const {
+    return std::find(on_path.begin(), on_path.end(), device) !=
+           on_path.end();
+  }
+
+  void expand(telemetry::DeviceId device, double weight, std::size_t depth) {
+    if (depth >= config.max_depth || weight < kWeightEpsilon) return;
+    const auto it = first_entry.find(device);
+    if (it != first_entry.end()) {
+      expand_entry(*it->second, weight, depth);
+    } else if (graph != nullptr && device < graph->device_count()) {
+      expand_structural(device, weight, depth);
+    }
+  }
+
+  // Hop through an entry's recorded cause context. The entry's score is
+  // the CPT surprise of that exact context; a cause whose value agrees
+  // with the effect state is unsurprising and is discounted further.
+  void expand_entry(const AnomalyEntry& entry, double weight,
+                    std::size_t depth) {
+    for (std::size_t c = 0; c < entry.causes.size(); ++c) {
+      const bool mismatch = entry.cause_values[c] != entry.event.state;
+      const double hop =
+          config.depth_decay * entry.score *
+          (mismatch ? 1.0 : config.context_match_discount);
+      step(entry.event.device, entry.causes[c], weight * hop, depth);
+    }
+  }
+
+  // Hop through the DIG alone: no runtime context was recorded for this
+  // device, only the learned edge.
+  void expand_structural(telemetry::DeviceId device, double weight,
+                         std::size_t depth) {
+    for (const graph::LaggedNode& cause : graph->causes(device)) {
+      const double hop = config.depth_decay * config.structural_weight;
+      step(device, cause, weight * hop, depth);
+    }
+  }
+
+  void step(telemetry::DeviceId child, const graph::LaggedNode& cause,
+            double weight, std::size_t depth) {
+    if (weight < kWeightEpsilon) return;
+    if (visiting(cause.device)) return;  // cycle-free walks
+    ++edges_walked;
+    path.push_back({child, cause.device, cause.lag});
+    credit(cause.device, weight);
+    on_path.push_back(cause.device);
+    expand(cause.device, weight, depth + 1);
+    on_path.pop_back();
+    path.pop_back();
+  }
+};
+
+}  // namespace
+
+RootCauseAttribution attribute_root_cause(
+    const AnomalyReport& report, const graph::InteractionGraph* graph,
+    const RootCauseConfig& config) {
+  RootCauseAttribution out;
+  if (report.entries.empty()) return out;
+
+  Walker walker{graph, config, {}, {}, 0, {}, {}};
+  for (const AnomalyEntry& entry : report.entries) {
+    walker.first_entry.emplace(entry.event.device, &entry);
+  }
+
+  for (std::size_t i = 0; i < report.entries.size(); ++i) {
+    const AnomalyEntry& entry = report.entries[i];
+    // Position on the causal walk: the head *is* the originating
+    // contextual anomaly; each tracked chain entry is one interaction
+    // execution further from it.
+    const double position_weight = 1.0 / (1.0 + static_cast<double>(i));
+    walker.path.clear();
+    walker.on_path.assign(1, entry.event.device);
+    // The entry's device seeds itself at depth 0, blamed by its own
+    // surprise — this keeps the attribution non-empty even for a head
+    // with no learned causes.
+    walker.credit(entry.event.device, position_weight * entry.score);
+    // Expand through *this* entry's recorded context (not first_entry:
+    // a device repeated in the chain walks its own context first).
+    walker.expand_entry(entry, position_weight, 0);
+  }
+
+  out.edges_walked = walker.edges_walked;
+  out.ranked.reserve(walker.blame.size());
+  for (auto& [device, acc] : walker.blame) {
+    RootCauseCandidate candidate;
+    candidate.device = device;
+    candidate.flagged = walker.first_entry.count(device) > 0;
+    candidate.score =
+        acc.score * (candidate.flagged ? config.flagged_boost : 1.0);
+    candidate.path = std::move(acc.best_path);
+    out.ranked.push_back(std::move(candidate));
+  }
+  // blame iterates in device-id order, so equal scores already sit in
+  // tie-break order and stable_sort preserves it.
+  std::stable_sort(out.ranked.begin(), out.ranked.end(),
+                   [](const RootCauseCandidate& a,
+                      const RootCauseCandidate& b) {
+                     return a.score > b.score;
+                   });
+  if (out.ranked.size() > config.max_candidates) {
+    out.ranked.resize(config.max_candidates);
+  }
+  return out;
+}
+
+}  // namespace causaliot::detect

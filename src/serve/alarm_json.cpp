@@ -1,6 +1,7 @@
 #include "causaliot/serve/alarm_json.hpp"
 
 #include "causaliot/detect/explanation.hpp"
+#include "causaliot/serve/blame.hpp"
 #include "causaliot/util/strings.hpp"
 
 namespace causaliot::serve {
@@ -55,9 +56,13 @@ std::string alarm_to_json(const ServedAlarm& alarm,
         detect::state_label(entry_info, entry.event.state).c_str(),
         entry.score, entry.stream_index, entry.event.timestamp);
   }
+  out += "], \"root_causes\": ";
+  out += root_causes_json(alarm.root_causes, &catalog);
   out += util::format(
-      "], \"hint\": \"%s\"}",
-      util::json_escape(detect::root_cause_hint(head, catalog)).c_str());
+      ", \"hint\": \"%s\"}",
+      util::json_escape(
+          detect::attribution_hint(alarm.report, alarm.root_causes, catalog))
+          .c_str());
   return out;
 }
 

@@ -1,0 +1,206 @@
+#include "causaliot/serve/blame.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "causaliot/util/strings.hpp"
+
+namespace causaliot::serve {
+
+namespace {
+
+std::string label_for(const telemetry::DeviceCatalog* catalog,
+                      telemetry::DeviceId device) {
+  if (catalog != nullptr && device < catalog->size()) {
+    return catalog->info(device).name;
+  }
+  return util::format("device-%u", static_cast<unsigned>(device));
+}
+
+}  // namespace
+
+std::string root_causes_json(const detect::RootCauseAttribution& attribution,
+                             const telemetry::DeviceCatalog* catalog) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < attribution.ranked.size(); ++i) {
+    const detect::RootCauseCandidate& candidate = attribution.ranked[i];
+    out += util::format(
+        "%s{\"rank\": %zu, \"device\": \"%s\", \"score\": %.6f, "
+        "\"flagged\": %s, \"path\": [",
+        i == 0 ? "" : ", ", i + 1,
+        util::json_escape(label_for(catalog, candidate.device)).c_str(),
+        candidate.score, candidate.flagged ? "true" : "false");
+    for (std::size_t s = 0; s < candidate.path.size(); ++s) {
+      const detect::RootCauseStep& step = candidate.path[s];
+      out += util::format(
+          "%s{\"child\": \"%s\", \"cause\": \"%s\", \"lag\": %u}",
+          s == 0 ? "" : ", ",
+          util::json_escape(label_for(catalog, step.child)).c_str(),
+          util::json_escape(label_for(catalog, step.cause)).c_str(),
+          step.lag);
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
+}
+
+BlameLedger::BlameLedger(obs::Registry& registry,
+                         const telemetry::DeviceCatalog* catalog,
+                         std::size_t history_per_tenant)
+    : registry_(registry),
+      catalog_(catalog),
+      history_per_tenant_(history_per_tenant),
+      attributions_total_(&registry.counter(
+          "serve_root_cause_attributions_total", {},
+          "Alarms that received a ranked root-cause attribution")),
+      latency_(&registry.histogram(
+          "serve_root_cause_latency_ns", {},
+          "attribute_root_cause() cost per delivered alarm")) {}
+
+std::string BlameLedger::device_label(telemetry::DeviceId device) const {
+  return label_for(catalog_, device);
+}
+
+void BlameLedger::record(const std::string& tenant,
+                         const detect::RootCauseAttribution& attribution,
+                         double timestamp, std::uint64_t model_version,
+                         std::uint64_t latency_ns) {
+  if (attribution.ranked.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  attributions_total_->increment();
+  latency_->record(latency_ns);
+  for (std::size_t i = 0; i < attribution.ranked.size(); ++i) {
+    const detect::RootCauseCandidate& candidate = attribution.ranked[i];
+    DeviceStats& stats = fleet_[candidate.device];
+    ++stats.blamed;
+    stats.score_sum += candidate.score;
+    obs::Counter*& blame = blame_counters_[{tenant, candidate.device}];
+    if (blame == nullptr) {
+      blame = &registry_.counter(
+          "serve_root_cause_blame_total",
+          {{"tenant", tenant}, {"device", device_label(candidate.device)}},
+          "Root-cause candidates attributed, by tenant and blamed device");
+    }
+    blame->increment();
+    if (i == 0) {
+      ++stats.rank1;
+      obs::Counter*& rank1 = rank1_counters_[candidate.device];
+      if (rank1 == nullptr) {
+        rank1 = &registry_.counter(
+            "serve_root_cause_rank1_total",
+            {{"device", device_label(candidate.device)}},
+            "Top-ranked root-cause attributions, by blamed device");
+      }
+      rank1->increment();
+    }
+  }
+  std::deque<Record>& ring = tenants_[tenant];
+  ring.push_back({timestamp, model_version, latency_ns, attribution});
+  while (ring.size() > history_per_tenant_) ring.pop_front();
+}
+
+std::uint64_t BlameLedger::attributions() const {
+  return attributions_total_->value();
+}
+
+std::string BlameLedger::to_json(std::string_view tenant_filter) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = util::format(
+      "{\"attributions\": %llu, \"history_per_tenant\": %zu, \"fleet\": [",
+      static_cast<unsigned long long>(attributions_total_->value()),
+      history_per_tenant_);
+  // Ranked blame table: most rank-1 blames first, then total blames,
+  // then device id — same tie-break discipline as the attribution itself.
+  std::vector<std::pair<telemetry::DeviceId, DeviceStats>> table(
+      fleet_.begin(), fleet_.end());
+  std::stable_sort(table.begin(), table.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.second.rank1 != b.second.rank1) {
+                       return a.second.rank1 > b.second.rank1;
+                     }
+                     return a.second.blamed > b.second.blamed;
+                   });
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const DeviceStats& stats = table[i].second;
+    out += util::format(
+        "%s{\"device\": \"%s\", \"rank1\": %llu, \"blamed\": %llu, "
+        "\"avg_score\": %.6f}",
+        i == 0 ? "" : ", ",
+        util::json_escape(device_label(table[i].first)).c_str(),
+        static_cast<unsigned long long>(stats.rank1),
+        static_cast<unsigned long long>(stats.blamed),
+        stats.blamed != 0 ? stats.score_sum / static_cast<double>(stats.blamed)
+                          : 0.0);
+  }
+  out += "], \"tenants\": [";
+  bool first_tenant = true;
+  for (const auto& [tenant, ring] : tenants_) {
+    if (!tenant_filter.empty() && tenant != tenant_filter) continue;
+    out += util::format("%s{\"tenant\": \"%s\", \"recent\": [",
+                        first_tenant ? "" : ", ",
+                        util::json_escape(tenant).c_str());
+    first_tenant = false;
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      const Record& record = ring[i];
+      out += util::format(
+          "%s{\"timestamp\": %.3f, \"model_version\": %llu, "
+          "\"latency_ns\": %llu, \"root_causes\": ",
+          i == 0 ? "" : ", ", record.timestamp,
+          static_cast<unsigned long long>(record.model_version),
+          static_cast<unsigned long long>(record.latency_ns));
+      out += root_causes_json(record.attribution, catalog_);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string BlameLedger::to_text(std::string_view tenant_filter) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = util::format(
+      "root-cause blame: %llu attributions\n%-28s %8s %8s %10s\n",
+      static_cast<unsigned long long>(attributions_total_->value()), "DEVICE",
+      "RANK1", "BLAMED", "AVG_SCORE");
+  std::vector<std::pair<telemetry::DeviceId, DeviceStats>> table(
+      fleet_.begin(), fleet_.end());
+  std::stable_sort(table.begin(), table.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.second.rank1 != b.second.rank1) {
+                       return a.second.rank1 > b.second.rank1;
+                     }
+                     return a.second.blamed > b.second.blamed;
+                   });
+  for (const auto& [device, stats] : table) {
+    out += util::format(
+        "%-28s %8llu %8llu %10.4f\n", device_label(device).c_str(),
+        static_cast<unsigned long long>(stats.rank1),
+        static_cast<unsigned long long>(stats.blamed),
+        stats.blamed != 0 ? stats.score_sum / static_cast<double>(stats.blamed)
+                          : 0.0);
+  }
+  for (const auto& [tenant, ring] : tenants_) {
+    if (!tenant_filter.empty() && tenant != tenant_filter) continue;
+    out += util::format("tenant %s: %zu recent attribution%s\n",
+                        tenant.c_str(), ring.size(),
+                        ring.size() == 1 ? "" : "s");
+    for (const Record& record : ring) {
+      out += util::format("  t=%.3f v%llu:", record.timestamp,
+                          static_cast<unsigned long long>(
+                              record.model_version));
+      for (const detect::RootCauseCandidate& candidate :
+           record.attribution.ranked) {
+        out += util::format(" %s(%.3f%s)",
+                            device_label(candidate.device).c_str(),
+                            candidate.score,
+                            candidate.flagged ? "*" : "");
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace causaliot::serve

@@ -26,11 +26,16 @@ const char* severity_label(detect::AlarmSeverity severity);
 ///    "model_version": ..., "suppressed_duplicates": ..., "chain": ...,
 ///    "interrupted": ..., "context": [{"cause", "lag", "state"}, ...],
 ///    "entries": [{"position", "device", "state", "score",
-///                 "stream_index", "timestamp"}, ...], "hint": ...}
+///                 "stream_index", "timestamp"}, ...],
+///    "root_causes": [{"rank", "device", "score", "flagged",
+///                     "path": [{"child", "cause", "lag"}, ...]}, ...],
+///    "hint": ...}
 /// `margin` is score - threshold (how far past the line), `probability`
-/// is 1 - score (the CPT likelihood of the observed transition), and
+/// is 1 - score (the CPT likelihood of the observed transition),
 /// `context` lists the head event's cause values — the paper's
-/// interpretability payload.
+/// interpretability payload — and `root_causes` is the ranked blame
+/// attribution (detect/root_cause.hpp) computed under the snapshot that
+/// scored the alarm.
 std::string alarm_to_json(const ServedAlarm& alarm,
                           const telemetry::DeviceCatalog& catalog);
 

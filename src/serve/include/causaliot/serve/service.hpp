@@ -48,6 +48,7 @@
 
 #include "causaliot/obs/registry.hpp"
 #include "causaliot/preprocess/series.hpp"
+#include "causaliot/serve/blame.hpp"
 #include "causaliot/serve/metrics.hpp"
 #include "causaliot/serve/model_health.hpp"
 #include "causaliot/serve/session.hpp"
@@ -82,6 +83,12 @@ struct ServiceConfig {
   /// smokes can saturate a tiny queue and watch the watchdog/alert
   /// plane fire without racing the real detection speed.
   std::uint32_t debug_event_delay_us = 0;
+  /// Device catalog labeling blamed devices in the root-cause plane
+  /// (blame counters, /rootcausez). nullptr labels by numeric id
+  /// ("device-7"); when given it must outlive the service.
+  const telemetry::DeviceCatalog* catalog = nullptr;
+  /// Last-K full attributions retained per tenant for /rootcausez.
+  std::size_t root_cause_history = 8;
 };
 
 /// Opaque tenant identifier returned by add_tenant.
@@ -99,6 +106,9 @@ struct ServedAlarm {
   /// Score threshold c of that snapshot — provenance for "how far over
   /// the line was this?" (margin = score - threshold).
   double score_threshold = 0.0;
+  /// Ranked root-cause attribution computed under the same snapshot
+  /// (non-empty whenever the report has at least one entry).
+  detect::RootCauseAttribution root_causes;
 };
 
 /// Invoked from shard worker threads (and from shutdown() for flushed
@@ -183,6 +193,10 @@ class DetectionService {
   /// Per-tenant model-health telemetry (score EWMA, rolling alarm rates,
   /// snapshot age) backing /statusz and the serve_tenant_* gauges.
   const ModelHealth& health() const { return health_; }
+
+  /// Fleet-wide root-cause blame aggregation (the /rootcausez backing
+  /// store and the serve_root_cause_* counters).
+  const BlameLedger& blame() const { return blame_; }
 
   /// Liveness evidence one shard worker publishes as it runs: the
   /// heartbeat advances once per dequeued item (events and controls
@@ -315,6 +329,7 @@ class DetectionService {
   std::atomic<std::size_t> tenants_active_{0};
   Metrics metrics_;
   ModelHealth health_;
+  BlameLedger blame_;
   std::atomic<std::uint64_t> trace_counter_{0};
   std::atomic<bool> ready_{false};
   std::uint64_t started_at_ns_ = 0;

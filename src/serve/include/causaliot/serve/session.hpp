@@ -19,6 +19,7 @@
 
 #include "causaliot/detect/alarm_sink.hpp"
 #include "causaliot/detect/monitor.hpp"
+#include "causaliot/detect/root_cause.hpp"
 #include "causaliot/serve/model_snapshot.hpp"
 
 namespace causaliot::serve {
@@ -31,6 +32,8 @@ struct SessionConfig {
   bool deduplicate_alarms = false;
   /// Severity grading (always applied) and dedup parameters.
   detect::SinkConfig sink;
+  /// Root-cause walk parameters (attribute() — alarm path only).
+  detect::RootCauseConfig root_cause;
 };
 
 class TenantSession {
@@ -57,6 +60,16 @@ class TenantSession {
   /// Grades (and, if configured, deduplicates) a report for delivery.
   /// Returns nullopt when the alarm was suppressed.
   std::optional<detect::SunkAlarm> filter(detect::AnomalyReport report);
+
+  /// Ranked root-cause attribution of a report under the *active* model
+  /// — the snapshot that scored it, so the ranking is bit-identical
+  /// across hot swaps and tenant churn. Alarm path only; the no-alarm
+  /// hot path never calls this.
+  detect::RootCauseAttribution attribute(
+      const detect::AnomalyReport& report) const {
+    return detect::attribute_root_cause(report, &active_->graph,
+                                        config_.root_cause);
+  }
 
   /// The snapshot the monitor currently runs on.
   const ModelSnapshot& active_model() const { return *active_; }

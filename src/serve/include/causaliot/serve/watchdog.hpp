@@ -48,6 +48,12 @@ struct WatchdogConfig {
   /// Built-in rule: any tenant serving a snapshot older than this fires
   /// model_snapshot_stale (default one week).
   double snapshot_age_seconds = 7 * 86400.0;
+  /// Built-in rule: any single device collecting rank-1 root-cause
+  /// blame faster than this over blame_window_seconds...
+  double blame_rate_per_s = 1.0;
+  double blame_window_seconds = 30.0;
+  /// ...sustained for this long fires root_cause_blame_spike.
+  double blame_for_seconds = 5.0;
 };
 
 class Watchdog {
@@ -72,8 +78,8 @@ class Watchdog {
 
   /// The built-in ruleset `serve` runs when no --alert-rules file is
   /// given: shard_stalled, queue_high_watermark, ingest_reject_spike,
-  /// model_snapshot_stale — all over metrics this watchdog (or the
-  /// existing serve planes) already export.
+  /// model_snapshot_stale, root_cause_blame_spike — all over metrics
+  /// this watchdog (or the existing serve planes) already export.
   std::vector<obs::AlertRule> default_rules() const;
 
  private:

@@ -46,6 +46,21 @@ void attach_introspection(obs::HttpServer& server, DetectionService& service,
     return obs::HttpResponse::json(
         obs::Tracer::global().stage_totals_json());
   });
+  server.handle("/rootcausez", [&service](const obs::HttpRequest& request) {
+    const std::string format =
+        obs::query_param(request.query, "format", "json");
+    if (format != "json" && format != "text") {
+      obs::HttpResponse out;
+      out.status = 400;
+      out.body = "bad format: expected json or text\n";
+      return out;
+    }
+    const std::string tenant = obs::query_param(request.query, "tenant");
+    if (format == "text") {
+      return obs::HttpResponse::text(service.blame().to_text(tenant));
+    }
+    return obs::HttpResponse::json(service.blame().to_json(tenant));
+  });
   if (options.history != nullptr) {
     obs::TimeSeriesStore* history = options.history;
     server.handle(

@@ -23,7 +23,8 @@ DetectionService::DetectionService(ServiceConfig config, AlarmCallback on_alarm)
       registry_(config.registry != nullptr ? config.registry
                                            : own_registry_.get()),
       metrics_(*registry_),
-      health_(*registry_, config.health) {
+      health_(*registry_, config.health),
+      blame_(*registry_, config.catalog, config.root_cause_history) {
   CAUSALIOT_CHECK_MSG(config_.shard_count >= 1, "shard_count must be >= 1");
   shards_.reserve(config_.shard_count);
   for (std::size_t i = 0; i < config_.shard_count; ++i) {
@@ -194,6 +195,15 @@ void DetectionService::deliver(TenantHandle handle, TenantSession& session,
       metrics_.alarms_critical->increment();
       break;
   }
+  // Root-cause localization runs on the alarm path only (suppressed
+  // alarms and plain events never pay for it) and under the snapshot
+  // that scored the report, so the ranking is reproducible bit-for-bit.
+  const std::uint64_t attribute_start_ns = now_ns();
+  detect::RootCauseAttribution attribution = session.attribute(sunk->report);
+  const std::uint64_t attribute_ns = now_ns() - attribute_start_ns;
+  blame_.record(session.name(), attribution,
+                sunk->report.contextual().event.timestamp,
+                session.active_model().version, attribute_ns);
   if (!on_alarm_) return;
   ServedAlarm alarm;
   alarm.tenant = handle;
@@ -203,6 +213,7 @@ void DetectionService::deliver(TenantHandle handle, TenantSession& session,
   alarm.suppressed_duplicates = sunk->suppressed_duplicates;
   alarm.model_version = session.active_model().version;
   alarm.score_threshold = session.active_model().score_threshold;
+  alarm.root_causes = std::move(attribution);
   on_alarm_(alarm);
 }
 

@@ -148,6 +148,21 @@ std::vector<obs::AlertRule> Watchdog::default_rules() const {
   stale.for_seconds = 0.0;
   rules.push_back(std::move(stale));
 
+  // A single device repeatedly topping root-cause attributions across
+  // the fleet is the localization plane's page-worthy signal: either
+  // the device is genuinely misbehaving in many homes or its model is
+  // systematically wrong. Empty labels make the rate rule watch every
+  // per-device instance and alert on the worst offender.
+  obs::AlertRule blame;
+  blame.name = "root_cause_blame_spike";
+  blame.metric = "serve_root_cause_rank1_total";
+  blame.kind = obs::AlertKind::kRate;
+  blame.op = obs::AlertOp::kGt;
+  blame.value = config_.blame_rate_per_s;
+  blame.window_seconds = config_.blame_window_seconds;
+  blame.for_seconds = config_.blame_for_seconds;
+  rules.push_back(std::move(blame));
+
   return rules;
 }
 

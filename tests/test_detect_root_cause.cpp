@@ -1,0 +1,209 @@
+// Root-cause attribution unit tests on hand-built DIGs and reports: the
+// walk must credit the right devices (linear chain, fork, collider with
+// a shared upstream cause), terminate on cyclic graphs without the depth
+// cap doing the work, and break score ties by device id so the ranking
+// is reproducible bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "causaliot/detect/root_cause.hpp"
+
+namespace causaliot::detect {
+namespace {
+
+using graph::LaggedNode;
+
+AnomalyEntry make_entry(telemetry::DeviceId device, double score,
+                        std::vector<LaggedNode> causes = {},
+                        std::vector<std::uint8_t> cause_values = {}) {
+  AnomalyEntry entry;
+  entry.event.device = device;
+  entry.event.state = 1;  // cause value 0 = mismatch, 1 = match
+  entry.score = score;
+  entry.causes = std::move(causes);
+  entry.cause_values = std::move(cause_values);
+  return entry;
+}
+
+TEST(RootCause, EmptyReportYieldsEmptyAttribution) {
+  const RootCauseAttribution out = attribute_root_cause({}, nullptr);
+  EXPECT_TRUE(out.ranked.empty());
+  EXPECT_EQ(out.edges_walked, 0u);
+}
+
+TEST(RootCause, HeadWithNoCausesBlamesItself) {
+  AnomalyReport report;
+  report.entries.push_back(make_entry(3, 0.9));
+  const RootCauseAttribution out = attribute_root_cause(report, nullptr);
+  ASSERT_EQ(out.ranked.size(), 1u);
+  EXPECT_EQ(out.top().device, 3u);
+  EXPECT_TRUE(out.top().flagged);
+  EXPECT_TRUE(out.top().path.empty());  // depth-0 seed, no edges walked
+  RootCauseConfig config;
+  EXPECT_DOUBLE_EQ(out.top().score, 0.9 * config.flagged_boost);
+}
+
+TEST(RootCause, LinearChainWalksBackToTheRoot) {
+  // DIG: A(0) -> B(1) -> C(2). The report chains C (head) and B; A is
+  // only reachable through B's recorded context.
+  graph::InteractionGraph dig(3, 1);
+  dig.set_causes(1, {{0, 1}});
+  dig.set_causes(2, {{1, 1}});
+
+  AnomalyReport report;
+  report.entries.push_back(make_entry(2, 0.9, {{1, 1}}, {0}));
+  report.entries.push_back(make_entry(1, 0.8, {{0, 1}}, {0}));
+  const RootCauseAttribution out = attribute_root_cause(report, &dig);
+
+  // All three devices on the causal walk are candidates, ranked
+  // head-first: C seeds itself with full position weight, B collects
+  // the head's hop plus its own seed, A only the decayed tail.
+  ASSERT_EQ(out.ranked.size(), 3u);
+  EXPECT_EQ(out.ranked[0].device, 2u);
+  EXPECT_EQ(out.ranked[1].device, 1u);
+  EXPECT_EQ(out.ranked[2].device, 0u);
+  EXPECT_TRUE(out.ranked[0].flagged);
+  EXPECT_TRUE(out.ranked[1].flagged);
+  EXPECT_FALSE(out.ranked[2].flagged);
+
+  RootCauseConfig config;
+  // C: seed 1.0 * 0.9, flagged. B: head hop (decay * head score,
+  // mismatch keeps full weight) + its own seed at position 1/2, flagged.
+  // A: the two walks that reach it, unboosted.
+  EXPECT_DOUBLE_EQ(out.ranked[0].score, 0.9 * config.flagged_boost);
+  const double head_hop = 0.5 * 0.9;                    // C -> B
+  const double b_score = (head_hop + 0.5 * 0.8) * config.flagged_boost;
+  EXPECT_DOUBLE_EQ(out.ranked[1].score, b_score);
+  const double a_via_head = head_hop * (0.5 * 0.8);     // C -> B -> A
+  const double a_via_chain = 0.5 * (0.5 * 0.8);         // B -> A
+  EXPECT_DOUBLE_EQ(out.ranked[2].score, a_via_head + a_via_chain);
+
+  // A's strongest single walk is the short one from the chain entry.
+  const std::vector<RootCauseStep> want_path = {{1, 0, 1}};
+  EXPECT_EQ(out.ranked[2].path, want_path);
+  EXPECT_EQ(out.edges_walked, 3u);  // C->B, C->B->A, B->A
+}
+
+TEST(RootCause, ForkPrefersTheMismatchedCause) {
+  // Head C(2) has two recorded causes: A(0) disagrees with the observed
+  // effect state, B(1) agrees. The "plug activated with nobody present"
+  // pattern must outrank the unsurprising context.
+  graph::InteractionGraph dig(3, 1);
+  dig.set_causes(2, {{0, 1}, {1, 1}});
+
+  AnomalyReport report;
+  report.entries.push_back(
+      make_entry(2, 0.8, {{0, 1}, {1, 1}}, {/*A=*/0, /*B=*/1}));
+  const RootCauseAttribution out = attribute_root_cause(report, &dig);
+
+  ASSERT_EQ(out.ranked.size(), 3u);
+  EXPECT_EQ(out.ranked[0].device, 2u);  // flagged head still leads
+  EXPECT_EQ(out.ranked[1].device, 0u);  // mismatch: full hop weight
+  EXPECT_EQ(out.ranked[2].device, 1u);  // match: discounted
+  RootCauseConfig config;
+  EXPECT_DOUBLE_EQ(out.ranked[1].score, 0.5 * 0.8);
+  EXPECT_DOUBLE_EQ(out.ranked[2].score,
+                   0.5 * 0.8 * config.context_match_discount);
+}
+
+TEST(RootCause, ColliderAccumulatesSharedCauseAcrossBranches) {
+  // R(0) causes both D(1) and E(2); R itself has a structural-only
+  // upstream S(3) the report never observed. Both report entries blame
+  // R, and the walk continues past R through the DIG alone to S.
+  graph::InteractionGraph dig(4, 1);
+  dig.set_causes(1, {{0, 1}});
+  dig.set_causes(2, {{0, 1}});
+  dig.set_causes(0, {{3, 1}});
+
+  AnomalyReport report;
+  report.entries.push_back(make_entry(1, 0.9, {{0, 1}}, {0}));
+  report.entries.push_back(make_entry(2, 0.6, {{0, 1}}, {0}));
+  const RootCauseAttribution out = attribute_root_cause(report, &dig);
+
+  ASSERT_EQ(out.ranked.size(), 4u);
+  RootCauseConfig config;
+  const double via_d = 1.0 * (0.5 * 0.9);
+  const double via_e = 0.5 * (0.5 * 0.6);
+  const auto find = [&](telemetry::DeviceId device) {
+    for (const RootCauseCandidate& candidate : out.ranked) {
+      if (candidate.device == device) return candidate;
+    }
+    return RootCauseCandidate{};
+  };
+  EXPECT_DOUBLE_EQ(find(0).score, via_d + via_e);
+  EXPECT_FALSE(find(0).flagged);
+  // S is two hops out on both branches; each continuation pays the
+  // structural hop because R has no recorded context of its own.
+  const double structural_hop = 0.5 * config.structural_weight;
+  EXPECT_DOUBLE_EQ(find(3).score, (via_d + via_e) * structural_hop);
+  ASSERT_EQ(find(3).path.size(), 2u);
+  EXPECT_EQ(find(3).path[1], (RootCauseStep{0, 3, 1}));
+}
+
+TEST(RootCause, CyclicGraphTerminatesWithoutTheDepthCap) {
+  // A(0) <-> B(1) at lag 1. With max_depth far beyond the cycle length,
+  // only the per-walk visited guard keeps the walk finite.
+  graph::InteractionGraph dig(2, 1);
+  dig.set_causes(0, {{1, 1}});
+  dig.set_causes(1, {{0, 1}});
+
+  AnomalyReport report;
+  report.entries.push_back(make_entry(0, 0.9, {{1, 1}}, {0}));
+  RootCauseConfig config;
+  config.max_depth = 64;
+  const RootCauseAttribution out =
+      attribute_root_cause(report, &dig, config);
+
+  // One backward edge A->B; B's structural continuation back to A is
+  // blocked because A is already on the walk.
+  EXPECT_EQ(out.edges_walked, 1u);
+  ASSERT_EQ(out.ranked.size(), 2u);
+  EXPECT_EQ(out.ranked[0].device, 0u);
+  EXPECT_EQ(out.ranked[1].device, 1u);
+}
+
+TEST(RootCause, EqualScoresTieBreakByDeviceId) {
+  // Two causes with identical hop weight (both mismatch) must rank in
+  // ascending device-id order, and the whole attribution must reproduce
+  // exactly on a second call.
+  graph::InteractionGraph dig(3, 1);
+  dig.set_causes(2, {{0, 1}, {1, 1}});
+
+  AnomalyReport report;
+  report.entries.push_back(make_entry(2, 0.8, {{0, 1}, {1, 1}}, {0, 0}));
+  const RootCauseAttribution first = attribute_root_cause(report, &dig);
+  ASSERT_EQ(first.ranked.size(), 3u);
+  EXPECT_DOUBLE_EQ(first.ranked[1].score, first.ranked[2].score);
+  EXPECT_EQ(first.ranked[1].device, 0u);
+  EXPECT_EQ(first.ranked[2].device, 1u);
+
+  const RootCauseAttribution second = attribute_root_cause(report, &dig);
+  ASSERT_EQ(second.ranked.size(), first.ranked.size());
+  for (std::size_t i = 0; i < first.ranked.size(); ++i) {
+    EXPECT_EQ(second.ranked[i].device, first.ranked[i].device);
+    EXPECT_EQ(second.ranked[i].score, first.ranked[i].score);  // bitwise
+    EXPECT_EQ(second.ranked[i].flagged, first.ranked[i].flagged);
+    EXPECT_EQ(second.ranked[i].path, first.ranked[i].path);
+  }
+  EXPECT_EQ(second.edges_walked, first.edges_walked);
+}
+
+TEST(RootCause, MaxCandidatesTruncatesTheTailOnly) {
+  graph::InteractionGraph dig(5, 1);
+  dig.set_causes(4, {{0, 1}, {1, 1}, {2, 1}, {3, 1}});
+
+  AnomalyReport report;
+  report.entries.push_back(
+      make_entry(4, 0.8, {{0, 1}, {1, 1}, {2, 1}, {3, 1}}, {0, 0, 0, 0}));
+  RootCauseConfig config;
+  config.max_candidates = 2;
+  const RootCauseAttribution out =
+      attribute_root_cause(report, &dig, config);
+  ASSERT_EQ(out.ranked.size(), 2u);
+  EXPECT_EQ(out.ranked[0].device, 4u);  // the flagged head survives
+  EXPECT_EQ(out.ranked[1].device, 0u);  // then the first tie-broken cause
+}
+
+}  // namespace
+}  // namespace causaliot::detect

@@ -13,7 +13,9 @@
 
 #include "causaliot/core/experiment.hpp"
 #include "causaliot/detect/explanation.hpp"
+#include "causaliot/detect/root_cause.hpp"
 #include "causaliot/serve/alarm_json.hpp"
+#include "causaliot/serve/blame.hpp"
 #include "causaliot/serve/service.hpp"
 #include "causaliot/util/strings.hpp"
 
@@ -91,6 +93,21 @@ void expect_matches_batch(const std::vector<ServedAlarm>& served,
       // Same code path, same doubles: bit-identical, not approximately.
       EXPECT_EQ(got.entries[e].score, want.entries[e].score);
     }
+  }
+}
+
+/// Attribution is a pure function of (report, graph, config): a served
+/// alarm's ranked blame must equal a recomputation under the training
+/// graph bit-for-bit, score doubles included.
+void expect_same_attribution(const detect::RootCauseAttribution& got,
+                             const detect::RootCauseAttribution& want) {
+  EXPECT_EQ(got.edges_walked, want.edges_walked);
+  ASSERT_EQ(got.ranked.size(), want.ranked.size());
+  for (std::size_t i = 0; i < want.ranked.size(); ++i) {
+    EXPECT_EQ(got.ranked[i].device, want.ranked[i].device);
+    EXPECT_EQ(got.ranked[i].score, want.ranked[i].score);  // bitwise
+    EXPECT_EQ(got.ranked[i].flagged, want.ranked[i].flagged);
+    EXPECT_EQ(got.ranked[i].path, want.ranked[i].path);
   }
 }
 
@@ -192,7 +209,17 @@ TEST_F(ServeTest, HotSwapMidStreamLosesNoEvents) {
     EXPECT_EQ(session.swaps_adopted(), 1u);
     EXPECT_EQ(session.active_model().version, 2u);
     expect_matches_batch(log.by_tenant[session.name()], batch);
+    // The swap must not perturb the ranked blame either: every served
+    // alarm is non-empty and bit-identical to the batch attribution.
+    const std::vector<ServedAlarm>& served = log.by_tenant[session.name()];
+    for (std::size_t i = 0; i < served.size(); ++i) {
+      ASSERT_FALSE(served[i].root_causes.ranked.empty()) << "alarm " << i;
+      expect_same_attribution(
+          served[i].root_causes,
+          detect::attribute_root_cause(batch[i], &experiment_->model.graph));
+    }
   }
+  EXPECT_EQ(service.blame().attributions(), batch.size() * kTenants);
 }
 
 TEST_F(ServeTest, SessionAdoptsPublishedModelAtEventBoundary) {
@@ -387,8 +414,21 @@ TEST_F(ServeTest, AlarmJsonCarriesProvenanceFieldByField) {
               static_cast<double>(alarm.report.chain_length()));
     EXPECT_EQ(json_array_size(json, "context"), head.causes.size());
     EXPECT_EQ(json_array_size(json, "entries"), alarm.report.entries.size());
+    // The hint derives from the ranked attribution (rank-1 fallback for
+    // single-entry reports), and the full ranked list rides along as the
+    // exact renderer output.
     EXPECT_EQ(json_string_field(json, "hint"),
-              detect::root_cause_hint(head, catalog));
+              detect::attribution_hint(alarm.report, alarm.root_causes,
+                                       catalog));
+    ASSERT_FALSE(alarm.root_causes.ranked.empty());
+    EXPECT_NE(json.find("\"root_causes\": " +
+                        root_causes_json(alarm.root_causes, &catalog)),
+              std::string::npos)
+        << json;
+    if (alarm.report.chain_length() <= 1) {
+      EXPECT_EQ(json_string_field(json, "hint"),
+                detect::root_cause_hint(head, catalog));
+    }
     // The threshold provenance matches the snapshot that scored it.
     EXPECT_EQ(alarm.score_threshold, threshold);
   }

@@ -95,6 +95,20 @@ void expect_bit_identical(const std::vector<ServedAlarm>& got,
       EXPECT_EQ(got[i].report.entries[e].score,
                 want[i].report.entries[e].score);
     }
+    // Churn must not perturb the ranked root-cause attribution either:
+    // device order, blame doubles, and walk paths all reproduce exactly.
+    const auto& got_ranked = got[i].root_causes.ranked;
+    const auto& want_ranked = want[i].root_causes.ranked;
+    ASSERT_EQ(got_ranked.size(), want_ranked.size()) << "alarm " << i;
+    EXPECT_FALSE(want_ranked.empty()) << "alarm " << i;
+    for (std::size_t r = 0; r < want_ranked.size(); ++r) {
+      EXPECT_EQ(got_ranked[r].device, want_ranked[r].device);
+      EXPECT_EQ(got_ranked[r].score, want_ranked[r].score);  // bitwise
+      EXPECT_EQ(got_ranked[r].flagged, want_ranked[r].flagged);
+      EXPECT_EQ(got_ranked[r].path, want_ranked[r].path);
+    }
+    EXPECT_EQ(got[i].root_causes.edges_walked,
+              want[i].root_causes.edges_walked);
   }
 }
 

@@ -145,7 +145,7 @@ TEST_F(ServeWatchdogTest, SaturationGaugeIsExactPartsPerMillion) {
             500000);  // 5 / 10 in ppm, exactly
 }
 
-TEST_F(ServeWatchdogTest, DefaultRulesCoverTheFourFailureModes) {
+TEST_F(ServeWatchdogTest, DefaultRulesCoverTheFiveFailureModes) {
   auto service = parked_service(/*queue_capacity=*/64, /*queued=*/0);
   WatchdogConfig config;
   config.queue_saturation = 0.8;
@@ -157,7 +157,7 @@ TEST_F(ServeWatchdogTest, DefaultRulesCoverTheFourFailureModes) {
   Watchdog watchdog(*service, config);
 
   const std::vector<obs::AlertRule> rules = watchdog.default_rules();
-  ASSERT_EQ(rules.size(), 4u);
+  ASSERT_EQ(rules.size(), 5u);
 
   EXPECT_EQ(rules[0].name, "shard_stalled");
   EXPECT_EQ(rules[0].metric, "serve_watchdog_shard_stalled");
@@ -182,6 +182,17 @@ TEST_F(ServeWatchdogTest, DefaultRulesCoverTheFourFailureModes) {
   EXPECT_EQ(rules[3].kind, obs::AlertKind::kThreshold);
   EXPECT_DOUBLE_EQ(rules[3].value, 7 * 86400.0);
 
+  EXPECT_EQ(rules[4].name, "root_cause_blame_spike");
+  EXPECT_EQ(rules[4].metric, "serve_root_cause_rank1_total");
+  EXPECT_EQ(rules[4].kind, obs::AlertKind::kRate);
+  EXPECT_EQ(rules[4].op, obs::AlertOp::kGt);
+  EXPECT_DOUBLE_EQ(rules[4].value, 1.0);
+  EXPECT_DOUBLE_EQ(rules[4].window_seconds, 30.0);
+  EXPECT_DOUBLE_EQ(rules[4].for_seconds, 5.0);
+  // Empty labels: the rate rule watches every per-device instance of the
+  // rank-1 counter and alerts on the worst offender.
+  EXPECT_TRUE(rules[4].labels.empty());
+
   // The built-in ruleset must survive the AlertEngine's own validation
   // (unique names, kind/parameter requirements).
   obs::TimeSeriesConfig store_config;
@@ -189,7 +200,7 @@ TEST_F(ServeWatchdogTest, DefaultRulesCoverTheFourFailureModes) {
   obs::TimeSeriesStore store(service->registry(), store_config);
   obs::AlertEngine engine(store, service->registry(),
                           watchdog.default_rules());
-  EXPECT_EQ(engine.rule_count(), 4u);
+  EXPECT_EQ(engine.rule_count(), 5u);
 }
 
 TEST_F(ServeWatchdogTest, WedgedShardDrivesShardStalledRuleToFiring) {
@@ -211,7 +222,7 @@ TEST_F(ServeWatchdogTest, WedgedShardDrivesShardStalledRuleToFiring) {
 
   tick(1);  // initializes stall tracking; saturation already 100%
   auto status = engine.status();
-  ASSERT_EQ(status.size(), 4u);
+  ASSERT_EQ(status.size(), 5u);
   EXPECT_EQ(status[0].state, obs::AlertState::kInactive);  // shard_stalled
   EXPECT_EQ(status[1].state,
             obs::AlertState::kPending);  // queue_high_watermark, for 5s
@@ -226,6 +237,8 @@ TEST_F(ServeWatchdogTest, WedgedShardDrivesShardStalledRuleToFiring) {
             obs::AlertState::kInactive);  // no ingest rejects
   EXPECT_EQ(status[3].state,
             obs::AlertState::kInactive);  // snapshot is fresh
+  EXPECT_EQ(status[4].state,
+            obs::AlertState::kInactive);  // no rank-1 blame moved
   EXPECT_EQ(engine.firing_count(), 2u);
 
   // Drain and recover: both alerts resolve on the next tick.

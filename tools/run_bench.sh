@@ -139,6 +139,25 @@ serving["ingestion"] = {
     "context": ingestion.get("context", {}),
     "benchmarks": ingestion.get("benchmarks", []),
 }
+
+# The root-cause localization plane pays per *alarm*, not per event: the
+# summary section records the attribution walk's unit cost so the perf
+# trajectory can check the alarm-path overhead stays microseconds-scale
+# while BM_ServeThroughput/BM_SessionProcess pin the no-alarm hot path.
+root_cause = [
+    b for b in serving.get("benchmarks", [])
+    if b["name"].startswith("BM_RootCauseAttribution")
+    and b.get("run_type", "iteration") == "iteration"
+]
+if root_cause:
+    bench = root_cause[0]
+    serving["root_cause"] = {
+        "attribution_ns": bench["real_time"],
+        "attributions_per_second": bench.get("items_per_second"),
+        "fixture_reports": bench.get("reports"),
+    }
+    print("  %-40s %.0f ns/attribution" %
+          ("BM_RootCauseAttribution", bench["real_time"]))
 events_per_second = {
     b["name"]: b.get("items_per_second")
     for b in ingestion.get("benchmarks", [])
