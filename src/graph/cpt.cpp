@@ -53,6 +53,17 @@ void Cpt::scale(double factor) {
   }
 }
 
+std::size_t Cpt::approx_bytes() const {
+  // One hash node per assignment: the pair payload plus a next pointer
+  // and the allocator's bookkeeping word.
+  constexpr std::size_t kNodeOverhead = 2 * sizeof(void*);
+  return sizeof(Cpt) + causes_.capacity() * sizeof(LaggedNode) +
+         counts_.bucket_count() * sizeof(void*) +
+         counts_.size() *
+             (sizeof(std::pair<const std::uint64_t, std::array<double, 2>>) +
+              kNodeOverhead);
+}
+
 void Cpt::set_counts(std::uint64_t raw_key, double count0, double count1) {
   CAUSALIOT_CHECK(count0 >= 0.0 && count1 >= 0.0);
   counts_[raw_key] = {count0, count1};

@@ -72,6 +72,14 @@ class Cpt {
   /// online adaptation to behavioural drift). factor in (0, 1].
   void scale(double factor);
 
+  /// Estimated resident bytes of this table: the object, the cause
+  /// vector, and the count map's buckets + nodes. An estimate (allocator
+  /// overhead and libstdc++ node layout are approximated), but a
+  /// consistent one — the model-memory accounting that drives the
+  /// serve_model_* gauges compares only numbers produced by this
+  /// function against each other.
+  std::size_t approx_bytes() const;
+
  private:
   std::vector<LaggedNode> causes_;
   std::unordered_map<std::uint64_t, std::array<double, 2>> counts_;

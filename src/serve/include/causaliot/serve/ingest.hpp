@@ -12,6 +12,7 @@
 // or a control verb on the running service:
 //
 //   {"op": "add_tenant", "tenant": "home-9"}
+//   {"op": "add_tenant", "tenant": "home-9", "template": "default"}
 //   {"op": "remove_tenant", "tenant": "home-9"}
 //
 // The scanner is a zero-allocation flat-JSON field walk (string_view
@@ -51,11 +52,15 @@ struct IngestFields {
   std::string_view op;
   std::string_view tenant;
   std::string_view device;
+  /// "template" on the wire (a C++ keyword): the model template an
+  /// add_tenant verb instantiates from.
+  std::string_view template_name;
   double value = 0.0;
   double timestamp = 0.0;
   bool has_op = false;
   bool has_tenant = false;
   bool has_device = false;
+  bool has_template = false;
   bool has_value = false;
   bool has_timestamp = false;
 };
@@ -77,6 +82,10 @@ struct IngestConfig {
   /// lines are rejected as unknown-tenant). Keeps the pre-existing
   /// single-tenant stdin contract working unchanged.
   std::string default_tenant;
+  /// Template used by add_tenant verbs without a "template" field ("" =
+  /// fall back to the static `model` snapshot above). Requires the
+  /// service to be configured with a TemplateRegistry.
+  std::string default_template;
 };
 
 /// Thread-safe line router shared by all ingestion transports.
@@ -114,7 +123,12 @@ class IngestRouter {
   static std::optional<std::string> response_line(const LineResult& result);
 
   /// Control-verb implementations, shared with the HTTP tenant routes.
-  bool add_tenant(std::string_view name);
+  /// An empty `template_name` falls back to config.default_template,
+  /// then to the static config.model snapshot. On failure `reason`
+  /// (when non-null) receives the rejection token ("tenant-exists" or
+  /// "unknown-template").
+  bool add_tenant(std::string_view name, std::string_view template_name = {},
+                  const char** reason = nullptr);
   bool remove_tenant(std::string_view name);
 
   DetectionService& service() { return service_; }

@@ -28,6 +28,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -109,9 +110,15 @@ class ModelHealth {
   void refresh() const;
 
   /// JSON array of per-tenant health objects (the /statusz payload's
-  /// "tenants" field). Refreshes nothing; pair with refresh() if the
+  /// "tenants" field), windowed to [offset, offset + limit) over the
+  /// live tenants in handle order so a 10k-home fleet can be paged.
+  /// `live_total`, when given, receives the live-tenant count regardless
+  /// of the window. Refreshes nothing; pair with refresh() if the
   /// registry must agree.
-  std::string tenants_json() const;
+  std::string tenants_json(
+      std::size_t offset = 0,
+      std::size_t limit = std::numeric_limits<std::size_t>::max(),
+      std::size_t* live_total = nullptr) const;
 
  private:
   struct WindowBucket {

@@ -52,6 +52,7 @@
 #include "causaliot/serve/metrics.hpp"
 #include "causaliot/serve/model_health.hpp"
 #include "causaliot/serve/session.hpp"
+#include "causaliot/serve/template_registry.hpp"
 #include "causaliot/util/bounded_queue.hpp"
 #include "causaliot/util/slot_array.hpp"
 
@@ -89,6 +90,17 @@ struct ServiceConfig {
   const telemetry::DeviceCatalog* catalog = nullptr;
   /// Last-K full attributions retained per tenant for /rootcausez.
   std::size_t root_cause_history = 8;
+  /// Model-template store backing the by-name add_tenant overload and the
+  /// ingest plane's {"op": "add_tenant", "template": ...} verb. nullptr
+  /// disables template lookup (by-name adds fail); when given it must
+  /// outlive the service.
+  TemplateRegistry* templates = nullptr;
+  /// When true (default), template-instantiated tenants share the
+  /// template's skeleton and base CPT payload through copy-on-write
+  /// deltas; false deep-copies every instantiation — the escape hatch
+  /// behind `serve --share-templates 0`, and the baseline side of
+  /// bench_fleet_memory. Alarms are bit-identical either way.
+  bool share_templates = true;
 };
 
 /// Opaque tenant identifier returned by add_tenant.
@@ -135,6 +147,14 @@ class DetectionService {
   TenantHandle add_tenant(std::string name,
                           std::shared_ptr<const ModelSnapshot> model,
                           std::vector<std::uint8_t> initial_state);
+
+  /// Registers a home from a named template in config.templates
+  /// (structure-shared under share_templates, deep-copied otherwise).
+  /// An empty `initial_state` defaults to all-zeros of the template's
+  /// device count. kInvalidTenant when no registry is configured, the
+  /// template is unknown, or the snapshot overload would refuse.
+  TenantHandle add_tenant(std::string name, std::string_view template_name,
+                          std::vector<std::uint8_t> initial_state = {});
 
   /// Unregisters a live tenant from any thread, with no pause: the
   /// directory entry is tombstoned (submit() answers kUnknownTenant
@@ -217,14 +237,40 @@ class DetectionService {
   /// and what every scrape entry point calls first.
   void refresh_gauges() const {
     refresh_queue_gauges();
+    refresh_model_gauges();
     health_.refresh();
   }
 
+  /// Fleet model-memory accounting (the serve_model_* gauges).
+  /// resident_bytes counts every distinct model component once —
+  /// skeletons, base CPT payloads, and per-snapshot deltas are keyed by
+  /// pointer identity, so N tenants of one template pay the skeleton and
+  /// base a single time. private_equivalent_bytes is what the same fleet
+  /// would cost with sharing off (every tenant's full footprint summed).
+  /// Both are publication-time estimates: a delta that grows later via
+  /// update_cpts is re-measured at its next swap_model.
+  struct ModelStats {
+    std::size_t resident_bytes = 0;
+    std::size_t private_equivalent_bytes = 0;
+    std::size_t templates = 0;
+    double dedup_ratio = 1.0;  // private_equivalent / resident
+  };
+  ModelStats model_stats() const;
+
+  /// Default per-tenant window in status_json — /statusz stays bounded
+  /// on 10k-tenant fleets; page with ?offset=&limit=.
+  static constexpr std::size_t kDefaultTenantWindow = 100;
+
   /// One JSON object for /statusz: service summary (readiness, uptime,
-  /// shard/tenant counts, throughput counters) + per-tenant model health.
-  /// Refreshes the queue-depth and health gauges as a side effect, like
-  /// every other scrape entry point.
-  std::string status_json() const;
+  /// shard/tenant counts, throughput counters), fleet model-memory
+  /// stats, and a paginated per-tenant model-health window
+  /// ([tenant_offset, tenant_offset + tenant_limit) over live tenants,
+  /// with the window echoed in "tenant_window"). Refreshes the
+  /// queue-depth and health gauges as a side effect, like every other
+  /// scrape entry point.
+  std::string status_json(std::size_t tenant_offset = 0,
+                          std::size_t tenant_limit = kDefaultTenantWindow)
+      const;
 
   /// Prometheus text of the service registry with queue-depth and
   /// model-health gauges refreshed first — the /metrics payload.
@@ -311,6 +357,14 @@ class DetectionService {
   void deliver(TenantHandle handle, TenantSession& session,
                detect::AnomalyReport report);
   void refresh_queue_gauges() const;
+  void refresh_model_gauges() const;
+  /// Charges `tenant` for `model`'s footprint: shared components
+  /// (skeleton, base payload, the snapshot's own delta) are refcounted
+  /// by pointer identity so each distinct object bills resident bytes
+  /// exactly once. Caller holds directory_mutex_.
+  void account_model_locked(TenantHandle tenant,
+                            const std::shared_ptr<const ModelSnapshot>& model);
+  void unaccount_model_locked(TenantHandle tenant);
 
   ServiceConfig config_;
   AlarmCallback on_alarm_;
@@ -330,6 +384,26 @@ class DetectionService {
   Metrics metrics_;
   ModelHealth health_;
   BlameLedger blame_;
+  /// Model-memory accounting (guarded by directory_mutex_; totals are
+  /// atomics so scrapes read without the lock). Components are keyed by
+  /// object address — a skeleton shared by 10k tenants is one entry with
+  /// refs == 10000 and its bytes counted once.
+  struct ModelComponent {
+    std::size_t bytes = 0;
+    std::size_t refs = 0;
+  };
+  struct ModelAccount {
+    std::vector<const void*> components;
+    std::size_t equiv_bytes = 0;
+  };
+  std::unordered_map<const void*, ModelComponent> model_components_;
+  std::unordered_map<TenantHandle, ModelAccount> model_accounts_;
+  std::atomic<std::size_t> model_resident_bytes_{0};
+  std::atomic<std::size_t> model_equiv_bytes_{0};
+  obs::Gauge* model_resident_gauge_ = nullptr;
+  obs::Gauge* model_equiv_gauge_ = nullptr;
+  obs::Gauge* model_templates_gauge_ = nullptr;
+  obs::Gauge* model_dedup_gauge_ = nullptr;
   std::atomic<std::uint64_t> trace_counter_{0};
   std::atomic<bool> ready_{false};
   std::uint64_t started_at_ns_ = 0;

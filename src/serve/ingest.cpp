@@ -95,6 +95,12 @@ bool scan_ingest_line(std::string_view line, IngestFields& out) {
           return false;
         }
         out.has_device = true;
+      } else if (key == "template") {
+        if (i >= line.size() || line[i] != '"' ||
+            !scan_string(line, i, out.template_name)) {
+          return false;
+        }
+        out.has_template = true;
       } else if (key == "value") {
         if (!scan_number(line, i, out.value)) return false;
         out.has_value = true;
@@ -165,11 +171,27 @@ IngestRouter::IngestRouter(DetectionService& service,
       {{"op", "remove_tenant"}, {"result", "error"}});
 }
 
-bool IngestRouter::add_tenant(std::string_view name) {
-  const TenantHandle handle = service_.add_tenant(
-      std::string(name), config_.model, config_.initial_state);
+bool IngestRouter::add_tenant(std::string_view name,
+                              std::string_view template_name,
+                              const char** reason) {
+  const std::string_view tpl =
+      template_name.empty() ? std::string_view(config_.default_template)
+                            : template_name;
+  TenantHandle handle = DetectionService::kInvalidTenant;
+  const char* why = "tenant-exists";
+  if (!tpl.empty()) {
+    handle = service_.add_tenant(std::string(name), tpl);
+    if (handle == DetectionService::kInvalidTenant &&
+        service_.find_tenant(name) == DetectionService::kInvalidTenant) {
+      why = "unknown-template";
+    }
+  } else {
+    handle = service_.add_tenant(std::string(name), config_.model,
+                                 config_.initial_state);
+  }
   const bool ok = handle != DetectionService::kInvalidTenant;
   (ok ? control_add_ok_ : control_add_err_)->increment();
+  if (!ok && reason != nullptr) *reason = why;
   return ok;
 }
 
@@ -199,9 +221,13 @@ IngestRouter::LineResult IngestRouter::handle_line(std::string_view line) {
       return {Outcome::kControlFailed, "missing-tenant"};
     }
     if (fields.op == "add_tenant") {
-      return add_tenant(fields.tenant)
+      const char* reason = "tenant-exists";
+      return add_tenant(fields.tenant,
+                        fields.has_template ? fields.template_name
+                                            : std::string_view{},
+                        &reason)
                  ? LineResult{Outcome::kControlOk, "add_tenant"}
-                 : LineResult{Outcome::kControlFailed, "tenant-exists"};
+                 : LineResult{Outcome::kControlFailed, reason};
     }
     if (fields.op == "remove_tenant") {
       return remove_tenant(fields.tenant)
@@ -334,11 +360,16 @@ void attach_ingest(obs::HttpServer& http, IngestRouter& router) {
       return response;
     }
     const std::string name(fields.tenant);
-    if (!router.add_tenant(name)) {
+    const char* reason = "tenant-exists";
+    if (!router.add_tenant(name,
+                           fields.has_template ? fields.template_name
+                                               : std::string_view{},
+                           &reason)) {
       obs::HttpResponse response = obs::HttpResponse::json(
-          util::format("{\"error\": \"tenant-exists\", \"tenant\": \"%s\"}",
+          util::format("{\"error\": \"%s\", \"tenant\": \"%s\"}", reason,
                        util::json_escape(name).c_str()));
-      response.status = 409;
+      response.status =
+          std::string_view(reason) == "unknown-template" ? 404 : 409;
       return response;
     }
     return obs::HttpResponse::json(util::format(

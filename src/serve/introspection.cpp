@@ -24,8 +24,26 @@ void attach_introspection(obs::HttpServer& server, DetectionService& service,
     return out;
   });
   server.handle(
-      "/statusz", [&service, options](const obs::HttpRequest&) {
-        std::string body = service.status_json();
+      "/statusz", [&service, options](const obs::HttpRequest& request) {
+        // Per-tenant window (?offset=&limit=): /statusz stays bounded on
+        // 10k-home fleets, the default window shows the first 100.
+        const std::string offset_text =
+            obs::query_param(request.query, "offset", "0");
+        const std::string limit_text = obs::query_param(
+            request.query, "limit",
+            std::to_string(DetectionService::kDefaultTenantWindow));
+        const util::Result<std::int64_t> offset =
+            util::parse_int(offset_text);
+        const util::Result<std::int64_t> limit = util::parse_int(limit_text);
+        if (!offset.ok() || *offset < 0 || !limit.ok() || *limit < 0) {
+          obs::HttpResponse out;
+          out.status = 400;
+          out.body = "bad offset/limit: expected non-negative integers\n";
+          return out;
+        }
+        std::string body =
+            service.status_json(static_cast<std::size_t>(*offset),
+                                static_cast<std::size_t>(*limit));
         // Splice the deployment facts into the top-level object: the
         // service knows nothing about its build label or which SIMD
         // kernel backend the capability probe selected, the process does.

@@ -201,15 +201,23 @@ void ModelHealth::refresh() const {
   }
 }
 
-std::string ModelHealth::tenants_json() const {
+std::string ModelHealth::tenants_json(std::size_t offset, std::size_t limit,
+                                      std::size_t* live_total) const {
   std::string out = "[";
-  const std::size_t limit = limit_.load(std::memory_order_acquire);
+  const std::size_t slot_limit = limit_.load(std::memory_order_acquire);
+  std::size_t live = 0;
+  std::size_t included = 0;
   bool first = true;
-  for (std::size_t i = 0; i < limit; ++i) {
+  for (std::size_t i = 0; i < slot_limit; ++i) {
     const Tenant* entry = tenants_.get(i);
     if (entry == nullptr || entry->removed.load(std::memory_order_acquire)) {
       continue;
     }
+    // Window over live tenants in handle order; keep scanning past the
+    // window so live_total reports the full fleet size.
+    const std::size_t position = live++;
+    if (position < offset || included >= limit) continue;
+    ++included;
     const TenantView t = view(i);
     if (!first) out += ", ";
     first = false;
@@ -235,6 +243,7 @@ std::string ModelHealth::tenants_json() const {
     out += "]}}";
   }
   out += "]";
+  if (live_total != nullptr) *live_total = live;
   return out;
 }
 

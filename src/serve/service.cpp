@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "causaliot/graph/analysis.hpp"
 #include "causaliot/obs/trace.hpp"
 #include "causaliot/util/check.hpp"
 #include "causaliot/util/strings.hpp"
@@ -41,6 +42,21 @@ DetectionService::DetectionService(ServiceConfig config, AlarmCallback on_alarm)
         "serve_queue_depth", {{"shard", shard_label}},
         "Shard queue occupancy at snapshot time");
   }
+  model_resident_gauge_ = &registry_->gauge(
+      "serve_model_resident_bytes", {},
+      "Estimated bytes of model state actually resident (each shared "
+      "skeleton/base payload counted once)");
+  model_equiv_gauge_ = &registry_->gauge(
+      "serve_model_private_equivalent_bytes", {},
+      "Estimated bytes the same fleet would cost with one private model "
+      "copy per tenant");
+  model_templates_gauge_ = &registry_->gauge(
+      "serve_model_templates", {},
+      "Model templates registered in the service's TemplateRegistry");
+  model_dedup_gauge_ = &registry_->gauge(
+      "serve_model_dedup_ratio_ppm", {},
+      "private_equivalent_bytes / resident_bytes in parts per million "
+      "(1000000 = no sharing)");
 }
 
 DetectionService::~DetectionService() { shutdown(); }
@@ -53,6 +69,7 @@ TenantHandle DetectionService::add_tenant(
   const TenantHandle handle = tenant_limit_.load(std::memory_order_relaxed);
   const std::size_t shard_index = handle % shards_.size();
   const std::uint64_t version = model != nullptr ? model->version : 0;
+  account_model_locked(handle, model);
   auto session = std::make_unique<TenantSession>(
       name, std::move(model), config_.session, std::move(initial_state));
   TenantSession* raw_session = session.get();
@@ -81,6 +98,22 @@ TenantHandle DetectionService::add_tenant(
   return handle;
 }
 
+TenantHandle DetectionService::add_tenant(
+    std::string name, std::string_view template_name,
+    std::vector<std::uint8_t> initial_state) {
+  if (config_.templates == nullptr) return kInvalidTenant;
+  const std::shared_ptr<const ModelTemplate> tpl =
+      config_.templates->find(template_name);
+  if (tpl == nullptr) return kInvalidTenant;
+  if (initial_state.empty()) {
+    initial_state.assign(tpl->skeleton->device_count(), 0);
+  }
+  std::shared_ptr<const ModelSnapshot> snapshot =
+      config_.share_templates ? instantiate(*tpl) : instantiate_private(*tpl);
+  return add_tenant(std::move(name), std::move(snapshot),
+                    std::move(initial_state));
+}
+
 bool DetectionService::remove_tenant(TenantHandle tenant) {
   std::lock_guard<std::mutex> lock(directory_mutex_);
   if (stopped_) return false;
@@ -93,6 +126,7 @@ bool DetectionService::remove_tenant(TenantHandle tenant) {
   // session knowing only orphan-countable stragglers remain.
   meta->alive.store(false, std::memory_order_release);
   by_name_.erase(meta->name);
+  unaccount_model_locked(tenant);
   tenants_active_.fetch_sub(1, std::memory_order_relaxed);
   health_.on_removed(tenant);
   metrics_.tenants_removed->increment();
@@ -158,9 +192,15 @@ DetectionService::SubmitResult DetectionService::submit(
 
 void DetectionService::swap_model(TenantHandle tenant,
                                   std::shared_ptr<const ModelSnapshot> model) {
+  // Lifecycle lock, not the event path: re-bills the tenant's model
+  // bytes against the new snapshot's components (same lock-then-enqueue
+  // ordering as add_tenant).
+  std::lock_guard<std::mutex> lock(directory_mutex_);
   TenantMeta* meta = metas_.get(tenant);
   CAUSALIOT_CHECK_MSG(meta != nullptr, "unknown tenant handle");
   if (!meta->alive.load(std::memory_order_acquire)) return;
+  unaccount_model_locked(tenant);
+  account_model_locked(tenant, model);
   health_.on_published(tenant, model != nullptr ? model->version : 0);
   metrics_.model_swaps_published->increment();
   // The publication rides the shard FIFO like any other control, so it
@@ -374,6 +414,80 @@ void DetectionService::refresh_queue_gauges() const {
   }
 }
 
+void DetectionService::account_model_locked(
+    TenantHandle tenant, const std::shared_ptr<const ModelSnapshot>& model) {
+  ModelAccount account;
+  if (model != nullptr) {
+    const graph::MemoryFootprint footprint =
+        graph::memory_footprint(model->graph);
+    account.equiv_bytes = footprint.total_bytes();
+    const auto add_component = [&](const void* key, std::size_t bytes) {
+      ModelComponent& component = model_components_[key];
+      if (component.refs++ == 0) {
+        component.bytes = bytes;
+        model_resident_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+      }
+      account.components.push_back(key);
+    };
+    if (footprint.shared) {
+      add_component(model->graph.skeleton().get(), footprint.skeleton_bytes);
+      add_component(model->graph.base().get(), footprint.base_cpt_bytes);
+      // The delta is per-graph, but tenants handed the same snapshot
+      // shared_ptr (the CLI boot path) literally share one graph object —
+      // keying the unique part by snapshot address bills it once too.
+      add_component(model.get(), footprint.delta_cpt_bytes);
+    } else {
+      add_component(model.get(), footprint.total_bytes());
+    }
+    model_equiv_bytes_.fetch_add(account.equiv_bytes,
+                                 std::memory_order_relaxed);
+  }
+  model_accounts_[tenant] = std::move(account);
+}
+
+void DetectionService::unaccount_model_locked(TenantHandle tenant) {
+  const auto it = model_accounts_.find(tenant);
+  if (it == model_accounts_.end()) return;
+  for (const void* key : it->second.components) {
+    const auto found = model_components_.find(key);
+    if (found == model_components_.end()) continue;
+    if (--found->second.refs == 0) {
+      model_resident_bytes_.fetch_sub(found->second.bytes,
+                                      std::memory_order_relaxed);
+      model_components_.erase(found);
+    }
+  }
+  model_equiv_bytes_.fetch_sub(it->second.equiv_bytes,
+                               std::memory_order_relaxed);
+  model_accounts_.erase(it);
+}
+
+void DetectionService::refresh_model_gauges() const {
+  const ModelStats stats = model_stats();
+  model_resident_gauge_->set(static_cast<std::int64_t>(stats.resident_bytes));
+  model_equiv_gauge_->set(
+      static_cast<std::int64_t>(stats.private_equivalent_bytes));
+  model_templates_gauge_->set(static_cast<std::int64_t>(stats.templates));
+  model_dedup_gauge_->set(
+      static_cast<std::int64_t>(stats.dedup_ratio * 1e6));
+}
+
+DetectionService::ModelStats DetectionService::model_stats() const {
+  ModelStats out;
+  out.resident_bytes = model_resident_bytes_.load(std::memory_order_relaxed);
+  out.private_equivalent_bytes =
+      model_equiv_bytes_.load(std::memory_order_relaxed);
+  out.templates = config_.templates != nullptr
+                      ? config_.templates->template_count()
+                      : 0;
+  out.dedup_ratio =
+      out.resident_bytes == 0
+          ? 1.0
+          : static_cast<double>(out.private_equivalent_bytes) /
+                static_cast<double>(out.resident_bytes);
+  return out;
+}
+
 ServiceStats DetectionService::stats() const {
   refresh_queue_gauges();
   ServiceStats out;
@@ -415,7 +529,8 @@ std::string DetectionService::prometheus() const {
   return registry_->to_prometheus();
 }
 
-std::string DetectionService::status_json() const {
+std::string DetectionService::status_json(std::size_t tenant_offset,
+                                          std::size_t tenant_limit) const {
   refresh_gauges();
   const ServiceStats snapshot = stats();
   const double uptime =
@@ -441,7 +556,21 @@ std::string DetectionService::status_json() const {
       static_cast<unsigned long long>(snapshot.alarms_total),
       static_cast<unsigned long long>(snapshot.model_swaps_published),
       static_cast<unsigned long long>(snapshot.model_swaps_adopted));
-  out += ", \"tenants\": " + health_.tenants_json() + "}";
+  const ModelStats models = model_stats();
+  out += util::format(
+      ", \"models\": {\"templates\": %zu, \"resident_bytes\": %zu, "
+      "\"private_equivalent_bytes\": %zu, \"dedup_ratio\": %.3f, "
+      "\"share_templates\": %s}",
+      models.templates, models.resident_bytes,
+      models.private_equivalent_bytes, models.dedup_ratio,
+      config_.share_templates ? "true" : "false");
+  std::size_t live_total = 0;
+  out += ", \"tenants\": " +
+         health_.tenants_json(tenant_offset, tenant_limit, &live_total);
+  out += util::format(
+      ", \"tenant_window\": {\"offset\": %zu, \"limit\": %zu, "
+      "\"total\": %zu}}",
+      tenant_offset, tenant_limit, live_total);
   return out;
 }
 

@@ -193,9 +193,19 @@ TEST_F(ChurnTest, SurvivorsUnperturbedAndNothingLost) {
   }
   ASSERT_FALSE(static_log.by_tenant["s0"].empty());  // bar is meaningful
 
-  // --- Churn run: same survivors + socket-driven tenant churn. ---
+  // --- Churn run: same survivors + socket-driven tenant churn. The
+  // ephemerals instantiate from a registered template, so the 25 cycles
+  // also exercise skeleton interning and copy-on-write sharing under
+  // live add/remove (the weak intern pool must drain on eviction). ---
   AlarmLog churn_log;
-  DetectionService service(service_config(), churn_log.callback());
+  TemplateRegistry registry;
+  auto fleet = registry.publish(
+      "fleet", experiment_->model.graph, experiment_->model.score_threshold,
+      experiment_->model.laplace_alpha, /*version=*/1);
+  ASSERT_NE(fleet, nullptr);
+  ServiceConfig churn_config = service_config();
+  churn_config.templates = &registry;
+  DetectionService service(churn_config, churn_log.callback());
   std::vector<TenantHandle> survivors;
   survivors.push_back(service.add_tenant("s0", snapshot(), initial_state));
   survivors.push_back(service.add_tenant("s1", snapshot(), initial_state));
@@ -232,8 +242,8 @@ TEST_F(ChurnTest, SurvivorsUnperturbedAndNothingLost) {
     ASSERT_TRUE(client.connected());
     for (std::size_t cycle = 0; cycle < kCycles; ++cycle) {
       const std::string name = "eph-" + std::to_string(cycle);
-      std::string script =
-          "{\"op\": \"add_tenant\", \"tenant\": \"" + name + "\"}\n";
+      std::string script = "{\"op\": \"add_tenant\", \"tenant\": \"" +
+                           name + "\", \"template\": \"fleet\"}\n";
       std::string burst = burst_template;
       std::size_t at;
       while ((at = burst.find('@')) != std::string::npos) {
@@ -287,6 +297,20 @@ TEST_F(ChurnTest, SurvivorsUnperturbedAndNothingLost) {
   EXPECT_EQ(stats.queue_dropped_oldest, 0u);
   EXPECT_EQ(stats.queue_rejected, 0u);
   EXPECT_EQ(router.accepted_total(), kCycles * kBurst);
+
+  // Template plumbing reconciles too: every ephemeral's shared model
+  // bytes were released with its removal, leaving only the survivors'
+  // private snapshots (resident == equivalent again), and evicting the
+  // template drains the weak skeleton intern pool once the last
+  // reference drops.
+  EXPECT_EQ(registry.template_count(), 1u);
+  EXPECT_EQ(registry.skeleton_count(), 1u);
+  const DetectionService::ModelStats models = service.model_stats();
+  EXPECT_EQ(models.resident_bytes, models.private_equivalent_bytes);
+  EXPECT_GT(models.resident_bytes, 0u);
+  EXPECT_TRUE(registry.evict("fleet"));
+  fleet.reset();
+  EXPECT_EQ(registry.skeleton_count(), 0u);
 }
 
 TEST_F(ChurnTest, RemovedTenantFlushesItsPendingWindow) {

@@ -23,8 +23,9 @@ serving_json="${3:-BENCH_serving.json}"
 mining_bin="$build_dir/bench/bench_complexity"
 serving_bin="$build_dir/bench/bench_serving_throughput"
 ingestion_bin="$build_dir/bench/bench_ingestion"
+fleet_bin="$build_dir/bench/bench_fleet_memory"
 
-for bench_bin in "$mining_bin" "$serving_bin" "$ingestion_bin"; do
+for bench_bin in "$mining_bin" "$serving_bin" "$ingestion_bin" "$fleet_bin"; do
   if [ ! -x "$bench_bin" ]; then
     echo "error: $bench_bin not built (cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
     exit 1
@@ -125,20 +126,55 @@ ingestion_json="$(mktemp)"
   --benchmark_out="$ingestion_json" \
   --benchmark_out_format=json
 
-python3 - "$serving_json" "$ingestion_json" <<'PY'
+# Fleet-scale model dedup (shared skeleton + COW deltas vs private
+# copies): the residency and throughput numbers ride in the serving JSON
+# as a top-level "fleet" section with a summary the perf trajectory can
+# assert on (dedup_ratio >= 5, throughput parity, exact accounting).
+fleet_json="$(mktemp)"
+"$fleet_bin" \
+  --benchmark_out="$fleet_json" \
+  --benchmark_out_format=json
+
+python3 - "$serving_json" "$ingestion_json" "$fleet_json" <<'PY'
 import json
 import sys
 
-serving_path, ingestion_path = sys.argv[1], sys.argv[2]
+serving_path, ingestion_path, fleet_path = sys.argv[1:4]
 with open(serving_path) as f:
     serving = json.load(f)
 with open(ingestion_path) as f:
     ingestion = json.load(f)
+with open(fleet_path) as f:
+    fleet = json.load(f)
 
 serving["ingestion"] = {
     "context": ingestion.get("context", {}),
     "benchmarks": ingestion.get("benchmarks", []),
 }
+
+fleet_benchmarks = [
+    b for b in fleet.get("benchmarks", [])
+    if b.get("run_type", "iteration") == "iteration"
+]
+summary = {}
+for bench in fleet_benchmarks:
+    mode = "shared" if bench.get("shared") else "private"
+    if bench["name"].startswith("BM_FleetResidency"):
+        summary[mode + "_resident_bytes"] = bench.get("resident_bytes")
+        summary[mode + "_bytes_per_tenant"] = bench.get("bytes_per_tenant")
+        if bench.get("shared"):
+            summary["dedup_ratio"] = bench.get("dedup_ratio")
+        summary.setdefault("accounting_exact", True)
+        summary["accounting_exact"] = (
+            summary["accounting_exact"]
+            and bench.get("accounting_exact") == 1.0)
+    elif bench["name"].startswith("BM_FleetThroughput"):
+        summary[mode + "_events_per_second"] = bench.get("items_per_second")
+serving["fleet"] = {"benchmarks": fleet_benchmarks, "summary": summary}
+if summary:
+    print("fleet model dedup (10k tenants, one template):")
+    for key in sorted(summary):
+        print("  %-32s %s" % (key, summary[key]))
 
 # The root-cause localization plane pays per *alarm*, not per event: the
 # summary section records the attribution walk's unit cost so the perf
@@ -172,6 +208,6 @@ with open(serving_path, "w") as f:
     json.dump(serving, f, indent=1)
     f.write("\n")
 PY
-rm -f "$ingestion_json"
+rm -f "$ingestion_json" "$fleet_json"
 
-echo "wrote $serving_json (with ingestion section)"
+echo "wrote $serving_json (with ingestion and fleet sections)"
